@@ -1,0 +1,133 @@
+package bosphorus_test
+
+import (
+	"strings"
+	"testing"
+
+	bosphorus "repro"
+)
+
+func TestSolvePaperExample(t *testing.T) {
+	sys, err := bosphorus.ParseANF(strings.NewReader(paperExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bosphorus.Solve(sys, bosphorus.DefaultOptions())
+	if res.Status != bosphorus.SAT {
+		t.Fatalf("status = %v", res.Status)
+	}
+	want := map[int]bool{1: true, 2: true, 3: true, 4: true, 5: false}
+	for v, b := range want {
+		if res.Solution[v] != b {
+			t.Fatalf("solution x%d = %v, want %v", v, res.Solution[v], b)
+		}
+	}
+	if !bosphorus.VerifyANF(sys, res.Solution) {
+		t.Fatal("solution does not verify")
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	sys, err := bosphorus.ParseANF(strings.NewReader("x0\nx0 + 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := bosphorus.Solve(sys, bosphorus.DefaultOptions()); res.Status != bosphorus.UNSAT {
+		t.Fatalf("status = %v, want UNSAT", res.Status)
+	}
+}
+
+func TestPreprocessReturnsAugmentedForms(t *testing.T) {
+	sys, err := bosphorus.ParseANF(strings.NewReader(paperExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bosphorus.Preprocess(sys, bosphorus.DefaultOptions())
+	if res.ANF == nil || res.CNF == nil {
+		t.Fatal("missing outputs")
+	}
+	if res.ANF.Len() == 0 {
+		t.Fatal("processed ANF empty")
+	}
+	if res.FactsXL+res.FactsElimLin+res.FactsSAT+res.FactsPropagation == 0 {
+		t.Fatal("no facts learnt on the worked example")
+	}
+}
+
+func TestPreprocessCNFRoundTrip(t *testing.T) {
+	src := `p cnf 3 4
+1 2 0
+-1 2 0
+2 -3 0
+-2 -3 0
+`
+	f, err := bosphorus.ParseDimacs(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bosphorus.PreprocessCNF(f, bosphorus.DefaultOptions())
+	// The formula forces v2 = true and v3 = false.
+	if res.Status == bosphorus.UNSAT {
+		t.Fatal("satisfiable CNF preprocessed to UNSAT")
+	}
+	var sb strings.Builder
+	if err := bosphorus.WriteDimacs(&sb, res.CNF); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "p cnf") {
+		t.Fatal("bad DIMACS output")
+	}
+}
+
+func TestSolveCNF(t *testing.T) {
+	src := "p cnf 2 2\n1 -2 0\n-1 2 0\n"
+	f, err := bosphorus.ParseDimacs(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bosphorus.SolveCNF(f, bosphorus.DefaultOptions())
+	if res.Status != bosphorus.SAT {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestWriteANF(t *testing.T) {
+	sys, _ := bosphorus.ParseANF(strings.NewReader("x0*x1 + 1\n"))
+	var sb strings.Builder
+	if err := bosphorus.WriteANF(&sb, sys); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x0*x1 + 1") {
+		t.Fatalf("output %q", sb.String())
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if bosphorus.SAT.String() != "SAT" || bosphorus.UNSAT.String() != "UNSAT" || bosphorus.Processed.String() != "PROCESSED" {
+		t.Fatal("status strings wrong")
+	}
+}
+
+func TestOptionsProfiles(t *testing.T) {
+	sys, _ := bosphorus.ParseANF(strings.NewReader(paperExample))
+	for _, p := range []bosphorus.SolverProfile{bosphorus.MiniSat, bosphorus.Lingeling, bosphorus.CryptoMiniSat} {
+		o := bosphorus.DefaultOptions()
+		o.Profile = p
+		res := bosphorus.Solve(sys, o)
+		if res.Status == bosphorus.UNSAT {
+			t.Fatalf("profile %v: wrong verdict", p)
+		}
+	}
+}
+
+func TestExtensionsThroughFacade(t *testing.T) {
+	sys, _ := bosphorus.ParseANF(strings.NewReader(paperExample))
+	o := bosphorus.DefaultOptions()
+	o.EnableGroebner = true
+	o.EnableProbing = true
+	o.ExtraTechniques = []bosphorus.Technique{bosphorus.BuchbergerTechnique()}
+	res := bosphorus.Solve(sys, o)
+	if res.Status == bosphorus.UNSAT {
+		t.Fatal("wrong verdict with extensions enabled")
+	}
+}

@@ -1,0 +1,136 @@
+// Command anfgen generates the paper's benchmark instances (appendix):
+// round-reduced small-scale AES (SR), round-reduced Simon32/64, weakened
+// Bitcoin nonce finding, and the SAT-2017-substitute CNF suite.
+//
+// Usage:
+//
+//	anfgen -family sr -n 1 -r 2 -c 2 -e 4 -count 3 -dir out/
+//	anfgen -family simon -plaintexts 8 -rounds 6 -count 5 -dir out/
+//	anfgen -family bitcoin -k 8 -rounds 16 -count 2 -dir out/
+//	anfgen -family sat2017 -count 4 -dir out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/anf"
+	"repro/internal/ciphers/sha256"
+	"repro/internal/ciphers/simon"
+	"repro/internal/ciphers/speck"
+	"repro/internal/ciphers/sr"
+	"repro/internal/cnf"
+	"repro/internal/satgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "anfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("anfgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		family = fs.String("family", "sr", "instance family: sr | simon | speck | bitcoin | sat2017")
+		dir    = fs.String("dir", ".", "output directory")
+		count  = fs.Int("count", 1, "number of instances")
+		seed   = fs.Int64("seed", 1, "random seed")
+
+		n = fs.Int("n", 1, "sr: rounds")
+		r = fs.Int("r", 2, "sr: state rows")
+		c = fs.Int("c", 2, "sr: state columns")
+		e = fs.Int("e", 4, "sr: field bits (4 or 8)")
+
+		plaintexts = fs.Int("plaintexts", 8, "simon: number of plaintexts")
+		rounds     = fs.Int("rounds", 6, "simon/bitcoin: rounds")
+
+		k = fs.Int("k", 8, "bitcoin: leading zero bits")
+
+		scale = fs.Int("scale", 1, "sat2017: size multiplier")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	writeANF := func(name string, sys *anf.System) error {
+		path := filepath.Join(*dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := anf.WriteSystem(f, sys); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s (%d vars, %d equations)\n", path, sys.NumVars(), sys.Len())
+		return nil
+	}
+
+	switch *family {
+	case "sr":
+		p := sr.Params{N: *n, R: *r, C: *c, E: *e}
+		for i := 0; i < *count; i++ {
+			inst := sr.GenerateInstance(p, rng)
+			if err := writeANF(fmt.Sprintf("sr-%d-%d-%d-%d-%03d.anf", *n, *r, *c, *e, i), inst.Sys); err != nil {
+				return err
+			}
+		}
+	case "simon":
+		p := simon.Params{NPlaintexts: *plaintexts, Rounds: *rounds}
+		for i := 0; i < *count; i++ {
+			inst := simon.GenerateInstance(p, rng)
+			if err := writeANF(fmt.Sprintf("simon-%d-%d-%03d.anf", *plaintexts, *rounds, i), inst.Sys); err != nil {
+				return err
+			}
+		}
+	case "speck":
+		p := speck.Params{NPlaintexts: *plaintexts, Rounds: *rounds}
+		for i := 0; i < *count; i++ {
+			inst := speck.GenerateInstance(p, rng)
+			if err := writeANF(fmt.Sprintf("speck-%d-%d-%03d.anf", *plaintexts, *rounds, i), inst.Sys); err != nil {
+				return err
+			}
+		}
+	case "bitcoin":
+		rr := *rounds
+		if rr < 16 {
+			rr = 16
+		}
+		p := sha256.BitcoinParams{K: *k, Rounds: rr}
+		for i := 0; i < *count; i++ {
+			inst := sha256.GenerateBitcoin(p, rng)
+			if err := writeANF(fmt.Sprintf("bitcoin-%d-r%d-%03d.anf", *k, rr, i), inst.Sys); err != nil {
+				return err
+			}
+		}
+	case "sat2017":
+		suite := satgen.Suite(satgen.SuiteConfig{Scale: *scale, PerFamily: *count, Seed: *seed})
+		for _, inst := range suite {
+			path := filepath.Join(*dir, inst.Name+".cnf")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := cnf.WriteDimacs(f, inst.Formula); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			fmt.Fprintf(stderr, "wrote %s (%s, ground truth %v)\n", path, inst.Formula.Stats(), inst.Status)
+		}
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+	return nil
+}

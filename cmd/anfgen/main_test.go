@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/anf"
+)
+
+func TestGenerateSR(t *testing.T) {
+	dir := t.TempDir()
+	var errw bytes.Buffer
+	if err := run([]string{"-family", "sr", "-n", "1", "-r", "2", "-c", "2", "-e", "4", "-count", "2", "-dir", dir}, &errw); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 2 {
+		t.Fatalf("%d files written", len(entries))
+	}
+	f, err := os.Open(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sys, err := anf.ReadSystem(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumVars() != 104 {
+		t.Fatalf("SR(1,2,2,4) vars = %d, want 104", sys.NumVars())
+	}
+}
+
+func TestGenerateSimonAndBitcoin(t *testing.T) {
+	dir := t.TempDir()
+	var errw bytes.Buffer
+	if err := run([]string{"-family", "simon", "-plaintexts", "2", "-rounds", "4", "-count", "1", "-dir", dir}, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "bitcoin", "-k", "2", "-rounds", "16", "-count", "1", "-dir", dir}, &errw); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	names := []string{}
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "simon-2-4-000.anf") || !strings.Contains(joined, "bitcoin-2-r16-000.anf") {
+		t.Fatalf("files: %v", names)
+	}
+}
+
+func TestGenerateSAT2017(t *testing.T) {
+	dir := t.TempDir()
+	var errw bytes.Buffer
+	if err := run([]string{"-family", "sat2017", "-count", "1", "-dir", dir}, &errw); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 6 { // one per generator family
+		t.Fatalf("%d CNFs written, want 6", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".cnf") {
+			t.Fatalf("unexpected file %s", e.Name())
+		}
+	}
+}
+
+func TestUnknownFamily(t *testing.T) {
+	var errw bytes.Buffer
+	if err := run([]string{"-family", "nope", "-dir", t.TempDir()}, &errw); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

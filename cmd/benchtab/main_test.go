@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableIOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-table", "1"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"x1 + 1 = 0", "x2 = 0", "x3 = 0"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig2Output(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-table", "fig2"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "6 clauses") || !strings.Contains(s, "11 clauses") {
+		t.Fatalf("Fig 2 counts missing:\n%s", s)
+	}
+}
+
+func TestTableIISmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pipeline matrix")
+	}
+	var out, errw bytes.Buffer
+	// One instance per family with a small timeout: exercises the whole
+	// matrix quickly.
+	if err := run([]string{"-table", "2", "-count", "1", "-timeout", "1s"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"MiniSat", "Lingeling", "CryptoMiniSat5", "SR-", "Simon-", "Bitcoin-", "SAT-2017", "w/o"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table II output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-table", "9"}, &out, &errw); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}

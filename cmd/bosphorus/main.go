@@ -1,0 +1,208 @@
+// Command bosphorus is the reproduction of the paper's tool: it reads a
+// problem in ANF or CNF, runs the XL–ElimLin–SAT-solver fact-learning loop
+// with ANF propagation to a fixed point, and writes a processed ANF and
+// CNF augmented with the learnt facts. With -solve it keeps going until a
+// verdict.
+//
+// Usage:
+//
+//	bosphorus -anf problem.anf -out-cnf out.cnf -out-anf out.anf
+//	bosphorus -cnf problem.cnf -solve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/anf"
+	"repro/internal/cnf"
+	"repro/internal/conv"
+	"repro/internal/core"
+	"repro/internal/sat"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bosphorus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bosphorus", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		anfPath   = fs.String("anf", "", "input ANF file (one polynomial per line)")
+		cnfPath   = fs.String("cnf", "", "input DIMACS CNF file")
+		outANF    = fs.String("out-anf", "", "write the processed ANF here")
+		outCNF    = fs.String("out-cnf", "", "write the processed CNF here")
+		solve     = fs.Bool("solve", false, "keep solving until SAT/UNSAT instead of stopping at the fixed point")
+		solver    = fs.String("solver", "cms", "internal SAT solver: minisat | lingeling | cms")
+		m         = fs.Int("m", 20, "XL/ElimLin subsample size exponent M (linearized cells ≈ 2^M)")
+		deltaM    = fs.Int("dm", 4, "XL expansion allowance δM")
+		xlDeg     = fs.Int("d", 1, "XL multiplier degree D")
+		karnaugh  = fs.Int("k", 8, "Karnaugh parameter K (ANF→CNF)")
+		cutLen    = fs.Int("l", 5, "XOR cutting length L (ANF→CNF)")
+		clauseCut = fs.Int("lp", 5, "clause cutting length L′ (CNF→ANF)")
+		budget    = fs.Int64("confl", 10000, "starting SAT conflict budget C")
+		maxIters  = fs.Int("iters", 16, "maximum fact-learning iterations")
+		timeLimit = fs.Duration("time", 0, "wall-clock budget for the loop (0 = none)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		verbose   = fs.Bool("v", false, "log per-iteration progress")
+		probe     = fs.Bool("probe", false, "enable failed-literal probing in the SAT step (§V lookahead)")
+		groebner  = fs.Bool("groebner", false, "enable the budgeted Buchberger phase (§V)")
+		enum      = fs.Int("enum", 0, "enumerate up to N solutions of the processed system over the original variables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*anfPath == "") == (*cnfPath == "") {
+		return fmt.Errorf("exactly one of -anf or -cnf is required")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.M = *m
+	cfg.DeltaM = *deltaM
+	cfg.XLDeg = *xlDeg
+	cfg.Conv = conv.Options{CutLen: *cutLen, KarnaughK: *karnaugh, ClauseCutLen: *clauseCut}
+	cfg.ConflictBudget = *budget
+	cfg.MaxIterations = *maxIters
+	cfg.TimeBudget = *timeLimit
+	cfg.Seed = *seed
+	cfg.StopOnSolution = *solve
+	cfg.EnableProbing = *probe
+	cfg.EnableGroebner = *groebner
+	if *verbose {
+		cfg.Log = stderr
+	}
+	switch *solver {
+	case "minisat":
+		cfg.Profile = sat.ProfileMiniSat
+	case "lingeling":
+		cfg.Profile = sat.ProfileLingeling
+		cfg.Preprocess = true
+	case "cms":
+		cfg.Profile = sat.ProfileCMS
+	default:
+		return fmt.Errorf("unknown solver %q", *solver)
+	}
+
+	var sys *anf.System
+	var origCNF *cnf.Formula
+	if *anfPath != "" {
+		f, err := os.Open(*anfPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sys, err = anf.ReadSystem(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Open(*cnfPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		origCNF, err = cnf.ReadDimacs(f)
+		if err != nil {
+			return err
+		}
+		sys = conv.CNFToANF(origCNF, cfg.Conv)
+	}
+
+	start := time.Now()
+	res := core.Process(sys, cfg)
+	fmt.Fprintf(stdout, "c bosphorus: %s\n", res.Summary())
+
+	switch res.Status {
+	case core.SolvedUNSAT:
+		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+	case core.SolvedSAT:
+		fmt.Fprintln(stdout, "s SATISFIABLE")
+		fmt.Fprint(stdout, "v")
+		for v, b := range res.Solution {
+			if v >= sys.NumVars() {
+				break
+			}
+			d := v + 1
+			if !b {
+				d = -d
+			}
+			fmt.Fprintf(stdout, " %d", d)
+		}
+		fmt.Fprintln(stdout, " 0")
+	default:
+		fmt.Fprintf(stdout, "c processed to fixed point (%v total)\n", time.Since(start))
+	}
+
+	if *enum > 0 && res.Status != core.SolvedUNSAT {
+		// §V: the processed system constrains the solution space without
+		// committing to one solution — enumerate what remains.
+		out, _ := res.OutputCNF(cfg.Conv)
+		s := sat.New(sat.DefaultOptions(cfg.Profile))
+		if s.AddFormula(out) {
+			models := s.EnumerateModels(sys.NumVars(), *enum)
+			fmt.Fprintf(stdout, "c %d solution(s) over the original variables (cap %d):\n", len(models), *enum)
+			for _, m := range models {
+				fmt.Fprint(stdout, "v")
+				for v, b := range m {
+					d := v + 1
+					if !b {
+						d = -d
+					}
+					fmt.Fprintf(stdout, " %d", d)
+				}
+				fmt.Fprintln(stdout, " 0")
+			}
+		} else {
+			fmt.Fprintln(stdout, "c 0 solutions (processed CNF unsatisfiable)")
+		}
+	}
+
+	if *outANF != "" {
+		f, err := os.Create(*outANF)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := anf.WriteSystem(f, res.OutputANF()); err != nil {
+			return err
+		}
+	}
+	if *outCNF != "" {
+		out, _ := res.OutputCNF(cfg.Conv)
+		if origCNF != nil {
+			// The CNF-preprocessor use-case (§III-D): the processed CNF
+			// from the internal ANF is suboptimal on its own, so return
+			// the original clauses plus the learnt facts.
+			merged := origCNF.Clone()
+			for _, c := range out.Clauses {
+				inRange := true
+				for _, l := range c {
+					if int(l.Var()) >= origCNF.NumVars {
+						inRange = false
+						break
+					}
+				}
+				if inRange && len(c) <= 2 {
+					merged.AddClause(c...)
+				}
+			}
+			out = merged
+		}
+		f, err := os.Create(*outCNF)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := cnf.WriteDimacs(f, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

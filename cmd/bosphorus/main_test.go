@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSolveANF(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "p.anf", "x1*x2 + x3 + x4 + 1\nx1*x2*x3 + x1 + x3 + 1\nx1*x3 + x3*x4*x5 + x3\nx2*x3 + x3*x5 + 1\nx2*x3 + x5 + 1\n")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-anf", in, "-solve"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "s SATISFIABLE") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	// The paper's solution: x1..x4 = 1, x5 = 0 → "v 1 2 3 4 -5" modulo x0.
+	if !strings.Contains(out.String(), " 2 3 4 5 -6 0") {
+		t.Fatalf("solution line wrong:\n%s", out.String())
+	}
+}
+
+func TestUnsatANF(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "u.anf", "x0\nx0 + 1\n")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-anf", in, "-solve"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "s UNSATISFIABLE") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestPreprocessWritesOutputs(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "p.anf", "x0*x1 + x2\nx0 + 1\nx2 + x3\n")
+	outANF := filepath.Join(dir, "out.anf")
+	outCNF := filepath.Join(dir, "out.cnf")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-anf", in, "-out-anf", outANF, "-out-cnf", outCNF}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	anfData, err := os.ReadFile(outANF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(anfData), "x0 + 1") {
+		t.Fatalf("processed ANF missing fact:\n%s", anfData)
+	}
+	cnfData, err := os.ReadFile(outCNF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(cnfData), "p cnf") {
+		t.Fatal("CNF output not DIMACS")
+	}
+}
+
+func TestCNFPreprocessorMode(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "p.cnf", "p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n")
+	outCNF := filepath.Join(dir, "out.cnf")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-cnf", in, "-out-cnf", outCNF, "-solver", "minisat"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outCNF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The learnt facts force all three variables; the merged output must
+	// include unit clauses for them.
+	s := string(data)
+	for _, unit := range []string{"\n1 0\n", "\n2 0\n", "\n3 0\n"} {
+		if !strings.Contains(s, unit) {
+			t.Fatalf("missing learnt unit %q in:\n%s", strings.TrimSpace(unit), s)
+		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{}, &out, &errw); err == nil {
+		t.Fatal("missing input not rejected")
+	}
+	if err := run([]string{"-anf", "a", "-cnf", "b"}, &out, &errw); err == nil {
+		t.Fatal("double input not rejected")
+	}
+	dir := t.TempDir()
+	in := writeFile(t, dir, "p.anf", "x0\n")
+	if err := run([]string{"-anf", in, "-solver", "nope"}, &out, &errw); err == nil {
+		t.Fatal("bad solver not rejected")
+	}
+}
+
+func TestEnumerateSolutions(t *testing.T) {
+	dir := t.TempDir()
+	// x0 ∨ x1 as ANF would be x0*x1 + x0 + x1 + 1... simpler: x0 + x1: two
+	// solutions (01, 10) over 2 variables.
+	in := writeFile(t, dir, "e.anf", "x0 + x1 + 1\n")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-anf", in, "-enum", "10"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "2 solution(s)") {
+		t.Fatalf("enumeration output wrong:\n%s", s)
+	}
+}

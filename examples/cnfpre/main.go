@@ -1,0 +1,81 @@
+// Bosphorus as a CNF preprocessor (the paper's §III-D use-case): a
+// parity-heavy CNF — the kind of structure hidden from clause-level
+// reasoning but transparent at the ANF level — is translated to ANF
+// (clause → product of negated literals), run through the fact-learning
+// loop, and the learnt unit/equivalence facts are handed back to a plain
+// CDCL solver alongside the original clauses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	bosphorus "repro"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+	"repro/internal/satgen"
+)
+
+func main() {
+	nVars := flag.Int("vars", 32, "parity system variables")
+	seed := flag.Int64("seed", 5, "instance seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	inst := satgen.ParityChain(*nVars, *nVars+4, 3, true, rng)
+	fmt.Printf("instance %s: %s (planted SAT)\n", inst.Name, inst.Formula.Stats())
+
+	// Baseline: plain CDCL.
+	s1 := sat.New(sat.DefaultOptions(sat.ProfileMiniSat))
+	s1.AddFormula(inst.Formula)
+	t0 := time.Now()
+	st1 := s1.Solve()
+	fmt.Printf("plain MiniSat profile:      %v in %v (%d conflicts)\n",
+		st1, time.Since(t0).Round(time.Microsecond), s1.Conflicts)
+
+	// Bosphorus preprocessing: CNF -> ANF -> learnt facts.
+	opts := bosphorus.DefaultOptions()
+	opts.Seed = *seed
+	t1 := time.Now()
+	res := bosphorus.PreprocessCNF(inst.Formula, opts)
+	fmt.Printf("bosphorus preprocessing:    %v in %v (facts xl=%d elimlin=%d sat=%d prop=%d)\n",
+		res.Status, time.Since(t1).Round(time.Microsecond),
+		res.FactsXL, res.FactsElimLin, res.FactsSAT, res.FactsPropagation)
+
+	// Solve the original CNF augmented with the facts the loop learnt
+	// (unit clauses for determined variables; the processed CNF's short
+	// clauses over original variables carry the equivalences).
+	augmented := inst.Formula.Clone()
+	added := 0
+	for _, c := range res.CNF.Clauses {
+		if len(c) > 2 {
+			continue
+		}
+		ok := true
+		for _, l := range c {
+			if int(l.Var()) >= inst.Formula.NumVars {
+				ok = false
+			}
+		}
+		if ok {
+			augmented.AddClause(c...)
+			added++
+		}
+	}
+	fmt.Printf("augmenting original CNF with %d learnt fact clauses\n", added)
+	s2 := sat.New(sat.DefaultOptions(sat.ProfileMiniSat))
+	s2.AddFormula(augmented)
+	t2 := time.Now()
+	st2 := s2.Solve()
+	fmt.Printf("MiniSat profile after pre:  %v in %v (%d conflicts)\n",
+		st2, time.Since(t2).Round(time.Microsecond), s2.Conflicts)
+	if st2 == sat.Sat {
+		m := s2.Model()
+		if !inst.Formula.Eval(func(v cnf.Var) bool { return m[v] }) {
+			panic("augmented model violates the original formula")
+		}
+		fmt.Println("model verified against the original CNF ✓")
+	}
+}

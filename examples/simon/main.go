@@ -1,0 +1,57 @@
+// Algebraic cryptanalysis of round-reduced Simon32/64 (the paper's
+// appendix-B benchmark): generate a Simon-[8,8] instance — eight related
+// plaintexts encrypted under one secret key for eight rounds — and recover
+// the key. Plain CDCL struggles at this depth; the Bosphorus fact-learning
+// loop cracks it by combining Gauss–Jordan elimination over the quadratic
+// round equations with conflict-driven learning.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	bosphorus "repro"
+	"repro/internal/ciphers/simon"
+)
+
+func main() {
+	plaintexts := flag.Int("plaintexts", 8, "number of related plaintexts (SP/RC setting)")
+	rounds := flag.Int("rounds", 8, "Simon32/64 rounds")
+	seed := flag.Int64("seed", 14, "instance seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	inst := simon.GenerateInstance(simon.Params{NPlaintexts: *plaintexts, Rounds: *rounds}, rng)
+	fmt.Printf("Simon-[%d,%d]: %d variables, %d quadratic equations\n",
+		*plaintexts, *rounds, inst.Sys.NumVars(), inst.Sys.Len())
+	fmt.Printf("secret key (hidden from the solver): %04x %04x %04x %04x\n",
+		inst.Key[3], inst.Key[2], inst.Key[1], inst.Key[0])
+
+	opts := bosphorus.DefaultOptions()
+	opts.Seed = *seed
+	start := time.Now()
+	res := bosphorus.Solve(inst.Sys, opts)
+	fmt.Printf("bosphorus: %v in %v (%d iterations; facts xl=%d elimlin=%d sat=%d prop=%d)\n",
+		res.Status, time.Since(start).Round(time.Millisecond), res.Iterations,
+		res.FactsXL, res.FactsElimLin, res.FactsSAT, res.FactsPropagation)
+	if res.Status != bosphorus.SAT {
+		log.Fatal("no solution found; increase rounds budget")
+	}
+	key := inst.KeyFromSolution(res.Solution)
+	fmt.Printf("recovered key:                        %04x %04x %04x %04x\n",
+		key[3], key[2], key[1], key[0])
+
+	// Any recovered key must reproduce every plaintext/ciphertext pair
+	// (with few pairs several keys may be consistent; all are valid
+	// attacks).
+	for i, pl := range inst.Plains {
+		cx, cy := simon.Encrypt(pl[0], pl[1], key, *rounds)
+		if cx != inst.Ciphers[i][0] || cy != inst.Ciphers[i][1] {
+			log.Fatalf("recovered key fails pair %d", i)
+		}
+	}
+	fmt.Printf("key verified against all %d plaintext/ciphertext pairs ✓\n", len(inst.Plains))
+}

@@ -1,0 +1,78 @@
+package anf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPolys(n, maxVar, terms, deg int, seed int64) []Poly {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Poly, n)
+	for i := range out {
+		out[i] = randPoly(rng, maxVar, terms, deg)
+	}
+	return out
+}
+
+func BenchmarkPolyAdd(b *testing.B) {
+	ps := benchPolys(64, 64, 24, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ps[i%64].Add(ps[(i+1)%64])
+	}
+}
+
+func BenchmarkPolyMul(b *testing.B) {
+	ps := benchPolys(64, 32, 8, 2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ps[i%64].Mul(ps[(i+1)%64])
+	}
+}
+
+func BenchmarkSubstituteVar(b *testing.B) {
+	ps := benchPolys(64, 32, 16, 3, 3)
+	r := MustParsePoly("x1 + x2 + 1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ps[i%64].SubstituteVar(5, r)
+	}
+}
+
+func BenchmarkParsePoly(b *testing.B) {
+	s := "x1*x2*x3 + x4*x5 + x6 + x7 + x8*x9*x10 + 1"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParsePoly(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMobiusTransform(b *testing.B) {
+	vars := make([]Var, 10)
+	for i := range vars {
+		vars[i] = Var(i)
+	}
+	rng := rand.New(rand.NewSource(4))
+	table := make([]bool, 1<<10)
+	for i := range table {
+		table[i] = rng.Intn(2) == 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FromTruthTable(vars, table)
+	}
+}
+
+func BenchmarkSystemPropagationSetup(b *testing.B) {
+	// Building occurrence lists for a large system.
+	polys := benchPolys(2000, 500, 6, 2, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := NewSystem()
+		for _, p := range polys {
+			sys.Add(p)
+		}
+	}
+}

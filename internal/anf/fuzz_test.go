@@ -1,0 +1,39 @@
+package anf
+
+import "testing"
+
+// FuzzParsePoly checks that the parser never panics and that everything
+// it accepts survives a print/parse round trip.
+func FuzzParsePoly(f *testing.F) {
+	for _, seed := range []string{
+		"x1*x2 + x3 + 1",
+		"0",
+		"1",
+		"x0",
+		"x4294967295",
+		"x1 + x1",
+		"  x2 * x3  +  1 ",
+		"x1*x2*x3*x4*x5",
+		"x1 ⊕ x2",
+		"+ x1",
+		"x1 +",
+		"y1",
+		"x",
+		"x1**x2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePoly(s)
+		if err != nil {
+			return
+		}
+		back, err := ParsePoly(p.String())
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not parse: %v", p.String(), s, err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip changed %q: %q vs %q", s, p.String(), back.String())
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package anf
+
+import "fmt"
+
+// FromTruthTable returns the unique polynomial over vars whose evaluation
+// matches the given truth table: table[m] is the function value at the
+// assignment where vars[i] takes bit i of m. The conversion is the Möbius
+// transform (fast zeta transform over the subset lattice) — the standard
+// way to derive the explicit ANF of an S-box output bit, used by the
+// cipher encoders as an alternative to implicit quadratic relations.
+func FromTruthTable(vars []Var, table []bool) Poly {
+	n := len(vars)
+	if len(table) != 1<<uint(n) {
+		panic(fmt.Sprintf("anf: table length %d for %d variables", len(table), n))
+	}
+	coeff := make([]bool, len(table))
+	copy(coeff, table)
+	// In-place butterfly: coeff[m] becomes XOR of table over all subsets
+	// of m.
+	for i := 0; i < n; i++ {
+		bit := 1 << uint(i)
+		for m := range coeff {
+			if m&bit != 0 {
+				coeff[m] = coeff[m] != coeff[m^bit]
+			}
+		}
+	}
+	var monos []Monomial
+	for m, c := range coeff {
+		if !c {
+			continue
+		}
+		var vs []Var
+		for i := 0; i < n; i++ {
+			if m>>uint(i)&1 == 1 {
+				vs = append(vs, vars[i])
+			}
+		}
+		monos = append(monos, NewMonomial(vs...))
+	}
+	return FromMonomials(monos...)
+}
+
+// TruthTable evaluates p over all assignments of vars, returning the table
+// in the same layout FromTruthTable consumes. Variables of p outside vars
+// are taken as false.
+func (p Poly) TruthTable(vars []Var) []bool {
+	n := len(vars)
+	idx := make(map[Var]int, n)
+	for i, v := range vars {
+		idx[v] = i
+	}
+	out := make([]bool, 1<<uint(n))
+	for m := range out {
+		out[m] = p.Eval(func(v Var) bool {
+			i, ok := idx[v]
+			return ok && m>>uint(i)&1 == 1
+		})
+	}
+	return out
+}

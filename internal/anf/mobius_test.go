@@ -1,0 +1,84 @@
+package anf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromTruthTableConstants(t *testing.T) {
+	vars := []Var{0, 1}
+	if !FromTruthTable(vars, []bool{false, false, false, false}).IsZero() {
+		t.Fatal("all-false table should give 0")
+	}
+	if !FromTruthTable(vars, []bool{true, true, true, true}).IsOne() {
+		t.Fatal("all-true table should give 1")
+	}
+}
+
+func TestFromTruthTableKnown(t *testing.T) {
+	vars := []Var{0, 1}
+	// AND: true only at m=3.
+	and := FromTruthTable(vars, []bool{false, false, false, true})
+	if !and.Equal(MustParsePoly("x0*x1")) {
+		t.Fatalf("AND = %s", and)
+	}
+	// XOR: true at m=1,2.
+	xor := FromTruthTable(vars, []bool{false, true, true, false})
+	if !xor.Equal(MustParsePoly("x0 + x1")) {
+		t.Fatalf("XOR = %s", xor)
+	}
+	// OR = x0 + x1 + x0x1.
+	or := FromTruthTable(vars, []bool{false, true, true, true})
+	if !or.Equal(MustParsePoly("x0*x1 + x0 + x1")) {
+		t.Fatalf("OR = %s", or)
+	}
+}
+
+func TestFromTruthTableLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad table length")
+		}
+	}()
+	FromTruthTable([]Var{0, 1}, []bool{true})
+}
+
+// Property: FromTruthTable ∘ TruthTable is the identity on polynomials
+// over the chosen variables, and TruthTable ∘ FromTruthTable is the
+// identity on tables.
+func TestQuickMobiusRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = Var(i)
+		}
+		table := make([]bool, 1<<uint(n))
+		for i := range table {
+			table[i] = rng.Intn(2) == 1
+		}
+		p := FromTruthTable(vars, table)
+		back := p.TruthTable(vars)
+		for i := range table {
+			if back[i] != table[i] {
+				return false
+			}
+		}
+		// And the polynomial round trip.
+		q := FromTruthTable(vars, back)
+		return q.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMobiusNonContiguousVars(t *testing.T) {
+	vars := []Var{3, 7}
+	p := FromTruthTable(vars, []bool{false, false, false, true})
+	if !p.Equal(MustParsePoly("x3*x7")) {
+		t.Fatalf("got %s", p)
+	}
+}

@@ -1,0 +1,155 @@
+package anf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMonomialCanonical(t *testing.T) {
+	m := NewMonomial(3, 1, 2, 1, 3)
+	if got := m.String(); got != "x1*x2*x3" {
+		t.Fatalf("canonical form = %q", got)
+	}
+	if m.Deg() != 3 {
+		t.Fatalf("deg = %d, want 3", m.Deg())
+	}
+}
+
+func TestOneMonomial(t *testing.T) {
+	if !One.IsOne() || One.Deg() != 0 || One.String() != "1" {
+		t.Fatal("One is broken")
+	}
+	if !NewMonomial().IsOne() {
+		t.Fatal("empty NewMonomial should be 1")
+	}
+}
+
+func TestMonomialMul(t *testing.T) {
+	a := NewMonomial(1, 3)
+	b := NewMonomial(2, 3, 5)
+	p := a.Mul(b)
+	if got := p.String(); got != "x1*x2*x3*x5" {
+		t.Fatalf("product = %q", got)
+	}
+	if !a.Mul(One).Equal(a) || !One.Mul(a).Equal(a) {
+		t.Fatal("multiplying by 1 changed monomial")
+	}
+	if !a.Mul(a).Equal(a) {
+		t.Fatal("m*m != m (idempotence over GF(2))")
+	}
+}
+
+func TestMonomialMulVarWithout(t *testing.T) {
+	m := NewMonomial(2, 4)
+	if got := m.MulVar(3).String(); got != "x2*x3*x4" {
+		t.Fatalf("MulVar = %q", got)
+	}
+	if !m.MulVar(2).Equal(m) {
+		t.Fatal("MulVar existing var changed monomial")
+	}
+	if got := m.Without(2).String(); got != "x4" {
+		t.Fatalf("Without = %q", got)
+	}
+	if !m.Without(9).Equal(m) {
+		t.Fatal("Without absent var changed monomial")
+	}
+}
+
+func TestMonomialContainsDivides(t *testing.T) {
+	m := NewMonomial(1, 4, 9)
+	if !m.Contains(4) || m.Contains(5) {
+		t.Fatal("Contains wrong")
+	}
+	if !NewMonomial(1, 9).Divides(m) {
+		t.Fatal("x1*x9 should divide x1*x4*x9")
+	}
+	if NewMonomial(1, 5).Divides(m) {
+		t.Fatal("x1*x5 should not divide x1*x4*x9")
+	}
+	if !One.Divides(m) {
+		t.Fatal("1 divides everything")
+	}
+	if m.Divides(One) {
+		t.Fatal("nontrivial monomial cannot divide 1")
+	}
+}
+
+func TestMonomialCompareGradedLex(t *testing.T) {
+	cases := []struct {
+		a, b Monomial
+		want int
+	}{
+		{One, One, 0},
+		{NewMonomial(1), One, 1},
+		{NewMonomial(1), NewMonomial(2), 1},     // x1 > x2: lower index is larger
+		{NewMonomial(5), NewMonomial(1, 2), -1}, // degree dominates
+		{NewMonomial(1, 3), NewMonomial(1, 2), -1},
+		{NewMonomial(1, 2), NewMonomial(1, 2), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestMonomialKeyUnique(t *testing.T) {
+	seen := map[string]string{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(5)
+		vars := make([]Var, n)
+		for j := range vars {
+			vars[j] = Var(rng.Intn(1000))
+		}
+		m := NewMonomial(vars...)
+		if prev, ok := seen[m.Key()]; ok && prev != m.String() {
+			t.Fatalf("key collision: %s vs %s", prev, m.String())
+		}
+		seen[m.Key()] = m.String()
+	}
+}
+
+func TestMonomialEval(t *testing.T) {
+	m := NewMonomial(0, 2)
+	all1 := func(Var) bool { return true }
+	if !m.Eval(all1) {
+		t.Fatal("product of 1s should be 1")
+	}
+	if m.Eval(func(v Var) bool { return v != 2 }) {
+		t.Fatal("product with a 0 factor should be 0")
+	}
+	if !One.Eval(func(Var) bool { return false }) {
+		t.Fatal("constant 1 should evaluate to 1")
+	}
+}
+
+// Property: monomial multiplication is commutative, associative, idempotent.
+func TestQuickMonomialAlgebra(t *testing.T) {
+	gen := func(rng *rand.Rand) Monomial {
+		n := rng.Intn(4)
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = Var(rng.Intn(8))
+		}
+		return NewMonomial(vars...)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := gen(rng), gen(rng), gen(rng)
+		if !a.Mul(b).Equal(b.Mul(a)) {
+			return false
+		}
+		if !a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c))) {
+			return false
+		}
+		return a.Mul(a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package anf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParsePoly parses a polynomial in the textual ANF format used throughout
+// this repository (and by the original Bosphorus tool):
+//
+//	x1*x2 + x3 + 1
+//
+// Terms are separated by "+" (GF(2) addition / XOR); variables within a
+// term are separated by "*"; "0" and "1" are the constants. Whitespace is
+// ignored. "⊕" is accepted as a synonym for "+".
+func ParsePoly(s string) (Poly, error) {
+	s = strings.ReplaceAll(s, "⊕", "+")
+	var monos []Monomial
+	for _, term := range strings.Split(s, "+") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return Zero(), fmt.Errorf("anf: empty term in %q", s)
+		}
+		switch term {
+		case "0":
+			continue
+		case "1":
+			monos = append(monos, One)
+			continue
+		}
+		var vars []Var
+		for _, f := range strings.Split(term, "*") {
+			f = strings.TrimSpace(f)
+			v, err := parseVar(f)
+			if err != nil {
+				return Zero(), fmt.Errorf("anf: bad factor %q in %q: %w", f, s, err)
+			}
+			vars = append(vars, v)
+		}
+		monos = append(monos, NewMonomial(vars...))
+	}
+	return FromMonomials(monos...), nil
+}
+
+func parseVar(s string) (Var, error) {
+	if len(s) < 2 || (s[0] != 'x' && s[0] != 'X') {
+		return 0, fmt.Errorf("expected x<index>")
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return Var(n), nil
+}
+
+// MustParsePoly is ParsePoly that panics on error; for tests and examples.
+func MustParsePoly(s string) Poly {
+	p, err := ParsePoly(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ReadSystem parses a polynomial system: one polynomial equation per line,
+// '#' and 'c' starting comments, blank lines skipped.
+func ReadSystem(r io.Reader) (*System, error) {
+	sys := NewSystem()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "c ") || line == "c" {
+			continue
+		}
+		p, err := ParsePoly(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		sys.Add(p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// WriteSystem writes the system in the same one-polynomial-per-line format
+// accepted by ReadSystem.
+func WriteSystem(w io.Writer, sys *System) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ANF system: %d equations, %d variables\n", sys.Len(), sys.NumVars())
+	for _, p := range sys.Polys() {
+		if _, err := fmt.Fprintln(bw, p.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,212 @@
+package anf
+
+import (
+	"sort"
+)
+
+// System is an ANF polynomial system: a conjunction of polynomial equations
+// "p = 0". It tracks the number of variables (indices are dense from 0) and
+// maintains per-variable occurrence lists — the SAT-literature optimization
+// the paper adopts (§III-B) so that substituting one variable touches only
+// the equations it occurs in.
+type System struct {
+	polys []Poly
+	// occ[v] lists indices into polys of equations containing v. Indices of
+	// deleted (zeroed) equations may linger; readers must re-check.
+	occ     map[Var][]int
+	numVars int
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{occ: make(map[Var][]int)}
+}
+
+// Add appends the equation p = 0 to the system. Zero polynomials (trivially
+// true) are ignored. Reports whether the polynomial was added.
+func (s *System) Add(p Poly) bool {
+	if p.IsZero() {
+		return false
+	}
+	idx := len(s.polys)
+	s.polys = append(s.polys, p)
+	for _, v := range p.Vars() {
+		s.occ[v] = append(s.occ[v], idx)
+		if int(v)+1 > s.numVars {
+			s.numVars = int(v) + 1
+		}
+	}
+	return true
+}
+
+// Len returns the number of (non-deleted) equations.
+func (s *System) Len() int {
+	n := 0
+	for _, p := range s.polys {
+		if !p.IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
+// Polys returns the non-zero polynomials of the system, in insertion order.
+func (s *System) Polys() []Poly {
+	out := make([]Poly, 0, len(s.polys))
+	for _, p := range s.polys {
+		if !p.IsZero() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RawLen returns the number of equation slots including deleted ones; valid
+// indices for At are [0, RawLen).
+func (s *System) RawLen() int { return len(s.polys) }
+
+// At returns the polynomial at slot i (possibly the zero polynomial if the
+// equation was deleted by replacement).
+func (s *System) At(i int) Poly { return s.polys[i] }
+
+// Replace overwrites slot i with p, maintaining occurrence lists for any
+// new variables.
+func (s *System) Replace(i int, p Poly) {
+	s.polys[i] = p
+	for _, v := range p.Vars() {
+		s.occ[v] = appendUnique(s.occ[v], i)
+		if int(v)+1 > s.numVars {
+			s.numVars = int(v) + 1
+		}
+	}
+}
+
+func appendUnique(xs []int, x int) []int {
+	for _, e := range xs {
+		if e == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// Occurrences returns the slots whose polynomial may contain v. The list is
+// an over-approximation: slots are never removed when a substitution
+// eliminates v, so callers must verify with ContainsVar.
+func (s *System) Occurrences(v Var) []int { return s.occ[v] }
+
+// OccurrenceCount returns the number of equations that actually contain v
+// right now.
+func (s *System) OccurrenceCount(v Var) int {
+	n := 0
+	for _, i := range s.occ[v] {
+		if s.polys[i].ContainsVar(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// NumVars returns one more than the largest variable index seen.
+func (s *System) NumVars() int { return s.numVars }
+
+// SetNumVars raises the declared variable count (for systems whose
+// variables do not all occur in equations).
+func (s *System) SetNumVars(n int) {
+	if n > s.numVars {
+		s.numVars = n
+	}
+}
+
+// Clone returns a deep-enough copy: polynomials are immutable values, so
+// only the slices and maps are duplicated.
+func (s *System) Clone() *System {
+	n := &System{
+		polys:   append([]Poly(nil), s.polys...),
+		occ:     make(map[Var][]int, len(s.occ)),
+		numVars: s.numVars,
+	}
+	for v, l := range s.occ {
+		n.occ[v] = append([]int(nil), l...)
+	}
+	return n
+}
+
+// HasContradiction reports whether any equation is the constant 1 = 0.
+func (s *System) HasContradiction() bool {
+	for _, p := range s.polys {
+		if p.IsOne() {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval reports whether the assignment satisfies every equation.
+func (s *System) Eval(assign func(Var) bool) bool {
+	for _, p := range s.polys {
+		if p.Eval(assign) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether an equation structurally equal to p is present.
+func (s *System) Contains(p Poly) bool {
+	// Use the occurrence list of p's first variable to narrow the scan.
+	vs := p.Vars()
+	if len(vs) == 0 {
+		for _, q := range s.polys {
+			if q.Equal(p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, i := range s.occ[vs[0]] {
+		if s.polys[i].Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxDeg returns the maximum degree over all equations (0 for an empty or
+// all-deleted system).
+func (s *System) MaxDeg() int {
+	d := 0
+	for _, p := range s.polys {
+		if p.Deg() > d {
+			d = p.Deg()
+		}
+	}
+	return d
+}
+
+// SortedByDegree returns the non-zero polynomials sorted by ascending
+// degree (the order XL expands equations in), ties broken by term count.
+func (s *System) SortedByDegree() []Poly {
+	ps := s.Polys()
+	sort.SliceStable(ps, func(i, j int) bool {
+		if ps[i].Deg() != ps[j].Deg() {
+			return ps[i].Deg() < ps[j].Deg()
+		}
+		return ps[i].NumTerms() < ps[j].NumTerms()
+	})
+	return ps
+}
+
+// CompactOccurrences rebuilds all occurrence lists from scratch, dropping
+// stale entries. Called after heavy substitution rounds.
+func (s *System) CompactOccurrences() {
+	s.occ = make(map[Var][]int)
+	for i, p := range s.polys {
+		if p.IsZero() {
+			continue
+		}
+		for _, v := range p.Vars() {
+			s.occ[v] = append(s.occ[v], i)
+		}
+	}
+}

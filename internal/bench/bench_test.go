@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/anf"
+	"repro/internal/ciphers/simon"
+	"repro/internal/ciphers/sr"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+	"repro/internal/satgen"
+)
+
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Timeout = 2 * time.Second
+	return cfg
+}
+
+func TestRunInstanceANF(t *testing.T) {
+	// x0 = 1 makes the middle equation collapse to x2 = 0; satisfiable
+	// with x1 free.
+	sys, err := anf.ReadSystem(strings.NewReader("x0 + 1\nx0*x1 + x1 + x2\nx2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, useB := range []bool{false, true} {
+		cfg := quickCfg()
+		cfg.UseBosphorus = useB
+		r := RunInstance(Job{Name: "tiny", ANF: sys, Truth: satgen.StatusSat}, cfg)
+		if r.Verdict != sat.Sat {
+			t.Fatalf("useB=%v: verdict %v", useB, r.Verdict)
+		}
+		if r.TruthMismatch {
+			t.Fatal("truth mismatch on satisfiable system")
+		}
+	}
+}
+
+func TestRunInstanceCNFUnsat(t *testing.T) {
+	inst := satgen.Pigeonhole(5, 4)
+	for _, useB := range []bool{false, true} {
+		for _, prof := range Profiles {
+			cfg := quickCfg()
+			cfg.UseBosphorus = useB
+			cfg.Profile = prof
+			r := RunInstance(Job{Name: inst.Name, CNF: inst.Formula, Truth: inst.Status}, cfg)
+			if r.Verdict != sat.Unsat {
+				t.Fatalf("useB=%v prof=%v: verdict %v", useB, prof, r.Verdict)
+			}
+		}
+	}
+}
+
+func TestRunInstanceTimeout(t *testing.T) {
+	// A hard pigeonhole with a tiny timeout must come back Unknown
+	// promptly.
+	inst := satgen.Pigeonhole(12, 11)
+	cfg := quickCfg()
+	cfg.Timeout = 200 * time.Millisecond
+	start := time.Now()
+	r := RunInstance(Job{Name: inst.Name, CNF: inst.Formula, Truth: inst.Status}, cfg)
+	if r.Verdict != sat.Unknown {
+		t.Fatalf("verdict %v, want UNKNOWN", r.Verdict)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("timeout not honoured")
+	}
+}
+
+func TestPAR2Scoring(t *testing.T) {
+	rs := []InstanceResult{
+		{Verdict: sat.Sat, Time: time.Second},
+		{Verdict: sat.Unsat, Time: 2 * time.Second},
+		{Verdict: sat.Unknown, Time: 5 * time.Second},
+	}
+	score, nSat, nUnsat := PAR2(rs, 5*time.Second)
+	if nSat != 1 || nUnsat != 1 {
+		t.Fatalf("counts %d %d", nSat, nUnsat)
+	}
+	if score != 1+2+2*5 {
+		t.Fatalf("score = %v, want 13", score)
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	if got := FormatCell(CellResult{PAR2: 12.34, NSat: 3}); got != "12.3 (3)" {
+		t.Fatalf("FormatCell = %q", got)
+	}
+	if got := FormatCell(CellResult{PAR2: 1, NSat: 2, NUnsat: 4}); got != "1.0 (2+4)" {
+		t.Fatalf("FormatCell = %q", got)
+	}
+}
+
+func TestFamiliesShapes(t *testing.T) {
+	fams := Families(Quick, 2, 3)
+	if len(fams) != 8 {
+		t.Fatalf("families = %d, want 8 (the paper's 8 rows)", len(fams))
+	}
+	wantPrefix := []string{"SR-", "Simon-", "Simon-", "Simon-", "Bitcoin-", "Bitcoin-", "Bitcoin-", "SAT-2017"}
+	for i, f := range fams {
+		if !strings.HasPrefix(f.Name, wantPrefix[i]) {
+			t.Fatalf("family %d = %q, want prefix %q", i, f.Name, wantPrefix[i])
+		}
+		if len(f.Jobs) == 0 {
+			t.Fatalf("family %q empty", f.Name)
+		}
+	}
+}
+
+func TestBosphorusRescuesHardSimon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second end-to-end run")
+	}
+	// The headline effect: on Simon-[8,8] plain MiniSat times out while
+	// the Bosphorus pipeline solves it.
+	fam := SimonFamily(simon.Params{NPlaintexts: 8, Rounds: 8}, 1, 14)
+	cfg := quickCfg()
+	cfg.Timeout = 5 * time.Second
+	cfg.UseBosphorus = false
+	plain := RunCell(fam.Jobs, cfg)
+	cfg.UseBosphorus = true
+	with := RunCell(fam.Jobs, cfg)
+	if with.NSat != 1 {
+		t.Fatalf("Bosphorus pipeline failed to solve Simon-[8,8]: %+v", with)
+	}
+	if plain.NSat == 1 && plain.PAR2 < with.PAR2/2 {
+		t.Log("plain solver unexpectedly fast; effect weaker on this host")
+	}
+}
+
+func TestHardSubset(t *testing.T) {
+	// Build a small mixed family and check that the easy instance is
+	// filtered out and a hard one stays.
+	easy := satgen.Pigeonhole(4, 4)
+	hard := satgen.Pigeonhole(11, 10)
+	fam := Family{Name: "mixed", Jobs: []Job{
+		{Name: easy.Name, CNF: easy.Formula, Truth: easy.Status},
+		{Name: hard.Name, CNF: hard.Formula, Truth: hard.Status},
+	}}
+	cfg := quickCfg()
+	cfg.Timeout = 2 * time.Second
+	sub := HardSubset(fam, cfg, 0.5)
+	if len(sub.Jobs) != 1 || sub.Jobs[0].Name != hard.Name {
+		t.Fatalf("hard subset = %v", sub.Jobs)
+	}
+}
+
+func TestTableIIFormat(t *testing.T) {
+	fam := SRFamily(sr.Params{N: 1, R: 1, C: 1, E: 4}, 1, 1)
+	cfg := quickCfg()
+	tab := RunTableII([]Family{fam}, cfg, nil)
+	out := tab.Format()
+	for _, want := range []string{"MiniSat", "Lingeling", "CryptoMiniSat5", "w/o", "SR-[1,1,1,4]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Verdicts must be mismatch-free everywhere.
+	for _, row := range tab.Rows {
+		for _, pair := range row.Cells {
+			for _, cell := range pair {
+				if cell.Mismatches != 0 {
+					t.Fatal("truth mismatch in table run")
+				}
+			}
+		}
+	}
+}
+
+func TestAddFactClauses(t *testing.T) {
+	// A CNF job whose Bosphorus pass determines a variable: the clause
+	// must appear in the prepared formula.
+	f := cnf.NewFormula(2)
+	f.AddClause(cnf.MkLit(0, false))                     // v0
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(1, false)) // ¬v0 ∨ v1
+	cfg := quickCfg()
+	cfg.UseBosphorus = true
+	r := RunInstance(Job{Name: "facts", CNF: f, Truth: satgen.StatusSat}, cfg)
+	if r.Verdict != sat.Sat {
+		t.Fatalf("verdict %v", r.Verdict)
+	}
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// CactusPoint is one step of a cactus plot: after Time, Solved instances
+// are done.
+type CactusPoint struct {
+	Time   time.Duration
+	Solved int
+}
+
+// Cactus turns per-instance results into the classic cactus-plot series:
+// solved-instance count as a function of per-instance time, instances
+// sorted by runtime. Unsolved instances do not appear (they are the
+// plateau the curve never reaches).
+func Cactus(results []InstanceResult) []CactusPoint {
+	var times []time.Duration
+	for _, r := range results {
+		if r.Verdict != sat.Unknown {
+			times = append(times, r.Time)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	out := make([]CactusPoint, len(times))
+	for i, d := range times {
+		out[i] = CactusPoint{Time: d, Solved: i + 1}
+	}
+	return out
+}
+
+// WriteCactusCSV emits the series as CSV (seconds, solved) for external
+// plotting.
+func WriteCactusCSV(w io.Writer, series map[string][]CactusPoint) error {
+	if _, err := fmt.Fprintln(w, "config,seconds,solved"); err != nil {
+		return err
+	}
+	var names []string
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, p := range series[name] {
+			if _, err := fmt.Fprintf(w, "%s,%.3f,%d\n", name, p.Time.Seconds(), p.Solved); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunCactus evaluates the jobs under each named configuration and returns
+// the cactus series per configuration.
+func RunCactus(jobs []Job, configs map[string]Config) map[string][]CactusPoint {
+	out := map[string][]CactusPoint{}
+	for name, cfg := range configs {
+		var results []InstanceResult
+		for _, j := range jobs {
+			results = append(results, RunInstance(j, cfg))
+		}
+		out[name] = Cactus(results)
+	}
+	return out
+}

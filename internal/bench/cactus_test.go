@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sat"
+	"repro/internal/satgen"
+)
+
+func TestCactusSeries(t *testing.T) {
+	rs := []InstanceResult{
+		{Verdict: sat.Sat, Time: 3 * time.Second},
+		{Verdict: sat.Unknown, Time: 5 * time.Second},
+		{Verdict: sat.Unsat, Time: time.Second},
+	}
+	pts := Cactus(rs)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2 (unknown excluded)", len(pts))
+	}
+	if pts[0].Time != time.Second || pts[0].Solved != 1 {
+		t.Fatalf("first point %+v", pts[0])
+	}
+	if pts[1].Time != 3*time.Second || pts[1].Solved != 2 {
+		t.Fatalf("second point %+v", pts[1])
+	}
+}
+
+func TestWriteCactusCSV(t *testing.T) {
+	series := map[string][]CactusPoint{
+		"minisat-w":   {{Time: time.Second, Solved: 1}},
+		"minisat-w/o": {{Time: 2 * time.Second, Solved: 1}, {Time: 3 * time.Second, Solved: 2}},
+	}
+	var sb strings.Builder
+	if err := WriteCactusCSV(&sb, series); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "config,seconds,solved\n") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "minisat-w,1.000,1") || !strings.Contains(out, "minisat-w/o,3.000,2") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+}
+
+func TestRunCactusEndToEnd(t *testing.T) {
+	easy := satgen.Pigeonhole(4, 4)
+	fam := []Job{{Name: easy.Name, CNF: easy.Formula, Truth: easy.Status}}
+	cfg := DefaultConfig()
+	cfg.Timeout = 2 * time.Second
+	cfgB := cfg
+	cfgB.UseBosphorus = true
+	series := RunCactus(fam, map[string]Config{"w/o": cfg, "w": cfgB})
+	if len(series["w/o"]) != 1 || len(series["w"]) != 1 {
+		t.Fatalf("series = %v", series)
+	}
+}

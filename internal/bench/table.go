@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sat"
+)
+
+// TableRow is one family of Table II: a w/o and a w cell per solver.
+type TableRow struct {
+	Family string
+	NJobs  int
+	// Cells[profile][0] is without Bosphorus, [1] with.
+	Cells map[sat.Profile][2]CellResult
+}
+
+// TableII is the reproduction of the paper's headline table.
+type TableII struct {
+	Rows []TableRow
+	Cfg  Config
+}
+
+// Profiles lists the three solver columns in paper order.
+var Profiles = []sat.Profile{sat.ProfileMiniSat, sat.ProfileLingeling, sat.ProfileCMS}
+
+// RunTableII evaluates every family under every solver, with and without
+// Bosphorus. Progress lines go to log when non-nil.
+func RunTableII(fams []Family, cfg Config, log io.Writer) *TableII {
+	t := &TableII{Cfg: cfg}
+	for _, fam := range fams {
+		row := TableRow{Family: fam.Name, NJobs: len(fam.Jobs), Cells: map[sat.Profile][2]CellResult{}}
+		for _, prof := range Profiles {
+			var pair [2]CellResult
+			for i, useB := range []bool{false, true} {
+				c := cfg
+				c.Profile = prof
+				c.UseBosphorus = useB
+				pair[i] = RunCell(fam.Jobs, c)
+				if log != nil {
+					fmt.Fprintf(log, "%-16s %-14v bosphorus=%-5v -> %s (mismatches %d)\n",
+						fam.Name, prof, useB, FormatCell(pair[i]), pair[i].Mismatches)
+				}
+			}
+			row.Cells[prof] = pair
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Format renders the table in the paper's layout: per family, a "w/o" row
+// and a "w" row, with the better cell of each pair marked (preferring the
+// solved-instance count, as the paper does).
+func (t *TableII) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II reproduction — PAR-2 seconds (solved sat+unsat); timeout %v, bosphorus share %.0f%%\n",
+		t.Cfg.Timeout, t.Cfg.BosphorusShare*100)
+	fmt.Fprintf(&b, "%-18s %-4s  %-22s %-22s %-22s\n", "Problem", "", "MiniSat", "Lingeling", "CryptoMiniSat5")
+	for _, row := range t.Rows {
+		for i, label := range []string{"w/o", "w"} {
+			name := ""
+			if i == 0 {
+				name = fmt.Sprintf("%s (%d)", row.Family, row.NJobs)
+			}
+			fmt.Fprintf(&b, "%-18s %-4s ", name, label)
+			for _, prof := range Profiles {
+				pair := row.Cells[prof]
+				cell := FormatCell(pair[i])
+				if better(pair[i], pair[1-i]) {
+					cell = "*" + cell
+				}
+				fmt.Fprintf(&b, " %-22s", cell)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("(* marks the better of w/o vs w, preferring solved count — Table II's bolding)\n")
+	return b.String()
+}
+
+// better mirrors the paper's bolding rule: more solved instances wins;
+// ties break on PAR-2.
+func better(a, b CellResult) bool {
+	sa, sb := a.NSat+a.NUnsat, b.NSat+b.NUnsat
+	if sa != sb {
+		return sa > sb
+	}
+	return a.PAR2 < b.PAR2
+}
+
+// WriteCSV emits the table as machine-readable CSV: one row per
+// family × solver × bosphorus setting.
+func (t *TableII) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "family,njobs,solver,bosphorus,par2,sat,unsat,mismatches"); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		for _, prof := range Profiles {
+			pair := row.Cells[prof]
+			for i, useB := range []string{"without", "with"} {
+				c := pair[i]
+				if _, err := fmt.Fprintf(w, "%s,%d,%v,%s,%.3f,%d,%d,%d\n",
+					row.Family, row.NJobs, prof, useB, c.PAR2, c.NSat, c.NUnsat, c.Mismatches); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tab := &TableII{Cfg: DefaultConfig()}
+	tab.Rows = []TableRow{{
+		Family: "fam",
+		NJobs:  2,
+		Cells: map[sat.Profile][2]CellResult{
+			sat.ProfileMiniSat:   {{PAR2: 1.5, NSat: 1}, {PAR2: 0.5, NSat: 2}},
+			sat.ProfileLingeling: {{PAR2: 2, NSat: 1}, {PAR2: 2, NSat: 1}},
+			sat.ProfileCMS:       {{PAR2: 3, NSat: 0, NUnsat: 1}, {PAR2: 1, NSat: 1, NUnsat: 1}},
+		},
+	}}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "family,njobs,solver,bosphorus,par2,sat,unsat,mismatches\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	for _, want := range []string{
+		"fam,2,minisat,without,1.500,1,0,0",
+		"fam,2,minisat,with,0.500,2,0,0",
+		"fam,2,cryptominisat,with,1.000,1,1,0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing row %q:\n%s", want, out)
+		}
+	}
+	// 3 profiles × 2 settings + header = 7 lines.
+	if lines := strings.Count(out, "\n"); lines != 7 {
+		t.Fatalf("line count %d, want 7", lines)
+	}
+}
+
+func TestBetterRule(t *testing.T) {
+	// More solved wins regardless of PAR-2.
+	if !better(CellResult{NSat: 3, PAR2: 100}, CellResult{NSat: 2, PAR2: 1}) {
+		t.Fatal("solved count should dominate")
+	}
+	// Ties break on PAR-2.
+	if !better(CellResult{NSat: 2, PAR2: 1}, CellResult{NSat: 2, PAR2: 2}) {
+		t.Fatal("PAR-2 tiebreak wrong")
+	}
+}

@@ -1,0 +1,178 @@
+// Package gfe implements arithmetic in the small binary fields GF(2^e)
+// used by the small-scale AES variants SR(n, r, c, e) of Cid, Murphy and
+// Robshaw (FSE 2005) — the benchmark family behind the paper's SR-[1,4,4,8]
+// instances. Elements are polynomial-basis bit vectors packed into a uint16.
+package gfe
+
+import "fmt"
+
+// Field is GF(2^e) with a fixed irreducible reduction polynomial.
+type Field struct {
+	e   uint
+	red uint16 // reduction polynomial including the x^e term
+	inv []uint16
+}
+
+// NewField returns GF(2^e) for e in {4, 8} with the standard reduction
+// polynomials: x^4+x+1 (0x13) and the AES polynomial x^8+x^4+x^3+x+1
+// (0x11B).
+func NewField(e int) *Field {
+	var red uint16
+	switch e {
+	case 4:
+		red = 0x13
+	case 8:
+		red = 0x11B
+	default:
+		panic(fmt.Sprintf("gfe: unsupported field size e=%d", e))
+	}
+	f := &Field{e: uint(e), red: red}
+	f.buildInverseTable()
+	return f
+}
+
+// E returns the extension degree e.
+func (f *Field) E() int { return int(f.e) }
+
+// Order returns 2^e.
+func (f *Field) Order() int { return 1 << f.e }
+
+// Add returns a ⊕ b.
+func (f *Field) Add(a, b uint16) uint16 { return a ^ b }
+
+// Mul returns the product a·b mod the reduction polynomial.
+func (f *Field) Mul(a, b uint16) uint16 {
+	var acc uint32
+	x := uint32(a)
+	for i := uint(0); i < f.e; i++ {
+		if b>>i&1 == 1 {
+			acc ^= x << i
+		}
+	}
+	// Reduce.
+	for i := 2*f.e - 2; i >= f.e; i-- {
+		if acc>>i&1 == 1 {
+			acc ^= uint32(f.red) << (i - f.e)
+		}
+	}
+	return uint16(acc)
+}
+
+// Pow returns a^n.
+func (f *Field) Pow(a uint16, n int) uint16 {
+	result := uint16(1)
+	base := a
+	for n > 0 {
+		if n&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		n >>= 1
+	}
+	return result
+}
+
+func (f *Field) buildInverseTable() {
+	f.inv = make([]uint16, f.Order())
+	for a := 1; a < f.Order(); a++ {
+		// a^(2^e - 2) = a^{-1} in GF(2^e)*.
+		f.inv[a] = f.Pow(uint16(a), f.Order()-2)
+	}
+}
+
+// Inv returns the multiplicative inverse of a, with Inv(0) = 0 (the AES
+// pseudo-inverse convention).
+func (f *Field) Inv(a uint16) uint16 { return f.inv[a&uint16(f.Order()-1)] }
+
+// SBox applies the SR S-box: pseudo-inversion followed by a GF(2)-affine
+// map (matrix L and constant c in the polynomial basis).
+type SBox struct {
+	f     *Field
+	L     []uint16 // L[i] = row i of the GF(2) matrix as a bitmask
+	C     uint16
+	table []uint16
+}
+
+// NewAESSBox returns the S-box of SR(n,r,c,e): inversion followed by the
+// standard affine layer. For e=8 this is exactly the AES S-box; for e=4 we
+// use the affine layer of the small-scale AES family (a fixed invertible
+// circulant and constant 0x6).
+func NewAESSBox(f *Field) *SBox {
+	var s *SBox
+	switch f.E() {
+	case 8:
+		// AES affine: bit_i(out) = b_i ⊕ b_{(i+4)%8} ⊕ b_{(i+5)%8} ⊕
+		// b_{(i+6)%8} ⊕ b_{(i+7)%8} ⊕ c_i with c = 0x63.
+		L := make([]uint16, 8)
+		for i := 0; i < 8; i++ {
+			row := uint16(0)
+			for _, off := range []int{0, 4, 5, 6, 7} {
+				row |= 1 << uint((i+off)%8)
+			}
+			L[i] = row
+		}
+		s = &SBox{f: f, L: L, C: 0x63}
+	case 4:
+		// Small-scale AES affine over GF(2)^4: circulant rows (1,1,1,0)
+		// and constant 0x6 — invertible (odd number of taps).
+		L := make([]uint16, 4)
+		for i := 0; i < 4; i++ {
+			row := uint16(0)
+			for _, off := range []int{0, 1, 2} {
+				row |= 1 << uint((i+off)%4)
+			}
+			L[i] = row
+		}
+		s = &SBox{f: f, L: L, C: 0x6}
+	default:
+		panic("gfe: unsupported sbox field")
+	}
+	s.buildTable()
+	return s
+}
+
+func parityBits(x uint16) uint16 {
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// applyAffine computes L·v ⊕ C over GF(2).
+func (s *SBox) applyAffine(v uint16) uint16 {
+	out := s.C
+	for i, row := range s.L {
+		if parityBits(v&row) == 1 {
+			out ^= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func (s *SBox) buildTable() {
+	s.table = make([]uint16, s.f.Order())
+	for a := 0; a < s.f.Order(); a++ {
+		s.table[a] = s.applyAffine(s.f.Inv(uint16(a)))
+	}
+}
+
+// Apply returns S(a).
+func (s *SBox) Apply(a uint16) uint16 { return s.table[a&uint16(s.f.Order()-1)] }
+
+// Table returns the full S-box lookup table (length 2^e). The returned
+// slice must not be modified.
+func (s *SBox) Table() []uint16 { return s.table }
+
+// IsPermutation reports whether the S-box is bijective (sanity check used
+// by tests and by the ANF generator).
+func (s *SBox) IsPermutation() bool {
+	seen := make([]bool, len(s.table))
+	for _, v := range s.table {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package gfe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxioms(t *testing.T) {
+	for _, e := range []int{4, 8} {
+		f := NewField(e)
+		n := f.Order()
+		// Spot-check associativity/commutativity/distributivity over all
+		// triples for e=4, sampled pairs for e=8.
+		limit := n
+		if e == 8 {
+			limit = 32
+		}
+		for a := 0; a < limit; a++ {
+			for b := 0; b < limit; b++ {
+				if f.Mul(uint16(a), uint16(b)) != f.Mul(uint16(b), uint16(a)) {
+					t.Fatalf("e=%d: mul not commutative at %d,%d", e, a, b)
+				}
+				for c := 0; c < limit; c += 7 {
+					lhs := f.Mul(uint16(a), f.Mul(uint16(b), uint16(c)))
+					rhs := f.Mul(f.Mul(uint16(a), uint16(b)), uint16(c))
+					if lhs != rhs {
+						t.Fatalf("e=%d: mul not associative", e)
+					}
+					d1 := f.Mul(uint16(a), f.Add(uint16(b), uint16(c)))
+					d2 := f.Add(f.Mul(uint16(a), uint16(b)), f.Mul(uint16(a), uint16(c)))
+					if d1 != d2 {
+						t.Fatalf("e=%d: not distributive", e)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFieldInverse(t *testing.T) {
+	for _, e := range []int{4, 8} {
+		f := NewField(e)
+		for a := 1; a < f.Order(); a++ {
+			if got := f.Mul(uint16(a), f.Inv(uint16(a))); got != 1 {
+				t.Fatalf("e=%d: a·a⁻¹ = %d for a=%d", e, got, a)
+			}
+		}
+		if f.Inv(0) != 0 {
+			t.Fatal("Inv(0) should be 0")
+		}
+	}
+}
+
+func TestAESKnownProducts(t *testing.T) {
+	f := NewField(8)
+	// Classic AES example: 0x57 · 0x83 = 0xC1.
+	if got := f.Mul(0x57, 0x83); got != 0xC1 {
+		t.Fatalf("0x57·0x83 = %#x, want 0xc1", got)
+	}
+	// 0x57 · 0x13 = 0xFE (FIPS-197 example).
+	if got := f.Mul(0x57, 0x13); got != 0xFE {
+		t.Fatalf("0x57·0x13 = %#x, want 0xfe", got)
+	}
+}
+
+func TestAESSBoxKnownValues(t *testing.T) {
+	s := NewAESSBox(NewField(8))
+	known := map[uint16]uint16{
+		0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16, 0x10: 0xca,
+	}
+	for in, want := range known {
+		if got := s.Apply(in); got != want {
+			t.Fatalf("S(%#02x) = %#02x, want %#02x", in, got, want)
+		}
+	}
+}
+
+func TestSBoxPermutation(t *testing.T) {
+	for _, e := range []int{4, 8} {
+		s := NewAESSBox(NewField(e))
+		if !s.IsPermutation() {
+			t.Fatalf("e=%d: S-box is not a permutation", e)
+		}
+	}
+}
+
+func TestUnsupportedFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewField(5) did not panic")
+		}
+	}()
+	NewField(5)
+}
+
+// Property: Pow matches repeated multiplication.
+func TestQuickPow(t *testing.T) {
+	f := NewField(8)
+	fn := func(a uint8, n uint8) bool {
+		want := uint16(1)
+		for i := 0; i < int(n%16); i++ {
+			want = f.Mul(want, uint16(a))
+		}
+		return f.Pow(uint16(a), int(n%16)) == want
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+package sha256
+
+import (
+	"math/rand"
+
+	"repro/internal/anf"
+)
+
+// word32 is a symbolic 32-bit word, bit 31 the most significant (matching
+// the uint32 representation: index i is bit i).
+type word32 [32]anf.Poly
+
+func constW(v uint32) word32 {
+	var w word32
+	for b := 0; b < 32; b++ {
+		w[b] = anf.Constant(v>>uint(b)&1 == 1)
+	}
+	return w
+}
+
+func (w word32) xor(o word32) word32 {
+	var out word32
+	for b := 0; b < 32; b++ {
+		out[b] = w[b].Add(o[b])
+	}
+	return out
+}
+
+func (w word32) rotr(r int) word32 {
+	var out word32
+	for b := 0; b < 32; b++ {
+		out[b] = w[(b+r)%32]
+	}
+	return out
+}
+
+func (w word32) shr(r int) word32 {
+	var out word32
+	for b := 0; b < 32; b++ {
+		if b+r < 32 {
+			out[b] = w[b+r]
+		} else {
+			out[b] = anf.Zero()
+		}
+	}
+	return out
+}
+
+func symBigSigma0(x word32) word32 {
+	return x.rotr(2).xor(x.rotr(13)).xor(x.rotr(22))
+}
+func symBigSigma1(x word32) word32 {
+	return x.rotr(6).xor(x.rotr(11)).xor(x.rotr(25))
+}
+func symSmallSigma0(x word32) word32 {
+	return x.rotr(7).xor(x.rotr(18)).xor(x.shr(3))
+}
+func symSmallSigma1(x word32) word32 {
+	return x.rotr(17).xor(x.rotr(19)).xor(x.shr(10))
+}
+
+// encBuilder accumulates the system, fresh variables and the witness.
+type encBuilder struct {
+	sys  *anf.System
+	next anf.Var
+	wit  []bool
+}
+
+func (bd *encBuilder) freshBit(expr anf.Poly, val bool) anf.Poly {
+	v := bd.next
+	bd.next++
+	bd.wit = append(bd.wit, val)
+	p := anf.VarPoly(v)
+	bd.sys.Add(expr.Add(p))
+	return p
+}
+
+func (bd *encBuilder) freeBit(val bool) anf.Poly {
+	v := bd.next
+	bd.next++
+	bd.wit = append(bd.wit, val)
+	return anf.VarPoly(v)
+}
+
+// materialize replaces each bit expression with a fresh variable bound to
+// it, recording witness values.
+func (bd *encBuilder) materialize(w word32, val uint32) word32 {
+	var out word32
+	for b := 0; b < 32; b++ {
+		out[b] = bd.freshBit(w[b], val>>uint(b)&1 == 1)
+	}
+	return out
+}
+
+// maybeMaterialize materializes only bits that grew beyond a few terms, to
+// keep downstream products small.
+func (bd *encBuilder) maybeMaterialize(w word32, val uint32) word32 {
+	big := 0
+	for b := 0; b < 32; b++ {
+		if w[b].NumTerms() > 4 || w[b].Deg() > 1 {
+			big++
+		}
+	}
+	if big == 0 {
+		return w
+	}
+	return bd.materialize(w, val)
+}
+
+// symCh computes Ch(e,f,g) = e·f ⊕ (¬e)·g = e·f ⊕ e·g ⊕ g bitwise.
+func symCh(e, f, g word32) word32 {
+	var out word32
+	for b := 0; b < 32; b++ {
+		out[b] = e[b].Mul(f[b]).Add(e[b].Mul(g[b])).Add(g[b])
+	}
+	return out
+}
+
+// symMaj computes Maj(a,b,c) = ab ⊕ ac ⊕ bc bitwise.
+func symMaj(a, b, c word32) word32 {
+	var out word32
+	for i := 0; i < 32; i++ {
+		out[i] = a[i].Mul(b[i]).Add(a[i].Mul(c[i])).Add(b[i].Mul(c[i]))
+	}
+	return out
+}
+
+// add emits s = a + b (mod 2^32) with carry variables: the sum bits are
+// materialized fresh variables and the carries satisfy
+// c_{i+1} = a_i b_i ⊕ c_i a_i ⊕ c_i b_i.
+func (bd *encBuilder) add(a word32, aVal uint32, b word32, bVal uint32) (word32, uint32) {
+	a = bd.maybeMaterialize(a, aVal)
+	b = bd.maybeMaterialize(b, bVal)
+	sVal := aVal + bVal
+	var s word32
+	carry := anf.Zero()
+	carryVal := false
+	for i := 0; i < 32; i++ {
+		ab := a[i].Add(b[i])
+		s[i] = bd.freshBit(ab.Add(carry), sVal>>uint(i)&1 == 1)
+		if i == 31 {
+			break // the final carry out is discarded (mod 2^32)
+		}
+		// New carry value for the witness.
+		ai := aVal>>uint(i)&1 == 1
+		bi := bVal>>uint(i)&1 == 1
+		newCarryVal := (ai && bi) || (carryVal && (ai != bi))
+		carryExpr := a[i].Mul(b[i]).Add(carry.Mul(ab))
+		carry = bd.freshBit(carryExpr, newCarryVal)
+		carryVal = newCarryVal
+	}
+	return s, sVal
+}
+
+// tracked pairs a symbolic word with its concrete witness value.
+type tracked struct {
+	w word32
+	v uint32
+}
+
+func (bd *encBuilder) addT(a, b tracked) tracked {
+	w, v := bd.add(a.w, a.v, b.w, b.v)
+	return tracked{w, v}
+}
+
+// EncodeCompression builds the ANF system for `rounds` rounds of the
+// compression function applied to the given symbolic block. blockVals
+// supplies the witness values. It returns the digest as tracked words.
+func (bd *encBuilder) encodeCompression(block [16]tracked, rounds int) [8]tracked {
+	var w [64]tracked
+	copy(w[:16], block[:])
+	for t := 16; t < rounds; t++ {
+		s1 := tracked{symSmallSigma1(w[t-2].w), smallSigma1(w[t-2].v)}
+		s0 := tracked{symSmallSigma0(w[t-15].w), smallSigma0(w[t-15].v)}
+		sum := bd.addT(s1, w[t-7])
+		sum = bd.addT(sum, s0)
+		w[t] = bd.addT(sum, w[t-16])
+	}
+	state := make([]tracked, 8)
+	for i := 0; i < 8; i++ {
+		state[i] = tracked{constW(iv[i]), iv[i]}
+	}
+	a, b, c, d, e, f, g, h := state[0], state[1], state[2], state[3], state[4], state[5], state[6], state[7]
+	for t := 0; t < rounds; t++ {
+		chT := tracked{symCh(e.w, f.w, g.w), ch(e.v, f.v, g.v)}
+		majT := tracked{symMaj(a.w, b.w, c.w), maj(a.v, b.v, c.v)}
+		s1 := tracked{symBigSigma1(e.w), bigSigma1(e.v)}
+		s0 := tracked{symBigSigma0(a.w), bigSigma0(a.v)}
+		t1 := bd.addT(h, s1)
+		t1 = bd.addT(t1, chT)
+		t1 = bd.addT(t1, tracked{constW(k[t]), k[t]})
+		t1 = bd.addT(t1, w[t])
+		t2 := bd.addT(s0, majT)
+		h, g, f = g, f, e
+		e = bd.addT(d, t1)
+		d, c, b = c, b, a
+		a = bd.addT(t1, t2)
+	}
+	var out [8]tracked
+	init := []tracked{
+		{constW(iv[0]), iv[0]}, {constW(iv[1]), iv[1]}, {constW(iv[2]), iv[2]}, {constW(iv[3]), iv[3]},
+		{constW(iv[4]), iv[4]}, {constW(iv[5]), iv[5]}, {constW(iv[6]), iv[6]}, {constW(iv[7]), iv[7]},
+	}
+	final := []tracked{a, b, c, d, e, f, g, h}
+	for i := 0; i < 8; i++ {
+		out[i] = bd.addT(init[i], final[i])
+	}
+	return out
+}
+
+// BitcoinParams parameterizes a weakened-Bitcoin nonce instance (Fig. 5):
+// a single 512-bit block whose first 415 bits are randomly fixed, a free
+// 32-bit nonce at bits 415..446, bit 447 the mandatory '1' pad, and the
+// final 64 bits encoding the message length 448; the challenge requires
+// the first K digest bits to be zero. Rounds scales the compression
+// function down so laptop-scale solvers can handle the circuit.
+type BitcoinParams struct {
+	K      int
+	Rounds int
+}
+
+// BitcoinInstance is the generated ANF problem.
+type BitcoinInstance struct {
+	Sys *anf.System
+	// NonceVarBase: nonce bit b (0 = most significant within the nonce
+	// field) is variable NonceVarBase + b.
+	NonceVarBase int
+	Nonce        uint32
+	Block        [16]uint32
+	Digest       [8]uint32
+	Witness      []bool
+}
+
+// GenerateBitcoin draws random fixed bits and searches for a nonce whose
+// (round-reduced) hash has K leading zero bits, then encodes the
+// corresponding ANF instance. The instance is satisfiable by
+// construction, with the found nonce as witness.
+func GenerateBitcoin(p BitcoinParams, rng *rand.Rand) *BitcoinInstance {
+	if p.K < 0 || p.K > 32 {
+		panic("sha256: K out of range")
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 64
+	}
+	if p.Rounds < 16 {
+		// Words 12–13 (the nonce) only enter the compression at rounds
+		// t = 12, 13 and the schedule expansion from t = 16; below 16
+		// rounds the instance would not constrain the nonce meaningfully.
+		panic("sha256: bitcoin instances need at least 16 rounds")
+	}
+	for attempt := 0; ; attempt++ {
+		var block [16]uint32
+		for i := 0; i < 13; i++ {
+			block[i] = rng.Uint32()
+		}
+		// Bits are numbered MSB-first across the block: bit j lives in
+		// word j/32 at position 31-j%32. The first 415 bits are words
+		// 0..12 plus the top 31 bits of word 13's first... simpler: words
+		// 0..12 are fully fixed (416 bits); to honour the 415/32/1 split
+		// we place the nonce at bits 415..446: the low bit of word 12 is
+		// part of the nonce. Clear it here and treat word 12 bit 0 plus
+		// word 13 bits 31..1 as the 32-bit nonce field.
+		block[12] &^= 1
+		block[13] = 0
+		block[14] = 0
+		block[15] = 448 // message length in bits, per SHA padding
+		// Search for a nonce: nonce bit 0 (MSB of the field) is block[12]
+		// bit 0; nonce bits 1..31 are block[13] bits 31..1. Bit 447 (the
+		// pad '1') is block[13] bit 0.
+		for tries := 0; tries < 1<<uint(p.K+6); tries++ {
+			nonce := rng.Uint32()
+			b := block
+			b[12] |= nonce >> 31
+			b[13] = nonce<<1 | 1 // pad bit '1' at position 447
+			d := Compress(b, p.Rounds)
+			if p.K > 0 && d[0]>>(32-uint(p.K)) != 0 {
+				continue
+			}
+			return encodeBitcoin(p, b, nonce, d)
+		}
+		// No nonce found in the budget (possible for large K with reduced
+		// rounds); resample the fixed bits.
+	}
+}
+
+func encodeBitcoin(p BitcoinParams, block [16]uint32, nonce uint32, digest [8]uint32) *BitcoinInstance {
+	bd := &encBuilder{sys: anf.NewSystem()}
+	inst := &BitcoinInstance{Nonce: nonce, Block: block, Digest: digest}
+
+	var sym [16]tracked
+	for i := range sym {
+		sym[i] = tracked{constW(block[i]), block[i]}
+	}
+	// Free nonce variables, MSB first.
+	inst.NonceVarBase = int(bd.next)
+	nb := make([]anf.Poly, 32)
+	for b := 0; b < 32; b++ {
+		nb[b] = bd.freeBit(nonce>>(31-uint(b))&1 == 1)
+	}
+	// Wire nonce bits into the block: field bit 0 -> block[12] bit 0;
+	// field bit j (j ≥ 1) -> block[13] bit 32-j.
+	w12 := constW(block[12] &^ 1)
+	w12[0] = nb[0]
+	sym[12] = tracked{w12, block[12]}
+	var w13 word32
+	for j := 1; j < 32; j++ {
+		w13[32-j] = nb[j]
+	}
+	w13[0] = anf.OnePoly() // the pad bit
+	sym[13] = tracked{w13, block[13]}
+
+	out := bd.encodeCompression(sym, p.Rounds)
+	// Challenge: the first K bits (MSBs of digest word 0) are zero.
+	for b := 0; b < p.K; b++ {
+		bd.sys.Add(out[0].w[31-b])
+	}
+	inst.Sys = bd.sys
+	inst.Sys.SetNumVars(int(bd.next))
+	inst.Witness = bd.wit
+	return inst
+}
+
+// NonceFromSolution reads the nonce from a satisfying assignment.
+func (inst *BitcoinInstance) NonceFromSolution(sol []bool) uint32 {
+	var out uint32
+	for b := 0; b < 32; b++ {
+		idx := inst.NonceVarBase + b
+		if idx < len(sol) && sol[idx] {
+			out |= 1 << (31 - uint(b))
+		}
+	}
+	return out
+}

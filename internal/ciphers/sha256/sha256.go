@@ -1,0 +1,69 @@
+// Package sha256 implements the SHA-256 compression function (FIPS 180-4)
+// with a configurable round count, plus a bit-level ANF encoder — the
+// substrate for the paper's weakened-Bitcoin nonce-finding benchmarks
+// (appendix C, Fig. 5). The paper generated these ANFs with the cgen tool;
+// we encode the compression circuit ourselves: XOR/rotate are linear,
+// Ch/Maj are quadratic, and modular additions introduce carry variables
+// with quadratic carry equations.
+package sha256
+
+import "math/bits"
+
+// iv is the SHA-256 initial hash value.
+var iv = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+// k is the SHA-256 round constant table.
+var k = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+func ch(e, f, g uint32) uint32  { return e&f ^ ^e&g }
+func maj(a, b, c uint32) uint32 { return a&b ^ a&c ^ b&c }
+
+func bigSigma0(x uint32) uint32 {
+	return bits.RotateLeft32(x, -2) ^ bits.RotateLeft32(x, -13) ^ bits.RotateLeft32(x, -22)
+}
+func bigSigma1(x uint32) uint32 {
+	return bits.RotateLeft32(x, -6) ^ bits.RotateLeft32(x, -11) ^ bits.RotateLeft32(x, -25)
+}
+func smallSigma0(x uint32) uint32 {
+	return bits.RotateLeft32(x, -7) ^ bits.RotateLeft32(x, -18) ^ x>>3
+}
+func smallSigma1(x uint32) uint32 {
+	return bits.RotateLeft32(x, -17) ^ bits.RotateLeft32(x, -19) ^ x>>10
+}
+
+// Compress runs `rounds` rounds (1..64) of the SHA-256 compression
+// function on one message block and returns the chained digest words.
+// With rounds = 64 and the standard IV this is exactly one SHA-256 block.
+func Compress(block [16]uint32, rounds int) [8]uint32 {
+	if rounds < 1 || rounds > 64 {
+		panic("sha256: rounds out of range")
+	}
+	var w [64]uint32
+	copy(w[:16], block[:])
+	for t := 16; t < rounds; t++ {
+		w[t] = smallSigma1(w[t-2]) + w[t-7] + smallSigma0(w[t-15]) + w[t-16]
+	}
+	a, b, c, d, e, f, g, h := iv[0], iv[1], iv[2], iv[3], iv[4], iv[5], iv[6], iv[7]
+	for t := 0; t < rounds; t++ {
+		t1 := h + bigSigma1(e) + ch(e, f, g) + k[t] + w[t]
+		t2 := bigSigma0(a) + maj(a, b, c)
+		h, g, f, e, d, c, b, a = g, f, e, d+t1, c, b, a, t1+t2
+	}
+	return [8]uint32{iv[0] + a, iv[1] + b, iv[2] + c, iv[3] + d, iv[4] + e, iv[5] + f, iv[6] + g, iv[7] + h}
+}
+
+// Sum256Block hashes a single already-padded 512-bit block with the full
+// 64 rounds (the weakened-Bitcoin setting uses exactly one block).
+func Sum256Block(block [16]uint32) [8]uint32 { return Compress(block, 64) }

@@ -1,0 +1,123 @@
+package sha256
+
+import (
+	cryptosha "crypto/sha256"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/anf"
+)
+
+// TestSHA256Vectors cross-checks our full-round compression against the
+// standard library on single-block messages.
+func TestSHA256Vectors(t *testing.T) {
+	msgs := [][]byte{
+		[]byte(""),
+		[]byte("abc"),
+		[]byte("The quick brown fox jumps over the lazy dog"),
+	}
+	for _, msg := range msgs {
+		if len(msg) > 55 {
+			t.Fatal("test message does not fit one block")
+		}
+		// Standard SHA padding into one 512-bit block.
+		var buf [64]byte
+		copy(buf[:], msg)
+		buf[len(msg)] = 0x80
+		binary.BigEndian.PutUint64(buf[56:], uint64(len(msg))*8)
+		var block [16]uint32
+		for i := 0; i < 16; i++ {
+			block[i] = binary.BigEndian.Uint32(buf[4*i:])
+		}
+		got := Sum256Block(block)
+		want := cryptosha.Sum256(msg)
+		for i := 0; i < 8; i++ {
+			w := binary.BigEndian.Uint32(want[4*i:])
+			if got[i] != w {
+				t.Fatalf("Sum256Block(%q)[%d] = %08x, want %08x", msg, i, got[i], w)
+			}
+		}
+	}
+}
+
+func TestCompressRoundsMonotone(t *testing.T) {
+	var block [16]uint32
+	block[0] = 0xdeadbeef
+	d8 := Compress(block, 8)
+	d9 := Compress(block, 9)
+	if d8 == d9 {
+		t.Fatal("extra round did not change the digest")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rounds=0 did not panic")
+		}
+	}()
+	Compress(block, 0)
+}
+
+func TestBitcoinInstanceShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := GenerateBitcoin(BitcoinParams{K: 4, Rounds: 16}, rng)
+	// Fig. 5: pad bit set, length word = 448.
+	if inst.Block[13]&1 != 1 {
+		t.Fatal("pad bit not set")
+	}
+	if inst.Block[15] != 448 || inst.Block[14] != 0 {
+		t.Fatalf("length encoding wrong: %08x %08x", inst.Block[14], inst.Block[15])
+	}
+	// The digest's first K bits are zero.
+	if inst.Digest[0]>>28 != 0 {
+		t.Fatalf("digest does not have 4 leading zero bits: %08x", inst.Digest[0])
+	}
+	// The nonce recorded matches the block wiring.
+	if inst.Block[12]&1 != inst.Nonce>>31 {
+		t.Fatal("nonce MSB not wired into block word 12")
+	}
+	if inst.Block[13] != inst.Nonce<<1|1 {
+		t.Fatal("nonce bits not wired into block word 13")
+	}
+}
+
+func TestBitcoinWitnessSatisfies(t *testing.T) {
+	for _, p := range []BitcoinParams{{K: 0, Rounds: 16}, {K: 2, Rounds: 17}, {K: 4, Rounds: 16}, {K: 3, Rounds: 18}} {
+		rng := rand.New(rand.NewSource(int64(p.K + p.Rounds)))
+		inst := GenerateBitcoin(p, rng)
+		assign := func(v anf.Var) bool {
+			return int(v) < len(inst.Witness) && inst.Witness[int(v)]
+		}
+		if !inst.Sys.Eval(assign) {
+			for _, q := range inst.Sys.Polys() {
+				if q.Eval(assign) {
+					t.Fatalf("K=%d R=%d: witness violates %s", p.K, p.Rounds, q)
+				}
+			}
+		}
+		if got := inst.NonceFromSolution(inst.Witness); got != inst.Nonce {
+			t.Fatalf("witness nonce = %08x, want %08x", got, inst.Nonce)
+		}
+	}
+}
+
+func TestBitcoinSystemQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := GenerateBitcoin(BitcoinParams{K: 2, Rounds: 16}, rng)
+	if d := inst.Sys.MaxDeg(); d > 2 {
+		t.Fatalf("encoding degree = %d, want ≤ 2", d)
+	}
+	t.Logf("bitcoin K=2 R=16: %d vars, %d equations", inst.Sys.NumVars(), inst.Sys.Len())
+}
+
+func TestNonceWrongSolutionRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	inst := GenerateBitcoin(BitcoinParams{K: 3, Rounds: 16}, rng)
+	bad := append([]bool(nil), inst.Witness...)
+	bad[inst.NonceVarBase+31] = !bad[inst.NonceVarBase+31] // flip nonce LSB
+	assign := func(v anf.Var) bool {
+		return int(v) < len(bad) && bad[int(v)]
+	}
+	if inst.Sys.Eval(assign) {
+		t.Fatal("flipping a nonce bit alone should violate the circuit equations")
+	}
+}

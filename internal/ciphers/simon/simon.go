@@ -1,0 +1,261 @@
+// Package simon implements the Simon32/64 lightweight block cipher
+// (Beaulieu et al., DAC 2015) and its ANF encoding — the paper's
+// Simon-[n,r] benchmark family (appendix B): round-reduced Simon32/64 with
+// n plaintext/ciphertext pairs under one secret key, in the Similar
+// Plaintexts / Random Ciphertexts setting of Courtois et al.
+//
+// Simon's round function uses only AND, XOR and rotations, so every round
+// contributes 16 quadratic equations; the key schedule is entirely linear
+// over GF(2).
+package simon
+
+import (
+	"math/rand"
+
+	"repro/internal/anf"
+)
+
+const (
+	// WordBits is the half-block width of Simon32/64.
+	WordBits = 16
+	// KeyWords is the number of key words (m = 4 for Simon32/64).
+	KeyWords = 4
+	// FullRounds is the full-strength round count of Simon32/64.
+	FullRounds = 32
+)
+
+// z0 is the Simon z-sequence used by Simon32/64.
+var z0 = [62]byte{
+	1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 0,
+	0, 1, 1, 1, 0, 0, 1, 1, 0, 1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0,
+	1, 0, 1, 0, 1, 1, 0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0,
+}
+
+func rotl(x uint16, r uint) uint16 { return x<<r | x>>(WordBits-r) }
+func rotr(x uint16, r uint) uint16 { return x>>r | x<<(WordBits-r) }
+
+// f is the Simon round function f(x) = (x ≪ 1 & x ≪ 8) ⊕ (x ≪ 2).
+func f(x uint16) uint16 { return rotl(x, 1)&rotl(x, 8) ^ rotl(x, 2) }
+
+// ExpandKey derives `rounds` round keys from the four 16-bit key words
+// k[0] (used first) .. k[3].
+func ExpandKey(k [4]uint16, rounds int) []uint16 {
+	ks := make([]uint16, rounds)
+	for i := 0; i < rounds && i < 4; i++ {
+		ks[i] = k[i]
+	}
+	for i := 4; i < rounds; i++ {
+		tmp := rotr(ks[i-1], 3) ^ ks[i-3]
+		tmp ^= rotr(tmp, 1)
+		ks[i] = ^ks[i-4] ^ tmp ^ uint16(z0[(i-4)%62]) ^ 3
+	}
+	return ks
+}
+
+// Encrypt runs `rounds` rounds of Simon32/64 on the plaintext (x = left
+// half, y = right half).
+func Encrypt(x, y uint16, k [4]uint16, rounds int) (uint16, uint16) {
+	ks := ExpandKey(k, rounds)
+	for i := 0; i < rounds; i++ {
+		x, y = y^f(x)^ks[i], x
+	}
+	return x, y
+}
+
+// Params describes a Simon-[n, r] benchmark instance: n plaintexts
+// (low Hamming distance, SP/RC setting) encrypted for r rounds under one
+// random key.
+type Params struct {
+	NPlaintexts int
+	Rounds      int
+}
+
+// Instance is the generated ANF problem together with its witness.
+type Instance struct {
+	Sys     *anf.System
+	Key     [4]uint16
+	Plains  [][2]uint16
+	Ciphers [][2]uint16
+	// KeyVarBase: key word w bit b is variable KeyVarBase + w*16 + b.
+	KeyVarBase int
+	Witness    []bool
+}
+
+// word is a symbolic 16-bit word: one polynomial per bit.
+type word [WordBits]anf.Poly
+
+func constWord(v uint16) word {
+	var w word
+	for b := 0; b < WordBits; b++ {
+		w[b] = anf.Constant(v>>uint(b)&1 == 1)
+	}
+	return w
+}
+
+func (w word) rotl(r int) word {
+	var out word
+	for b := 0; b < WordBits; b++ {
+		out[(b+r)%WordBits] = w[b]
+	}
+	return out
+}
+
+func (w word) rotr(r int) word { return w.rotl(WordBits - r) }
+
+func (w word) xor(o word) word {
+	var out word
+	for b := 0; b < WordBits; b++ {
+		out[b] = w[b].Add(o[b])
+	}
+	return out
+}
+
+func (w word) xorConst(v uint16) word {
+	var out word
+	for b := 0; b < WordBits; b++ {
+		out[b] = w[b].AddConstant(v>>uint(b)&1 == 1)
+	}
+	return out
+}
+
+// builder allocates variables and equations.
+type builder struct {
+	sys  *anf.System
+	next anf.Var
+	wit  []bool
+}
+
+// freshWord introduces 16 fresh variables constrained to equal the given
+// bit expressions, and records the concrete value in the witness.
+func (bd *builder) freshWord(bits word, value uint16) word {
+	var out word
+	for b := 0; b < WordBits; b++ {
+		v := bd.next
+		bd.next++
+		bd.wit = append(bd.wit, value>>uint(b)&1 == 1)
+		out[b] = anf.VarPoly(v)
+		bd.sys.Add(bits[b].Add(out[b]))
+	}
+	return out
+}
+
+// freeWord introduces 16 unconstrained variables (e.g. the key words).
+func (bd *builder) freeWord(value uint16) word {
+	var out word
+	for b := 0; b < WordBits; b++ {
+		v := bd.next
+		bd.next++
+		bd.wit = append(bd.wit, value>>uint(b)&1 == 1)
+		out[b] = anf.VarPoly(v)
+	}
+	return out
+}
+
+// andWord forms the bitwise AND of two symbolic words (degree doubles; the
+// caller materializes the result via freshWord).
+func andWord(a, b word) word {
+	var out word
+	for i := 0; i < WordBits; i++ {
+		out[i] = a[i].Mul(b[i])
+	}
+	return out
+}
+
+// symF is the symbolic round function f(x) = (x≪1 & x≪8) ⊕ (x≪2).
+func symF(x word) word {
+	return andWord(x.rotl(1), x.rotl(8)).xor(x.rotl(2))
+}
+
+// GenerateInstance builds the ANF system for a Simon-[n, r] instance: n
+// plaintexts with low Hamming distance (the first sampled uniformly, the
+// i-th toggling bit i-1 of the right half, per the SP/RC setting),
+// encrypted r rounds under a random key. Plaintext and ciphertext bits
+// are folded in as constants; the unknowns are the key words and the
+// intermediate round states.
+func GenerateInstance(p Params, rng *rand.Rand) *Instance {
+	if p.Rounds < 1 || p.NPlaintexts < 1 || p.NPlaintexts > 17 {
+		panic("simon: invalid parameters")
+	}
+	var key [4]uint16
+	for i := range key {
+		key[i] = uint16(rng.Intn(1 << 16))
+	}
+	bd := &builder{sys: anf.NewSystem()}
+	inst := &Instance{Key: key, KeyVarBase: int(bd.next)}
+
+	// Key word variables (free unknowns).
+	var kw [4]word
+	for i := 0; i < 4; i++ {
+		kw[i] = bd.freeWord(key[i])
+	}
+	// Round keys: k_i for i<4 are the key words; later ones are linear in
+	// them — materialized as fresh vars to keep the equations short.
+	ksVals := ExpandKey(key, p.Rounds)
+	ks := make([]word, p.Rounds)
+	for i := 0; i < p.Rounds; i++ {
+		if i < 4 {
+			ks[i] = kw[i]
+			continue
+		}
+		tmp := ks[i-1].rotr(3).xor(ks[i-3])
+		tmp = tmp.xor(tmp.rotr(1))
+		expr := ks[i-4].xorConst(0xFFFF).xor(tmp).xorConst(uint16(z0[(i-4)%62]) ^ 3)
+		ks[i] = bd.freshWord(expr, ksVals[i])
+	}
+
+	// Plaintexts: SP/RC setting.
+	p1x := uint16(rng.Intn(1 << 16))
+	p1y := uint16(rng.Intn(1 << 16))
+	for i := 0; i < p.NPlaintexts; i++ {
+		px, py := p1x, p1y
+		if i > 0 {
+			py ^= 1 << uint(i-1) // toggle bit i-1 of the right half
+		}
+		cx, cy := Encrypt(px, py, key, p.Rounds)
+		inst.Plains = append(inst.Plains, [2]uint16{px, py})
+		inst.Ciphers = append(inst.Ciphers, [2]uint16{cx, cy})
+
+		// Symbolic encryption: state halves as words; each round's new
+		// left half is materialized (the AND makes it quadratic).
+		x, y := constWord(px), constWord(py)
+		xv, yv := px, py
+		for r := 0; r < p.Rounds; r++ {
+			newX := y.xor(symF(x)).xor(ks[r])
+			newXVal := yv ^ f(xv) ^ ksVals[r]
+			if r == p.Rounds-1 {
+				// Final round: bind to the ciphertext constants instead of
+				// fresh variables.
+				cw := constWord(cx)
+				for b := 0; b < WordBits; b++ {
+					bd.sys.Add(newX[b].Add(cw[b]))
+				}
+				// And the right half of the ciphertext is the old x.
+				cyw := constWord(cy)
+				for b := 0; b < WordBits; b++ {
+					bd.sys.Add(x[b].Add(cyw[b]))
+				}
+				break
+			}
+			x, y = bd.freshWord(newX, newXVal), x
+			xv, yv = newXVal, xv
+		}
+	}
+	inst.Sys = bd.sys
+	inst.Sys.SetNumVars(int(bd.next))
+	inst.Witness = bd.wit
+	return inst
+}
+
+// KeyFromSolution reads the key words off a satisfying assignment.
+func (inst *Instance) KeyFromSolution(sol []bool) [4]uint16 {
+	var out [4]uint16
+	for w := 0; w < 4; w++ {
+		for b := 0; b < WordBits; b++ {
+			idx := inst.KeyVarBase + w*WordBits + b
+			if idx < len(sol) && sol[idx] {
+				out[w] |= 1 << uint(b)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package simon
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anf"
+)
+
+// TestSimonTestVectors checks the published Simon32/64 test vector
+// (Beaulieu et al.): key 1918 1110 0908 0100, plaintext 6565 6877,
+// ciphertext c69b e9bb — validating Fig. 4's round function end to end.
+func TestSimonTestVectors(t *testing.T) {
+	key := [4]uint16{0x0100, 0x0908, 0x1110, 0x1918}
+	x, y := Encrypt(0x6565, 0x6877, key, FullRounds)
+	if x != 0xc69b || y != 0xe9bb {
+		t.Fatalf("Simon32/64 = %04x %04x, want c69b e9bb", x, y)
+	}
+}
+
+func TestExpandKeyPrefix(t *testing.T) {
+	key := [4]uint16{1, 2, 3, 4}
+	ks := ExpandKey(key, 10)
+	for i := 0; i < 4; i++ {
+		if ks[i] != key[i] {
+			t.Fatalf("round key %d = %04x, want %04x", i, ks[i], key[i])
+		}
+	}
+	// Deterministic continuation.
+	ks2 := ExpandKey(key, 10)
+	for i := range ks {
+		if ks[i] != ks2[i] {
+			t.Fatal("key schedule not deterministic")
+		}
+	}
+}
+
+func TestRotations(t *testing.T) {
+	if rotl(0x8000, 1) != 0x0001 {
+		t.Fatal("rotl wraparound broken")
+	}
+	if rotr(0x0001, 1) != 0x8000 {
+		t.Fatal("rotr wraparound broken")
+	}
+}
+
+func TestInstanceWitness(t *testing.T) {
+	for _, p := range []Params{{1, 1}, {1, 4}, {2, 6}, {8, 6}, {4, 9}} {
+		rng := rand.New(rand.NewSource(21))
+		inst := GenerateInstance(p, rng)
+		assign := func(v anf.Var) bool {
+			return int(v) < len(inst.Witness) && inst.Witness[int(v)]
+		}
+		if !inst.Sys.Eval(assign) {
+			for _, q := range inst.Sys.Polys() {
+				if q.Eval(assign) {
+					t.Fatalf("Simon-[%d,%d]: witness violates %s", p.NPlaintexts, p.Rounds, q)
+				}
+			}
+		}
+		if got := inst.KeyFromSolution(inst.Witness); got != inst.Key {
+			t.Fatalf("witness key mismatch: %v vs %v", got, inst.Key)
+		}
+	}
+}
+
+func TestInstanceShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := GenerateInstance(Params{NPlaintexts: 8, Rounds: 6}, rng)
+	// Paper's SP/RC setting: plaintext i toggles bit i-1 of P1's right half.
+	for i := 1; i < len(inst.Plains); i++ {
+		if inst.Plains[i][0] != inst.Plains[0][0] {
+			t.Fatal("left halves should match in SP/RC")
+		}
+		if inst.Plains[i][1]^inst.Plains[0][1] != 1<<uint(i-1) {
+			t.Fatalf("plaintext %d differs by %04x, want bit %d", i,
+				inst.Plains[i][1]^inst.Plains[0][1], i-1)
+		}
+	}
+	// The system should be quadratic (AND gates) with linear key schedule.
+	if inst.Sys.MaxDeg() != 2 {
+		t.Fatalf("max degree = %d, want 2", inst.Sys.MaxDeg())
+	}
+	// Each ciphertext must verify under the reference implementation.
+	for i, pl := range inst.Plains {
+		cx, cy := Encrypt(pl[0], pl[1], inst.Key, 6)
+		if cx != inst.Ciphers[i][0] || cy != inst.Ciphers[i][1] {
+			t.Fatalf("ciphertext %d mismatch", i)
+		}
+	}
+}
+
+func TestInstanceDifferentKeysDiffer(t *testing.T) {
+	a := GenerateInstance(Params{2, 5}, rand.New(rand.NewSource(1)))
+	b := GenerateInstance(Params{2, 5}, rand.New(rand.NewSource(2)))
+	if a.Key == b.Key {
+		t.Fatal("different seeds gave the same key")
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid params")
+		}
+	}()
+	GenerateInstance(Params{0, 0}, rand.New(rand.NewSource(1)))
+}

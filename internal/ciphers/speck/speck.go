@@ -1,0 +1,280 @@
+// Package speck implements the Speck32/64 lightweight block cipher
+// (Beaulieu et al., DAC 2015 — the same paper that defines Simon) and its
+// bit-level ANF encoding. Speck is the ARX (add–rotate–xor) sibling of
+// the Feistel-style Simon: where Simon's nonlinearity is a bitwise AND,
+// Speck's is addition modulo 2^16, which the encoder expands with carry
+// variables — the same construction the SHA-256 encoder uses. It extends
+// the paper's benchmark families in the direction its §V "plug in more
+// techniques/problems" discussion invites.
+package speck
+
+import (
+	"math/rand"
+
+	"repro/internal/anf"
+)
+
+const (
+	// WordBits is the half-block width of Speck32/64.
+	WordBits = 16
+	// KeyWords is m = 4 for Speck32/64.
+	KeyWords = 4
+	// FullRounds is the full-strength round count of Speck32/64.
+	FullRounds = 22
+	// alpha and beta are the Speck32 rotation constants.
+	alpha = 7
+	beta  = 2
+)
+
+func rotl(x uint16, r uint) uint16 { return x<<r | x>>(WordBits-r) }
+func rotr(x uint16, r uint) uint16 { return x>>r | x<<(WordBits-r) }
+
+// round applies one Speck round with round key k:
+// x = (x ⋙ α + y) ⊕ k;  y = (y ⋘ β) ⊕ x.
+func round(x, y, k uint16) (uint16, uint16) {
+	x = rotr(x, alpha)
+	x += y
+	x ^= k
+	y = rotl(y, beta)
+	y ^= x
+	return x, y
+}
+
+// ExpandKey derives `rounds` round keys from key words k[0] (used first)
+// through k[3], per the Speck key schedule (which reuses the round
+// function on the key state).
+func ExpandKey(k [4]uint16, rounds int) []uint16 {
+	ks := make([]uint16, rounds)
+	l := []uint16{k[1], k[2], k[3]}
+	key := k[0]
+	for i := 0; i < rounds; i++ {
+		ks[i] = key
+		if i == rounds-1 {
+			break
+		}
+		nl, nk := round(l[i%3], key, uint16(i))
+		l[i%3] = nl
+		key = nk
+	}
+	return ks
+}
+
+// Encrypt runs `rounds` rounds of Speck32/64.
+func Encrypt(x, y uint16, k [4]uint16, rounds int) (uint16, uint16) {
+	ks := ExpandKey(k, rounds)
+	for i := 0; i < rounds; i++ {
+		x, y = round(x, y, ks[i])
+	}
+	return x, y
+}
+
+// Params describes a Speck-[n, r] instance: n known plaintext/ciphertext
+// pairs under one key, r rounds.
+type Params struct {
+	NPlaintexts int
+	Rounds      int
+}
+
+// Instance is the generated ANF problem with its witness.
+type Instance struct {
+	Sys        *anf.System
+	Key        [4]uint16
+	Plains     [][2]uint16
+	Ciphers    [][2]uint16
+	KeyVarBase int
+	Witness    []bool
+}
+
+type word [WordBits]anf.Poly
+
+func constWord(v uint16) word {
+	var w word
+	for b := 0; b < WordBits; b++ {
+		w[b] = anf.Constant(v>>uint(b)&1 == 1)
+	}
+	return w
+}
+
+func (w word) rotl(r int) word {
+	var out word
+	for b := 0; b < WordBits; b++ {
+		out[(b+r)%WordBits] = w[b]
+	}
+	return out
+}
+
+func (w word) rotr(r int) word { return w.rotl(WordBits - r) }
+
+func (w word) xor(o word) word {
+	var out word
+	for b := 0; b < WordBits; b++ {
+		out[b] = w[b].Add(o[b])
+	}
+	return out
+}
+
+func (w word) xorConst(v uint16) word {
+	var out word
+	for b := 0; b < WordBits; b++ {
+		out[b] = w[b].AddConstant(v>>uint(b)&1 == 1)
+	}
+	return out
+}
+
+type builder struct {
+	sys  *anf.System
+	next anf.Var
+	wit  []bool
+}
+
+func (bd *builder) freshBit(expr anf.Poly, val bool) anf.Poly {
+	v := bd.next
+	bd.next++
+	bd.wit = append(bd.wit, val)
+	p := anf.VarPoly(v)
+	bd.sys.Add(expr.Add(p))
+	return p
+}
+
+func (bd *builder) freeWord(value uint16) word {
+	var out word
+	for b := 0; b < WordBits; b++ {
+		v := bd.next
+		bd.next++
+		bd.wit = append(bd.wit, value>>uint(b)&1 == 1)
+		out[b] = anf.VarPoly(v)
+	}
+	return out
+}
+
+// maybeMaterialize rebinds any grown bit expressions to fresh variables so
+// downstream products stay small (same trick as the SHA-256 encoder).
+func (bd *builder) maybeMaterialize(w word, val uint16) word {
+	grown := false
+	for b := 0; b < WordBits; b++ {
+		if w[b].NumTerms() > 4 || w[b].Deg() > 1 {
+			grown = true
+			break
+		}
+	}
+	if !grown {
+		return w
+	}
+	var out word
+	for b := 0; b < WordBits; b++ {
+		out[b] = bd.freshBit(w[b], val>>uint(b)&1 == 1)
+	}
+	return out
+}
+
+// add emits s = a + b mod 2^16 with materialized sum and carry variables
+// (quadratic carry equations), tracking witness values.
+func (bd *builder) add(a word, aVal uint16, b word, bVal uint16) (word, uint16) {
+	a = bd.maybeMaterialize(a, aVal)
+	b = bd.maybeMaterialize(b, bVal)
+	sVal := aVal + bVal
+	var s word
+	carry := anf.Zero()
+	carryVal := false
+	for i := 0; i < WordBits; i++ {
+		ab := a[i].Add(b[i])
+		s[i] = bd.freshBit(ab.Add(carry), sVal>>uint(i)&1 == 1)
+		if i == WordBits-1 {
+			break
+		}
+		ai := aVal>>uint(i)&1 == 1
+		bi := bVal>>uint(i)&1 == 1
+		newCarryVal := (ai && bi) || (carryVal && (ai != bi))
+		carry = bd.freshBit(a[i].Mul(b[i]).Add(carry.Mul(ab)), newCarryVal)
+		carryVal = newCarryVal
+	}
+	return s, sVal
+}
+
+// GenerateInstance builds the ANF system for a Speck-[n, r] instance: the
+// unknowns are the four key words, the round-key words and the
+// intermediate state words (all materialized so every equation stays
+// quadratic).
+func GenerateInstance(p Params, rng *rand.Rand) *Instance {
+	if p.Rounds < 1 || p.NPlaintexts < 1 {
+		panic("speck: invalid parameters")
+	}
+	var key [4]uint16
+	for i := range key {
+		key[i] = uint16(rng.Intn(1 << 16))
+	}
+	bd := &builder{sys: anf.NewSystem()}
+	inst := &Instance{Key: key, KeyVarBase: int(bd.next)}
+
+	kw := make([]word, 4)
+	for i := range kw {
+		kw[i] = bd.freeWord(key[i])
+	}
+	// Symbolic key schedule (it reuses the round function, so it is
+	// nonlinear and needs its own adder chains).
+	ksVals := ExpandKey(key, p.Rounds)
+	lVals := []uint16{key[1], key[2], key[3]}
+	l := []word{kw[1], kw[2], kw[3]}
+	ks := make([]word, p.Rounds)
+	ks[0] = kw[0]
+	kcur, kcurVal := kw[0], key[0]
+	for i := 0; i+1 < p.Rounds; i++ {
+		// nl = (l[i%3] ⋙ α + kcur) ⊕ i ; nk = (kcur ⋘ β) ⊕ nl.
+		sum, sumVal := bd.add(l[i%3].rotr(alpha), rotr(lVals[i%3], alpha), kcur, kcurVal)
+		nl := sum.xorConst(uint16(i))
+		nlVal := sumVal ^ uint16(i)
+		nk := kcur.rotl(beta).xor(nl)
+		nkVal := rotl(kcurVal, beta) ^ nlVal
+		l[i%3], lVals[i%3] = nl, nlVal
+		kcur, kcurVal = nk, nkVal
+		ks[i+1] = kcur
+		if kcurVal != ksVals[i+1] {
+			panic("speck: symbolic key schedule diverged from reference")
+		}
+	}
+
+	for i := 0; i < p.NPlaintexts; i++ {
+		px := uint16(rng.Intn(1 << 16))
+		py := uint16(rng.Intn(1 << 16))
+		cx, cy := Encrypt(px, py, key, p.Rounds)
+		inst.Plains = append(inst.Plains, [2]uint16{px, py})
+		inst.Ciphers = append(inst.Ciphers, [2]uint16{cx, cy})
+
+		x, y := constWord(px), constWord(py)
+		xv, yv := px, py
+		for r := 0; r < p.Rounds; r++ {
+			sum, sumVal := bd.add(x.rotr(alpha), rotr(xv, alpha), y, yv)
+			ksVal := ksVals[r]
+			nx := sum.xor(ks[r])
+			nxVal := sumVal ^ ksVal
+			ny := y.rotl(beta).xor(nx)
+			nyVal := rotl(yv, beta) ^ nxVal
+			x, xv = nx, nxVal
+			y, yv = ny, nyVal
+		}
+		// Bind to the ciphertext constants.
+		cwx, cwy := constWord(cx), constWord(cy)
+		for b := 0; b < WordBits; b++ {
+			bd.sys.Add(x[b].Add(cwx[b]))
+			bd.sys.Add(y[b].Add(cwy[b]))
+		}
+	}
+	inst.Sys = bd.sys
+	inst.Sys.SetNumVars(int(bd.next))
+	inst.Witness = bd.wit
+	return inst
+}
+
+// KeyFromSolution reads the key words off a satisfying assignment.
+func (inst *Instance) KeyFromSolution(sol []bool) [4]uint16 {
+	var out [4]uint16
+	for w := 0; w < 4; w++ {
+		for b := 0; b < WordBits; b++ {
+			idx := inst.KeyVarBase + w*WordBits + b
+			if idx < len(sol) && sol[idx] {
+				out[w] |= 1 << uint(b)
+			}
+		}
+	}
+	return out
+}

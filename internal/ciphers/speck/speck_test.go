@@ -1,0 +1,93 @@
+package speck
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anf"
+	"repro/internal/core"
+)
+
+// TestSpeckTestVector checks the published Speck32/64 vector: key
+// 1918 1110 0908 0100, plaintext 6574 694c, ciphertext a868 42f2.
+func TestSpeckTestVector(t *testing.T) {
+	key := [4]uint16{0x0100, 0x0908, 0x1110, 0x1918}
+	x, y := Encrypt(0x6574, 0x694c, key, FullRounds)
+	if x != 0xa868 || y != 0x42f2 {
+		t.Fatalf("Speck32/64 = %04x %04x, want a868 42f2", x, y)
+	}
+}
+
+func TestExpandKeyFirstKey(t *testing.T) {
+	key := [4]uint16{7, 8, 9, 10}
+	ks := ExpandKey(key, 6)
+	if ks[0] != 7 {
+		t.Fatalf("first round key %04x, want 0007", ks[0])
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] == ks[i-1] {
+			t.Fatalf("round keys %d and %d identical", i-1, i)
+		}
+	}
+}
+
+func TestInstanceWitness(t *testing.T) {
+	for _, p := range []Params{{1, 1}, {1, 3}, {2, 4}, {4, 5}} {
+		rng := rand.New(rand.NewSource(61))
+		inst := GenerateInstance(p, rng)
+		assign := func(v anf.Var) bool {
+			return int(v) < len(inst.Witness) && inst.Witness[int(v)]
+		}
+		if !inst.Sys.Eval(assign) {
+			for _, q := range inst.Sys.Polys() {
+				if q.Eval(assign) {
+					t.Fatalf("Speck-[%d,%d]: witness violates %s", p.NPlaintexts, p.Rounds, q)
+				}
+			}
+		}
+		if got := inst.KeyFromSolution(inst.Witness); got != inst.Key {
+			t.Fatalf("witness key mismatch")
+		}
+		if d := inst.Sys.MaxDeg(); d > 2 {
+			t.Fatalf("encoding degree %d, want ≤ 2", d)
+		}
+	}
+}
+
+func TestCiphersMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	inst := GenerateInstance(Params{NPlaintexts: 3, Rounds: 5}, rng)
+	for i, pl := range inst.Plains {
+		cx, cy := Encrypt(pl[0], pl[1], inst.Key, 5)
+		if cx != inst.Ciphers[i][0] || cy != inst.Ciphers[i][1] {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+}
+
+// End-to-end: the Bosphorus loop recovers a Speck key at small rounds.
+func TestIntegrationSpeckKeyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	p := Params{NPlaintexts: 2, Rounds: 3}
+	inst := GenerateInstance(p, rng)
+	res := core.Process(inst.Sys, core.DefaultConfig())
+	if res.Status != core.SolvedSAT {
+		t.Fatalf("status %v", res.Status)
+	}
+	key := inst.KeyFromSolution(res.Solution)
+	for i, pl := range inst.Plains {
+		cx, cy := Encrypt(pl[0], pl[1], key, p.Rounds)
+		if cx != inst.Ciphers[i][0] || cy != inst.Ciphers[i][1] {
+			t.Fatalf("recovered key fails pair %d", i)
+		}
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GenerateInstance(Params{0, 0}, rand.New(rand.NewSource(1)))
+}

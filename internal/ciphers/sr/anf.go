@@ -1,0 +1,236 @@
+package sr
+
+import (
+	"math/rand"
+
+	"repro/internal/anf"
+	"repro/internal/gf2"
+)
+
+// TemplateEq is an implicit equation of an S-box over abstract bit indices:
+// input bits are 0..e-1, output bits are e..2e-1. Each term is a sorted
+// list of template indices; the empty term is the constant 1.
+type TemplateEq [][]int
+
+// ImplicitQuadratics derives all GF(2) equations of degree ≤ 2 satisfied
+// by every (x, S(x)) pair of the S-box, as the right null space of the
+// monomial evaluation matrix. This reproduces, automatically for any
+// S-box, the classic "39 quadratic equations of the AES S-box"
+// construction that the algebraic SR systems are built from.
+func ImplicitQuadratics(table []uint16, e int) []TemplateEq {
+	nv := 2 * e
+	// Monomials of degree ≤ 2 over nv variables.
+	var monos [][]int
+	monos = append(monos, nil) // constant 1
+	for i := 0; i < nv; i++ {
+		monos = append(monos, []int{i})
+	}
+	for i := 0; i < nv; i++ {
+		for j := i + 1; j < nv; j++ {
+			monos = append(monos, []int{i, j})
+		}
+	}
+	bit := func(x uint16, i int) bool { return x>>uint(i)&1 == 1 }
+	m := gf2.NewMatrix(len(table), len(monos))
+	for x, y := range table {
+		val := func(idx int) bool {
+			if idx < e {
+				return bit(uint16(x), idx)
+			}
+			return bit(y, idx-e)
+		}
+		for c, mono := range monos {
+			v := true
+			for _, i := range mono {
+				v = v && val(i)
+			}
+			if v {
+				m.Set(x, c, true)
+			}
+		}
+	}
+	basis := m.NullSpace()
+	out := make([]TemplateEq, 0, len(basis))
+	for _, vec := range basis {
+		var eq TemplateEq
+		for c, mono := range monos {
+			if vec.Get(0, c) {
+				eq = append(eq, mono)
+			}
+		}
+		out = append(out, eq)
+	}
+	return out
+}
+
+// Instantiate renders the template as a polynomial, mapping template input
+// bit i to variable in[i] and output bit j to out[j].
+func (t TemplateEq) Instantiate(in, out []anf.Var) anf.Poly {
+	e := len(in)
+	terms := make([]anf.Monomial, 0, len(t))
+	for _, mono := range t {
+		vs := make([]anf.Var, len(mono))
+		for k, idx := range mono {
+			if idx < e {
+				vs[k] = in[idx]
+			} else {
+				vs[k] = out[idx-e]
+			}
+		}
+		terms = append(terms, anf.NewMonomial(vs...))
+	}
+	return anf.FromMonomials(terms...)
+}
+
+// Encoding is the symbolic bit-level ANF encoding of an SR instance. All
+// offsets are bit-variable indices into the system.
+type Encoding struct {
+	Cipher *Cipher
+	Sys    *anf.System
+
+	// Variable block offsets (each block is Elements()*E bits unless
+	// noted): plaintext, ciphertext, subkeys (n+1 blocks), S-box inputs
+	// and outputs (n blocks each), key-schedule S-box outputs (n blocks of
+	// R*E bits).
+	POff, COff, KOff, XOff, YOff, ZOff int
+	NumVars                            int
+}
+
+// elemBits returns the e bit-variables of element elem in the block at
+// offset off.
+func (enc *Encoding) elemBits(off, elem int) []anf.Var {
+	e := enc.Cipher.P.E
+	out := make([]anf.Var, e)
+	for i := 0; i < e; i++ {
+		out[i] = anf.Var(off + elem*e + i)
+	}
+	return out
+}
+
+// kBits returns the bits of subkey i, element elem.
+func (enc *Encoding) kBits(i, elem int) []anf.Var {
+	se := enc.Cipher.P.Elements() * enc.Cipher.P.E
+	return enc.elemBits(enc.KOff+i*se, elem)
+}
+
+// xBits / yBits return S-box input/output bits for round rnd (1-based).
+func (enc *Encoding) xBits(rnd, elem int) []anf.Var {
+	se := enc.Cipher.P.Elements() * enc.Cipher.P.E
+	return enc.elemBits(enc.XOff+(rnd-1)*se, elem)
+}
+
+func (enc *Encoding) yBits(rnd, elem int) []anf.Var {
+	se := enc.Cipher.P.Elements() * enc.Cipher.P.E
+	return enc.elemBits(enc.YOff+(rnd-1)*se, elem)
+}
+
+// zBits returns key-schedule S-box output bits for round rnd (1-based),
+// row row.
+func (enc *Encoding) zBits(rnd, row int) []anf.Var {
+	re := enc.Cipher.P.R * enc.Cipher.P.E
+	return enc.elemBits(enc.ZOff+(rnd-1)*re, row)
+}
+
+// linear builds the polynomial v0 ⊕ v1 ⊕ ... ⊕ const.
+func linear(vars []anf.Var, c bool) anf.Poly {
+	terms := make([]anf.Monomial, 0, len(vars)+1)
+	for _, v := range vars {
+		terms = append(terms, anf.NewMonomial(v))
+	}
+	if c {
+		terms = append(terms, anf.One)
+	}
+	return anf.FromMonomials(terms...)
+}
+
+// Encode builds the symbolic system (without plaintext/ciphertext
+// assignments) with the classic implicit-quadratic S-box encoding. Layout
+// and equation inventory are described in DESIGN.md; see EncodeStyle for
+// the explicit-ANF alternative.
+func Encode(c *Cipher) *Encoding { return EncodeStyle(c, StyleImplicit) }
+
+// Instance is a concrete SR ANF problem: the symbolic system plus unit
+// equations binding plaintext and ciphertext bits. Its unique-by-
+// construction solution (the key and all intermediates) is retained as a
+// testing witness.
+type Instance struct {
+	Enc     *Encoding
+	Sys     *anf.System
+	Plain   []uint16
+	Key     []uint16
+	CipherT []uint16
+	Witness []bool
+}
+
+// GenerateInstance draws a random plaintext/key pair and produces the ANF
+// instance in the appendix-A style: the symbolic equations plus bit
+// assignments for P and C.
+func GenerateInstance(p Params, rng *rand.Rand) *Instance {
+	c := New(p)
+	return buildInstance(c, Encode(c), rng)
+}
+
+// buildInstance binds a random plaintext/ciphertext pair into the
+// symbolic encoding and assembles the witness.
+func buildInstance(c *Cipher, enc *Encoding, rng *rand.Rand) *Instance {
+	p := c.P
+	plain := c.RandomBlock(rng)
+	key := c.RandomBlock(rng)
+	tr := c.EncryptTrace(plain, key)
+
+	sys := enc.Sys.Clone()
+	setBits := func(off, elem int, val uint16) {
+		for b := 0; b < p.E; b++ {
+			v := anf.Var(off + elem*p.E + b)
+			sys.Add(anf.VarPoly(v).AddConstant(val>>uint(b)&1 == 1))
+		}
+	}
+	for elem := 0; elem < p.Elements(); elem++ {
+		setBits(enc.POff, elem, plain[elem])
+		setBits(enc.COff, elem, tr.Cipher[elem])
+	}
+
+	// Build the witness assignment over all encoding variables.
+	w := make([]bool, enc.NumVars)
+	put := func(off, elem int, val uint16) {
+		for b := 0; b < p.E; b++ {
+			w[off+elem*p.E+b] = val>>uint(b)&1 == 1
+		}
+	}
+	se := p.Elements() * p.E
+	for elem := 0; elem < p.Elements(); elem++ {
+		put(enc.POff, elem, plain[elem])
+		put(enc.COff, elem, tr.Cipher[elem])
+		for i := 0; i <= p.N; i++ {
+			put(enc.KOff+i*se, elem, tr.SubKeys[i][elem])
+		}
+		for rnd := 1; rnd <= p.N; rnd++ {
+			put(enc.XOff+(rnd-1)*se, elem, tr.SBoxIn[rnd-1][elem])
+			put(enc.YOff+(rnd-1)*se, elem, tr.SBoxOut[rnd-1][elem])
+		}
+	}
+	for rnd := 1; rnd <= p.N; rnd++ {
+		for row := 0; row < p.R; row++ {
+			put(enc.ZOff+(rnd-1)*p.R*p.E, row, tr.KSBoxOut[rnd-1][row])
+		}
+	}
+	return &Instance{Enc: enc, Sys: sys, Plain: plain, Key: key, CipherT: tr.Cipher, Witness: w}
+}
+
+// KeyFromSolution extracts the master key elements from a satisfying
+// assignment of the instance's variables.
+func (inst *Instance) KeyFromSolution(sol []bool) []uint16 {
+	p := inst.Enc.Cipher.P
+	out := make([]uint16, p.Elements())
+	for elem := 0; elem < p.Elements(); elem++ {
+		var v uint16
+		for b := 0; b < p.E; b++ {
+			idx := inst.Enc.KOff + elem*p.E + b
+			if idx < len(sol) && sol[idx] {
+				v |= 1 << uint(b)
+			}
+		}
+		out[elem] = v
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package sr
+
+import (
+	"math/rand"
+
+	"repro/internal/anf"
+)
+
+// Style selects how S-box relations are encoded.
+type Style int
+
+const (
+	// StyleImplicit uses the implicit quadratic relations (the classic
+	// algebraic-cryptanalysis encoding; low degree, more equations).
+	StyleImplicit Style = iota
+	// StyleExplicit writes each output bit as its explicit ANF over the
+	// input bits via the Möbius transform (degree up to e-1, e equations
+	// per S-box) — the natural "cryptologists prefer ANF" encoding the
+	// paper's introduction describes.
+	StyleExplicit
+)
+
+// ExplicitSBoxPolys returns, for each output bit j of the S-box, the
+// explicit polynomial f_j(in) equal to that bit.
+func ExplicitSBoxPolys(table []uint16, e int, in []anf.Var) []anf.Poly {
+	out := make([]anf.Poly, e)
+	for j := 0; j < e; j++ {
+		tt := make([]bool, len(table))
+		for x, y := range table {
+			tt[x] = y>>uint(j)&1 == 1
+		}
+		out[j] = anf.FromTruthTable(in, tt)
+	}
+	return out
+}
+
+// addSBoxRelations emits the equations tying S-box input bits to output
+// bits in the chosen style.
+func (enc *Encoding) addSBoxRelations(style Style, templates []TemplateEq, in, out []anf.Var) {
+	switch style {
+	case StyleExplicit:
+		polys := ExplicitSBoxPolys(enc.Cipher.SBox.Table(), enc.Cipher.P.E, in)
+		for j, f := range polys {
+			enc.Sys.Add(f.Add(anf.VarPoly(out[j])))
+		}
+	default:
+		for _, t := range templates {
+			enc.Sys.Add(t.Instantiate(in, out))
+		}
+	}
+}
+
+// EncodeStyle builds the symbolic system with the chosen S-box encoding
+// style. Encode(c) is EncodeStyle(c, StyleImplicit).
+func EncodeStyle(c *Cipher, style Style) *Encoding {
+	p := c.P
+	se := p.Elements() * p.E
+	enc := &Encoding{Cipher: c, Sys: anf.NewSystem()}
+	enc.POff = 0
+	enc.COff = se
+	enc.KOff = 2 * se
+	enc.XOff = enc.KOff + (p.N+1)*se
+	enc.YOff = enc.XOff + p.N*se
+	enc.ZOff = enc.YOff + p.N*se
+	enc.NumVars = enc.ZOff + p.N*p.R*p.E
+	enc.Sys.SetNumVars(enc.NumVars)
+
+	var templates []TemplateEq
+	if style == StyleImplicit {
+		templates = ImplicitQuadratics(c.SBox.Table(), p.E)
+	}
+
+	for elem := 0; elem < p.Elements(); elem++ {
+		xb := enc.xBits(1, elem)
+		pb := enc.elemBits(enc.POff, elem)
+		kb := enc.kBits(0, elem)
+		for b := 0; b < p.E; b++ {
+			enc.Sys.Add(linear([]anf.Var{xb[b], pb[b], kb[b]}, false))
+		}
+	}
+	for rnd := 1; rnd <= p.N; rnd++ {
+		for elem := 0; elem < p.Elements(); elem++ {
+			enc.addSBoxRelations(style, templates, enc.xBits(rnd, elem), enc.yBits(rnd, elem))
+		}
+		for col := 0; col < p.C; col++ {
+			for row := 0; row < p.R; row++ {
+				outElem := c.idx(row, col)
+				for b := 0; b < p.E; b++ {
+					vars := []anf.Var{}
+					for k := 0; k < p.R; k++ {
+						srcElem := c.idx(k, (col+k)%p.C)
+						yb := enc.yBits(rnd, srcElem)
+						coef := c.mix[row][k]
+						for ib := 0; ib < p.E; ib++ {
+							if c.Field.Mul(coef, 1<<uint(ib))>>uint(b)&1 == 1 {
+								vars = append(vars, yb[ib])
+							}
+						}
+					}
+					kb := enc.kBits(rnd, outElem)
+					vars = append(vars, kb[b])
+					if rnd < p.N {
+						vars = append(vars, enc.xBits(rnd+1, outElem)[b])
+					} else {
+						vars = append(vars, enc.elemBits(enc.COff, outElem)[b])
+					}
+					enc.Sys.Add(linear(vars, false))
+				}
+			}
+		}
+		for row := 0; row < p.R; row++ {
+			in := enc.kBits(rnd-1, c.idx((row+1)%p.R, p.C-1))
+			out := enc.zBits(rnd, row)
+			enc.addSBoxRelations(style, templates, in, out)
+		}
+		rcon := c.Field.Pow(2, rnd-1)
+		for row := 0; row < p.R; row++ {
+			kb := enc.kBits(rnd, c.idx(row, 0))
+			pb := enc.kBits(rnd-1, c.idx(row, 0))
+			zb := enc.zBits(rnd, row)
+			for b := 0; b < p.E; b++ {
+				cbit := row == 0 && rcon>>uint(b)&1 == 1
+				enc.Sys.Add(linear([]anf.Var{kb[b], pb[b], zb[b]}, cbit))
+			}
+		}
+		for col := 1; col < p.C; col++ {
+			for row := 0; row < p.R; row++ {
+				kb := enc.kBits(rnd, c.idx(row, col))
+				lb := enc.kBits(rnd, c.idx(row, col-1))
+				pb := enc.kBits(rnd-1, c.idx(row, col))
+				for b := 0; b < p.E; b++ {
+					enc.Sys.Add(linear([]anf.Var{kb[b], lb[b], pb[b]}, false))
+				}
+			}
+		}
+	}
+	return enc
+}
+
+// GenerateInstanceStyle is GenerateInstance with an explicit encoding
+// style choice.
+func GenerateInstanceStyle(p Params, style Style, rng *rand.Rand) *Instance {
+	c := New(p)
+	enc := EncodeStyle(c, style)
+	return buildInstance(c, enc, rng)
+}

@@ -1,0 +1,83 @@
+package sr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anf"
+)
+
+func TestExplicitSBoxPolysMatchTable(t *testing.T) {
+	for _, e := range []int{4, 8} {
+		c := New(Params{N: 1, R: 1, C: 1, E: e})
+		in := make([]anf.Var, e)
+		for i := range in {
+			in[i] = anf.Var(i)
+		}
+		polys := ExplicitSBoxPolys(c.SBox.Table(), e, in)
+		if len(polys) != e {
+			t.Fatalf("e=%d: %d polynomials", e, len(polys))
+		}
+		for x := 0; x < c.Field.Order(); x++ {
+			want := c.SBox.Apply(uint16(x))
+			assign := func(v anf.Var) bool { return uint16(x)>>uint(v)&1 == 1 }
+			for j, f := range polys {
+				if f.Eval(assign) != (want>>uint(j)&1 == 1) {
+					t.Fatalf("e=%d: bit %d wrong at x=%#x", e, j, x)
+				}
+			}
+		}
+	}
+}
+
+func TestExplicitEncodingDegree(t *testing.T) {
+	// AES inversion-based S-boxes have explicit ANF of degree e-1.
+	c := New(Params{N: 1, R: 2, C: 2, E: 4})
+	enc := EncodeStyle(c, StyleExplicit)
+	if d := enc.Sys.MaxDeg(); d != 3 {
+		t.Fatalf("explicit e=4 encoding degree = %d, want 3", d)
+	}
+	encI := EncodeStyle(c, StyleImplicit)
+	if d := encI.Sys.MaxDeg(); d != 2 {
+		t.Fatalf("implicit encoding degree = %d, want 2", d)
+	}
+	// Explicit has far fewer equations (e per S-box instead of ~21).
+	if enc.Sys.Len() >= encI.Sys.Len() {
+		t.Fatalf("explicit (%d eqs) should be smaller than implicit (%d eqs)",
+			enc.Sys.Len(), encI.Sys.Len())
+	}
+}
+
+func TestExplicitInstanceWitness(t *testing.T) {
+	for _, p := range []Params{{1, 1, 1, 4}, {1, 2, 2, 4}, {2, 2, 2, 4}} {
+		rng := rand.New(rand.NewSource(33))
+		inst := GenerateInstanceStyle(p, StyleExplicit, rng)
+		assign := func(v anf.Var) bool {
+			return int(v) < len(inst.Witness) && inst.Witness[int(v)]
+		}
+		if !inst.Sys.Eval(assign) {
+			for _, q := range inst.Sys.Polys() {
+				if q.Eval(assign) {
+					t.Fatalf("%v: explicit witness violates %s", p, q)
+				}
+			}
+		}
+	}
+}
+
+// Both styles must define the same solution set over the shared variables:
+// the witness of one satisfies the other.
+func TestStylesAgree(t *testing.T) {
+	p := Params{N: 1, R: 2, C: 2, E: 4}
+	rng := rand.New(rand.NewSource(44))
+	instI := GenerateInstance(p, rng)
+	// Regenerate with the same rng seed for identical plaintext/key.
+	rng = rand.New(rand.NewSource(44))
+	instE := GenerateInstanceStyle(p, StyleExplicit, rng)
+	assign := func(v anf.Var) bool {
+		return int(v) < len(instI.Witness) && instI.Witness[int(v)]
+	}
+	if !instE.Sys.Eval(assign) {
+		t.Fatal("implicit witness does not satisfy the explicit system")
+	}
+}

@@ -1,0 +1,191 @@
+package sr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anf"
+)
+
+func TestSRShapes(t *testing.T) {
+	for _, p := range []Params{{1, 1, 1, 4}, {1, 2, 2, 4}, {2, 2, 2, 4}, {1, 4, 4, 8}} {
+		c := New(p)
+		rng := rand.New(rand.NewSource(1))
+		plain := c.RandomBlock(rng)
+		key := c.RandomBlock(rng)
+		ct := c.Encrypt(plain, key)
+		if len(ct) != p.Elements() {
+			t.Fatalf("%v: ciphertext length %d", p, len(ct))
+		}
+	}
+}
+
+func TestSRDeterministicAndKeyDependent(t *testing.T) {
+	p := Params{1, 2, 2, 4}
+	c := New(p)
+	rng := rand.New(rand.NewSource(7))
+	plain := c.RandomBlock(rng)
+	key := c.RandomBlock(rng)
+	c1 := c.Encrypt(plain, key)
+	c2 := c.Encrypt(plain, key)
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatal("encryption not deterministic")
+		}
+	}
+	key2 := append([]uint16(nil), key...)
+	key2[0] ^= 1
+	c3 := c.Encrypt(plain, key2)
+	same := true
+	for i := range c1 {
+		if c1[i] != c3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("flipping a key bit did not change the ciphertext")
+	}
+}
+
+func TestExpandKeyChanges(t *testing.T) {
+	p := Params{2, 2, 2, 4}
+	c := New(p)
+	key := []uint16{1, 2, 3, 4}
+	ks := c.ExpandKey(key)
+	if len(ks) != 3 {
+		t.Fatalf("subkeys = %d, want 3", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		same := true
+		for j := range ks[i] {
+			if ks[i][j] != ks[i-1][j] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatalf("subkey %d identical to predecessor", i)
+		}
+	}
+}
+
+func TestImplicitQuadraticsAES(t *testing.T) {
+	c := New(Params{1, 4, 4, 8})
+	eqs := ImplicitQuadratics(c.SBox.Table(), 8)
+	// The literature's count for inversion-based 8-bit S-boxes is 39
+	// linearly independent quadratic relations.
+	if len(eqs) != 39 {
+		t.Fatalf("AES S-box quadratic relations = %d, want 39", len(eqs))
+	}
+	// Every equation must vanish on every (x, S(x)) pair...
+	checkTemplatesVanish(t, c, eqs, 8)
+}
+
+func TestImplicitQuadraticsSmall(t *testing.T) {
+	c := New(Params{1, 2, 2, 4})
+	eqs := ImplicitQuadraticsSmallE4(c)
+	if len(eqs) < 21 {
+		t.Fatalf("4-bit S-box relations = %d, want ≥ 21", len(eqs))
+	}
+	checkTemplatesVanish(t, c, eqs, 4)
+}
+
+// ImplicitQuadraticsSmallE4 is a test helper exercising the e=4 path.
+func ImplicitQuadraticsSmallE4(c *Cipher) []TemplateEq {
+	return ImplicitQuadratics(c.SBox.Table(), 4)
+}
+
+func checkTemplatesVanish(t *testing.T, c *Cipher, eqs []TemplateEq, e int) {
+	t.Helper()
+	in := make([]anf.Var, e)
+	out := make([]anf.Var, e)
+	for i := 0; i < e; i++ {
+		in[i] = anf.Var(i)
+		out[i] = anf.Var(e + i)
+	}
+	for x := 0; x < c.Field.Order(); x++ {
+		y := c.SBox.Apply(uint16(x))
+		assign := func(v anf.Var) bool {
+			if int(v) < e {
+				return uint16(x)>>uint(v)&1 == 1
+			}
+			return y>>uint(int(v)-e)&1 == 1
+		}
+		for _, eq := range eqs {
+			if eq.Instantiate(in, out).Eval(assign) {
+				t.Fatalf("implicit equation violated at x=%#x", x)
+			}
+		}
+	}
+	// ... and must NOT vanish on some wrong pair (soundness of the set as
+	// an S-box characterization is not guaranteed equation-by-equation,
+	// but the set should reject a corrupted pair).
+	x := uint16(1)
+	y := c.SBox.Apply(x) ^ 1
+	assign := func(v anf.Var) bool {
+		if int(v) < e {
+			return x>>uint(v)&1 == 1
+		}
+		return y>>uint(int(v)-e)&1 == 1
+	}
+	rejected := false
+	for _, eq := range eqs {
+		if eq.Instantiate(in, out).Eval(assign) {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("corrupted S-box pair satisfies every implicit equation")
+	}
+}
+
+func TestEncodeShapePaper(t *testing.T) {
+	// SR(1,4,4,8): the paper reports 800-variable systems; our layout is
+	// p(128) + c(128) + k0,k1(256) + x(128) + y(128) + z(32) = 928 minus
+	// the 128 ciphertext... count exactly:
+	enc := Encode(New(Paper144_8))
+	want := 128 + 128 + 2*128 + 128 + 128 + 32
+	if enc.NumVars != want {
+		t.Fatalf("NumVars = %d, want %d", enc.NumVars, want)
+	}
+}
+
+func TestInstanceWitnessSatisfies(t *testing.T) {
+	for _, p := range []Params{{1, 1, 1, 4}, {1, 2, 2, 4}, {2, 2, 2, 4}, {1, 2, 2, 8}} {
+		rng := rand.New(rand.NewSource(11))
+		inst := GenerateInstance(p, rng)
+		assign := func(v anf.Var) bool {
+			return int(v) < len(inst.Witness) && inst.Witness[int(v)]
+		}
+		if !inst.Sys.Eval(assign) {
+			// Identify the first violated equation for the failure message.
+			for _, q := range inst.Sys.Polys() {
+				if q.Eval(assign) {
+					t.Fatalf("%v: witness violates %s", p, q)
+				}
+			}
+		}
+		if got := inst.KeyFromSolution(inst.Witness); len(got) == len(inst.Key) {
+			for i := range got {
+				if got[i] != inst.Key[i] {
+					t.Fatalf("%v: witness key mismatch at %d", p, i)
+				}
+			}
+		}
+	}
+}
+
+func TestInstanceFullAES(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := GenerateInstance(Paper144_8, rng)
+	assign := func(v anf.Var) bool {
+		return int(v) < len(inst.Witness) && inst.Witness[int(v)]
+	}
+	if !inst.Sys.Eval(assign) {
+		t.Fatal("SR(1,4,4,8) witness violates the generated system")
+	}
+	if inst.Sys.NumVars() != 800 {
+		t.Fatalf("SR(1,4,4,8) has %d variables, paper reports 800", inst.Sys.NumVars())
+	}
+	t.Logf("SR(1,4,4,8): %d vars, %d equations", inst.Sys.NumVars(), inst.Sys.Len())
+}

@@ -1,0 +1,135 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDimacs parses a DIMACS CNF file. It accepts:
+//   - "c ..." comment lines,
+//   - a "p cnf <vars> <clauses>" header (optional; inferred if absent),
+//   - clause lines of whitespace-separated literals terminated by 0,
+//   - CryptoMiniSat-style XOR lines starting with "x" ("x1 2 -3 0"),
+//   - clauses spanning multiple lines.
+func ReadDimacs(r io.Reader) (*Formula, error) {
+	f := &Formula{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var cur []Lit
+	var curXor []int
+	inXor := false
+	declaredVars := 0
+	lineNo := 0
+	finishClause := func() error {
+		if inXor {
+			x := XorClause{RHS: true}
+			for _, d := range curXor {
+				v := d
+				if v < 0 {
+					x.RHS = !x.RHS
+					v = -v
+				}
+				x.Vars = append(x.Vars, Var(v-1))
+			}
+			f.Xors = append(f.Xors, x)
+			curXor = curXor[:0]
+			inXor = false
+			return nil
+		}
+		f.Clauses = append(f.Clauses, append(Clause(nil), cur...))
+		cur = cur[:0]
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs line %d: bad problem line %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("dimacs line %d: %w", lineNo, err)
+			}
+			declaredVars = n
+			continue
+		}
+		if strings.HasPrefix(line, "x") {
+			if len(cur) > 0 || inXor {
+				return nil, fmt.Errorf("dimacs line %d: xor line inside unterminated clause", lineNo)
+			}
+			inXor = true
+			line = line[1:]
+		}
+		for _, tok := range strings.Fields(line) {
+			d, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs line %d: bad literal %q", lineNo, tok)
+			}
+			if d == 0 {
+				if err := finishClause(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			v := d
+			if v < 0 {
+				v = -v
+			}
+			if v > f.NumVars {
+				f.NumVars = v
+			}
+			if inXor {
+				curXor = append(curXor, d)
+			} else {
+				l, _ := LitFromDimacs(d)
+				cur = append(cur, l)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 || inXor && len(curXor) > 0 {
+		return nil, fmt.Errorf("dimacs: unterminated clause at EOF")
+	}
+	if declaredVars > f.NumVars {
+		f.NumVars = declaredVars
+	}
+	return f, nil
+}
+
+// WriteDimacs writes the formula in DIMACS format, XOR clauses as "x" lines.
+func WriteDimacs(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)+len(f.Xors))
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			fmt.Fprintf(bw, "%d ", l.Dimacs())
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	for _, x := range f.Xors {
+		bw.WriteByte('x')
+		for i, v := range x.Vars {
+			d := int(v) + 1
+			if i == len(x.Vars)-1 && !x.RHS {
+				d = -d
+			}
+			fmt.Fprintf(bw, "%d ", d)
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,47 @@
+package cnf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadDimacs checks that the DIMACS reader never panics and that
+// accepted inputs survive a write/read round trip with stable semantics
+// on a fixed assignment.
+func FuzzReadDimacs(f *testing.F) {
+	for _, seed := range []string{
+		"p cnf 2 1\n1 -2 0\n",
+		"c comment\np cnf 3 2\n1 2 3 0\n-1 0\n",
+		"1 2 0",
+		"x1 2 -3 0\n",
+		"p cnf 0 0\n",
+		"1\n2\n0\n",
+		"p cnf a b\n",
+		"zz\n",
+		"x1 2\n3 0\n",
+		"-0 0\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		frm, err := ReadDimacs(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if frm.NumVars > 1<<16 {
+			return // avoid giant assignments in the check below
+		}
+		var sb strings.Builder
+		if err := WriteDimacs(&sb, frm); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		back, err := ReadDimacs(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip does not parse: %v", err)
+		}
+		assign := func(v Var) bool { return v%3 == 0 }
+		if frm.Eval(assign) != back.Eval(assign) {
+			t.Fatal("round trip changed semantics")
+		}
+	})
+}

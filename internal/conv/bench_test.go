@@ -1,0 +1,48 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ciphers/sr"
+	"repro/internal/cnf"
+)
+
+// Conversion throughput on a full paper-scale SR(1,4,4,8) system (800
+// variables, ~1700 equations) — the conversion-cost premise of the paper:
+// bridging is attractive because conversion time is negligible relative
+// to solving time.
+func BenchmarkANFToCNF_SRPaperScale(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inst := sr.GenerateInstance(sr.Paper144_8, rng)
+	opts := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _ := ANFToCNF(inst.Sys, opts)
+		if f.NumVars == 0 {
+			b.Fatal("empty conversion")
+		}
+	}
+}
+
+func BenchmarkCNFToANF_Suite(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	// A mid-size CNF with mixed clause lengths.
+	f := cnf.NewFormula(200)
+	for i := 0; i < 850; i++ {
+		k := 1 + rng.Intn(5)
+		var lits []cnf.Lit
+		for j := 0; j < k; j++ {
+			lits = append(lits, cnf.MkLit(cnf.Var(rng.Intn(200)), rng.Intn(2) == 1))
+		}
+		f.AddClause(lits...)
+	}
+	opts := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := CNFToANF(f, opts)
+		if sys.Len() == 0 {
+			b.Fatal("empty conversion")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package conv
+
+import (
+	"repro/internal/anf"
+	"repro/internal/cnf"
+)
+
+// CNFToANF converts a CNF formula into an ANF polynomial system using the
+// trivial refutational encoding (§III-D, after Hsiang): each clause maps
+// to the product of its negated literals equated to zero. A clause with n
+// positive literals yields 2^n terms, so clauses are first re-expressed
+// with auxiliary variables until every piece has at most L′ positive
+// literals (à la k-SAT → 3-SAT).
+//
+// CNF variable i becomes ANF variable i; auxiliary split variables are
+// allocated past the original range. XOR clauses become linear
+// polynomials directly (they are already ANF-native).
+func CNFToANF(f *cnf.Formula, opts Options) *anf.System {
+	if opts.ClauseCutLen < 2 {
+		opts.ClauseCutLen = 2
+	}
+	sys := anf.NewSystem()
+	sys.SetNumVars(f.NumVars)
+	next := anf.Var(f.NumVars)
+	for _, c := range f.Clauses {
+		for _, piece := range splitClause(c, opts.ClauseCutLen, &next) {
+			sys.Add(clausePoly(piece))
+		}
+	}
+	for _, x := range f.Xors {
+		p := anf.Constant(x.RHS)
+		for _, v := range x.Vars {
+			p = p.Add(anf.VarPoly(anf.Var(v)))
+		}
+		sys.Add(p)
+	}
+	sys.SetNumVars(int(next))
+	return sys
+}
+
+// splitClause re-expresses a clause as chained pieces with at most maxPos
+// positive literals each: (P1 ∨ a1), (¬a1 ∨ P2 ∨ a2), ..., (¬ak ∨ Pk+1).
+// The connector literals ¬ai are negative, so they do not count against
+// the positive budget of the next piece.
+func splitClause(c cnf.Clause, maxPos int, next *anf.Var) []cnf.Clause {
+	positives := 0
+	for _, l := range c {
+		if !l.Neg() {
+			positives++
+		}
+	}
+	if positives <= maxPos {
+		return []cnf.Clause{c}
+	}
+	var pieces []cnf.Clause
+	var cur cnf.Clause
+	curPos := 0
+	flush := func(last bool) {
+		if last {
+			pieces = append(pieces, cur)
+			return
+		}
+		a := cnf.Var(*next)
+		*next++
+		piece := append(cur.Clone(), cnf.MkLit(a, false)) // ... ∨ a
+		pieces = append(pieces, piece)
+		cur = cnf.Clause{cnf.MkLit(a, true)} // ¬a ∨ ...
+		curPos = 0
+	}
+	for _, l := range c {
+		if !l.Neg() && curPos == maxPos {
+			flush(false)
+		}
+		cur = append(cur, l)
+		if !l.Neg() {
+			curPos++
+		}
+	}
+	flush(true)
+	return pieces
+}
+
+// clausePoly maps a clause to the product of the negations of its
+// literals: clause ¬x1 ∨ x2 becomes (x1)(x2 ⊕ 1). The clause holds iff
+// the product is zero.
+func clausePoly(c cnf.Clause) anf.Poly {
+	p := anf.OnePoly()
+	for _, l := range c {
+		factor := anf.VarPoly(anf.Var(l.Var()))
+		if !l.Neg() {
+			factor = factor.Add(anf.OnePoly()) // positive literal x → (x ⊕ 1)
+		}
+		p = p.Mul(factor)
+	}
+	return p
+}

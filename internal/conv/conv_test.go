@@ -1,0 +1,336 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anf"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// anfBruteForce returns all satisfying assignments of the system over
+// variables [0, nVars).
+func anfBruteForce(sys *anf.System, nVars int) []uint32 {
+	var out []uint32
+	for mask := uint32(0); mask < 1<<uint(nVars); mask++ {
+		if sys.Eval(func(v anf.Var) bool { return mask>>uint(v)&1 == 1 }) {
+			out = append(out, mask)
+		}
+	}
+	return out
+}
+
+func cnfSatisfiable(f *cnf.Formula) bool {
+	s := sat.NewDefault()
+	if !s.AddFormula(f) {
+		return false
+	}
+	return s.Solve() == sat.Sat
+}
+
+// TestFig2KarnaughVsTseitin reproduces the paper's Fig. 2: the polynomial
+// x1x3 ⊕ x1 ⊕ x2 ⊕ x4 ⊕ 1 converts to 6 clauses with no auxiliary
+// variables on the Karnaugh path, versus 11 clauses and one auxiliary
+// variable on the Tseitin path.
+func TestFig2KarnaughVsTseitin(t *testing.T) {
+	p := anf.MustParsePoly("x1*x3 + x1 + x2 + x4 + 1")
+
+	kOpts := DefaultOptions() // K=8 ≥ 4 vars: Karnaugh path
+	kf, kvm := PolyToCNF(p, kOpts)
+	if len(kf.Clauses) != 6 {
+		t.Errorf("Karnaugh path: %d clauses, paper reports 6", len(kf.Clauses))
+	}
+	if kvm.AuxCount() != 0 || kvm.ConnectorCount() != 0 {
+		t.Errorf("Karnaugh path created aux vars: %s", kvm)
+	}
+
+	tOpts := DefaultOptions()
+	tOpts.KarnaughK = 0 // force the Tseitin path
+	tf, tvm := PolyToCNF(p, tOpts)
+	if len(tf.Clauses) != 11 {
+		t.Errorf("Tseitin path: %d clauses, paper reports 11", len(tf.Clauses))
+	}
+	if tvm.AuxCount() != 1 {
+		t.Errorf("Tseitin path: %d monomial aux vars, want 1", tvm.AuxCount())
+	}
+
+	// Both conversions must be satisfiability-equivalent to the ANF.
+	sys := anf.NewSystem()
+	sys.Add(p)
+	sols := anfBruteForce(sys, 5)
+	if len(sols) == 0 {
+		t.Fatal("example polynomial should be satisfiable")
+	}
+	if !cnfSatisfiable(kf) || !cnfSatisfiable(tf) {
+		t.Fatal("converted CNF unsatisfiable")
+	}
+	// Every ANF solution must satisfy the Karnaugh CNF directly (it uses
+	// only original variables).
+	for _, sol := range sols {
+		if !kf.Eval(func(v cnf.Var) bool { return sol>>uint(v)&1 == 1 }) {
+			t.Fatalf("ANF solution %05b violates Karnaugh CNF", sol)
+		}
+	}
+}
+
+// The models of the converted CNF, restricted to original variables, must
+// satisfy the ANF; and satisfiability must be preserved.
+func TestANFToCNFSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 120; trial++ {
+		nVars := 3 + rng.Intn(6)
+		sys := anf.NewSystem()
+		sys.SetNumVars(nVars)
+		nPolys := 1 + rng.Intn(2*nVars)
+		for i := 0; i < nPolys; i++ {
+			nTerms := 1 + rng.Intn(4)
+			var monos []anf.Monomial
+			for j := 0; j < nTerms; j++ {
+				deg := rng.Intn(4)
+				var vs []anf.Var
+				for d := 0; d < deg; d++ {
+					vs = append(vs, anf.Var(rng.Intn(nVars)))
+				}
+				monos = append(monos, anf.NewMonomial(vs...))
+			}
+			sys.Add(anf.FromMonomials(monos...))
+		}
+		opts := DefaultOptions()
+		if trial%3 == 1 {
+			opts.KarnaughK = 0 // exercise the Tseitin path
+		}
+		if trial%3 == 2 {
+			opts.CutLen = 3 // exercise XOR cutting
+			opts.KarnaughK = 2
+		}
+		f, _ := ANFToCNF(sys, opts)
+		sols := anfBruteForce(sys, nVars)
+		s := sat.NewDefault()
+		ok := s.AddFormula(f)
+		st := sat.Unsat
+		if ok {
+			st = s.Solve()
+		}
+		if (st == sat.Sat) != (len(sols) > 0) {
+			t.Fatalf("trial %d: ANF has %d solutions but CNF is %v", trial, len(sols), st)
+		}
+		if st == sat.Sat {
+			m := s.Model()
+			if !sys.Eval(func(v anf.Var) bool { return m[v] }) {
+				t.Fatalf("trial %d: CNF model restricted to ANF vars violates system", trial)
+			}
+		}
+	}
+}
+
+func TestNativeXorPath(t *testing.T) {
+	sys := anf.NewSystem()
+	// A long linear equation to force cutting: x0+...+x9 = 1.
+	p := anf.Zero()
+	for i := 0; i < 10; i++ {
+		p = p.Add(anf.VarPoly(anf.Var(i)))
+	}
+	p = p.Add(anf.OnePoly())
+	sys.Add(p)
+	opts := DefaultOptions()
+	opts.KarnaughK = 2
+	opts.NativeXor = true
+	f, vm := ANFToCNF(sys, opts)
+	if len(f.Xors) == 0 {
+		t.Fatal("native xor path emitted no xor clauses")
+	}
+	if vm.ConnectorCount() == 0 {
+		t.Fatal("cutting a length-10 xor at L=5 should create connectors")
+	}
+	s := sat.New(sat.DefaultOptions(sat.ProfileCMS))
+	s.AddFormula(f)
+	if s.Solve() != sat.Sat {
+		t.Fatal("xor system should be satisfiable")
+	}
+	m := s.Model()
+	if !sys.Eval(func(v anf.Var) bool { return m[v] }) {
+		t.Fatal("model violates the linear equation")
+	}
+}
+
+func TestContradictionToEmptyClause(t *testing.T) {
+	sys := anf.NewSystem()
+	sys.Add(anf.OnePoly())
+	f, _ := ANFToCNF(sys, DefaultOptions())
+	if cnfSatisfiable(f) {
+		t.Fatal("1 = 0 converted to a satisfiable CNF")
+	}
+}
+
+func TestMonomialMapRoundTrip(t *testing.T) {
+	sys := anf.NewSystem()
+	sys.Add(anf.MustParsePoly("x0*x1 + x2*x3*x4 + x5 + x6 + x7 + x8 + x9 + 1"))
+	opts := DefaultOptions()
+	opts.KarnaughK = 3 // force monomial aux vars
+	_, vm := ANFToCNF(sys, opts)
+	if vm.AuxCount() != 2 {
+		t.Fatalf("aux count = %d, want 2", vm.AuxCount())
+	}
+	for _, mv := range vm.MonomialVars() {
+		if vm.IsOriginal(mv.Var) {
+			t.Fatal("monomial var in original range")
+		}
+		if m, ok := vm.Monomial(mv.Var); !ok || !m.Equal(mv.Mono) {
+			t.Fatal("monomial map inconsistent")
+		}
+	}
+}
+
+// CNF→ANF: the paper's example — clause ¬x1 ∨ x2 becomes x1x2 ⊕ x1.
+func TestClausePolyPaperExample(t *testing.T) {
+	c := cnf.Clause{cnf.MkLit(0, true), cnf.MkLit(1, false)} // ¬x0 ∨ x1
+	p := clausePoly(c)
+	want := anf.MustParsePoly("x0*x1 + x0")
+	if !p.Equal(want) {
+		t.Fatalf("clausePoly = %s, want %s", p, want)
+	}
+}
+
+func TestCNFToANFSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(654))
+	for trial := 0; trial < 100; trial++ {
+		nVars := 3 + rng.Intn(5)
+		f := cnf.NewFormula(nVars)
+		nClauses := 1 + rng.Intn(3*nVars)
+		for i := 0; i < nClauses; i++ {
+			k := 1 + rng.Intn(3)
+			var c []cnf.Lit
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1))
+			}
+			f.AddClause(c...)
+		}
+		if rng.Intn(2) == 1 {
+			f.AddXor(rng.Intn(2) == 1, cnf.Var(rng.Intn(nVars)), cnf.Var(rng.Intn(nVars)))
+		}
+		sys := CNFToANF(f, DefaultOptions())
+		// Without clause splitting (short clauses), variables correspond
+		// 1:1 and satisfaction must match pointwise.
+		for mask := uint32(0); mask < 1<<uint(nVars); mask++ {
+			cnfVal := f.Eval(func(v cnf.Var) bool { return mask>>uint(v)&1 == 1 })
+			anfVal := sys.Eval(func(v anf.Var) bool { return mask>>uint(v)&1 == 1 })
+			if cnfVal != anfVal {
+				t.Fatalf("trial %d mask %b: cnf=%v anf=%v", trial, mask, cnfVal, anfVal)
+			}
+		}
+	}
+}
+
+func TestClauseSplitting(t *testing.T) {
+	// A clause with 8 positive literals and L′=3 must split, stay
+	// equisatisfiable, and cap positive literals per piece.
+	var c cnf.Clause
+	for i := 0; i < 8; i++ {
+		c = append(c, cnf.MkLit(cnf.Var(i), false))
+	}
+	next := anf.Var(8)
+	pieces := splitClause(c, 3, &next)
+	if len(pieces) < 3 {
+		t.Fatalf("expected ≥3 pieces, got %d", len(pieces))
+	}
+	for _, p := range pieces {
+		pos := 0
+		for _, l := range p {
+			if !l.Neg() && int(l.Var()) < 8 {
+				pos++
+			}
+		}
+		if pos > 3 {
+			t.Fatalf("piece %v has %d original positive literals", p, pos)
+		}
+	}
+	// Semantics: for each assignment of the original 8 vars, the original
+	// clause holds iff there EXISTS an assignment of connectors satisfying
+	// all pieces.
+	nAux := int(next) - 8
+	for mask := 0; mask < 1<<8; mask++ {
+		orig := false
+		for i := 0; i < 8; i++ {
+			if mask>>uint(i)&1 == 1 {
+				orig = true
+				break
+			}
+		}
+		exists := false
+		for amask := 0; amask < 1<<uint(nAux); amask++ {
+			all := true
+			assign := func(v cnf.Var) bool {
+				if int(v) < 8 {
+					return mask>>uint(v)&1 == 1
+				}
+				return amask>>uint(int(v)-8)&1 == 1
+			}
+			for _, p := range pieces {
+				sat := false
+				for _, l := range p {
+					if assign(l.Var()) != l.Neg() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					all = false
+					break
+				}
+			}
+			if all {
+				exists = true
+				break
+			}
+		}
+		if exists != orig {
+			t.Fatalf("mask %08b: split semantics %v, original %v", mask, exists, orig)
+		}
+	}
+}
+
+func TestCNFToANFSplitLongPositiveClause(t *testing.T) {
+	f := cnf.NewFormula(8)
+	var c []cnf.Lit
+	for i := 0; i < 8; i++ {
+		c = append(c, cnf.MkLit(cnf.Var(i), false))
+	}
+	f.AddClause(c...)
+	sys := CNFToANF(f, DefaultOptions())
+	if sys.NumVars() <= 8 {
+		t.Fatal("expected auxiliary split variables")
+	}
+	// Term-count guard: no polynomial should have more than 2^(L'+1) terms.
+	for _, p := range sys.Polys() {
+		if p.NumTerms() > 64 {
+			t.Fatalf("polynomial with %d terms escaped the cut", p.NumTerms())
+		}
+	}
+	// The system must be satisfiable (set x0 = 1) and must reject the
+	// all-false original assignment regardless of aux values.
+	nAux := sys.NumVars() - 8
+	sat := func(mask, amask uint32) bool {
+		return sys.Eval(func(v anf.Var) bool {
+			if int(v) < 8 {
+				return mask>>uint(v)&1 == 1
+			}
+			return amask>>uint(int(v)-8)&1 == 1
+		})
+	}
+	for amask := uint32(0); amask < 1<<uint(nAux); amask++ {
+		if sat(0, amask) {
+			t.Fatal("all-false assignment satisfied the split system")
+		}
+	}
+	found := false
+	for amask := uint32(0); amask < 1<<uint(nAux); amask++ {
+		if sat(1, amask) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("x0=1 should extend to a solution")
+	}
+}

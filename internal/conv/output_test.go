@@ -1,0 +1,104 @@
+package conv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/anf"
+	"repro/internal/cnf"
+)
+
+// §III-C: "Determined variables are added as unit clauses, while an
+// equivalence such as xi = ¬xj is represented in CNF by (xi ∨ xj) ∧
+// (¬xi ∨ ¬xj)." Our converter reaches the same forms through the linear
+// path: a determined variable is the polynomial x (or x ⊕ 1) and an
+// equivalence is x ⊕ y (⊕ 1); check the emitted clauses match the paper.
+func TestDeterminedAndEquivalenceClauseForms(t *testing.T) {
+	sys := anf.NewSystem()
+	sys.Add(anf.MustParsePoly("x0 + 1"))      // x0 = 1
+	sys.Add(anf.MustParsePoly("x1"))          // x1 = 0
+	sys.Add(anf.MustParsePoly("x2 + x3 + 1")) // x2 = ¬x3
+	sys.Add(anf.MustParsePoly("x4 + x5"))     // x4 = x5
+	f, vm := ANFToCNF(sys, DefaultOptions())
+	if vm.AuxCount() != 0 || vm.ConnectorCount() != 0 {
+		t.Fatalf("no aux vars expected: %s", vm)
+	}
+	var forms []string
+	for _, c := range f.Clauses {
+		forms = append(forms, c.String())
+	}
+	joined := strings.Join(forms, " ")
+	// Unit clauses for the determined variables.
+	if !strings.Contains(joined, "(1)") || !strings.Contains(joined, "(-2)") {
+		t.Fatalf("unit clauses missing: %v", forms)
+	}
+	// Equivalence x2 = ¬x3: (x2 ∨ x3) ∧ (¬x2 ∨ ¬x3).
+	if !containsClause(f, "(3 4)") || !containsClause(f, "(-3 -4)") {
+		t.Fatalf("anti-equivalence clauses missing: %v", forms)
+	}
+	// Equivalence x4 = x5: (x4 ∨ ¬x5) ∧ (¬x4 ∨ x5).
+	if !containsClause(f, "(5 -6)") || !containsClause(f, "(-5 6)") {
+		t.Fatalf("equivalence clauses missing: %v", forms)
+	}
+}
+
+func containsClause(f *cnf.Formula, s string) bool {
+	for _, c := range f.Clauses {
+		sorted := c.Clone()
+		sorted, _ = sorted.Normalize()
+		if sorted.String() == s || c.String() == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Cutting a long linear equation at several L values must preserve the
+// solution set over the original variables.
+func TestCutLenSweepSemantics(t *testing.T) {
+	sys := anf.NewSystem()
+	p := anf.Zero()
+	nVars := 9
+	for i := 0; i < nVars; i++ {
+		p = p.Add(anf.VarPoly(anf.Var(i)))
+	}
+	p = p.Add(anf.OnePoly()) // x0 ⊕ ... ⊕ x8 = 1
+	sys.Add(p)
+	for _, L := range []int{3, 4, 5, 8} {
+		opts := DefaultOptions()
+		opts.CutLen = L
+		opts.KarnaughK = 2
+		f, vm := ANFToCNF(sys, opts)
+		nAux := f.NumVars - nVars
+		if L < nVars && nAux == 0 {
+			t.Fatalf("L=%d: expected connectors", L)
+		}
+		_ = vm
+		// For each assignment of the original vars, the parity must decide
+		// extendability to the aux vars.
+		for mask := 0; mask < 1<<uint(nVars); mask++ {
+			parity := false
+			for i := 0; i < nVars; i++ {
+				if mask>>uint(i)&1 == 1 {
+					parity = !parity
+				}
+			}
+			extendable := false
+			for amask := 0; amask < 1<<uint(nAux); amask++ {
+				ok := f.Eval(func(v cnf.Var) bool {
+					if int(v) < nVars {
+						return mask>>uint(v)&1 == 1
+					}
+					return amask>>(uint(int(v)-nVars))&1 == 1
+				})
+				if ok {
+					extendable = true
+					break
+				}
+			}
+			if extendable != parity {
+				t.Fatalf("L=%d mask %b: extendable=%v parity=%v", L, mask, extendable, parity)
+			}
+		}
+	}
+}

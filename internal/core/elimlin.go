@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/anf"
+)
+
+// ElimLinConfig parameterizes ElimLin (§II-C).
+type ElimLinConfig struct {
+	// M bounds the linearized size of the subsampled system, as in XL.
+	M int
+	// MaxRounds caps the GJE–substitute iterations (a safety valve; the
+	// algorithm terminates when no linear equations remain).
+	MaxRounds int
+	// Rand drives the subsampling.
+	Rand *rand.Rand
+}
+
+// DefaultElimLinConfig mirrors the paper's settings with the scaled M.
+func DefaultElimLinConfig(rng *rand.Rand) ElimLinConfig {
+	return ElimLinConfig{M: 20, MaxRounds: 64, Rand: rng}
+}
+
+// RunElimLin performs the ElimLin algorithm on a random subset of the
+// system and returns the linear equations learnt across all rounds. The
+// input system is not modified; substitutions happen on a working copy.
+func RunElimLin(sys *anf.System, cfg ElimLinConfig) []anf.Poly {
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 64
+	}
+	work := subsample(sys, cfg.M, cfg.Rand)
+	if len(work) == 0 {
+		return nil
+	}
+	var learnt []anf.Poly
+	for round := 0; round < cfg.MaxRounds; round++ {
+		// Step (1): GJE on the linearization.
+		reduced := gjeRows(work)
+		// Step (2): gather the linear equations.
+		var linear []anf.Poly
+		var rest []anf.Poly
+		for _, p := range reduced {
+			switch {
+			case p.IsZero():
+			case p.IsLinear():
+				linear = append(linear, p)
+			default:
+				rest = append(rest, p)
+			}
+		}
+		if len(linear) == 0 {
+			break
+		}
+		learnt = append(learnt, linear...)
+		// Step (3): use each linear equation to eliminate one variable —
+		// the variable occurring in the fewest remaining equations.
+		for _, l := range linear {
+			if l.IsOne() {
+				// Contradiction: surface it as a learnt fact and stop.
+				return append(learnt, anf.OnePoly())
+			}
+			vs := l.LinearVars()
+			if len(vs) == 0 {
+				continue
+			}
+			v := pickElimVar(vs, rest)
+			// Solve l for v: v = l ⊕ v (the rest of the equation).
+			rhs := l.Add(anf.VarPoly(v))
+			for i, p := range rest {
+				rest[i] = p.SubstituteVar(v, rhs)
+			}
+		}
+		work = rest
+	}
+	return learnt
+}
+
+// pickElimVar returns the variable of vs occurring in the fewest
+// polynomials of rest.
+func pickElimVar(vs []anf.Var, rest []anf.Poly) anf.Var {
+	best := vs[0]
+	bestCount := -1
+	for _, v := range vs {
+		count := 0
+		for _, p := range rest {
+			if p.ContainsVar(v) {
+				count++
+			}
+		}
+		if bestCount < 0 || count < bestCount {
+			best, bestCount = v, count
+		}
+	}
+	return best
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/anf"
+	"repro/internal/cnf"
+	"repro/internal/conv"
+	"repro/internal/sat"
+)
+
+// Config drives the Bosphorus workflow (§III-A), defaults matching §IV.
+type Config struct {
+	// XL parameters (M is shared by ElimLin subsampling).
+	M      int
+	DeltaM int
+	XLDeg  int
+
+	// Conv holds the ANF↔CNF conversion parameters (K, L, L′).
+	Conv conv.Options
+
+	// Conflict budget schedule: start at ConflictBudget, grow by
+	// ConflictBudgetStep up to ConflictBudgetMax whenever the SAT step
+	// produces no new facts.
+	ConflictBudget     int64
+	ConflictBudgetStep int64
+	ConflictBudgetMax  int64
+
+	// Profile selects the internal SAT solver.
+	Profile sat.Profile
+	// Preprocess enables simp preprocessing inside the SAT step.
+	Preprocess bool
+	// HarvestMonomials is the §III-C ablation: also read facts off
+	// monomial auxiliary variables.
+	HarvestMonomials bool
+
+	// MaxIterations caps the fact-learning loop (0 = until fixed point).
+	MaxIterations int
+	// TimeBudget caps wall-clock time for the whole loop (0 = none); the
+	// paper gives Bosphorus at most 1000 s of the 5000 s total.
+	TimeBudget time.Duration
+
+	// StopOnSolution exits the loop when the SAT step finds a satisfying
+	// assignment (the paper's default behaviour in the experiments).
+	StopOnSolution bool
+
+	// DisableXL / DisableElimLin / DisableSAT switch off individual
+	// techniques (ablation support).
+	DisableXL      bool
+	DisableElimLin bool
+	DisableSAT     bool
+
+	// EnableGroebner adds a budgeted Buchberger phase to the loop — the
+	// §V extension of running Gröbner-basis computation iteratively
+	// alongside the other techniques.
+	EnableGroebner bool
+	// ExtraTechniques are user-supplied fact learners (§V's plug point),
+	// run after ElimLin each iteration.
+	ExtraTechniques []Technique
+	// EnableProbing adds failed-literal probing (a lookahead-style
+	// component, also named in §V) to the SAT step.
+	EnableProbing bool
+	// ProbeMax bounds probing per SAT step (0 = all variables).
+	ProbeMax int
+
+	// Seed drives all randomized choices; fixed seed = reproducible run.
+	Seed int64
+
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultConfig returns the paper's §IV configuration with M scaled for
+// single-machine runs.
+func DefaultConfig() Config {
+	return Config{
+		M:                  20,
+		DeltaM:             4,
+		XLDeg:              1,
+		Conv:               conv.DefaultOptions(),
+		ConflictBudget:     10000,
+		ConflictBudgetStep: 10000,
+		ConflictBudgetMax:  100000,
+		Profile:            sat.ProfileCMS,
+		MaxIterations:      16,
+		StopOnSolution:     true,
+		Seed:               1,
+	}
+}
+
+// Status is the overall verdict of a Process run.
+type Status int
+
+const (
+	// Processed means the loop reached a fixed point (or budget) without a
+	// verdict; the simplified ANF/CNF carry the learnt facts.
+	Processed Status = iota
+	// SolvedSAT means a satisfying assignment was found.
+	SolvedSAT
+	// SolvedUNSAT means the contradiction 1 = 0 was derived.
+	SolvedUNSAT
+)
+
+func (s Status) String() string {
+	switch s {
+	case SolvedSAT:
+		return "SAT"
+	case SolvedUNSAT:
+		return "UNSAT"
+	default:
+		return "PROCESSED"
+	}
+}
+
+// PhaseStats counts the facts contributed by one technique.
+type PhaseStats struct {
+	Runs     int
+	NewFacts int
+}
+
+// Result is the outcome of Process.
+type Result struct {
+	Status Status
+	// Solution is a satisfying assignment over the original ANF variables
+	// when Status is SolvedSAT.
+	Solution []bool
+	// System is the processed master ANF (learnt facts applied).
+	System *anf.System
+	// State carries the final variable values/equivalences.
+	State *VarState
+	// Iterations of the XL–ElimLin–SAT loop executed.
+	Iterations int
+	// Stats per phase, plus propagation-assignment counts. Extra
+	// aggregates all user-supplied techniques.
+	XL, ElimLin, SAT, Groebner, Extra PhaseStats
+	PropagationFacts                  int
+	Elapsed                           time.Duration
+}
+
+// Process runs the Bosphorus fact-learning loop on a copy of the input
+// system until fixed point, verdict, or budget exhaustion.
+func Process(input *anf.System, cfg Config) *Result {
+	start := time.Now()
+	logf := func(format string, args ...interface{}) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+	if cfg.M <= 0 {
+		cfg.M = 20
+	}
+	if cfg.ConflictBudget <= 0 {
+		cfg.ConflictBudget = 10000
+	}
+	if cfg.Conv.CutLen == 0 {
+		cfg.Conv = conv.DefaultOptions()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sys := input.Clone()
+	prop := NewPropagator(sys)
+	res := &Result{System: sys, State: prop.State}
+	finish := func(st Status) *Result {
+		res.Status = st
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	// Initial ANF propagation on the input (§III-A).
+	n, ok := prop.Propagate()
+	res.PropagationFacts += n
+	if !ok {
+		return finish(SolvedUNSAT)
+	}
+
+	budget := cfg.ConflictBudget
+	maxIters := cfg.MaxIterations
+	if maxIters <= 0 {
+		maxIters = 1 << 30
+	}
+	deadline := time.Time{}
+	if cfg.TimeBudget > 0 {
+		deadline = start.Add(cfg.TimeBudget)
+	}
+	expired := func() bool {
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+
+	for iter := 0; iter < maxIters; iter++ {
+		res.Iterations = iter + 1
+		newThisIter := 0
+
+		if !cfg.DisableXL && !expired() {
+			facts := RunXL(sys, XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Rand: rng})
+			added, ok := prop.AddFacts(facts)
+			res.XL.Runs++
+			res.XL.NewFacts += added
+			newThisIter += added
+			logf("iter %d: XL learnt %d facts (%d new)", iter, len(facts), added)
+			if !ok {
+				return finish(SolvedUNSAT)
+			}
+		}
+
+		if !cfg.DisableElimLin && !expired() {
+			facts := RunElimLin(sys, ElimLinConfig{M: cfg.M, Rand: rng})
+			added, ok := prop.AddFacts(facts)
+			res.ElimLin.Runs++
+			res.ElimLin.NewFacts += added
+			newThisIter += added
+			logf("iter %d: ElimLin learnt %d facts (%d new)", iter, len(facts), added)
+			if !ok {
+				return finish(SolvedUNSAT)
+			}
+		}
+
+		for _, tech := range cfg.ExtraTechniques {
+			if expired() {
+				break
+			}
+			facts := tech.Learn(sys, rng)
+			added, ok := prop.AddFacts(facts)
+			res.Extra.Runs++
+			res.Extra.NewFacts += added
+			newThisIter += added
+			logf("iter %d: %s learnt %d facts (%d new)", iter, tech.Name(), len(facts), added)
+			if !ok {
+				return finish(SolvedUNSAT)
+			}
+		}
+
+		if cfg.EnableGroebner && !expired() {
+			facts := RunGroebnerStep(sys, DefaultGroebnerConfig(rng))
+			added, ok := prop.AddFacts(facts)
+			res.Groebner.Runs++
+			res.Groebner.NewFacts += added
+			newThisIter += added
+			logf("iter %d: Groebner learnt %d facts (%d new)", iter, len(facts), added)
+			if !ok {
+				return finish(SolvedUNSAT)
+			}
+		}
+
+		if !cfg.DisableSAT && !expired() {
+			out := outputSystem(sys, prop.State)
+			step := RunSATStep(out, SATStepConfig{
+				ConflictBudget:   budget,
+				Profile:          cfg.Profile,
+				Conv:             cfg.Conv,
+				Preprocess:       cfg.Preprocess,
+				HarvestMonomials: cfg.HarvestMonomials,
+				Probe:            cfg.EnableProbing,
+				ProbeMax:         cfg.ProbeMax,
+				Seed:             cfg.Seed + int64(iter) + 1,
+			})
+			res.SAT.Runs++
+			if step.Status == sat.Sat && cfg.StopOnSolution {
+				res.Solution = completeSolution(input, prop.State, step.Model)
+				return finish(SolvedSAT)
+			}
+			added, ok := prop.AddFacts(step.Facts)
+			res.SAT.NewFacts += added
+			newThisIter += added
+			logf("iter %d: SAT step (%v, %d conflicts) learnt %d facts (%d new)",
+				iter, step.Status, step.Conflicts, len(step.Facts), added)
+			if !ok {
+				return finish(SolvedUNSAT)
+			}
+			if added == 0 && budget < cfg.ConflictBudgetMax {
+				budget += cfg.ConflictBudgetStep
+				if budget > cfg.ConflictBudgetMax {
+					budget = cfg.ConflictBudgetMax
+				}
+			}
+		}
+
+		if sys.HasContradiction() {
+			return finish(SolvedUNSAT)
+		}
+		if newThisIter == 0 || expired() {
+			break
+		}
+	}
+	return finish(Processed)
+}
+
+// Summary renders a one-paragraph human-readable report of the run.
+func (r *Result) Summary() string {
+	return fmt.Sprintf(
+		"%v after %d iteration(s) in %v — facts: xl=%d elimlin=%d sat=%d groebner=%d extra=%d propagation=%d; %s",
+		r.Status, r.Iterations, r.Elapsed.Round(time.Millisecond),
+		r.XL.NewFacts, r.ElimLin.NewFacts, r.SAT.NewFacts,
+		r.Groebner.NewFacts, r.Extra.NewFacts, r.PropagationFacts, r.State)
+}
+
+// outputSystem builds the ANF that represents the current knowledge: the
+// simplified master equations plus the determined values and equivalences
+// as polynomials (the paper's §III-C treatment of determined variables and
+// equivalences in the conversion).
+func outputSystem(sys *anf.System, st *VarState) *anf.System {
+	out := anf.NewSystem()
+	out.SetNumVars(sys.NumVars())
+	for _, p := range sys.Polys() {
+		out.Add(p)
+	}
+	for _, f := range st.FactPolys() {
+		out.Add(f)
+	}
+	return out
+}
+
+// OutputANF returns the processed ANF including value/equivalence facts —
+// what the tool writes as its ANF output.
+func (r *Result) OutputANF() *anf.System {
+	return outputSystem(r.System, r.State)
+}
+
+// OutputCNF converts the processed ANF to CNF — what the tool writes as
+// its CNF output.
+func (r *Result) OutputCNF(opts conv.Options) (*cnf.Formula, *conv.VarMap) {
+	return conv.ANFToCNF(r.OutputANF(), opts)
+}
+
+// completeSolution lifts a CNF model to the original ANF variables, using
+// determined values and equivalences for variables the CNF no longer
+// mentions.
+func completeSolution(input *anf.System, st *VarState, model []bool) []bool {
+	n := input.NumVars()
+	if st.NumVars() > n {
+		n = st.NumVars()
+	}
+	out := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if b, ok := st.Value(anf.Var(v)); ok {
+			out[v] = b
+			continue
+		}
+		r := st.Find(anf.Var(v))
+		if int(r.V) < len(model) {
+			out[v] = model[r.V] != r.Neg
+		}
+	}
+	return out
+}
+
+// VerifySolution checks a solution against a system.
+func VerifySolution(sys *anf.System, sol []bool) bool {
+	return sys.Eval(func(v anf.Var) bool {
+		if int(v) < len(sol) {
+			return sol[v]
+		}
+		return false
+	})
+}

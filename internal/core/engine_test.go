@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anf"
+	"repro/internal/conv"
+	"repro/internal/sat"
+)
+
+const paperExample = `
+x1*x2 + x3 + x4 + 1
+x1*x2*x3 + x1 + x3 + 1
+x1*x3 + x3*x4*x5 + x3
+x2*x3 + x3*x5 + 1
+x2*x3 + x5 + 1
+`
+
+// TestWorkflowExample runs the full Bosphorus loop on the paper's worked
+// example (§II-E, Fig. 1): the unique solution x1..x4 = 1, x5 = 0 must
+// come out.
+func TestWorkflowExample(t *testing.T) {
+	sys := sysFrom(t, paperExample)
+	res := Process(sys, DefaultConfig())
+	if res.Status != SolvedSAT && res.Status != Processed {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// Whether the SAT step or pure propagation finished it, the learnt
+	// facts must pin the unique solution.
+	want := map[anf.Var]bool{1: true, 2: true, 3: true, 4: true, 5: false}
+	if res.Status == SolvedSAT {
+		for v, b := range want {
+			if res.Solution[v] != b {
+				t.Fatalf("solution[%d] = %v, want %v", v, res.Solution[v], b)
+			}
+		}
+		if !VerifySolution(sys, res.Solution) {
+			t.Fatal("solution does not satisfy input")
+		}
+	} else {
+		for v, b := range want {
+			if got, ok := res.State.Value(v); !ok || got != b {
+				t.Fatalf("state x%d = %v,%v; want %v", v, got, ok, b)
+			}
+		}
+	}
+}
+
+// TestExampleFactsPerTechnique reproduces the §II-E ablation: each
+// technique in isolation learns facts sufficient to assign a particular
+// variable (XL → x3, ElimLin → x1, SAT → the rest).
+func TestExampleFactsPerTechnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	sys := sysFrom(t, paperExample)
+	xlFacts := RunXL(sys, XLConfig{M: 20, DeltaM: 4, Deg: 1, Rand: rng})
+	foundX3 := false
+	for _, f := range xlFacts {
+		if f.Equal(anf.MustParsePoly("x3 + 1")) {
+			foundX3 = true
+		}
+	}
+	if !foundX3 {
+		t.Errorf("XL did not learn x3 ⊕ 1 (got %v)", xlFacts)
+	}
+
+	// ElimLin runs on the system augmented with XL's facts (the workflow
+	// is sequential, Fig. 1): its initial GJE then sees the four linear
+	// equations the paper lists and derives x1 ⊕ 1.
+	aug := sys.Clone()
+	for _, f := range xlFacts {
+		aug.Add(f)
+	}
+	elFacts := RunElimLin(aug, ElimLinConfig{M: 20, Rand: rng})
+	p := NewPropagator(sys.Clone())
+	p.Propagate()
+	p.AddFacts(elFacts)
+	if b, ok := p.State.Value(1); !ok || !b {
+		t.Errorf("ElimLin facts do not force x1 = 1 (got %v)", elFacts)
+	}
+
+	step := RunSATStep(sys, SATStepConfig{ConflictBudget: 10000, Profile: sat.ProfileMiniSat, Conv: conv.DefaultOptions()})
+	if step.Status != sat.Sat {
+		t.Fatalf("SAT step on the example: %v", step.Status)
+	}
+}
+
+func TestProcessUnsat(t *testing.T) {
+	// x0 = 0, x0 = 1 via two equations, hidden behind a quadratic.
+	sys := sysFrom(t, "x0*x1 + x0 + x1\nx0 + x1 + 1\nx1\nx0\n")
+	// x1=0 and x0=0 contradict x0+x1+1.
+	res := Process(sys, DefaultConfig())
+	if res.Status != SolvedUNSAT {
+		t.Fatalf("status = %v, want UNSAT", res.Status)
+	}
+}
+
+func TestProcessUnsatBySATStep(t *testing.T) {
+	// An UNSAT CNF-ish system with no unit facts: x0⊕x1, x1⊕x2, x0⊕x2⊕1
+	// (odd cycle). Propagation alone finds it via equivalence merging.
+	sys := sysFrom(t, "x0 + x1\nx1 + x2\nx0 + x2 + 1\n")
+	res := Process(sys, DefaultConfig())
+	if res.Status != SolvedUNSAT {
+		t.Fatalf("status = %v, want UNSAT", res.Status)
+	}
+}
+
+func TestProcessSolvesRandomSatSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 15; trial++ {
+		nVars := 4 + rng.Intn(5)
+		// Plant a solution and generate polynomials vanishing on it.
+		sol := make([]bool, nVars)
+		for i := range sol {
+			sol[i] = rng.Intn(2) == 1
+		}
+		sys := anf.NewSystem()
+		sys.SetNumVars(nVars)
+		for i := 0; i < nVars+3; i++ {
+			var monos []anf.Monomial
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				var vs []anf.Var
+				for d := 0; d < 1+rng.Intn(2); d++ {
+					vs = append(vs, anf.Var(rng.Intn(nVars)))
+				}
+				monos = append(monos, anf.NewMonomial(vs...))
+			}
+			p := anf.FromMonomials(monos...)
+			if p.Eval(func(v anf.Var) bool { return sol[v] }) {
+				p = p.Add(anf.OnePoly()) // make it vanish on sol
+			}
+			sys.Add(p)
+		}
+		cfg := DefaultConfig()
+		cfg.Seed = int64(trial + 1)
+		res := Process(sys, cfg)
+		switch res.Status {
+		case SolvedSAT:
+			if !VerifySolution(sys, res.Solution) {
+				t.Fatalf("trial %d: bad solution", trial)
+			}
+		case SolvedUNSAT:
+			t.Fatalf("trial %d: satisfiable system declared UNSAT", trial)
+		}
+	}
+}
+
+func TestProcessAblationDisablePhases(t *testing.T) {
+	sys := sysFrom(t, paperExample)
+	for _, cfg := range []Config{
+		func() Config { c := DefaultConfig(); c.DisableXL = true; return c }(),
+		func() Config { c := DefaultConfig(); c.DisableElimLin = true; return c }(),
+		func() Config { c := DefaultConfig(); c.DisableSAT = true; return c }(),
+	} {
+		res := Process(sys, cfg)
+		if res.Status == SolvedUNSAT {
+			t.Fatalf("ablation run declared UNSAT on satisfiable example")
+		}
+		// Even with one phase off, the example solves (it is easy).
+		solved := res.Status == SolvedSAT
+		if !solved {
+			if b, ok := res.State.Value(3); ok && b {
+				solved = true
+			}
+		}
+		if !solved {
+			t.Fatalf("ablation config failed to make progress: %+v", res)
+		}
+	}
+}
+
+func TestOutputANFAndCNF(t *testing.T) {
+	sys := sysFrom(t, paperExample)
+	cfg := DefaultConfig()
+	cfg.StopOnSolution = false
+	cfg.MaxIterations = 3
+	res := Process(sys, cfg)
+	out := res.OutputANF()
+	if out.Len() == 0 {
+		t.Fatal("processed ANF empty despite facts")
+	}
+	f, _ := res.OutputCNF(conv.DefaultOptions())
+	// The CNF must preserve the unique solution x1..x4=1, x5=0 over the
+	// original variables.
+	s := sat.NewDefault()
+	if !s.AddFormula(f) {
+		t.Fatal("output CNF trivially UNSAT")
+	}
+	if s.Solve() != sat.Sat {
+		t.Fatal("output CNF UNSAT")
+	}
+	m := s.Model()
+	assign := func(v anf.Var) bool { return int(v) < len(m) && m[v] }
+	if !sys.Eval(assign) {
+		t.Fatal("output CNF model violates the original ANF")
+	}
+}
+
+func TestSATStepHarvestsUnits(t *testing.T) {
+	// A system whose CNF propagation yields units: x0 ⊕ 1 plus a clause
+	// structure: after conversion, the solver should fix x0=1 at level 0
+	// and harvesting turns it into the fact x0 + 1.
+	sys := sysFrom(t, "x0 + 1\nx0*x1 + x1 + x2\n")
+	step := RunSATStep(sys, SATStepConfig{ConflictBudget: 100, Profile: sat.ProfileMiniSat, Conv: conv.DefaultOptions()})
+	found := false
+	for _, f := range step.Facts {
+		if f.Equal(anf.MustParsePoly("x0 + 1")) {
+			found = true
+		}
+	}
+	if step.Status == sat.Sat {
+		return // solved outright before harvesting mattered; acceptable
+	}
+	if !found {
+		t.Fatalf("unit fact not harvested: %v", step.Facts)
+	}
+}
+
+func TestSATStepMonomialHarvestAblation(t *testing.T) {
+	// Force the Tseitin path so monomial aux vars exist; with
+	// HarvestMonomials a unit on an aux var becomes a monomial fact.
+	sys := sysFrom(t, "x0*x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + 1\nx2 + x3\nx4 + x5\nx6 + x7\nx8\nx2\nx4\nx6\n")
+	cfgConv := conv.DefaultOptions()
+	cfgConv.KarnaughK = 2
+	step := RunSATStep(sys, SATStepConfig{
+		ConflictBudget:   10000,
+		Profile:          sat.ProfileMiniSat,
+		Conv:             cfgConv,
+		HarvestMonomials: true,
+	})
+	// With all the linear vars fixed to 0, x0*x1 must be 1: the monomial
+	// fact x0*x1 ⊕ 1 (or the resulting unit facts) should appear if the
+	// solver fixed the aux var at level 0.
+	if step.Status == sat.Unsat {
+		t.Fatal("system is satisfiable (x0=x1=1)")
+	}
+}
+
+func TestProcessStats(t *testing.T) {
+	sys := sysFrom(t, paperExample)
+	cfg := DefaultConfig()
+	cfg.StopOnSolution = false
+	res := Process(sys, cfg)
+	if res.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	if res.XL.Runs == 0 || res.ElimLin.Runs == 0 || res.SAT.Runs == 0 {
+		t.Fatalf("phase runs not recorded: %+v", res)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anf"
+	"repro/internal/conv"
+	"repro/internal/sat"
+)
+
+// The §V extension: budgeted Buchberger as a loop phase. On the worked
+// example the basis is small and yields value facts directly.
+func TestGroebnerStepOnExample(t *testing.T) {
+	sys := sysFrom(t, paperExample)
+	rng := rand.New(rand.NewSource(1))
+	facts := RunGroebnerStep(sys, DefaultGroebnerConfig(rng))
+	if len(facts) == 0 {
+		t.Fatal("Groebner phase learnt nothing on the worked example")
+	}
+	// Facts must be consequences of the system.
+	for mask := uint32(0); mask < 64; mask++ {
+		assign := func(v anf.Var) bool { return mask>>uint(v)&1 == 1 }
+		if !sys.Eval(assign) {
+			continue
+		}
+		for _, f := range facts {
+			if f.Eval(assign) {
+				t.Fatalf("Groebner fact %s violated by a solution", f)
+			}
+		}
+	}
+}
+
+func TestGroebnerStepDetectsUnsat(t *testing.T) {
+	sys := sysFrom(t, "x0*x1 + 1\nx0 + x1 + 1\n")
+	rng := rand.New(rand.NewSource(1))
+	facts := RunGroebnerStep(sys, DefaultGroebnerConfig(rng))
+	foundOne := false
+	for _, f := range facts {
+		if f.IsOne() {
+			foundOne = true
+		}
+	}
+	if !foundOne {
+		t.Fatalf("contradiction not surfaced: %v", facts)
+	}
+}
+
+func TestProcessWithGroebnerPhase(t *testing.T) {
+	sys := sysFrom(t, paperExample)
+	cfg := DefaultConfig()
+	cfg.EnableGroebner = true
+	res := Process(sys, cfg)
+	if res.Status == SolvedUNSAT {
+		t.Fatal("wrong verdict")
+	}
+	if res.Groebner.Runs == 0 {
+		t.Fatal("Groebner phase did not run")
+	}
+}
+
+func TestProcessWithProbing(t *testing.T) {
+	sys := sysFrom(t, paperExample)
+	cfg := DefaultConfig()
+	cfg.EnableProbing = true
+	cfg.StopOnSolution = false
+	res := Process(sys, cfg)
+	if res.Status == SolvedUNSAT {
+		t.Fatal("wrong verdict")
+	}
+	// Probing must not break the final state: x3 = 1 is forced.
+	if b, ok := res.State.Value(3); !ok || !b {
+		t.Fatalf("x3 not determined with probing enabled")
+	}
+}
+
+func TestSATStepProbeHarvestsEquivalences(t *testing.T) {
+	// x0 ≡ x1 through a chain the plain unit harvest cannot see without
+	// search: (¬x0 ∨ x1)(x0 ∨ ¬x1) plus independent structure.
+	sys := sysFrom(t, "x0*x1 + x0\nx0*x1 + x1\nx2 + x3 + 1\nx2*x3\n")
+	step := RunSATStep(sys, SATStepConfig{
+		ConflictBudget: 1, // keep search from solving it outright
+		Profile:        sat.ProfileMiniSat,
+		Conv:           conv.DefaultOptions(),
+		Probe:          true,
+	})
+	// x0*x1 + x0 = 0 means x0(x1+1) = 0, i.e. x0 → x1; the second gives
+	// x1 → x0. Probing should find x0 ≡ x1 (as an equivalence or via
+	// units).
+	gotEquiv := false
+	for _, f := range step.Facts {
+		if f.Equal(anf.MustParsePoly("x0 + x1")) {
+			gotEquiv = true
+		}
+	}
+	if !gotEquiv && step.Status != sat.Sat {
+		t.Fatalf("probe equivalence x0+x1 not harvested: %v (status %v)", step.Facts, step.Status)
+	}
+}
+
+func TestProcessGroebnerOnSimonLike(t *testing.T) {
+	// A quadratic system with planted solution; the Groebner phase must
+	// not corrupt anything.
+	rng := rand.New(rand.NewSource(4))
+	sol := []bool{true, false, true, true, false, true}
+	sys := anf.NewSystem()
+	sys.SetNumVars(6)
+	for i := 0; i < 10; i++ {
+		var monos []anf.Monomial
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			var vs []anf.Var
+			for d := 0; d < 1+rng.Intn(2); d++ {
+				vs = append(vs, anf.Var(rng.Intn(6)))
+			}
+			monos = append(monos, anf.NewMonomial(vs...))
+		}
+		p := anf.FromMonomials(monos...)
+		if p.Eval(func(v anf.Var) bool { return sol[v] }) {
+			p = p.Add(anf.OnePoly())
+		}
+		sys.Add(p)
+	}
+	cfg := DefaultConfig()
+	cfg.EnableGroebner = true
+	cfg.EnableProbing = true
+	res := Process(sys, cfg)
+	if res.Status == SolvedUNSAT {
+		t.Fatal("satisfiable system declared UNSAT")
+	}
+	if res.Status == SolvedSAT && !VerifySolution(sys, res.Solution) {
+		t.Fatal("bad solution")
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"repro/internal/anf"
+)
+
+// Propagator runs ANF propagation (§II-A): value assignments from unit and
+// monomial-plus-one polynomials, equivalence assignments from x ⊕ y and
+// x ⊕ y ⊕ 1, applied through the master system's occurrence lists until a
+// fixed point.
+type Propagator struct {
+	Sys   *anf.System
+	State *VarState
+	// Contradiction is set when 1 = 0 is derived; the system is UNSAT.
+	Contradiction bool
+}
+
+// NewPropagator wraps a system with fresh state.
+func NewPropagator(sys *anf.System) *Propagator {
+	return &Propagator{Sys: sys, State: NewVarState(sys.NumVars())}
+}
+
+// Propagate runs to fixed point over the whole system. It returns the
+// number of new facts (value or equivalence assignments) derived, and
+// false if a contradiction was found.
+func (p *Propagator) Propagate() (int, bool) {
+	queue := make([]int, 0, p.Sys.RawLen())
+	inQueue := make([]bool, p.Sys.RawLen())
+	push := func(i int) {
+		if i < len(inQueue) && !inQueue[i] {
+			inQueue[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for i := 0; i < p.Sys.RawLen(); i++ {
+		push(i)
+	}
+	facts := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		inQueue[i] = false
+		n, affected, ok := p.step(i)
+		if !ok {
+			p.Contradiction = true
+			return facts, false
+		}
+		facts += n
+		for _, v := range affected {
+			for _, j := range p.Sys.Occurrences(v) {
+				push(j)
+			}
+		}
+	}
+	return facts, true
+}
+
+// step normalizes equation slot i and extracts any immediate facts. It
+// returns the number of facts, the variables whose bindings changed, and
+// false on contradiction.
+func (p *Propagator) step(i int) (int, []anf.Var, bool) {
+	q := p.Sys.At(i)
+	if q.IsZero() {
+		return 0, nil, true
+	}
+	p.State.Grow(p.Sys.NumVars())
+	q = p.State.NormalizePoly(q)
+	if q.IsZero() {
+		p.Sys.Replace(i, anf.Zero())
+		return 0, nil, true
+	}
+	if q.IsOne() {
+		return 0, nil, false
+	}
+	facts := 0
+	var affected []anf.Var
+	switch {
+	case q.NumTerms() == 1 && q.Deg() == 1:
+		// Polynomial x: x = 0.
+		v := q.Lead().Vars()[0]
+		if !p.State.SetValue(v, false) {
+			return 0, nil, false
+		}
+		facts++
+		affected = append(affected, v)
+		p.Sys.Replace(i, anf.Zero())
+	case q.NumTerms() == 2 && q.Deg() == 1 && q.HasConstant():
+		// Polynomial x ⊕ 1: x = 1.
+		v := q.Lead().Vars()[0]
+		if !p.State.SetValue(v, true) {
+			return 0, nil, false
+		}
+		facts++
+		affected = append(affected, v)
+		p.Sys.Replace(i, anf.Zero())
+	case q.IsMonomialPlusOne():
+		// x·y·…·z ⊕ 1: every factor is 1.
+		for _, v := range q.Lead().Vars() {
+			if !p.State.SetValue(v, true) {
+				return 0, nil, false
+			}
+			facts++
+			affected = append(affected, v)
+		}
+		p.Sys.Replace(i, anf.Zero())
+	case q.Deg() == 1 && q.NumTerms() == 2 && !q.HasConstant():
+		// x ⊕ y: x = y.
+		vs := q.LinearVars()
+		changed, ok := p.State.Merge(vs[0], vs[1], false)
+		if !ok {
+			return 0, nil, false
+		}
+		if changed {
+			facts++
+			affected = append(affected, vs[0], vs[1])
+		}
+		p.Sys.Replace(i, anf.Zero())
+	case q.Deg() == 1 && q.NumTerms() == 3 && q.HasConstant():
+		// x ⊕ y ⊕ 1: x = ¬y.
+		vs := q.LinearVars()
+		changed, ok := p.State.Merge(vs[0], vs[1], true)
+		if !ok {
+			return 0, nil, false
+		}
+		if changed {
+			facts++
+			affected = append(affected, vs[0], vs[1])
+		}
+		p.Sys.Replace(i, anf.Zero())
+	default:
+		p.Sys.Replace(i, q)
+	}
+	return facts, affected, true
+}
+
+// AddFact adds a learnt polynomial to the master system unless an equal
+// one is already present (after normalization). It reports whether the
+// fact was new.
+func (p *Propagator) AddFact(f anf.Poly) bool {
+	p.State.Grow(p.Sys.NumVars())
+	if mv, ok := f.MaxVar(); ok {
+		p.State.Grow(int(mv) + 1)
+	}
+	q := p.State.NormalizePoly(f)
+	if q.IsZero() {
+		return false
+	}
+	if q.IsOne() {
+		p.Contradiction = true
+		p.Sys.Add(q)
+		return true
+	}
+	if p.Sys.Contains(q) {
+		return false
+	}
+	p.Sys.Add(q)
+	return true
+}
+
+// AddFacts adds a batch, returning how many were new, and propagates to a
+// fixed point afterwards (the paper applies ANF propagation whenever
+// learnt facts are produced).
+func (p *Propagator) AddFacts(fs []anf.Poly) (int, bool) {
+	added := 0
+	for _, f := range fs {
+		if p.AddFact(f) {
+			added++
+		}
+		if p.Contradiction {
+			return added, false
+		}
+	}
+	if added > 0 {
+		if _, ok := p.Propagate(); !ok {
+			return added, false
+		}
+	}
+	return added, true
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"repro/internal/anf"
+	"repro/internal/cnf"
+	"repro/internal/conv"
+	"repro/internal/sat"
+	"repro/internal/simp"
+)
+
+// SATStepConfig parameterizes conflict-bounded SAT solving (§II-D).
+type SATStepConfig struct {
+	// ConflictBudget is C, the number of conflicts the solver may spend.
+	ConflictBudget int64
+	// Profile selects the solver personality.
+	Profile sat.Profile
+	// Conv is the ANF→CNF conversion configuration.
+	Conv conv.Options
+	// Preprocess runs simp preprocessing before solving (the Lingeling
+	// pairing). Facts are still extracted in the original variable space,
+	// so only the solve benefits.
+	Preprocess bool
+	// HarvestMonomials additionally interprets learnt units on monomial
+	// auxiliary variables as monomial facts. The paper's implementation
+	// excludes auxiliary variables from learnt facts (§III-C); this is the
+	// ablation toggle.
+	HarvestMonomials bool
+	// Probe runs failed-literal probing before the search — the
+	// lookahead-style component the paper's §V names as pluggable. Probe
+	// units flow through the normal unit harvest; probe equivalences are
+	// harvested directly.
+	Probe bool
+	// ProbeMax bounds the number of probed variables (0 = all).
+	ProbeMax int
+	// Seed makes the solver deterministic.
+	Seed int64
+}
+
+// SATStepResult carries the outcome of one conflict-bounded solve.
+type SATStepResult struct {
+	Status sat.Status
+	// Facts are the learnt polynomials: x, x⊕1 from units; x⊕y, x⊕y⊕1
+	// from complementary binary-clause pairs; 1 (contradiction) on UNSAT.
+	Facts []anf.Poly
+	// Model is the satisfying assignment over the CNF variables when
+	// Status is Sat.
+	Model []bool
+	// VarMap relates CNF variables to ANF monomials.
+	VarMap *conv.VarMap
+	// Conflicts actually spent.
+	Conflicts uint64
+}
+
+// RunSATStep converts the system to CNF, solves under the conflict budget,
+// and harvests learnt facts (§II-D).
+func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
+	if cfg.ConflictBudget <= 0 {
+		cfg.ConflictBudget = 10000
+	}
+	convOpts := cfg.Conv
+	if cfg.Profile == sat.ProfileCMS {
+		convOpts.NativeXor = true
+	}
+	f, vm := conv.ANFToCNF(sys, convOpts)
+	res := &SATStepResult{VarMap: vm}
+
+	target := f
+	var rec *simp.Reconstructor
+	if cfg.Preprocess {
+		pres := simp.Preprocess(f, simp.DefaultOptions())
+		if pres.Unsat {
+			res.Status = sat.Unsat
+			res.Facts = []anf.Poly{anf.OnePoly()}
+			return res
+		}
+		target = pres.Formula
+		rec = pres.Reconstructor
+	}
+
+	opts := sat.DefaultOptions(cfg.Profile)
+	if cfg.Seed != 0 {
+		opts.RandomSeed = cfg.Seed
+	}
+	s := sat.New(opts)
+	if !s.AddFormula(target) {
+		res.Status = sat.Unsat
+		res.Facts = []anf.Poly{anf.OnePoly()}
+		return res
+	}
+	if cfg.Probe {
+		probe := s.ProbeLiterals(cfg.ProbeMax)
+		if probe.Unsat {
+			res.Status = sat.Unsat
+			res.Facts = []anf.Poly{anf.OnePoly()}
+			return res
+		}
+		for _, eq := range probe.Equivalences {
+			a, b := eq[0], eq[1]
+			if !vm.IsOriginal(a.Var()) || !vm.IsOriginal(b.Var()) || cfg.Preprocess {
+				continue
+			}
+			p := anf.VarPoly(anf.Var(a.Var())).Add(anf.VarPoly(anf.Var(b.Var())))
+			if a.Neg() != b.Neg() {
+				p = p.Add(anf.OnePoly())
+			}
+			res.Facts = append(res.Facts, p)
+		}
+	}
+	res.Status = s.SolveLimited(cfg.ConflictBudget)
+	res.Conflicts = s.Conflicts
+
+	switch res.Status {
+	case sat.Unsat:
+		// Case (1): the learnt fact is the contradiction 1 = 0.
+		res.Facts = []anf.Poly{anf.OnePoly()}
+		return res
+	case sat.Sat:
+		m := s.Model()
+		for len(m) < target.NumVars {
+			m = append(m, false)
+		}
+		if rec != nil {
+			m = rec.Extend(m)
+		}
+		for len(m) < f.NumVars {
+			m = append(m, false)
+		}
+		res.Model = m
+	}
+	// Cases (2) and (3): extract linear equations from learnt unit and
+	// binary clauses. Facts derived from a preprocessed formula are only
+	// harvested when they mention original variables (preprocessing
+	// preserves equivalence on them because units are re-asserted and
+	// frozen xor variables are untouched; eliminated variables simply
+	// yield no facts).
+	harvest := func(l cnf.Lit) (anf.Poly, bool) {
+		v := l.Var()
+		if vm.IsOriginal(v) {
+			return anf.VarPoly(anf.Var(v)).AddConstant(!l.Neg()), true
+		}
+		if cfg.HarvestMonomials {
+			if m, ok := vm.Monomial(v); ok {
+				p := anf.FromMonomials(m)
+				return p.AddConstant(!l.Neg()), true
+			}
+		}
+		return anf.Zero(), false
+	}
+	for _, u := range s.LearntUnits() {
+		if p, ok := harvest(u); ok {
+			res.Facts = append(res.Facts, p)
+		}
+	}
+	// Complementary binary pairs (a ∨ b) ∧ (¬a ∨ ¬b) give a = ¬b, and
+	// (¬a ∨ b) ∧ (a ∨ ¬b) give a = b.
+	type pairKey struct{ a, b cnf.Var }
+	seen := map[pairKey][4]bool{} // index: a-sign<<1 | b-sign
+	record := func(c cnf.Clause) {
+		a, b := c[0], c[1]
+		if a.Var() > b.Var() {
+			a, b = b, a
+		}
+		k := pairKey{a.Var(), b.Var()}
+		entry := seen[k]
+		idx := 0
+		if a.Neg() {
+			idx |= 2
+		}
+		if b.Neg() {
+			idx |= 1
+		}
+		entry[idx] = true
+		seen[k] = entry
+	}
+	for _, b := range s.LearntBinaries() {
+		if len(b) == 2 && b[0].Var() != b[1].Var() {
+			record(b)
+		}
+	}
+	for k, entry := range seen {
+		if !vm.IsOriginal(k.a) || !vm.IsOriginal(k.b) {
+			continue
+		}
+		av, bv := anf.Var(k.a), anf.Var(k.b)
+		if entry[0] && entry[3] {
+			// (a∨b) and (¬a∨¬b): exactly one true → a = ¬b.
+			res.Facts = append(res.Facts, anf.VarPoly(av).Add(anf.VarPoly(bv)).Add(anf.OnePoly()))
+		}
+		if entry[1] && entry[2] {
+			// (a∨¬b) and (¬a∨b): a = b.
+			res.Facts = append(res.Facts, anf.VarPoly(av).Add(anf.VarPoly(bv)))
+		}
+	}
+	// Generalized binary harvest: strongly connected components of the
+	// implication graph over problem + learnt binaries find equivalences
+	// that need a chain of implications, not just complementary pairs.
+	// (Skip under preprocessing: simp rewrites the clause set.)
+	if !cfg.Preprocess {
+		bin := cnf.NewFormula(f.NumVars)
+		for _, c := range f.Clauses {
+			if len(c) == 2 {
+				bin.AddClause(c...)
+			}
+		}
+		for _, c := range s.LearntBinaries() {
+			bin.AddClause(c...)
+		}
+		if eqs, ok := sat.BinaryEquivalences(bin); !ok {
+			res.Facts = append(res.Facts, anf.OnePoly())
+		} else {
+			for _, eq := range eqs {
+				a, b := eq[0], eq[1]
+				if !vm.IsOriginal(a.Var()) || !vm.IsOriginal(b.Var()) {
+					continue
+				}
+				p := anf.VarPoly(anf.Var(a.Var())).Add(anf.VarPoly(anf.Var(b.Var())))
+				if a.Neg() != b.Neg() {
+					p = p.Add(anf.OnePoly())
+				}
+				res.Facts = append(res.Facts, p)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anf"
+)
+
+// A custom technique that "knows" a fact about the example system; the
+// loop must pick it up, propagate it, and credit it to Extra.
+func TestExtraTechniquePlugIn(t *testing.T) {
+	sys := sysFrom(t, paperExample)
+	oracle := TechniqueFunc{
+		TechName: "oracle",
+		Fn: func(s *anf.System, rng *rand.Rand) []anf.Poly {
+			return []anf.Poly{anf.MustParsePoly("x3 + 1")}
+		},
+	}
+	cfg := DefaultConfig()
+	cfg.DisableXL = true
+	cfg.DisableElimLin = true
+	cfg.DisableSAT = true
+	cfg.ExtraTechniques = []Technique{oracle}
+	res := Process(sys, cfg)
+	if res.Extra.Runs == 0 {
+		t.Fatal("extra technique never ran")
+	}
+	if res.Extra.NewFacts == 0 {
+		t.Fatal("oracle fact not credited")
+	}
+	if b, ok := res.State.Value(3); !ok || !b {
+		t.Fatal("oracle fact not propagated")
+	}
+}
+
+func TestExtraTechniqueContradiction(t *testing.T) {
+	sys := sysFrom(t, "x0 + x1\n")
+	liar := TechniqueFunc{
+		TechName: "liar",
+		Fn: func(s *anf.System, rng *rand.Rand) []anf.Poly {
+			return []anf.Poly{anf.OnePoly()}
+		},
+	}
+	cfg := DefaultConfig()
+	cfg.ExtraTechniques = []Technique{liar}
+	res := Process(sys, cfg)
+	if res.Status != SolvedUNSAT {
+		t.Fatalf("contradictory fact should yield UNSAT, got %v", res.Status)
+	}
+}
+
+func TestBuchbergerTechniqueWrapper(t *testing.T) {
+	sys := sysFrom(t, paperExample)
+	cfg := DefaultConfig()
+	cfg.ExtraTechniques = []Technique{BuchbergerTechnique()}
+	res := Process(sys, cfg)
+	if res.Status == SolvedUNSAT {
+		t.Fatal("wrong verdict")
+	}
+	if res.Extra.Runs == 0 {
+		t.Fatal("Buchberger technique never ran")
+	}
+	if BuchbergerTechnique().Name() != "buchberger" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"repro/internal/anf"
+	"repro/internal/gf2"
+)
+
+// XLConfig parameterizes eXtended Linearization (§II-B).
+type XLConfig struct {
+	// M bounds the linearized size of the subsampled system: rows·cols ≲ 2^M.
+	M int
+	// DeltaM bounds the expansion: the expanded system stays ≲ 2^(M+DeltaM).
+	DeltaM int
+	// Deg is D, the maximum degree of the multiplier monomials (the paper
+	// runs with D = 1: multiply by 1 and by each single variable).
+	Deg int
+	// Rand drives the uniform subsampling.
+	Rand *rand.Rand
+}
+
+// DefaultXLConfig returns the paper's §IV parameters, with M scaled to
+// laptop runs (the paper's M=30 assumes a large-memory machine; results
+// are insensitive for our instance sizes).
+func DefaultXLConfig(rng *rand.Rand) XLConfig {
+	return XLConfig{M: 20, DeltaM: 4, Deg: 1, Rand: rng}
+}
+
+// RunXL performs one XL pass over the system and returns the learnt facts:
+// linear polynomials and monomial-plus-one polynomials read off the
+// Gauss–Jordan-reduced linearization (Table I's "retained" rows).
+func RunXL(sys *anf.System, cfg XLConfig) []anf.Poly {
+	if cfg.Deg < 0 {
+		cfg.Deg = 1
+	}
+	polys := subsample(sys, cfg.M, cfg.Rand)
+	if len(polys) == 0 {
+		return nil
+	}
+	// Expand in ascending degree order by monomials up to degree D, while
+	// the linearized size stays under 2^(M+DeltaM).
+	sort.SliceStable(polys, func(i, j int) bool { return polys[i].Deg() < polys[j].Deg() })
+	limit := uint64(1) << uint(cfg.M+cfg.DeltaM)
+	expanded := make([]anf.Poly, 0, 2*len(polys))
+	expanded = append(expanded, polys...)
+	// Collect the variables of the sampled subsystem as degree-1
+	// multipliers (D = 1); for D > 1, products of those variables.
+	vars := collectVars(polys)
+	multipliers := buildMultipliers(vars, cfg.Deg)
+expansion:
+	for _, p := range polys {
+		for _, m := range multipliers {
+			q := p.MulMonomial(m)
+			if q.IsZero() {
+				continue
+			}
+			expanded = append(expanded, q)
+			// Recheck the size bound periodically (counting distinct
+			// monomials is itself linear in the system size).
+			if len(expanded)%64 == 0 {
+				cols := countMonomials(expanded)
+				if uint64(len(expanded))*uint64(cols) > limit {
+					break expansion
+				}
+			}
+		}
+	}
+	return gjeFacts(expanded)
+}
+
+// subsample uniformly picks equations until the linearized size
+// (rows × distinct monomials) reaches about 2^M (§II-B: m′·n′ ≳ 2^M).
+func subsample(sys *anf.System, m int, rng *rand.Rand) []anf.Poly {
+	all := sys.Polys()
+	if len(all) == 0 {
+		return nil
+	}
+	target := uint64(1) << uint(m)
+	perm := rng.Perm(len(all))
+	monos := map[string]struct{}{}
+	var out []anf.Poly
+	for _, idx := range perm {
+		p := all[idx]
+		out = append(out, p)
+		for _, t := range p.Terms() {
+			monos[t.Key()] = struct{}{}
+		}
+		if uint64(len(out))*uint64(len(monos)) >= target {
+			break
+		}
+	}
+	return out
+}
+
+func collectVars(polys []anf.Poly) []anf.Var {
+	seen := map[anf.Var]struct{}{}
+	for _, p := range polys {
+		for _, v := range p.Vars() {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]anf.Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// buildMultipliers returns all monomials of degree 1..deg over vars.
+func buildMultipliers(vars []anf.Var, deg int) []anf.Monomial {
+	var out []anf.Monomial
+	var cur []anf.Var
+	var rec func(start, d int)
+	rec = func(start, d int) {
+		if len(cur) > 0 {
+			out = append(out, anf.NewMonomial(cur...))
+		}
+		if d == 0 {
+			return
+		}
+		for i := start; i < len(vars); i++ {
+			cur = append(cur, vars[i])
+			rec(i+1, d-1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0, deg)
+	return out
+}
+
+func countMonomials(polys []anf.Poly) int {
+	monos := map[string]struct{}{}
+	for _, p := range polys {
+		for _, t := range p.Terms() {
+			monos[t.Key()] = struct{}{}
+		}
+	}
+	return len(monos)
+}
+
+// gjeFacts linearizes the polynomials, reduces, and returns the rows that
+// are linear equations or of the form monomial ⊕ 1 (Table I's retained
+// facts).
+func gjeFacts(polys []anf.Poly) []anf.Poly {
+	var facts []anf.Poly
+	for _, p := range gjeRows(polys) {
+		if p.IsLinear() || p.IsMonomialPlusOne() || p.IsOne() {
+			facts = append(facts, p)
+		}
+	}
+	return facts
+}
+
+// gjeRows linearizes the polynomials (one column per distinct monomial,
+// constant column last), runs Gauss–Jordan elimination with the M4R
+// kernel, and returns every nonzero reduced row as a polynomial.
+func gjeRows(polys []anf.Poly) []anf.Poly {
+	// Build the column order: monomials sorted descending (leading terms
+	// first) so the reduction eliminates high-degree monomials first,
+	// mirroring Table I.
+	monoSet := map[string]anf.Monomial{}
+	for _, p := range polys {
+		for _, t := range p.Terms() {
+			monoSet[t.Key()] = t
+		}
+	}
+	monos := make([]anf.Monomial, 0, len(monoSet))
+	for _, m := range monoSet {
+		monos = append(monos, m)
+	}
+	sort.Slice(monos, func(i, j int) bool { return monos[i].Compare(monos[j]) > 0 })
+	col := map[string]int{}
+	for i, m := range monos {
+		col[m.Key()] = i
+	}
+	mat := gf2.NewMatrix(len(polys), len(monos))
+	for r, p := range polys {
+		for _, t := range p.Terms() {
+			mat.Flip(r, col[t.Key()])
+		}
+	}
+	rank := mat.RREFM4R()
+	out := make([]anf.Poly, 0, rank)
+	for r := 0; r < rank; r++ {
+		var terms []anf.Monomial
+		row := mat.Row(r)
+		for w, word := range row {
+			for word != 0 {
+				c := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if c < len(monos) {
+					terms = append(terms, monos[c])
+				}
+			}
+		}
+		out = append(out, anf.FromMonomials(terms...))
+	}
+	return out
+}

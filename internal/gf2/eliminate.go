@@ -1,0 +1,254 @@
+package gf2
+
+import "math/bits"
+
+// RREF reduces the matrix in place to reduced row echelon form using plain
+// Gauss–Jordan elimination with partial (first-nonzero) pivoting, and
+// returns the rank. After the call, pivot rows are sorted by leading column
+// and every pivot column has exactly one set bit.
+func (m *Matrix) RREF() int {
+	rank := 0
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		// Find a pivot row at or below rank with a 1 in this column.
+		pivot := -1
+		for r := rank; r < m.rows; r++ {
+			if m.Get(r, col) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m.SwapRows(rank, pivot)
+		// Eliminate the column from every other row.
+		prow := m.Row(rank)
+		for r := 0; r < m.rows; r++ {
+			if r == rank || !m.Get(r, col) {
+				continue
+			}
+			row := m.Row(r)
+			for w := range row {
+				row[w] ^= prow[w]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Rank returns the rank of the matrix without modifying it.
+func (m *Matrix) Rank() int {
+	return m.Clone().RREF()
+}
+
+// m4rK picks the table width for M4R elimination: roughly log2 of the
+// matrix size, clamped to [1, 8] so tables stay small.
+func m4rK(rows, cols int) int {
+	n := rows
+	if cols < n {
+		n = cols
+	}
+	k := bits.Len(uint(n)) - 2
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return k
+}
+
+// RREFM4R reduces the matrix in place to reduced row echelon form using the
+// Method of the Four Russians and returns the rank. It processes up to k
+// pivot columns per round: the k pivot rows are first fully reduced against
+// each other, then a 2^k-entry table of all their GF(2) combinations is
+// built, and every other row is cleared in one table lookup plus one
+// word-parallel XOR. This is the elimination algorithm that gives M4RI its
+// name and its asymptotic O(n^3 / log n) behaviour.
+func (m *Matrix) RREFM4R() int {
+	k := m4rK(m.rows, m.cols)
+	rank := 0
+	col := 0
+	for col < m.cols && rank < m.rows {
+		// Gather up to k pivots starting from this column.
+		type pivot struct{ row, col int }
+		var pivots []pivot
+		c := col
+		for c < m.cols && len(pivots) < k {
+			// Scan candidate rows below the block, reducing each against
+			// the block pivots before testing its bit at column c. Rows
+			// that are reduced but not chosen stay partially reduced; that
+			// is only a row operation, so correctness is unaffected and the
+			// table step below finishes them.
+			found := -1
+			for r := rank + len(pivots); r < m.rows; r++ {
+				for _, p := range pivots {
+					if m.Get(r, p.col) {
+						m.AddRowTo(p.row, r)
+					}
+				}
+				if m.Get(r, c) {
+					found = r
+					break
+				}
+			}
+			if found >= 0 {
+				newRow := rank + len(pivots)
+				m.SwapRows(newRow, found)
+				// Clear column c from the earlier pivot rows so the block
+				// stays in reduced form.
+				for _, p := range pivots {
+					if m.Get(p.row, c) {
+						m.AddRowTo(newRow, p.row)
+					}
+				}
+				pivots = append(pivots, pivot{newRow, c})
+			}
+			c++
+		}
+		if len(pivots) == 0 {
+			break
+		}
+		// Build the combination table: table[mask] = XOR of pivot rows whose
+		// bit is set in mask. Built incrementally (Gray-code style) so each
+		// entry costs one row XOR.
+		nComb := 1 << len(pivots)
+		table := make([][]uint64, nComb)
+		table[0] = make([]uint64, m.stride)
+		for mask := 1; mask < nComb; mask++ {
+			low := bits.TrailingZeros(uint(mask))
+			prev := table[mask&(mask-1)]
+			row := make([]uint64, m.stride)
+			pr := m.Row(pivots[low].row)
+			for w := range row {
+				row[w] = prev[w] ^ pr[w]
+			}
+			table[mask] = row
+		}
+		// Reduce every non-pivot row: read its bits at the pivot columns to
+		// form the table index, then XOR the combination in.
+		for r := 0; r < m.rows; r++ {
+			inBlock := false
+			for _, p := range pivots {
+				if r == p.row {
+					inBlock = true
+					break
+				}
+			}
+			if inBlock {
+				continue
+			}
+			mask := 0
+			for i, p := range pivots {
+				if m.Get(r, p.col) {
+					mask |= 1 << i
+				}
+			}
+			if mask == 0 {
+				continue
+			}
+			row := m.Row(r)
+			comb := table[mask]
+			for w := range row {
+				row[w] ^= comb[w]
+			}
+		}
+		rank += len(pivots)
+		col = c
+	}
+	// The pivot gathering above can leave rows unsorted by leading column
+	// when a round spans a zero column; finish with a compaction pass that
+	// restores canonical RREF row order.
+	m.sortRowsByLeading()
+	return rank
+}
+
+// sortRowsByLeading reorders rows so leading columns are strictly
+// increasing, with zero rows last. Rows in RREF are unique per leading
+// column, so a counting placement suffices.
+func (m *Matrix) sortRowsByLeading() {
+	type rowLead struct{ row, lead int }
+	leads := make([]rowLead, m.rows)
+	for r := 0; r < m.rows; r++ {
+		l := m.LeadingCol(r)
+		if l < 0 {
+			l = m.cols
+		}
+		leads[r] = rowLead{r, l}
+	}
+	// Insertion sort on the lead column; matrices here are small enough and
+	// usually nearly sorted already.
+	for i := 1; i < len(leads); i++ {
+		for j := i; j > 0 && leads[j].lead < leads[j-1].lead; j-- {
+			leads[j], leads[j-1] = leads[j-1], leads[j]
+			m.SwapRows(leads[j].row, leads[j-1].row)
+			leads[j].row, leads[j-1].row = leads[j-1].row, leads[j].row
+		}
+	}
+}
+
+// NullSpace returns a basis of the right null space of m: every returned
+// vector v (length Cols) satisfies m·v = 0. The basis vectors are packed
+// bit vectors in the same layout as matrix rows.
+func (m *Matrix) NullSpace() []*Matrix {
+	r := m.Clone()
+	r.RREF()
+	// Identify pivot columns.
+	pivotCol := make([]int, 0, m.rows)
+	isPivot := make([]bool, m.cols)
+	for row := 0; row < r.rows; row++ {
+		c := r.LeadingCol(row)
+		if c < 0 {
+			break
+		}
+		pivotCol = append(pivotCol, c)
+		isPivot[c] = true
+	}
+	var basis []*Matrix
+	for free := 0; free < m.cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		v := NewMatrix(1, m.cols)
+		v.Set(0, free, true)
+		for row, pc := range pivotCol {
+			if r.Get(row, free) {
+				v.Set(0, pc, true)
+			}
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+// Solve finds one solution x to m·x = b, where b is a column vector given
+// as a packed bit slice of length Rows. It returns (x, true) on success and
+// (nil, false) if the system is inconsistent. Free variables are set to 0.
+func (m *Matrix) Solve(b []bool) ([]bool, bool) {
+	if len(b) != m.rows {
+		panic("gf2: Solve rhs length mismatch")
+	}
+	// Build the augmented matrix [m | b].
+	aug := NewMatrix(m.rows, m.cols+1)
+	for r := 0; r < m.rows; r++ {
+		copy(aug.Row(r), m.Row(r))
+		// The copy above may smear bits of the old last partial word into
+		// the augmented column region only if cols%64 leaves room; clear
+		// and re-set the augmented bit explicitly.
+		aug.Set(r, m.cols, b[r])
+	}
+	aug.RREF()
+	x := make([]bool, m.cols)
+	for r := 0; r < aug.rows; r++ {
+		lead := aug.LeadingCol(r)
+		if lead < 0 {
+			break
+		}
+		if lead == m.cols {
+			return nil, false // row 0...0 | 1: inconsistent
+		}
+		x[lead] = aug.Get(r, m.cols)
+	}
+	return x, true
+}

@@ -1,0 +1,262 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func isRREF(t *testing.T, m *Matrix) {
+	t.Helper()
+	lastLead := -1
+	sawZero := false
+	for r := 0; r < m.Rows(); r++ {
+		lead := m.LeadingCol(r)
+		if lead < 0 {
+			sawZero = true
+			continue
+		}
+		if sawZero {
+			t.Fatalf("nonzero row %d after a zero row", r)
+		}
+		if lead <= lastLead {
+			t.Fatalf("row %d leading col %d not increasing (prev %d)", r, lead, lastLead)
+		}
+		lastLead = lead
+		// Pivot column must be zero in every other row.
+		for r2 := 0; r2 < m.Rows(); r2++ {
+			if r2 != r && m.Get(r2, lead) {
+				t.Fatalf("pivot column %d has extra bit in row %d", lead, r2)
+			}
+		}
+	}
+}
+
+func TestRREFSmallKnown(t *testing.T) {
+	// [1 1 0]      [1 0 1]
+	// [0 1 1]  ->  [0 1 1]
+	// [1 0 1]      [0 0 0]
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, true)
+	m.Set(0, 1, true)
+	m.Set(1, 1, true)
+	m.Set(1, 2, true)
+	m.Set(2, 0, true)
+	m.Set(2, 2, true)
+	rank := m.RREF()
+	if rank != 2 {
+		t.Fatalf("rank = %d, want 2", rank)
+	}
+	want := "101\n011\n000"
+	if got := m.String(); got != want {
+		t.Fatalf("RREF =\n%s\nwant\n%s", got, want)
+	}
+	isRREF(t, m)
+}
+
+func TestRREFIdentity(t *testing.T) {
+	m := Identity(20)
+	if rank := m.RREF(); rank != 20 {
+		t.Fatalf("rank of identity = %d", rank)
+	}
+	if !m.Equal(Identity(20)) {
+		t.Fatal("RREF of identity changed it")
+	}
+}
+
+func TestRREFZeroMatrix(t *testing.T) {
+	m := NewMatrix(4, 9)
+	if rank := m.RREF(); rank != 0 {
+		t.Fatalf("rank of zero = %d", rank)
+	}
+}
+
+func TestRREFProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		rows, cols := 1+rng.Intn(40), 1+rng.Intn(90)
+		m := randomMatrix(rng, rows, cols)
+		orig := m.Clone()
+		rank := m.RREF()
+		isRREF(t, m)
+		if rank < 0 || rank > rows || rank > cols {
+			t.Fatalf("rank %d out of range", rank)
+		}
+		// Row spaces must agree: each RREF row must be reducible to zero by
+		// the original matrix's RREF, and vice versa. Cheap check: ranks of
+		// stacked matrices equal individual ranks.
+		stack := NewMatrix(rows*2, cols)
+		for r := 0; r < rows; r++ {
+			copy(stack.Row(r), orig.Row(r))
+			copy(stack.Row(rows+r), m.Row(r))
+		}
+		if sr := stack.RREF(); sr != rank {
+			t.Fatalf("row space changed: stacked rank %d != %d", sr, rank)
+		}
+	}
+}
+
+func TestM4RMatchesPlainGJE(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		rows, cols := 1+rng.Intn(60), 1+rng.Intn(130)
+		m := randomMatrix(rng, rows, cols)
+		a, b := m.Clone(), m.Clone()
+		ra := a.RREF()
+		rb := b.RREFM4R()
+		if ra != rb {
+			t.Fatalf("trial %d: rank mismatch plain=%d m4r=%d", trial, ra, rb)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("trial %d: RREF differs between plain GJE and M4R:\n%s\n--\n%s", trial, a, b)
+		}
+	}
+}
+
+func TestM4RSparseAndStructured(t *testing.T) {
+	// Structured cases that exercise the block edges: staircases, repeated
+	// rows, zero columns between pivots.
+	m := NewMatrix(6, 10)
+	for i := 0; i < 5; i++ {
+		m.Set(i, 2*i, true)
+		m.Set(i, 2*i+1, true)
+	}
+	m.AddRowTo(0, 5) // duplicate of row 0
+	a, b := m.Clone(), m.Clone()
+	if ra, rb := a.RREF(), b.RREFM4R(); ra != rb || !a.Equal(b) {
+		t.Fatalf("structured case mismatch: ranks %d vs %d\n%s\n--\n%s", ra, rb, a, b)
+	}
+}
+
+func TestRankDoesNotMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randomMatrix(rng, 10, 10)
+	c := m.Clone()
+	_ = m.Rank()
+	if !m.Equal(c) {
+		t.Fatal("Rank mutated the matrix")
+	}
+}
+
+func TestNullSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(40)
+		m := randomMatrix(rng, rows, cols)
+		rank := m.Rank()
+		basis := m.NullSpace()
+		if len(basis) != cols-rank {
+			t.Fatalf("nullity = %d, want %d", len(basis), cols-rank)
+		}
+		// Every basis vector must be annihilated by m.
+		for _, v := range basis {
+			prod := m.Mul(v.Transpose())
+			for r := 0; r < prod.Rows(); r++ {
+				if !prod.RowIsZero(r) {
+					t.Fatal("null space vector not annihilated")
+				}
+			}
+		}
+		// Basis vectors must be linearly independent.
+		if len(basis) > 0 {
+			stack := NewMatrix(len(basis), cols)
+			for i, v := range basis {
+				copy(stack.Row(i), v.Row(0))
+			}
+			if stack.Rank() != len(basis) {
+				t.Fatal("null space basis not independent")
+			}
+		}
+	}
+}
+
+func TestSolveConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randomMatrix(rng, rows, cols)
+		// Construct b = m·x0 for a random x0, so the system is consistent.
+		x0 := make([]bool, cols)
+		for i := range x0 {
+			x0[i] = rng.Intn(2) == 1
+		}
+		b := make([]bool, rows)
+		for r := 0; r < rows; r++ {
+			v := false
+			for c := 0; c < cols; c++ {
+				v = v != (m.Get(r, c) && x0[c])
+			}
+			b[r] = v
+		}
+		x, ok := m.Solve(b)
+		if !ok {
+			t.Fatal("consistent system reported unsolvable")
+		}
+		for r := 0; r < rows; r++ {
+			v := false
+			for c := 0; c < cols; c++ {
+				v = v != (m.Get(r, c) && x[c])
+			}
+			if v != b[r] {
+				t.Fatalf("solution does not satisfy row %d", r)
+			}
+		}
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// x + y = 0, x + y = 1 has no solution.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, true)
+	m.Set(0, 1, true)
+	m.Set(1, 0, true)
+	m.Set(1, 1, true)
+	if _, ok := m.Solve([]bool{false, true}); ok {
+		t.Fatal("inconsistent system reported solvable")
+	}
+}
+
+// Property: rank(A) == rank(Aᵀ).
+func TestQuickRankTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(25), 1+rng.Intn(25))
+		return m.Rank() == m.Transpose().Rank()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RREF is idempotent.
+func TestQuickRREFIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(25), 1+rng.Intn(50))
+		m.RREF()
+		c := m.Clone()
+		c.RREF()
+		return c.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRREFPlain(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	m := randomMatrix(rng, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Clone().RREF()
+	}
+}
+
+func BenchmarkRREFM4R(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	m := randomMatrix(rng, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Clone().RREFM4R()
+	}
+}

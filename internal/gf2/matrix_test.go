@@ -1,0 +1,205 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZero(t *testing.T) {
+	m := NewMatrix(3, 130)
+	if m.Rows() != 3 || m.Cols() != 130 {
+		t.Fatalf("dimensions = %dx%d, want 3x130", m.Rows(), m.Cols())
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 130; c++ {
+			if m.Get(r, c) {
+				t.Fatalf("new matrix has bit set at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	m := NewMatrix(2, 70)
+	m.Set(0, 0, true)
+	m.Set(0, 63, true)
+	m.Set(1, 64, true)
+	m.Set(1, 69, true)
+	if !m.Get(0, 0) || !m.Get(0, 63) || !m.Get(1, 64) || !m.Get(1, 69) {
+		t.Fatal("Set/Get failed at word boundaries")
+	}
+	m.Set(0, 63, false)
+	if m.Get(0, 63) {
+		t.Fatal("Set false did not clear the bit")
+	}
+	m.Flip(0, 5)
+	if !m.Get(0, 5) {
+		t.Fatal("Flip did not set")
+	}
+	m.Flip(0, 5)
+	if m.Get(0, 5) {
+		t.Fatal("Flip did not clear")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, fn := range []func(){
+		func() { m.Get(2, 0) },
+		func() { m.Get(0, 2) },
+		func() { m.Get(-1, 0) },
+		func() { m.Set(0, -1, true) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSwapAddRows(t *testing.T) {
+	m := NewMatrix(2, 100)
+	m.Set(0, 3, true)
+	m.Set(0, 99, true)
+	m.Set(1, 3, true)
+	m.SwapRows(0, 1)
+	if !m.Get(1, 99) || !m.Get(0, 3) || m.Get(0, 99) {
+		t.Fatal("SwapRows wrong")
+	}
+	m.AddRowTo(0, 1) // row1 ^= row0: bit 3 cancels
+	if m.Get(1, 3) || !m.Get(1, 99) {
+		t.Fatal("AddRowTo wrong")
+	}
+}
+
+func TestLeadingColAndPopCount(t *testing.T) {
+	m := NewMatrix(3, 200)
+	if m.LeadingCol(0) != -1 {
+		t.Fatal("zero row should have leading col -1")
+	}
+	m.Set(0, 130, true)
+	m.Set(0, 199, true)
+	if got := m.LeadingCol(0); got != 130 {
+		t.Fatalf("LeadingCol = %d, want 130", got)
+	}
+	if got := m.PopCountRow(0); got != 2 {
+		t.Fatalf("PopCountRow = %d, want 2", got)
+	}
+	if !m.RowIsZero(1) || m.RowIsZero(0) {
+		t.Fatal("RowIsZero wrong")
+	}
+}
+
+func TestIdentityAndEqual(t *testing.T) {
+	i := Identity(5)
+	if !i.Equal(i.Clone()) {
+		t.Fatal("clone not equal")
+	}
+	j := Identity(5)
+	j.Flip(2, 3)
+	if i.Equal(j) {
+		t.Fatal("unequal matrices reported equal")
+	}
+	if i.Equal(NewMatrix(5, 6)) {
+		t.Fatal("dimension mismatch reported equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, true)
+	m.Set(1, 2, true)
+	want := "010\n001"
+	if got := m.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Intn(2) == 1 {
+				m.Set(r, c, true)
+			}
+		}
+	}
+	return m
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 7, 9)
+	if !m.Mul(Identity(9)).Equal(m) {
+		t.Fatal("m·I != m")
+	}
+	if !Identity(7).Mul(m).Equal(m) {
+		t.Fatal("I·m != m")
+	}
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		a := randomMatrix(rng, 1+rng.Intn(10), 1+rng.Intn(70))
+		b := randomMatrix(rng, a.Cols(), 1+rng.Intn(70))
+		got := a.Mul(b)
+		for r := 0; r < a.Rows(); r++ {
+			for c := 0; c < b.Cols(); c++ {
+				want := false
+				for k := 0; k < a.Cols(); k++ {
+					want = want != (a.Get(r, k) && b.Get(k, c))
+				}
+				if got.Get(r, c) != want {
+					t.Fatalf("trial %d: product bit (%d,%d) = %v, want %v", trial, r, c, got.Get(r, c), want)
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(rng, 13, 67)
+	tt := m.Transpose().Transpose()
+	if !tt.Equal(m) {
+		t.Fatal("transpose twice is not identity")
+	}
+	tr := m.Transpose()
+	for r := 0; r < m.Rows(); r++ {
+		for c := 0; c < m.Cols(); c++ {
+			if m.Get(r, c) != tr.Get(c, r) {
+				t.Fatal("transpose bit mismatch")
+			}
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(4, 2))
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ over GF(2).
+func TestQuickTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 1+rng.Intn(12), 1+rng.Intn(12))
+		b := randomMatrix(rng, a.Cols(), 1+rng.Intn(12))
+		lhs := a.Mul(b).Transpose()
+		rhs := b.Transpose().Mul(a.Transpose())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package gf2
+
+// MulM4R returns the product m·o using the Method of the Four Russians
+// (M4RM) — the algorithm the M4RI library is named after. The columns of m
+// are processed in strips of k bits; for each strip a 2^k-entry table of
+// GF(2) combinations of the corresponding k rows of o is built Gray-code
+// style (one row XOR per entry), after which every row of the product
+// needs only one table lookup and one word-parallel XOR per strip, for an
+// O(n³ / log n) total.
+func (m *Matrix) MulM4R(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic("gf2: dimension mismatch in MulM4R")
+	}
+	p := NewMatrix(m.rows, o.cols)
+	if m.cols == 0 || o.cols == 0 || m.rows == 0 {
+		return p
+	}
+	k := m4rK(m.cols, o.cols)
+	table := make([][]uint64, 1<<uint(k))
+	for strip := 0; strip < m.cols; strip += k {
+		kk := k
+		if strip+kk > m.cols {
+			kk = m.cols - strip
+		}
+		n := 1 << uint(kk)
+		// Build the combination table over rows strip..strip+kk-1 of o.
+		table[0] = make([]uint64, o.stride)
+		for i := range table[0] {
+			table[0][i] = 0
+		}
+		for mask := 1; mask < n; mask++ {
+			low := trailingZeroBit(mask)
+			prev := table[mask&(mask-1)]
+			row := make([]uint64, o.stride)
+			src := o.Row(strip + low)
+			for w := range row {
+				row[w] = prev[w] ^ src[w]
+			}
+			table[mask] = row
+		}
+		for r := 0; r < m.rows; r++ {
+			idx := m.extractBits(r, strip, kk)
+			if idx == 0 {
+				continue
+			}
+			dst := p.Row(r)
+			comb := table[idx]
+			for w := range dst {
+				dst[w] ^= comb[w]
+			}
+		}
+	}
+	return p
+}
+
+// extractBits reads kk bits of row r starting at column c as an integer
+// (bit 0 = column c).
+func (m *Matrix) extractBits(r, c, kk int) int {
+	row := m.Row(r)
+	w := c / wordBits
+	off := uint(c % wordBits)
+	v := row[w] >> off
+	if off+uint(kk) > wordBits && w+1 < len(row) {
+		v |= row[w+1] << (wordBits - off)
+	}
+	return int(v & (1<<uint(kk) - 1))
+}
+
+func trailingZeroBit(x int) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

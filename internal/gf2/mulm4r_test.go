@@ -1,0 +1,84 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulM4RMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		a := randomMatrix(rng, 1+rng.Intn(40), 1+rng.Intn(100))
+		b := randomMatrix(rng, a.Cols(), 1+rng.Intn(100))
+		want := a.Mul(b)
+		got := a.MulM4R(b)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: MulM4R differs from Mul (%dx%d · %dx%d)",
+				trial, a.Rows(), a.Cols(), b.Rows(), b.Cols())
+		}
+	}
+}
+
+func TestMulM4REdgeShapes(t *testing.T) {
+	// Word-boundary-straddling strips and degenerate shapes.
+	for _, dims := range [][3]int{{1, 64, 1}, {3, 65, 2}, {5, 127, 129}, {2, 128, 64}, {7, 63, 65}} {
+		rng := rand.New(rand.NewSource(int64(dims[1])))
+		a := randomMatrix(rng, dims[0], dims[1])
+		b := randomMatrix(rng, dims[1], dims[2])
+		if !a.MulM4R(b).Equal(a.Mul(b)) {
+			t.Fatalf("mismatch at dims %v", dims)
+		}
+	}
+}
+
+func TestMulM4RIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(rng, 20, 77)
+	if !m.MulM4R(Identity(77)).Equal(m) {
+		t.Fatal("m·I != m via M4R")
+	}
+}
+
+func TestMulM4RDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	NewMatrix(2, 3).MulM4R(NewMatrix(4, 5))
+}
+
+// Property: (A·B)·C == A·(B·C) with mixed kernels.
+func TestQuickMulM4RAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 1+rng.Intn(12), 1+rng.Intn(12))
+		b := randomMatrix(rng, a.Cols(), 1+rng.Intn(12))
+		c := randomMatrix(rng, b.Cols(), 1+rng.Intn(12))
+		return a.MulM4R(b).Mul(c).Equal(a.Mul(b.MulM4R(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMulPlain(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randomMatrix(rng, 512, 512)
+	y := randomMatrix(rng, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}
+
+func BenchmarkMulM4R(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randomMatrix(rng, 512, 512)
+	y := randomMatrix(rng, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MulM4R(y)
+	}
+}

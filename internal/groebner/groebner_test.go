@@ -1,0 +1,134 @@
+package groebner
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/anf"
+	"repro/internal/ciphers/sr"
+)
+
+func sysFrom(t *testing.T, src string) *anf.System {
+	t.Helper()
+	sys, err := anf.ReadSystem(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBasisSimpleSolved(t *testing.T) {
+	// x0 + 1, x0*x1 + x1 -> basis should fix x0 = 1 and make x1 free
+	// (x0*x1+x1 reduces to 0 under x0=1).
+	sys := sysFrom(t, "x0 + 1\nx0*x1 + x1\n")
+	res := Basis(sys, DefaultOptions())
+	if !res.Complete || res.Contradiction {
+		t.Fatalf("result: %v", res)
+	}
+	if len(res.Basis) != 1 || !res.Basis[0].Equal(anf.MustParsePoly("x0 + 1")) {
+		t.Fatalf("basis = %v", res.Basis)
+	}
+}
+
+func TestBasisDetectsUnsat(t *testing.T) {
+	sys := sysFrom(t, "x0\nx0 + 1\n")
+	res := Basis(sys, DefaultOptions())
+	if !res.Contradiction {
+		t.Fatalf("1 not found in ideal: %v", res)
+	}
+	if unsat, decided := IsUnsat(sys, DefaultOptions()); !unsat || !decided {
+		t.Fatal("IsUnsat disagreed")
+	}
+}
+
+func TestBasisHiddenUnsat(t *testing.T) {
+	// UNSAT only via multiplication: x0*x1 + 1 (both must be 1) together
+	// with x0 + x1 + 1 (exactly one is 1).
+	sys := sysFrom(t, "x0*x1 + 1\nx0 + x1 + 1\n")
+	res := Basis(sys, DefaultOptions())
+	if !res.Contradiction {
+		t.Fatalf("hidden contradiction missed: %v", res)
+	}
+}
+
+// Basis polynomials must vanish on every solution of the input system.
+func TestBasisSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		nVars := 3 + rng.Intn(4)
+		sys := anf.NewSystem()
+		sys.SetNumVars(nVars)
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			var monos []anf.Monomial
+			for j := 0; j <= rng.Intn(3); j++ {
+				var vs []anf.Var
+				for d := 0; d < rng.Intn(3); d++ {
+					vs = append(vs, anf.Var(rng.Intn(nVars)))
+				}
+				monos = append(monos, anf.NewMonomial(vs...))
+			}
+			sys.Add(anf.FromMonomials(monos...))
+		}
+		res := Basis(sys, DefaultOptions())
+		if !res.Complete {
+			continue
+		}
+		hasSolution := false
+		for mask := uint32(0); mask < 1<<uint(nVars); mask++ {
+			assign := func(v anf.Var) bool { return mask>>uint(v)&1 == 1 }
+			if !sys.Eval(assign) {
+				continue
+			}
+			hasSolution = true
+			for _, g := range res.Basis {
+				if g.Eval(assign) {
+					t.Fatalf("trial %d: basis element %s violated by solution", trial, g)
+				}
+			}
+		}
+		if !hasSolution && !res.Contradiction {
+			// A complete basis of an UNSAT system must contain 1.
+			t.Fatalf("trial %d: UNSAT system but no contradiction in complete basis %v", trial, res.Basis)
+		}
+		if hasSolution && res.Contradiction {
+			t.Fatalf("trial %d: SAT system declared UNSAT", trial)
+		}
+	}
+}
+
+// TestBudgetBlowUpOnSR reproduces the paper's M4GB observation: on a
+// small-scale AES instance, the Gröbner computation exhausts a modest
+// work budget rather than completing.
+func TestBudgetBlowUpOnSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := sr.GenerateInstance(sr.Params{N: 1, R: 2, C: 2, E: 4}, rng)
+	opts := Options{MaxBasis: 2000, MaxTerms: 20000, MaxReductions: 3000}
+	res := Basis(inst.Sys, opts)
+	if res.Complete {
+		t.Skip("tiny SR instance completed within budget; acceptable")
+	}
+	if res.PeakTerms == 0 {
+		t.Fatal("no work recorded")
+	}
+	t.Logf("budget exhausted as expected: %v", res)
+}
+
+func TestLinearSystemBasis(t *testing.T) {
+	// Purely linear systems always complete quickly and triangularize.
+	sys := sysFrom(t, "x0 + x1\nx1 + x2\nx2 + 1\n")
+	res := Basis(sys, DefaultOptions())
+	if !res.Complete || res.Contradiction {
+		t.Fatalf("linear basis failed: %v", res)
+	}
+	// All three variables pinned to 1: basis must force x0=x1=x2=1.
+	assign := func(v anf.Var) bool { return true }
+	for _, g := range res.Basis {
+		if g.Eval(assign) {
+			t.Fatalf("basis element %s violated by the solution", g)
+		}
+	}
+	if len(res.Basis) != 3 {
+		t.Fatalf("basis size = %d, want 3", len(res.Basis))
+	}
+}

@@ -1,0 +1,152 @@
+package minimize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// coverExact verifies the cubes cover exactly the onset within n variables.
+func coverExact(t *testing.T, n int, onset []uint32, cubes []Cube) {
+	t.Helper()
+	inOn := map[uint32]bool{}
+	for _, m := range onset {
+		inOn[m] = true
+	}
+	for m := uint32(0); m < 1<<uint(n); m++ {
+		covered := false
+		for _, c := range cubes {
+			if c.Covers(m) {
+				covered = true
+				break
+			}
+		}
+		if covered != inOn[m] {
+			t.Fatalf("minterm %0*b: covered=%v, onset=%v (cubes %v)", n, m, covered, inOn[m], cubes)
+		}
+	}
+}
+
+func TestMinimizeEmpty(t *testing.T) {
+	if got := Minimize(3, nil); got != nil {
+		t.Fatalf("empty onset gave %v", got)
+	}
+}
+
+func TestMinimizeConstantOne(t *testing.T) {
+	onset := []uint32{0, 1, 2, 3}
+	cubes := Minimize(2, onset)
+	if len(cubes) != 1 || cubes[0].Mask != 0 {
+		t.Fatalf("constant-1 gave %v", cubes)
+	}
+}
+
+func TestMinimizeSingleMinterm(t *testing.T) {
+	cubes := Minimize(3, []uint32{0b101})
+	if len(cubes) != 1 || cubes[0].Mask != 0b111 || cubes[0].Val != 0b101 {
+		t.Fatalf("single minterm gave %v", cubes)
+	}
+	coverExact(t, 3, []uint32{0b101}, cubes)
+}
+
+func TestMinimizeClassic(t *testing.T) {
+	// f(a,b,c) with onset {0,1,2,5,6,7}: the classic QM example minimizes
+	// to 3 cubes or fewer.
+	onset := []uint32{0, 1, 2, 5, 6, 7}
+	cubes := Minimize(3, onset)
+	coverExact(t, 3, onset, cubes)
+	if len(cubes) > 3 {
+		t.Fatalf("classic example needed %d cubes: %v", len(cubes), cubes)
+	}
+}
+
+func TestMinimizeXor(t *testing.T) {
+	// XOR has no mergeable minterms: primes are the minterms themselves.
+	onset := []uint32{0b01, 0b10}
+	cubes := Minimize(2, onset)
+	coverExact(t, 2, onset, cubes)
+	if len(cubes) != 2 {
+		t.Fatalf("xor gave %d cubes", len(cubes))
+	}
+}
+
+func TestMintermOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range minterm")
+		}
+	}()
+	Minimize(2, []uint32{7})
+}
+
+func TestCubeString(t *testing.T) {
+	c := Cube{Mask: 0b101, Val: 0b100}
+	if got := c.String(); got != "0-1" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Cube{}).String(); got != "-" {
+		t.Fatalf("empty cube String = %q", got)
+	}
+}
+
+// Property: for random functions over up to 4 variables the result covers
+// exactly the on-set, and is no larger than the on-set.
+func TestQuickMinimizeExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		var onset []uint32
+		for m := uint32(0); m < 1<<uint(n); m++ {
+			if rng.Intn(2) == 1 {
+				onset = append(onset, m)
+			}
+		}
+		cubes := Minimize(n, onset)
+		inOn := map[uint32]bool{}
+		for _, m := range onset {
+			inOn[m] = true
+		}
+		for m := uint32(0); m < 1<<uint(n); m++ {
+			covered := false
+			for _, c := range cubes {
+				if c.Covers(m) {
+					covered = true
+					break
+				}
+			}
+			if covered != inOn[m] {
+				return false
+			}
+		}
+		return len(cubes) <= len(onset)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The adder carry function (majority) minimizes to exactly 3 cubes.
+func TestMinimizeMajority(t *testing.T) {
+	onset := []uint32{0b011, 0b101, 0b110, 0b111}
+	cubes := Minimize(3, onset)
+	coverExact(t, 3, onset, cubes)
+	if len(cubes) != 3 {
+		t.Fatalf("majority gave %d cubes: %v", len(cubes), cubes)
+	}
+}
+
+func TestMinimizeSixVars(t *testing.T) {
+	// A larger structured function: parity of the low two bits OR the top
+	// bit; checks the greedy path on 6 variables.
+	var onset []uint32
+	for m := uint32(0); m < 64; m++ {
+		if (m&1)^(m>>1&1) == 1 || m>>5&1 == 1 {
+			onset = append(onset, m)
+		}
+	}
+	cubes := Minimize(6, onset)
+	coverExact(t, 6, onset, cubes)
+	if len(cubes) > 5 {
+		t.Fatalf("6-var function needed %d cubes", len(cubes))
+	}
+}

@@ -1,0 +1,117 @@
+// Package portfolio runs several differently-configured CDCL solvers on
+// the same formula concurrently and returns the first verdict — the
+// standard parallel-portfolio construction (à la Plingeling, the parallel
+// sibling of the paper's Lingeling column). Each worker gets its own
+// solver instance (solvers are not goroutine-safe) with a distinct
+// profile and seed; the winner's model is returned and the losers are
+// interrupted.
+package portfolio
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// Worker describes one portfolio member.
+type Worker struct {
+	// Name identifies the worker in the result.
+	Name string
+	// Options configures its solver.
+	Options sat.Options
+}
+
+// DefaultWorkers returns the three paper profiles with distinct seeds,
+// plus a randomized-decision MiniSat variant for diversification.
+func DefaultWorkers() []Worker {
+	ms := sat.DefaultOptions(sat.ProfileMiniSat)
+	lg := sat.DefaultOptions(sat.ProfileLingeling)
+	cms := sat.DefaultOptions(sat.ProfileCMS)
+	rnd := sat.DefaultOptions(sat.ProfileMiniSat)
+	rnd.RandomFreq = 0.02
+	rnd.RandomSeed = 0xC0FFEE
+	lg.RandomSeed = 0xBEEF
+	cms.RandomSeed = 0xCAFE
+	return []Worker{
+		{Name: "minisat", Options: ms},
+		{Name: "lingeling", Options: lg},
+		{Name: "cryptominisat", Options: cms},
+		{Name: "minisat-rnd", Options: rnd},
+	}
+}
+
+// Result of a portfolio run.
+type Result struct {
+	// Status is the first verdict (Unknown if every worker exhausted its
+	// budget or the deadline passed).
+	Status sat.Status
+	// Winner names the worker that produced the verdict.
+	Winner string
+	// Model is the satisfying assignment on Sat.
+	Model []bool
+	// Elapsed is the wall-clock time of the run.
+	Elapsed time.Duration
+}
+
+// Solve runs the workers concurrently on (copies of) the formula until
+// the first verdict or the timeout (0 = none).
+func Solve(f *cnf.Formula, workers []Worker, timeout time.Duration) *Result {
+	if len(workers) == 0 {
+		workers = DefaultWorkers()
+	}
+	start := time.Now()
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+
+	type verdict struct {
+		status sat.Status
+		name   string
+		model  []bool
+	}
+	results := make(chan verdict, len(workers))
+	solvers := make([]*sat.Solver, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		s := sat.New(w.Options)
+		ok := s.AddFormula(f.Clone())
+		solvers[i] = s
+		wg.Add(1)
+		go func(name string, s *sat.Solver, trivialUnsat bool) {
+			defer wg.Done()
+			if trivialUnsat {
+				results <- verdict{sat.Unsat, name, nil}
+				return
+			}
+			if !deadline.IsZero() {
+				s.SetDeadline(deadline)
+			}
+			st := s.Solve()
+			var m []bool
+			if st == sat.Sat {
+				m = s.Model()
+			}
+			results <- verdict{st, name, m}
+		}(w.Name, s, !ok)
+	}
+
+	res := &Result{Status: sat.Unknown}
+	for range workers {
+		v := <-results
+		if v.status != sat.Unknown && res.Status == sat.Unknown {
+			res.Status = v.status
+			res.Winner = v.name
+			res.Model = v.model
+			// First verdict: stop everyone else.
+			for _, s := range solvers {
+				s.Interrupt()
+			}
+		}
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,107 @@
+package portfolio
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+	"repro/internal/satgen"
+)
+
+func TestPortfolioSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := satgen.ParityChain(24, 26, 3, true, rng)
+	res := Solve(inst.Formula, nil, 10*time.Second)
+	if res.Status != sat.Sat {
+		t.Fatalf("status %v (winner %s)", res.Status, res.Winner)
+	}
+	if res.Winner == "" {
+		t.Fatal("no winner recorded")
+	}
+	if !inst.Formula.Eval(func(v cnf.Var) bool { return res.Model[v] }) {
+		t.Fatal("winning model does not satisfy the formula")
+	}
+}
+
+func TestPortfolioUnsat(t *testing.T) {
+	inst := satgen.Pigeonhole(7, 6)
+	res := Solve(inst.Formula, nil, 10*time.Second)
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestPortfolioTrivialUnsat(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(cnf.MkLit(0, false))
+	f.AddClause(cnf.MkLit(0, true))
+	res := Solve(f, nil, time.Second)
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestPortfolioTimeout(t *testing.T) {
+	inst := satgen.Pigeonhole(12, 11) // too hard for 150 ms
+	start := time.Now()
+	res := Solve(inst.Formula, nil, 150*time.Millisecond)
+	if res.Status != sat.Unknown {
+		t.Fatalf("status %v", res.Status)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout not honoured")
+	}
+}
+
+func TestPortfolioCustomWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := satgen.RandomKSAT(30, 3, 4.0, rng)
+	workers := []Worker{
+		{Name: "a", Options: sat.DefaultOptions(sat.ProfileMiniSat)},
+		{Name: "b", Options: sat.DefaultOptions(sat.ProfileCMS)},
+	}
+	res := Solve(inst.Formula, workers, 10*time.Second)
+	if res.Status == sat.Unknown {
+		t.Fatal("small instance unsolved")
+	}
+	if res.Winner != "a" && res.Winner != "b" {
+		t.Fatalf("winner %q not a configured worker", res.Winner)
+	}
+}
+
+// All workers must agree; run several instances and cross-check against a
+// single reference solver.
+func TestPortfolioAgreesWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		inst := satgen.RandomKSAT(24, 3, 4.26, rng)
+		ref := sat.New(sat.DefaultOptions(sat.ProfileMiniSat))
+		ref.AddFormula(inst.Formula)
+		want := ref.Solve()
+		res := Solve(inst.Formula, nil, 30*time.Second)
+		if res.Status != want {
+			t.Fatalf("trial %d: portfolio %v, reference %v", trial, res.Status, want)
+		}
+	}
+}
+
+func TestInterruptLatency(t *testing.T) {
+	// Interrupting a hard solve must return promptly.
+	inst := satgen.Pigeonhole(12, 11)
+	s := sat.New(sat.DefaultOptions(sat.ProfileMiniSat))
+	s.AddFormula(inst.Formula)
+	done := make(chan sat.Status, 1)
+	go func() { done <- s.Solve() }()
+	time.Sleep(50 * time.Millisecond)
+	s.Interrupt()
+	select {
+	case st := <-done:
+		if st != sat.Unknown {
+			t.Fatalf("interrupted solve returned %v", st)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("interrupt did not stop the solver")
+	}
+}

@@ -1,0 +1,151 @@
+package sat
+
+import "repro/internal/cnf"
+
+// analyze performs first-UIP conflict analysis. It returns the learnt
+// clause (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(conf *clause) ([]cnf.Lit, int) {
+	learnt := s.analyzeBuf[:0]
+	learnt = append(learnt, 0) // slot for the asserting literal
+	var p cnf.Lit
+	havePathLit := false
+	pathCount := 0
+	index := len(s.trail) - 1
+
+	c := conf
+	for {
+		for _, q := range c.lits {
+			if havePathLit && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] == 1 || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = 1
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				pathCount++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		// Select next literal to expand: walk the trail backwards to the
+		// most recent seen variable.
+		for s.seen[s.trail[index].Var()] == 0 {
+			index--
+		}
+		p = s.trail[index]
+		havePathLit = true
+		index--
+		v := p.Var()
+		s.seen[v] = 0
+		pathCount--
+		if pathCount == 0 {
+			break
+		}
+		c = s.reason[v]
+		if c == nil {
+			panic("sat: decision variable reached during analysis with open paths")
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimization: drop literals whose reason is covered by the
+	// rest of the clause (local/self-subsuming minimization).
+	original := append([]cnf.Lit(nil), learnt...)
+	for _, l := range learnt[1:] {
+		s.seen[l.Var()] = 1
+	}
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if s.reason[l.Var()] == nil || !s.litRedundant(l) {
+			out = append(out, l)
+		}
+	}
+	learnt = out
+
+	// Find the backtrack level: the second-highest level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxIdx := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxIdx].Var()] {
+				maxIdx = i
+			}
+		}
+		learnt[1], learnt[maxIdx] = learnt[maxIdx], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+
+	// Clear seen flags, including those of literals dropped during
+	// minimization.
+	for _, l := range original {
+		s.seen[l.Var()] = 0
+	}
+	s.analyzeBuf = learnt[:0]
+	result := append([]cnf.Lit(nil), learnt...)
+	return result, btLevel
+}
+
+// litRedundant reports whether literal l in a learnt clause is implied by
+// the other clause literals: every literal in its reason chain is either
+// seen or at level 0. Conservative one-level check (MiniSat's "basic"
+// ccmin mode) — it never recurses past unseen antecedents.
+func (s *Solver) litRedundant(l cnf.Lit) bool {
+	r := s.reason[l.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if s.level[q.Var()] == 0 {
+			continue
+		}
+		if s.seen[q.Var()] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// recordLearnt installs a learnt clause produced by analyze and enqueues
+// its asserting literal. Must be called after backtracking to the level
+// returned by analyze.
+func (s *Solver) recordLearnt(lits []cnf.Lit) {
+	switch len(lits) {
+	case 0:
+		s.ok = false
+	case 1:
+		if !s.enqueue(lits[0], nil) {
+			s.ok = false
+		}
+	default:
+		c := &clause{lits: append([]cnf.Lit(nil), lits...), learnt: true}
+		c.lbd = s.computeLBD(c.lits)
+		s.learnts = append(s.learnts, c)
+		s.attach(c)
+		s.bumpClause(c)
+		if len(lits) == 2 {
+			s.learntBinaries = append(s.learntBinaries, append(cnf.Clause(nil), lits...))
+		}
+		if !s.enqueue(lits[0], c) {
+			panic("sat: asserting literal not enqueueable")
+		}
+	}
+}
+
+// computeLBD returns the number of distinct decision levels in the clause
+// (literal block distance, the glucose clause-quality measure).
+func (s *Solver) computeLBD(lits []cnf.Lit) int {
+	levels := map[int32]struct{}{}
+	for _, l := range lits {
+		levels[s.level[l.Var()]] = struct{}{}
+	}
+	return len(levels)
+}

@@ -1,0 +1,84 @@
+package sat
+
+import "repro/internal/cnf"
+
+// SolveAssuming solves under the given assumption literals, MiniSat-style:
+// assumptions are asserted as the first decisions and never learnt as
+// permanent facts. The solver object stays reusable afterwards.
+//
+// On Unsat, FailedAssumptions reports whether the refutation depends on
+// the assumptions: a non-empty set means the formula itself may still be
+// satisfiable under other assumptions (Okay() stays true in that case).
+func (s *Solver) SolveAssuming(assumptions []cnf.Lit, conflictBudget int64) Status {
+	for _, l := range assumptions {
+		s.ensureVars(int(l.Var()) + 1)
+	}
+	s.assumptions = append(s.assumptions[:0], assumptions...)
+	s.failedAssumps = nil
+	st := s.SolveLimited(conflictBudget)
+	s.assumptions = s.assumptions[:0]
+	return st
+}
+
+// FailedAssumptions returns, after an Unsat result from SolveAssuming, a
+// subset of the assumptions that together are inconsistent with the
+// formula (the "final conflict clause" negated). Empty when the formula
+// is unsatisfiable outright.
+func (s *Solver) FailedAssumptions() []cnf.Lit {
+	return append([]cnf.Lit(nil), s.failedAssumps...)
+}
+
+// assumeNext establishes pending assumption levels. It returns the next
+// decision literal (or litUndef to fall through to VSIDS), and false when
+// an assumption is already falsified — the under-assumptions UNSAT case.
+func (s *Solver) assumeNext() (cnf.Lit, bool) {
+	for s.decisionLevel() < len(s.assumptions) {
+		p := s.assumptions[s.decisionLevel()]
+		switch s.valueLit(p) {
+		case lTrue:
+			// Already satisfied: open an empty pseudo-level so the
+			// level-to-assumption correspondence stays intact.
+			s.trailLim = append(s.trailLim, len(s.trail))
+		case lFalse:
+			s.failedAssumps = s.analyzeFinal(p)
+			return litUndef, false
+		default:
+			return p, true
+		}
+	}
+	return litUndef, true
+}
+
+// analyzeFinal computes the subset of assumptions responsible for the
+// falsification of assumption p, by walking the implication graph of ¬p
+// back to decision (assumption) literals.
+func (s *Solver) analyzeFinal(p cnf.Lit) []cnf.Lit {
+	out := []cnf.Lit{p}
+	if s.decisionLevel() == 0 {
+		return out
+	}
+	s.seen[p.Var()] = 1
+	bottom := s.trailLim[0]
+	for i := len(s.trail) - 1; i >= bottom; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil {
+			// A decision — under assumption solving these are exactly the
+			// assumption literals.
+			if v != p.Var() {
+				out = append(out, s.trail[i])
+			}
+		} else {
+			for _, q := range s.reason[v].lits {
+				if q.Var() != v && s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+	return out
+}

@@ -1,0 +1,150 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestSolveAssumingBasic(t *testing.T) {
+	s := NewDefault()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, false)) // a ∨ b
+	if st := s.SolveAssuming([]cnf.Lit{cnf.MkLit(a, true)}, -1); st != Sat {
+		t.Fatalf("¬a assumption: %v", st)
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Fatal("model should have a=0, b=1")
+	}
+	// The solver is reusable and unconstrained afterwards.
+	if st := s.SolveAssuming([]cnf.Lit{cnf.MkLit(a, false)}, -1); st != Sat {
+		t.Fatalf("a assumption: %v", st)
+	}
+	if !s.Value(a) {
+		t.Fatal("assumption a not honoured")
+	}
+}
+
+func TestSolveAssumingUnsatUnderAssumptions(t *testing.T) {
+	s := NewDefault()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, false))
+	// Assume ¬a and ¬b: contradiction with the clause, but the formula
+	// itself stays satisfiable.
+	st := s.SolveAssuming([]cnf.Lit{cnf.MkLit(a, true), cnf.MkLit(b, true)}, -1)
+	if st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.Okay() {
+		t.Fatal("solver wrongly marked globally UNSAT")
+	}
+	failed := s.FailedAssumptions()
+	if len(failed) == 0 {
+		t.Fatal("no failed assumption set")
+	}
+	// And without assumptions it is still SAT.
+	if s.Solve() != Sat {
+		t.Fatal("formula should be SAT without assumptions")
+	}
+}
+
+func TestSolveAssumingGlobalUnsat(t *testing.T) {
+	s := NewDefault()
+	a := s.NewVar()
+	s.AddClause(cnf.MkLit(a, false))
+	s.AddClause(cnf.MkLit(a, true))
+	if st := s.SolveAssuming(nil, -1); st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+	if s.Okay() {
+		t.Fatal("globally UNSAT formula left Okay")
+	}
+}
+
+func TestFailedAssumptionsMinimalish(t *testing.T) {
+	// Clauses: (¬a1 ∨ ¬a2); a3 independent. Assuming a1, a2, a3 fails, and
+	// the failed set must not be forced to include a3.
+	s := NewDefault()
+	a1, a2, a3 := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a1, true), cnf.MkLit(a2, true))
+	st := s.SolveAssuming([]cnf.Lit{
+		cnf.MkLit(a1, false), cnf.MkLit(a2, false), cnf.MkLit(a3, false),
+	}, -1)
+	if st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+	for _, l := range s.FailedAssumptions() {
+		if l.Var() == a3 {
+			t.Fatalf("independent assumption a3 in failed set %v", s.FailedAssumptions())
+		}
+	}
+}
+
+// Fuzz: SolveAssuming(asms) must agree with solving the formula plus the
+// assumptions as unit clauses.
+func TestQuickAssumptionsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	for trial := 0; trial < 80; trial++ {
+		nVars := 4 + rng.Intn(6)
+		f := randomFormula(rng, nVars, int(3.5*float64(nVars)), 3)
+		var asms []cnf.Lit
+		seen := map[cnf.Var]bool{}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			v := cnf.Var(rng.Intn(nVars))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			asms = append(asms, cnf.MkLit(v, rng.Intn(2) == 1))
+		}
+		sA := New(DefaultOptions(ProfileMiniSat))
+		sA.AddFormula(f)
+		stA := sA.SolveAssuming(asms, -1)
+
+		sU := New(DefaultOptions(ProfileMiniSat))
+		sU.AddFormula(f)
+		okUnits := true
+		for _, l := range asms {
+			if !sU.AddClause(l) {
+				okUnits = false
+				break
+			}
+		}
+		stU := Unsat
+		if okUnits {
+			stU = sU.Solve()
+		}
+		if stA != stU {
+			t.Fatalf("trial %d: assuming=%v units=%v (asms %v)", trial, stA, stU, asms)
+		}
+		if stA == Sat {
+			for _, l := range asms {
+				if sA.Value(l.Var()) == l.Neg() {
+					t.Fatalf("trial %d: assumption %v violated in model", trial, l)
+				}
+			}
+		}
+	}
+}
+
+func TestAssumptionsWithGauss(t *testing.T) {
+	// XOR rows plus assumptions must interoperate.
+	s := New(DefaultOptions(ProfileCMS))
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddXor(true, a, b, c) // a⊕b⊕c = 1
+	// Assume a = 1, b = 1: the xor forces c = 1.
+	if st := s.SolveAssuming([]cnf.Lit{cnf.MkLit(a, false), cnf.MkLit(b, false)}, -1); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if !s.Value(a) || !s.Value(b) || !s.Value(c) {
+		t.Fatalf("model a=%v b=%v c=%v, want 1 1 1", s.Value(a), s.Value(b), s.Value(c))
+	}
+	// Assume a = 0, b = 1: the xor forces c = 0.
+	if st := s.SolveAssuming([]cnf.Lit{cnf.MkLit(a, true), cnf.MkLit(b, false)}, -1); st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	if s.Value(a) || !s.Value(b) || s.Value(c) {
+		t.Fatalf("model a=%v b=%v c=%v, want 0 1 0", s.Value(a), s.Value(b), s.Value(c))
+	}
+}

@@ -1,0 +1,139 @@
+package sat
+
+import "repro/internal/cnf"
+
+// BinaryEquivalences analyzes the binary implication graph of a formula:
+// every 2-clause (a ∨ b) contributes the implications ¬a → b and ¬b → a.
+// Literals in the same strongly connected component are equivalent —
+// exactly the "linear equations from binary clauses" the paper's SAT-step
+// harvest is after (§II-D), generalized from complementary pairs to
+// arbitrary implication cycles.
+//
+// It returns one (root, member) pair per non-trivial equivalence, plus
+// ok=false when a variable is equivalent to its own negation (the formula
+// is unsatisfiable).
+func BinaryEquivalences(f *cnf.Formula) ([][2]cnf.Lit, bool) {
+	n := 2 * f.NumVars // literal-indexed graph
+	adj := make([][]int32, n)
+	for _, c := range f.Clauses {
+		if len(c) != 2 {
+			continue
+		}
+		a, b := c[0], c[1]
+		if a.Var() == b.Var() {
+			continue
+		}
+		adj[a.Not()] = append(adj[a.Not()], int32(b))
+		adj[b.Not()] = append(adj[b.Not()], int32(a))
+	}
+	comp := tarjanSCC(adj)
+	// UNSAT check: x and ¬x in one component.
+	for v := 0; v < f.NumVars; v++ {
+		pos, neg := 2*v, 2*v+1
+		if comp[pos] == comp[neg] {
+			return nil, false
+		}
+	}
+	// Group literals by component; emit (root, member) pairs with the
+	// smallest literal of each component as root.
+	byComp := map[int32][]cnf.Lit{}
+	for l := 0; l < n; l++ {
+		byComp[comp[l]] = append(byComp[comp[l]], cnf.Lit(l))
+	}
+	var out [][2]cnf.Lit
+	seen := map[cnf.Var]bool{}
+	for _, lits := range byComp {
+		if len(lits) < 2 {
+			continue
+		}
+		root := lits[0]
+		for _, l := range lits[1:] {
+			if l.Var() == root.Var() {
+				continue
+			}
+			// Emit each variable pair once (the complementary component
+			// mirrors every pair).
+			if seen[l.Var()] && seen[root.Var()] {
+				continue
+			}
+			seen[l.Var()] = true
+			seen[root.Var()] = true
+			out = append(out, [2]cnf.Lit{root, l})
+		}
+	}
+	return out, true
+}
+
+// tarjanSCC computes strongly connected components of a literal graph,
+// iteratively (explicit stack) to handle long implication chains.
+func tarjanSCC(adj [][]int32) []int32 {
+	n := len(adj)
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int32
+	var nextIndex, nextComp int32
+
+	type frame struct {
+		v     int32
+		child int
+	}
+	var callStack []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack = append(callStack[:0], frame{int32(root), 0})
+		index[root] = nextIndex
+		low[root] = nextIndex
+		nextIndex++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(callStack) > 0 {
+			fr := &callStack[len(callStack)-1]
+			if fr.child < len(adj[fr.v]) {
+				w := adj[fr.v][fr.child]
+				fr.child++
+				if index[w] == unvisited {
+					index[w] = nextIndex
+					low[w] = nextIndex
+					nextIndex++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] && low[fr.v] > index[w] {
+					low[fr.v] = index[w]
+				}
+				continue
+			}
+			// Post-visit: pop and propagate lowlink.
+			v := fr.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[parent.v] > low[v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nextComp
+					if w == v {
+						break
+					}
+				}
+				nextComp++
+			}
+		}
+	}
+	return comp
+}

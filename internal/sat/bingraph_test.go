@@ -1,0 +1,120 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestBinaryEquivalencesPair(t *testing.T) {
+	// (a ∨ ¬b) ∧ (¬a ∨ b): a ≡ b.
+	f := cnf.NewFormula(2)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, true))
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(1, false))
+	eqs, ok := BinaryEquivalences(f)
+	if !ok {
+		t.Fatal("wrongly refuted")
+	}
+	if len(eqs) != 1 {
+		t.Fatalf("equivalences = %v", eqs)
+	}
+	a, b := eqs[0][0], eqs[0][1]
+	if a.Var() == b.Var() {
+		t.Fatalf("degenerate pair %v", eqs[0])
+	}
+	// a ≡ b here, so the pair's literals must have EQUAL polarity on
+	// (v0, v1) or both flipped.
+	for mask := 0; mask < 4; mask++ {
+		assign := func(v cnf.Var) bool { return mask>>uint(v)&1 == 1 }
+		if !f.Eval(assign) {
+			continue
+		}
+		va := assign(a.Var()) != a.Neg()
+		vb := assign(b.Var()) != b.Neg()
+		if va != vb {
+			t.Fatalf("pair %v violated by model %02b", eqs[0], mask)
+		}
+	}
+}
+
+func TestBinaryEquivalencesCycle(t *testing.T) {
+	// Implication cycle a → b → c → a (as clauses ¬a∨b, ¬b∨c, ¬c∨a):
+	// all three equivalent.
+	f := cnf.NewFormula(3)
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(1, false))
+	f.AddClause(cnf.MkLit(1, true), cnf.MkLit(2, false))
+	f.AddClause(cnf.MkLit(2, true), cnf.MkLit(0, false))
+	eqs, ok := BinaryEquivalences(f)
+	if !ok {
+		t.Fatal("wrongly refuted")
+	}
+	if len(eqs) != 2 {
+		t.Fatalf("want 2 pairs for a 3-cycle, got %v", eqs)
+	}
+}
+
+func TestBinaryEquivalencesUnsat(t *testing.T) {
+	// a → ¬a and ¬a → a: (¬a ∨ ¬a) is not binary with distinct vars, so
+	// build it with a helper variable: a→b, b→¬a, ¬a→c, c→a.
+	f := cnf.NewFormula(3)
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(1, false))  // a→b
+	f.AddClause(cnf.MkLit(1, true), cnf.MkLit(0, true))   // b→¬a
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(2, false)) // ¬a→c
+	f.AddClause(cnf.MkLit(2, true), cnf.MkLit(0, false))  // c→a
+	if _, ok := BinaryEquivalences(f); ok {
+		t.Fatal("contradictory implication graph not detected")
+	}
+	// Confirm with the solver.
+	s := NewDefault()
+	s.AddFormula(f)
+	if s.Solve() != Unsat {
+		t.Fatal("solver disagrees: formula is SAT?")
+	}
+}
+
+func TestBinaryEquivalencesIgnoresLongClauses(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false), cnf.MkLit(2, false))
+	eqs, ok := BinaryEquivalences(f)
+	if !ok || len(eqs) != 0 {
+		t.Fatalf("ternary clause produced equivalences: %v", eqs)
+	}
+}
+
+// Every reported equivalence must hold in every model of the formula.
+func TestQuickBinaryEquivalencesSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 80; trial++ {
+		nVars := 3 + rng.Intn(6)
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < 2+rng.Intn(4*nVars); i++ {
+			a := cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			b := cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			if a.Var() == b.Var() {
+				continue
+			}
+			f.AddClause(a, b)
+		}
+		eqs, ok := BinaryEquivalences(f)
+		hasModel := false
+		for mask := 0; mask < 1<<uint(nVars); mask++ {
+			assign := func(v cnf.Var) bool { return mask>>uint(v)&1 == 1 }
+			if !f.Eval(assign) {
+				continue
+			}
+			hasModel = true
+			if !ok {
+				t.Fatalf("trial %d: SCC refuted a satisfiable formula", trial)
+			}
+			for _, eq := range eqs {
+				va := assign(eq[0].Var()) != eq[0].Neg()
+				vb := assign(eq[1].Var()) != eq[1].Neg()
+				if va != vb {
+					t.Fatalf("trial %d: equivalence %v violated by a model", trial, eq)
+				}
+			}
+		}
+		_ = hasModel
+	}
+}

@@ -1,0 +1,47 @@
+package sat
+
+import "repro/internal/cnf"
+
+// EnumerateModels returns up to max satisfying assignments (all of them
+// when max ≤ 0), restricted to the first nVars variables: two models that
+// agree on those variables count as one. Enumeration works by adding
+// blocking clauses, so the solver is consumed — clone the formula into a
+// fresh solver if it is still needed.
+//
+// This supports the paper's §V observation that Bosphorus "can
+// continuously constrain the solution space without committing to one
+// particular solution": enumerating the processed system's models over
+// the original variables shows exactly how much the learnt facts have
+// narrowed the space.
+func (s *Solver) EnumerateModels(nVars int, max int) [][]bool {
+	if nVars <= 0 || nVars > s.NumVars() {
+		nVars = s.NumVars()
+	}
+	var out [][]bool
+	for max <= 0 || len(out) < max {
+		if s.Solve() != Sat {
+			break
+		}
+		m := s.Model()
+		model := make([]bool, nVars)
+		copy(model, m[:nVars])
+		out = append(out, model)
+		// Block this projection: at least one of the first nVars must
+		// differ.
+		block := make([]cnf.Lit, nVars)
+		for v := 0; v < nVars; v++ {
+			block[v] = cnf.MkLit(cnf.Var(v), model[v])
+		}
+		if !s.AddClause(block...) {
+			break
+		}
+	}
+	return out
+}
+
+// CountModels returns the number of satisfying assignments projected onto
+// the first nVars variables, up to the given cap (0 = unbounded). A
+// return < cap is exact.
+func (s *Solver) CountModels(nVars, cap int) int {
+	return len(s.EnumerateModels(nVars, cap))
+}

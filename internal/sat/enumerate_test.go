@@ -1,0 +1,82 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestEnumerateAllModels(t *testing.T) {
+	// x0 ∨ x1 has exactly 3 models over 2 variables.
+	s := NewDefault()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, false))
+	models := s.EnumerateModels(2, 0)
+	if len(models) != 3 {
+		t.Fatalf("models = %d, want 3", len(models))
+	}
+	seen := map[[2]bool]bool{}
+	for _, m := range models {
+		seen[[2]bool{m[0], m[1]}] = true
+	}
+	if seen[[2]bool{false, false}] {
+		t.Fatal("non-model enumerated")
+	}
+}
+
+func TestEnumerateCap(t *testing.T) {
+	s := NewDefault()
+	for i := 0; i < 4; i++ {
+		s.NewVar()
+	}
+	s.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false))
+	models := s.EnumerateModels(4, 5)
+	if len(models) != 5 {
+		t.Fatalf("cap ignored: %d models", len(models))
+	}
+}
+
+func TestEnumerateProjection(t *testing.T) {
+	// Projection onto x0 only: x0 free, x1 tied to x0 → 2 projected models.
+	s := NewDefault()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, true), cnf.MkLit(b, false))
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, true))
+	if n := s.CountModels(1, 0); n != 2 {
+		t.Fatalf("projected count = %d, want 2", n)
+	}
+}
+
+func TestEnumerateUnsat(t *testing.T) {
+	s := NewDefault()
+	a := s.NewVar()
+	s.AddClause(cnf.MkLit(a, false))
+	s.AddClause(cnf.MkLit(a, true))
+	if models := s.EnumerateModels(1, 0); len(models) != 0 {
+		t.Fatalf("UNSAT enumerated %d models", len(models))
+	}
+}
+
+// Differential: enumeration count equals brute-force count on random
+// formulas, for both the full space and projections.
+func TestQuickEnumerateVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		nVars := 3 + rng.Intn(5)
+		f := randomFormula(rng, nVars, 2+rng.Intn(3*nVars), 3)
+		want := 0
+		for mask := 0; mask < 1<<uint(nVars); mask++ {
+			if f.Eval(func(v cnf.Var) bool { return mask>>uint(v)&1 == 1 }) {
+				want++
+			}
+		}
+		s := New(DefaultOptions(ProfileMiniSat))
+		s.AddFormula(f)
+		s.ensureVars(nVars)
+		got := s.CountModels(nVars, 0)
+		if got != want {
+			t.Fatalf("trial %d: enumerated %d, brute force %d", trial, got, want)
+		}
+	}
+}

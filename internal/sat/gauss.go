@@ -1,0 +1,302 @@
+package sat
+
+import (
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// gauss is the XOR-constraint component of the CMS solver profile. At the
+// start of each solve it runs Gauss–Jordan elimination over the XOR rows
+// (CryptoMiniSat's signature "native GJE"), then during search it keeps a
+// per-row count of unassigned variables and the parity of the assigned
+// ones, implying the last variable of a row (with an on-the-fly reason
+// clause) and detecting parity conflicts.
+type gauss struct {
+	s    *Solver
+	raw  []xorRow // rows as added, before elimination
+	rows []*xorRow
+	occ  map[cnf.Var][]*xorRow
+	pos  int // number of trail literals already observed
+}
+
+type xorRow struct {
+	vars        []cnf.Var
+	rhs         bool
+	nUnassigned int
+	parity      bool // XOR of the values of currently assigned vars
+}
+
+func newGauss(s *Solver) *gauss {
+	return &gauss{s: s, occ: map[cnf.Var][]*xorRow{}}
+}
+
+// addRow records an XOR constraint. Duplicate variables cancel in pairs.
+// Returns false if the row is the immediate contradiction 0 = 1.
+func (g *gauss) addRow(vars []cnf.Var, rhs bool) bool {
+	counts := map[cnf.Var]int{}
+	for _, v := range vars {
+		counts[v]++
+	}
+	var vs []cnf.Var
+	for v, c := range counts {
+		if c%2 == 1 {
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	if len(vs) == 0 {
+		if rhs {
+			g.s.ok = false
+			return false
+		}
+		return true
+	}
+	g.raw = append(g.raw, xorRow{vars: vs, rhs: rhs})
+	return true
+}
+
+// NumXorRows reports the number of XOR rows currently stored (raw, before
+// elimination). Exposed for tests and statistics.
+func (s *Solver) NumXorRows() int {
+	if s.gauss == nil {
+		return 0
+	}
+	return len(s.gauss.raw)
+}
+
+// initialize runs Gauss–Jordan elimination over the raw rows and prepares
+// the propagation state. It may enqueue implied units (single-variable
+// rows). Returns lFalse if the rows are contradictory by themselves.
+func (g *gauss) initialize() lbool {
+	g.pos = 0
+	g.rows = g.rows[:0]
+	g.occ = map[cnf.Var][]*xorRow{}
+	if len(g.raw) == 0 {
+		g.pos = len(g.s.trail)
+		return lTrue
+	}
+	rows := g.eliminate()
+	for _, r := range rows {
+		switch len(r.vars) {
+		case 0:
+			if r.rhs {
+				return lFalse
+			}
+		case 1:
+			// Unit row: fix the variable at level 0.
+			l := cnf.MkLit(r.vars[0], !r.rhs)
+			if g.s.valueLit(l) == lFalse {
+				return lFalse
+			}
+			if !g.s.enqueue(l, nil) {
+				return lFalse
+			}
+		default:
+			row := &xorRow{vars: r.vars, rhs: r.rhs, nUnassigned: len(r.vars)}
+			g.rows = append(g.rows, row)
+			for _, v := range row.vars {
+				g.occ[v] = append(g.occ[v], row)
+			}
+		}
+	}
+	return lUndef
+}
+
+// eliminate performs GJE over the raw rows: each variable is a column, and
+// the RHS is an extra column. It returns the reduced rows. Very large
+// systems (dense work beyond ~2^26 word operations) skip the elimination —
+// the rows still propagate, they are just not inter-reduced first, the
+// same size guard real CMS applies to its Gaussian component.
+func (g *gauss) eliminate() []xorRow {
+	// Collect the variable set.
+	varSet := map[cnf.Var]int{}
+	var vars []cnf.Var
+	for _, r := range g.raw {
+		for _, v := range r.vars {
+			if _, ok := varSet[v]; !ok {
+				varSet[v] = len(vars)
+				vars = append(vars, v)
+			}
+		}
+	}
+	ncols := len(vars)
+	if est := uint64(len(g.raw)) * uint64(len(g.raw)) * uint64(ncols/64+1); est > 1<<26 {
+		return g.raw
+	}
+	// Represent each row as a set of column indices plus rhs, and run
+	// straightforward GJE keyed on the lowest set column.
+	type packed struct {
+		bits []uint64
+		rhs  bool
+	}
+	words := (ncols + 63) / 64
+	mk := func(r xorRow) packed {
+		p := packed{bits: make([]uint64, words), rhs: r.rhs}
+		for _, v := range r.vars {
+			c := varSet[v]
+			p.bits[c/64] ^= 1 << (uint(c) % 64)
+		}
+		return p
+	}
+	lead := func(p packed) int {
+		for w, word := range p.bits {
+			if word != 0 {
+				b := 0
+				for word&1 == 0 {
+					word >>= 1
+					b++
+				}
+				return w*64 + b
+			}
+		}
+		return -1
+	}
+	pivots := make(map[int]*packed) // leading column -> row
+	var order []int
+	for _, r := range g.raw {
+		p := mk(r)
+		for {
+			l := lead(p)
+			if l < 0 {
+				break
+			}
+			piv, ok := pivots[l]
+			if !ok {
+				cp := p
+				pivots[l] = &cp
+				order = append(order, l)
+				break
+			}
+			for w := range p.bits {
+				p.bits[w] ^= piv.bits[w]
+			}
+			p.rhs = p.rhs != piv.rhs
+		}
+		if lead(p) < 0 && p.rhs {
+			// 0 = 1 row.
+			return []xorRow{{rhs: true}}
+		}
+	}
+	// Back-substitute to reduced form.
+	sort.Ints(order)
+	for i := len(order) - 1; i >= 0; i-- {
+		l := order[i]
+		piv := pivots[l]
+		for _, l2 := range order[:i] {
+			p2 := pivots[l2]
+			if p2.bits[l/64]>>(uint(l)%64)&1 == 1 {
+				for w := range p2.bits {
+					p2.bits[w] ^= piv.bits[w]
+				}
+				p2.rhs = p2.rhs != piv.rhs
+			}
+		}
+	}
+	out := make([]xorRow, 0, len(order))
+	for _, l := range order {
+		p := pivots[l]
+		var vs []cnf.Var
+		for c := 0; c < ncols; c++ {
+			if p.bits[c/64]>>(uint(c)%64)&1 == 1 {
+				vs = append(vs, vars[c])
+			}
+		}
+		out = append(out, xorRow{vars: vs, rhs: p.rhs})
+	}
+	return out
+}
+
+// advance observes trail literals not yet seen, updating row counters and
+// enqueueing implications. It returns a conflict clause if a row's parity
+// is violated, plus whether any progress was made.
+func (g *gauss) advance() (*clause, bool) {
+	progressed := false
+	for g.pos < len(g.s.trail) {
+		l := g.s.trail[g.pos]
+		g.pos++
+		progressed = true
+		v := l.Var()
+		val := !l.Neg()
+		// Counter updates must cover the literal's whole occurrence list
+		// even when a conflict is found part-way: pos has already advanced
+		// past the literal, so backtracking will undo the updates for every
+		// row in the list.
+		var conflict *clause
+		for _, row := range g.occ[v] {
+			row.nUnassigned--
+			if val {
+				row.parity = !row.parity
+			}
+			if conflict != nil {
+				continue
+			}
+			switch {
+			case row.nUnassigned == 0 && row.parity != row.rhs:
+				conflict = g.conflictClause(row)
+			case row.nUnassigned == 1:
+				conflict = g.imply(row)
+			}
+		}
+		if conflict != nil {
+			return conflict, true
+		}
+	}
+	return nil, progressed
+}
+
+// imply enqueues the forced value of the single unassigned variable of the
+// row. Returns a conflict clause if the forced literal is already false
+// (cannot normally happen, defensive).
+func (g *gauss) imply(row *xorRow) *clause {
+	var u cnf.Var
+	found := false
+	for _, v := range row.vars {
+		if g.s.assigns[v] == lUndef {
+			u = v
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil // raced with this very advance loop; counter catches up
+	}
+	val := row.rhs != row.parity
+	l := cnf.MkLit(u, !val)
+	reason := &clause{lits: make([]cnf.Lit, 0, len(row.vars))}
+	reason.lits = append(reason.lits, l)
+	for _, v := range row.vars {
+		if v == u {
+			continue
+		}
+		reason.lits = append(reason.lits, cnf.MkLit(v, g.s.assigns[v] == lTrue))
+	}
+	if g.s.valueLit(l) == lFalse {
+		return reason
+	}
+	g.s.enqueue(l, reason)
+	return nil
+}
+
+// conflictClause materializes the clause forbidding the current (violating)
+// assignment of the row's variables: every literal is false right now.
+func (g *gauss) conflictClause(row *xorRow) *clause {
+	c := &clause{lits: make([]cnf.Lit, 0, len(row.vars))}
+	for _, v := range row.vars {
+		c.lits = append(c.lits, cnf.MkLit(v, g.s.assigns[v] == lTrue))
+	}
+	return c
+}
+
+// unassign undoes the counter updates for literal l (called during
+// backtracking for literals the component has observed).
+func (g *gauss) unassign(l cnf.Lit) {
+	v := l.Var()
+	val := !l.Neg()
+	for _, row := range g.occ[v] {
+		row.nUnassigned++
+		if val {
+			row.parity = !row.parity
+		}
+	}
+}

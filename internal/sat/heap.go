@@ -1,0 +1,95 @@
+package sat
+
+import "repro/internal/cnf"
+
+// varHeap is an indexed max-heap of variables ordered by VSIDS activity,
+// the solver's decision queue.
+type varHeap struct {
+	s     *Solver
+	heap  []cnf.Var
+	index []int // position of each var in heap, -1 if absent
+}
+
+func (h *varHeap) less(a, b cnf.Var) bool {
+	return h.s.activity[a] > h.s.activity[b]
+}
+
+func (h *varHeap) ensure(v cnf.Var) {
+	for len(h.index) <= int(v) {
+		h.index = append(h.index, -1)
+	}
+}
+
+func (h *varHeap) contains(v cnf.Var) bool {
+	return int(v) < len(h.index) && h.index[v] >= 0
+}
+
+func (h *varHeap) insert(v cnf.Var) {
+	h.ensure(v)
+	if h.contains(v) {
+		return
+	}
+	h.index[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.up(h.index[v])
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v cnf.Var) {
+	if h.contains(v) {
+		h.up(h.index[v])
+	}
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+// removeMax pops the most active variable.
+func (h *varHeap) removeMax() cnf.Var {
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap[0] = last
+	h.index[last] = 0
+	h.heap = h.heap[:len(h.heap)-1]
+	h.index[top] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.index[h.heap[i]] = i
+		i = parent
+	}
+	h.heap[i] = v
+	h.index[v] = i
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	for {
+		left := 2*i + 1
+		if left >= len(h.heap) {
+			break
+		}
+		best := left
+		if right := left + 1; right < len(h.heap) && h.less(h.heap[right], h.heap[left]) {
+			best = right
+		}
+		if !h.less(h.heap[best], v) {
+			break
+		}
+		h.heap[i] = h.heap[best]
+		h.index[h.heap[i]] = i
+		i = best
+	}
+	h.heap[i] = v
+	h.index[v] = i
+}

@@ -1,0 +1,146 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestProbeFailedLiteral(t *testing.T) {
+	// ¬a → b and ¬a → ¬b: assuming ¬a conflicts, so a is forced.
+	s := NewDefault()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, false)) // a ∨ b
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, true))  // a ∨ ¬b
+	res := s.ProbeLiterals(0)
+	if res.Unsat {
+		t.Fatal("satisfiable formula refuted")
+	}
+	found := false
+	for _, u := range res.Units {
+		if u == cnf.MkLit(a, false) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failed literal a not derived: %+v", res)
+	}
+	if s.Solve() != Sat || !s.Value(a) {
+		t.Fatal("probe unit not retained")
+	}
+}
+
+func TestProbeNecessaryAssignment(t *testing.T) {
+	// a → c and ¬a → c: c is necessary though no branch fails.
+	s := NewDefault()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	_ = b
+	s.AddClause(cnf.MkLit(a, true), cnf.MkLit(c, false))  // ¬a ∨ c
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(c, false)) // a ∨ c
+	res := s.ProbeLiterals(0)
+	found := false
+	for _, u := range res.Units {
+		if u == cnf.MkLit(c, false) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("necessary assignment c not derived: %+v", res)
+	}
+}
+
+func TestProbeEquivalence(t *testing.T) {
+	// a ↔ b via two binary clauses; probing a must report a ≡ b.
+	s := NewDefault()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, true), cnf.MkLit(b, false))
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, true))
+	// Add an extra variable so the formula is not fully determined.
+	cvar := s.NewVar()
+	s.AddClause(cnf.MkLit(cvar, false), cnf.MkLit(a, false))
+	res := s.ProbeLiterals(0)
+	found := false
+	for _, eq := range res.Equivalences {
+		x, y := eq[0], eq[1]
+		if x.Var() == a && y.Var() == b && x.Neg() == y.Neg() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("equivalence a ≡ b not found: %+v", res.Equivalences)
+	}
+}
+
+func TestProbeDetectsUnsat(t *testing.T) {
+	// Both branches of a fail.
+	s := NewDefault()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, false))
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, true))
+	s.AddClause(cnf.MkLit(a, true), cnf.MkLit(b, false))
+	s.AddClause(cnf.MkLit(a, true), cnf.MkLit(b, true))
+	res := s.ProbeLiterals(0)
+	if !res.Unsat {
+		t.Fatal("UNSAT not detected by probing")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("solver state inconsistent after probe refutation")
+	}
+}
+
+// Probing must never change satisfiability: fuzz against plain solving.
+func TestProbePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(456))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 4 + rng.Intn(8)
+		f := randomFormula(rng, nVars, int(4.2*float64(nVars)), 3)
+		plain := New(DefaultOptions(ProfileMiniSat))
+		plain.AddFormula(f)
+		want := plain.Solve()
+
+		probed := New(DefaultOptions(ProfileMiniSat))
+		probed.AddFormula(f)
+		res := probed.ProbeLiterals(0)
+		got := Unsat
+		if !res.Unsat {
+			got = probed.Solve()
+		}
+		if got != want {
+			t.Fatalf("trial %d: plain %v, probed %v", trial, want, got)
+		}
+		// All probe units must be consequences.
+		if want == Sat && !res.Unsat {
+			for mask := 0; mask < 1<<uint(nVars); mask++ {
+				assign := func(v cnf.Var) bool { return mask>>uint(v)&1 == 1 }
+				if !f.Eval(assign) {
+					continue
+				}
+				for _, u := range res.Units {
+					if assign(u.Var()) == u.Neg() {
+						t.Fatalf("trial %d: probe unit %v violated by a model", trial, u)
+					}
+				}
+				for _, eq := range res.Equivalences {
+					va := assign(eq[0].Var()) != eq[0].Neg()
+					vb := assign(eq[1].Var()) != eq[1].Neg()
+					if va != vb {
+						t.Fatalf("trial %d: probe equivalence %v violated", trial, eq)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProbeMaxVars(t *testing.T) {
+	s := NewDefault()
+	for i := 0; i < 10; i++ {
+		s.NewVar()
+	}
+	s.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false))
+	res := s.ProbeLiterals(3)
+	if res.Probed != 3 {
+		t.Fatalf("probed %d vars, want 3", res.Probed)
+	}
+}

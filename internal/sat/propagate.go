@@ -1,0 +1,82 @@
+package sat
+
+import "repro/internal/cnf"
+
+// propagate performs unit propagation over the watched-literal lists and
+// the XOR component until a joint fixed point or a conflict. It returns
+// the conflicting clause, or nil.
+func (s *Solver) propagate() *clause {
+	for {
+		for s.qhead < len(s.trail) {
+			p := s.trail[s.qhead] // p is now true; scan watchers of p
+			s.qhead++
+			s.Propagations++
+			if conf := s.propagateLit(p); conf != nil {
+				return conf
+			}
+		}
+		if s.gauss == nil {
+			return nil
+		}
+		conf, progressed := s.gauss.advance()
+		if conf != nil {
+			s.qhead = len(s.trail)
+			return conf
+		}
+		if !progressed && s.qhead >= len(s.trail) {
+			return nil
+		}
+	}
+}
+
+func (s *Solver) propagateLit(p cnf.Lit) *clause {
+	ws := s.watches[p]
+	kept := ws[:0]
+	for wi := 0; wi < len(ws); wi++ {
+		w := ws[wi]
+		// Cheap pre-check: if the blocker is true the clause is satisfied.
+		if s.valueLit(w.blocker) == lTrue {
+			kept = append(kept, w)
+			continue
+		}
+		c := w.c
+		// Normalize so that the false watched literal is lits[1].
+		falseLit := p.Not()
+		if c.lits[0] == falseLit {
+			c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+		}
+		first := c.lits[0]
+		if first != w.blocker && s.valueLit(first) == lTrue {
+			kept = append(kept, watcher{c, first})
+			continue
+		}
+		// Look for a new literal to watch.
+		found := false
+		for k := 2; k < len(c.lits); k++ {
+			if s.valueLit(c.lits[k]) != lFalse {
+				c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+				s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+				found = true
+				break
+			}
+		}
+		if found {
+			continue // watcher moved; do not keep
+		}
+		// Clause is unit or conflicting.
+		kept = append(kept, watcher{c, first})
+		if s.valueLit(first) == lFalse {
+			// Conflict: keep the remaining watchers and bail out.
+			kept = append(kept, ws[wi+1:]...)
+			s.watches[p] = kept
+			s.qhead = len(s.trail)
+			return c
+		}
+		if !s.enqueue(first, c) {
+			// enqueue only fails when first is false, handled above.
+			panic("sat: enqueue failed on undefined literal")
+		}
+	}
+	s.watches[p] = kept
+	return nil
+}

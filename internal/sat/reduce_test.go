@@ -1,0 +1,110 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// Force enough conflicts that the clause database gets reduced, then check
+// the verdict is still right — reduceDB must only drop redundant clauses.
+func TestReduceDBKeepsCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 8; trial++ {
+		nVars := 30 + rng.Intn(20)
+		f := randomFormula(rng, nVars, int(4.26*float64(nVars)), 3)
+		opts := DefaultOptions(ProfileMiniSat)
+		opts.LearntsFraction = 0.02 // aggressive reduction
+		s := New(opts)
+		s.AddFormula(f)
+		st := s.Solve()
+
+		ref := New(DefaultOptions(ProfileMiniSat))
+		ref.AddFormula(f)
+		want := ref.Solve()
+		if st != want {
+			t.Fatalf("trial %d: aggressive reduceDB changed verdict: %v vs %v", trial, st, want)
+		}
+		if st == Sat {
+			m := s.Model()
+			if !f.Eval(func(v cnf.Var) bool { return m[v] }) {
+				t.Fatalf("trial %d: model invalid after reductions", trial)
+			}
+		}
+	}
+}
+
+func TestReduceDBTriggered(t *testing.T) {
+	opts := DefaultOptions(ProfileMiniSat)
+	opts.LearntsFraction = 0.01
+	s := New(opts)
+	s.AddFormula(pigeonhole(8, 7))
+	s.Solve()
+	if s.ReducedDBs == 0 {
+		t.Fatal("reduceDB never triggered despite tiny learnts budget")
+	}
+}
+
+// Phase saving: re-solving after a restart-heavy run should still work,
+// and disabling phase saving must not change verdicts.
+func TestPhaseSavingToggle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		nVars := 10 + rng.Intn(10)
+		f := randomFormula(rng, nVars, int(4*float64(nVars)), 3)
+		on := DefaultOptions(ProfileMiniSat)
+		off := DefaultOptions(ProfileMiniSat)
+		off.PhaseSaving = false
+		sOn := New(on)
+		sOn.AddFormula(f)
+		sOff := New(off)
+		sOff.AddFormula(f)
+		if sOn.Solve() != sOff.Solve() {
+			t.Fatalf("trial %d: phase saving changed the verdict", trial)
+		}
+	}
+}
+
+// RandomFreq decisions must preserve verdicts too.
+func TestRandomDecisionsPreserveVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 20; trial++ {
+		nVars := 8 + rng.Intn(8)
+		f := randomFormula(rng, nVars, int(4.2*float64(nVars)), 3)
+		want := bruteForce(f)
+		opts := DefaultOptions(ProfileMiniSat)
+		opts.RandomFreq = 0.1
+		s := New(opts)
+		s.AddFormula(f)
+		if (s.Solve() == Sat) != want {
+			t.Fatalf("trial %d: randomized decisions changed the verdict", trial)
+		}
+	}
+}
+
+func BenchmarkPropagationHeavy(b *testing.B) {
+	// A long implication chain: unit propagation dominates.
+	s := NewDefault()
+	n := 5000
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(cnf.MkLit(cnf.Var(i), true), cnf.MkLit(cnf.Var(i+1), false))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2 := NewDefault()
+		for j := 0; j < n; j++ {
+			s2.NewVar()
+		}
+		for j := 0; j+1 < n; j++ {
+			s2.AddClause(cnf.MkLit(cnf.Var(j), true), cnf.MkLit(cnf.Var(j+1), false))
+		}
+		s2.AddClause(cnf.MkLit(0, false))
+		if s2.Solve() != Sat {
+			b.Fatal("chain unsat?")
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package sat
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// luby returns the x-th element (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(x uint64) uint64 {
+	size, seq := uint64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return 1 << uint(seq)
+}
+
+// Solve runs the solver to completion (no conflict budget).
+func (s *Solver) Solve() Status { return s.SolveLimited(-1) }
+
+// SetDeadline makes subsequent solve calls return Unknown once the
+// wall-clock deadline passes (checked between restarts and periodically
+// during search). The zero time clears the deadline.
+func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
+
+// Interrupt asynchronously stops an in-progress solve; it returns Unknown
+// shortly after. Safe to call from another goroutine (the portfolio
+// runner's cancellation path). The flag clears when the next solve
+// starts.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+func (s *Solver) deadlineExpired() bool {
+	if s.interrupted.Load() {
+		return true
+	}
+	return !s.deadline.IsZero() && time.Now().After(s.deadline)
+}
+
+// SolveLimited runs CDCL search with a conflict budget; a negative budget
+// means unlimited. This is the paper's §II-D conflict-bounded solving: the
+// return is Unsat, Sat, or Unknown when the budget is exhausted.
+func (s *Solver) SolveLimited(conflictBudget int64) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.interrupted.Store(false)
+	s.model = nil
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+	if s.gauss != nil {
+		if s.gauss.initialize() == lFalse {
+			s.ok = false
+			return Unsat
+		}
+		// Elimination may have produced unit rows; propagate them.
+		if s.propagate() != nil {
+			s.ok = false
+			return Unsat
+		}
+	}
+
+	var conflictsThisRun int64
+	maxLearnts := float64(len(s.clauses))*s.opts.LearntsFraction + 100
+
+	for restart := uint64(0); ; restart++ {
+		budgetThisRestart := luby(restart) * uint64(s.opts.RestartBase)
+		status, used := s.search(int64(budgetThisRestart), conflictBudget-conflictsThisRun)
+		conflictsThisRun += used
+		switch status {
+		case Sat, Unsat:
+			s.cancelUntil(0)
+			return status
+		}
+		if conflictBudget >= 0 && conflictsThisRun >= conflictBudget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if s.deadlineExpired() {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		s.Restarts++
+		s.cancelUntil(0)
+		if float64(len(s.learnts)) > maxLearnts+float64(len(s.trail)) {
+			s.reduceDB()
+			maxLearnts *= 1.1
+		}
+	}
+}
+
+// search runs until a restart is due (restartBudget conflicts), the global
+// budget is exhausted, or a verdict. Returns the status (Unknown for
+// restart/budget) and the number of conflicts consumed.
+func (s *Solver) search(restartBudget, globalBudget int64) (Status, int64) {
+	var conflicts int64
+	for {
+		conf := s.propagate()
+		if conf != nil {
+			s.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat, conflicts
+			}
+			learnt, btLevel := s.analyze(conf)
+			s.cancelUntil(btLevel)
+			s.recordLearnt(learnt)
+			if !s.ok {
+				return Unsat, conflicts
+			}
+			s.decayVar()
+			s.decayClause()
+			if conflicts >= restartBudget || (globalBudget >= 0 && conflicts >= globalBudget) {
+				return Unknown, conflicts
+			}
+			if conflicts%256 == 0 && s.deadlineExpired() {
+				return Unknown, conflicts
+			}
+			continue
+		}
+		// No conflict: establish pending assumptions, then decide.
+		next, ok := s.assumeNext()
+		if !ok {
+			return Unsat, conflicts
+		}
+		if next == litUndef {
+			next = s.pickBranchLit()
+		}
+		if next == litUndef {
+			// All variables assigned: model found.
+			s.model = append([]lbool(nil), s.assigns...)
+			return Sat, conflicts
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		if !s.enqueue(next, nil) {
+			panic("sat: decision literal already assigned")
+		}
+	}
+}
+
+const litUndef = cnf.Lit(^uint32(0))
+
+// pickBranchLit selects the next decision literal via VSIDS with saved
+// phases, or litUndef if all variables are assigned.
+func (s *Solver) pickBranchLit() cnf.Lit {
+	// Optional random decisions for diversification.
+	if s.opts.RandomFreq > 0 && s.rng.Float64() < s.opts.RandomFreq && !s.order.empty() {
+		v := s.order.heap[s.rng.Intn(len(s.order.heap))]
+		if s.assigns[v] == lUndef {
+			return cnf.MkLit(v, s.polarity[v] == 1)
+		}
+	}
+	for !s.order.empty() {
+		v := s.order.removeMax()
+		if s.assigns[v] == lUndef {
+			return cnf.MkLit(v, s.polarity[v] == 1)
+		}
+	}
+	return litUndef
+}
+
+// reduceDB removes roughly half of the learnt clauses, keeping binary
+// clauses, reasons of current assignments, and the most active or
+// lowest-LBD clauses.
+func (s *Solver) reduceDB() {
+	s.ReducedDBs++
+	sort.SliceStable(s.learnts, func(i, j int) bool {
+		a, b := s.learnts[i], s.learnts[j]
+		if a.lbd != b.lbd {
+			return a.lbd < b.lbd
+		}
+		return a.activity > b.activity
+	})
+	keep := s.learnts[:0]
+	locked := func(c *clause) bool {
+		v := c.lits[0].Var()
+		return s.reason[v] == c && s.valueLit(c.lits[0]) == lTrue
+	}
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if len(c.lits) == 2 || locked(c) || i < limit {
+			keep = append(keep, c)
+			continue
+		}
+		s.detach(c)
+	}
+	s.learnts = keep
+}
+
+// Simplify removes satisfied problem clauses at level 0 and shrinks false
+// literals out of the rest. Safe to call between solve runs.
+func (s *Solver) Simplify() bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: Simplify above level 0")
+	}
+	if s.propagate() != nil {
+		s.ok = false
+		return false
+	}
+	for _, list := range []*[]*clause{&s.clauses, &s.learnts} {
+		keep := (*list)[:0]
+		for _, c := range *list {
+			sat := false
+			for _, l := range c.lits {
+				if s.valueLit(l) == lTrue {
+					sat = true
+					break
+				}
+			}
+			if sat {
+				s.detach(c)
+				continue
+			}
+			// Remove false literals beyond the watched pair (watched
+			// literals of a non-satisfied clause cannot be false at level
+			// 0 after propagation).
+			out := c.lits[:2]
+			for _, l := range c.lits[2:] {
+				if s.valueLit(l) != lFalse {
+					out = append(out, l)
+				}
+			}
+			c.lits = out
+			keep = append(keep, c)
+		}
+		*list = keep
+	}
+	return true
+}

@@ -1,0 +1,422 @@
+package sat
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+// clause is the internal clause representation. Learnt clauses carry an
+// activity for deletion heuristics and an LBD score.
+type clause struct {
+	lits     []cnf.Lit
+	activity float64
+	lbd      int
+	learnt   bool
+}
+
+// watcher pairs a watching clause with a blocker literal: if the blocker is
+// already true the clause cannot propagate and the watch list scan skips it.
+type watcher struct {
+	c       *clause
+	blocker cnf.Lit
+}
+
+// Solver is a CDCL SAT solver. Create one with New, add clauses, then call
+// Solve or SolveLimited.
+type Solver struct {
+	opts Options
+	rng  *rand.Rand
+
+	clauses []*clause // problem clauses (len >= 2)
+	learnts []*clause
+
+	watches [][]watcher // indexed by literal
+
+	assigns  []lbool   // per variable
+	level    []int32   // decision level of assignment
+	reason   []*clause // implying clause, nil for decisions
+	polarity []byte    // saved phase (1 = last value was true)
+	trail    []cnf.Lit // assignment stack
+	trailLim []int     // decision-level boundaries in trail
+	qhead    int       // propagation queue head
+
+	activity []float64
+	varInc   float64
+	claInc   float64
+	order    varHeap
+
+	seen       []byte
+	analyzeBuf []cnf.Lit
+
+	gauss *gauss // XOR propagator, nil unless enabled
+
+	ok       bool // false once UNSAT is established at level 0
+	model    []lbool
+	deadline time.Time
+
+	// Assumption solving (SolveAssuming).
+	assumptions   []cnf.Lit
+	failedAssumps []cnf.Lit
+
+	// interrupted is set asynchronously by Interrupt and polled by the
+	// search loop; solving returns Unknown soon after.
+	interrupted atomic.Bool
+
+	// Learnt-fact harvest for Bosphorus (§II-D): all unit facts forced at
+	// level 0 and all learnt binary clauses, in learning order.
+	learntBinaries []cnf.Clause
+
+	// Statistics.
+	Conflicts    uint64
+	Decisions    uint64
+	Propagations uint64
+	Restarts     uint64
+	ReducedDBs   uint64
+}
+
+// New returns a solver with the given options and no variables.
+func New(opts Options) *Solver {
+	s := &Solver{
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.RandomSeed)),
+		varInc: 1,
+		claInc: 1,
+		ok:     true,
+	}
+	s.order.s = s
+	if opts.EnableGauss {
+		s.gauss = newGauss(s)
+	}
+	return s
+}
+
+// NewDefault returns a MiniSat-profile solver.
+func NewDefault() *Solver { return New(DefaultOptions(ProfileMiniSat)) }
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NewVar allocates a fresh variable and returns it.
+func (s *Solver) NewVar() cnf.Var {
+	v := cnf.Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.polarity = append(s.polarity, 1) // default to false (MiniSat habit)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// ensureVars grows the variable table to cover n variables.
+func (s *Solver) ensureVars(n int) {
+	for len(s.assigns) < n {
+		s.NewVar()
+	}
+}
+
+func (s *Solver) valueVar(v cnf.Var) lbool { return s.assigns[v] }
+
+func (s *Solver) valueLit(l cnf.Lit) lbool {
+	a := s.assigns[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if a == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return a
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a problem clause at decision level 0. It returns false if
+// the clause (together with earlier ones) makes the formula trivially
+// unsatisfiable.
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	c := append(cnf.Clause(nil), lits...)
+	for _, l := range c {
+		s.ensureVars(int(l.Var()) + 1)
+	}
+	c, taut := c.Normalize()
+	if taut {
+		return true
+	}
+	// Drop false literals; detect satisfied clauses.
+	out := c[:0]
+	for _, l := range c {
+		switch s.valueLit(l) {
+		case lTrue:
+			return true
+		case lFalse:
+			// skip
+		default:
+			out = append(out, l)
+		}
+	}
+	c = out
+	switch len(c) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(c[0], nil) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	cl := &clause{lits: append([]cnf.Lit(nil), c...)}
+	s.clauses = append(s.clauses, cl)
+	s.attach(cl)
+	return true
+}
+
+// AddXor adds a native XOR constraint (CMS profile). With Gauss disabled it
+// falls back to a clausal (Tseitin enumeration) encoding.
+func (s *Solver) AddXor(rhs bool, vars ...cnf.Var) bool {
+	if !s.ok {
+		return false
+	}
+	for _, v := range vars {
+		s.ensureVars(int(v) + 1)
+	}
+	if s.gauss != nil {
+		return s.gauss.addRow(vars, rhs)
+	}
+	return s.addXorClausal(rhs, vars)
+}
+
+// addXorClausal encodes v1 ⊕ ... ⊕ vk = rhs as 2^(k-1) clauses.
+func (s *Solver) addXorClausal(rhs bool, vars []cnf.Var) bool {
+	// Deduplicate pairs: x ⊕ x = 0.
+	counts := map[cnf.Var]int{}
+	for _, v := range vars {
+		counts[v]++
+	}
+	var vs []cnf.Var
+	for _, v := range vars {
+		if counts[v]%2 == 1 {
+			vs = append(vs, v)
+			counts[v] = 0
+		}
+	}
+	if len(vs) == 0 {
+		if rhs {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	n := len(vs)
+	for mask := 0; mask < 1<<n; mask++ {
+		// A clause forbids each assignment with wrong parity: the clause is
+		// the negation of the assignment where bit i set means vs[i]=true.
+		parity := false
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				parity = !parity
+			}
+		}
+		if parity == rhs {
+			continue // correct parity: allowed
+		}
+		lits := make([]cnf.Lit, n)
+		for i := 0; i < n; i++ {
+			lits[i] = cnf.MkLit(vs[i], mask>>i&1 == 1)
+		}
+		if !s.AddClause(lits...) {
+			return false
+		}
+	}
+	return true
+}
+
+// AddFormula loads a cnf.Formula. Returns false if trivially UNSAT.
+func (s *Solver) AddFormula(f *cnf.Formula) bool {
+	s.ensureVars(f.NumVars)
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			return false
+		}
+	}
+	for _, x := range f.Xors {
+		if !s.AddXor(x.RHS, x.Vars...) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	// Watch the negations: when lits[0] or lits[1] becomes false we must
+	// visit the clause.
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].Not(), c)
+	s.removeWatch(c.lits[1].Not(), c)
+}
+
+func (s *Solver) removeWatch(l cnf.Lit, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// enqueue assigns literal l with the given reason. Returns false on an
+// immediate conflict with the current assignment.
+func (s *Solver) enqueue(l cnf.Lit, from *clause) bool {
+	switch s.valueLit(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	s.assigns[v] = boolToLbool(!l.Neg())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if s.gauss != nil && i < s.gauss.pos {
+			s.gauss.unassign(l)
+		}
+		if s.opts.PhaseSaving {
+			if s.assigns[v] == lTrue {
+				s.polarity[v] = 0
+			} else {
+				s.polarity[v] = 1
+			}
+		}
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	if s.qhead > bound {
+		s.qhead = bound
+	}
+	if s.gauss != nil && s.gauss.pos > bound {
+		s.gauss.pos = bound
+	}
+}
+
+// Value returns the model value of variable v after a Sat result. It
+// panics if no model is available.
+func (s *Solver) Value(v cnf.Var) bool {
+	if s.model == nil {
+		panic("sat: Value called without a model")
+	}
+	return s.model[v] == lTrue
+}
+
+// Model returns the satisfying assignment as a bool slice, or nil if the
+// last solve did not end in Sat.
+func (s *Solver) Model() []bool {
+	if s.model == nil {
+		return nil
+	}
+	out := make([]bool, len(s.model))
+	for i, a := range s.model {
+		out[i] = a == lTrue
+	}
+	return out
+}
+
+// Okay reports whether the solver is still consistent (no UNSAT proven at
+// level 0).
+func (s *Solver) Okay() bool { return s.ok }
+
+// LearntUnits returns every literal fixed at decision level 0 — the value
+// facts Bosphorus harvests (§II-D). Includes units from problem clauses.
+func (s *Solver) LearntUnits() []cnf.Lit {
+	end := len(s.trail)
+	if s.decisionLevel() > 0 {
+		end = s.trailLim[0]
+	}
+	return append([]cnf.Lit(nil), s.trail[:end]...)
+}
+
+// LearntBinaries returns the learnt clauses of length 2 in learning order —
+// the equivalence-candidate facts Bosphorus harvests (§II-D).
+func (s *Solver) LearntBinaries() []cnf.Clause {
+	return s.learntBinaries
+}
+
+func (s *Solver) bumpVar(v cnf.Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayVar() { s.varInc /= s.opts.VarDecay }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= s.opts.ClauseDecay }

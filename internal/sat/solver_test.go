@@ -1,0 +1,338 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// bruteForce decides satisfiability of a formula by enumeration; the test
+// oracle for small instances.
+func bruteForce(f *cnf.Formula) bool {
+	if f.NumVars > 22 {
+		panic("bruteForce: too many variables")
+	}
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		assign := func(v cnf.Var) bool { return mask>>uint(v)&1 == 1 }
+		if f.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+func solveFormula(t *testing.T, f *cnf.Formula, profile Profile) (Status, *Solver) {
+	t.Helper()
+	s := New(DefaultOptions(profile))
+	if !s.AddFormula(f) {
+		return Unsat, s
+	}
+	return s.Solve(), s
+}
+
+func TestTrivialCases(t *testing.T) {
+	s := NewDefault()
+	if s.Solve() != Sat {
+		t.Fatal("empty formula should be SAT")
+	}
+	s = NewDefault()
+	v := s.NewVar()
+	if !s.AddClause(cnf.MkLit(v, false)) {
+		t.Fatal("unit clause rejected")
+	}
+	if s.AddClause(cnf.MkLit(v, true)) {
+		t.Fatal("contradicting unit accepted")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("x ∧ ¬x should be UNSAT")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := NewDefault()
+	if s.AddClause() {
+		t.Fatal("empty clause should make the solver UNSAT")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("empty clause should yield UNSAT")
+	}
+}
+
+func TestSimpleSat(t *testing.T) {
+	// (a ∨ b) ∧ (¬a ∨ b) ∧ (a ∨ ¬b): forces a=1, b=1.
+	s := NewDefault()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, false))
+	s.AddClause(cnf.MkLit(a, true), cnf.MkLit(b, false))
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, true))
+	if s.Solve() != Sat {
+		t.Fatal("should be SAT")
+	}
+	if !s.Value(a) || !s.Value(b) {
+		t.Fatalf("model = %v %v, want true true", s.Value(a), s.Value(b))
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons into n holes — classic UNSAT family that
+	// requires real conflict learning.
+	for _, n := range []int{2, 3, 4, 5} {
+		f := pigeonhole(n+1, n)
+		for _, p := range []Profile{ProfileMiniSat, ProfileLingeling, ProfileCMS} {
+			st, _ := solveFormula(t, f, p)
+			if st != Unsat {
+				t.Fatalf("PHP(%d,%d) with %v = %v, want UNSAT", n+1, n, p, st)
+			}
+		}
+	}
+	// PHP(n, n) is SAT.
+	f := pigeonhole(4, 4)
+	if st, _ := solveFormula(t, f, ProfileMiniSat); st != Sat {
+		t.Fatal("PHP(4,4) should be SAT")
+	}
+}
+
+// pigeonhole builds the pigeonhole principle CNF: p pigeons, h holes.
+func pigeonhole(p, h int) *cnf.Formula {
+	f := cnf.NewFormula(p * h)
+	at := func(pigeon, hole int) cnf.Var { return cnf.Var(pigeon*h + hole) }
+	for i := 0; i < p; i++ {
+		var c []cnf.Lit
+		for j := 0; j < h; j++ {
+			c = append(c, cnf.MkLit(at(i, j), false))
+		}
+		f.AddClause(c...)
+	}
+	for j := 0; j < h; j++ {
+		for i1 := 0; i1 < p; i1++ {
+			for i2 := i1 + 1; i2 < p; i2++ {
+				f.AddClause(cnf.MkLit(at(i1, j), true), cnf.MkLit(at(i2, j), true))
+			}
+		}
+	}
+	return f
+}
+
+func randomFormula(rng *rand.Rand, nVars, nClauses, k int) *cnf.Formula {
+	f := cnf.NewFormula(nVars)
+	for i := 0; i < nClauses; i++ {
+		var c []cnf.Lit
+		for j := 0; j < k; j++ {
+			c = append(c, cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1))
+		}
+		f.AddClause(c...)
+	}
+	return f
+}
+
+// TestRandom3SATAllProfiles fuzzes all three profiles against exhaustive
+// enumeration on small random 3-SAT instances around the phase transition.
+func TestRandom3SATAllProfiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 120; trial++ {
+		nVars := 4 + rng.Intn(9)
+		nClauses := int(4.3*float64(nVars)) + rng.Intn(5)
+		f := randomFormula(rng, nVars, nClauses, 3)
+		want := bruteForce(f)
+		for _, p := range []Profile{ProfileMiniSat, ProfileLingeling, ProfileCMS} {
+			st, s := solveFormula(t, f, p)
+			if (st == Sat) != want {
+				t.Fatalf("trial %d profile %v: got %v, brute force says sat=%v", trial, p, st, want)
+			}
+			if st == Sat {
+				m := s.Model()
+				if !f.Eval(func(v cnf.Var) bool { return m[v] }) {
+					t.Fatalf("trial %d profile %v: model does not satisfy formula", trial, p)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomXorSystems(t *testing.T) {
+	// Random XOR systems: CMS handles them natively via GJE, the others via
+	// clausal expansion. All must agree with brute force.
+	rng := rand.New(rand.NewSource(999))
+	for trial := 0; trial < 80; trial++ {
+		nVars := 3 + rng.Intn(8)
+		f := cnf.NewFormula(nVars)
+		nXors := 2 + rng.Intn(nVars)
+		for i := 0; i < nXors; i++ {
+			k := 1 + rng.Intn(4)
+			vs := make([]cnf.Var, k)
+			for j := range vs {
+				vs[j] = cnf.Var(rng.Intn(nVars))
+			}
+			f.AddXor(rng.Intn(2) == 1, vs...)
+		}
+		// A couple of ordinary clauses mixed in.
+		for i := 0; i < rng.Intn(4); i++ {
+			f.AddClause(cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1),
+				cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1))
+		}
+		want := bruteForce(f)
+		for _, p := range []Profile{ProfileMiniSat, ProfileCMS} {
+			st, s := solveFormula(t, f, p)
+			if (st == Sat) != want {
+				t.Fatalf("trial %d profile %v: got %v, want sat=%v", trial, p, st, want)
+			}
+			if st == Sat {
+				m := s.Model()
+				if !f.Eval(func(v cnf.Var) bool { return m[v] }) {
+					t.Fatalf("trial %d profile %v: model violates xors", trial, p)
+				}
+			}
+		}
+	}
+}
+
+func TestXorChainUnsat(t *testing.T) {
+	// x0⊕x1=1, x1⊕x2=1, ..., x(n-1)⊕x0=1 with odd n is UNSAT (odd cycle).
+	for _, n := range []int{3, 5, 7, 9} {
+		f := cnf.NewFormula(n)
+		for i := 0; i < n; i++ {
+			f.AddXor(true, cnf.Var(i), cnf.Var((i+1)%n))
+		}
+		for _, p := range []Profile{ProfileMiniSat, ProfileCMS} {
+			if st, _ := solveFormula(t, f, p); st != Unsat {
+				t.Fatalf("odd xor cycle n=%d profile %v not UNSAT", n, p)
+			}
+		}
+		// CMS detects it purely by elimination, without search conflicts.
+		s := New(DefaultOptions(ProfileCMS))
+		s.AddFormula(f)
+		if s.Solve() != Unsat {
+			t.Fatal("CMS failed odd cycle")
+		}
+		if s.Conflicts != 0 {
+			t.Fatalf("CMS needed %d conflicts; GJE should find UNSAT directly", s.Conflicts)
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	// A hard-enough pigeonhole exceeds a tiny conflict budget.
+	f := pigeonhole(8, 7)
+	s := New(DefaultOptions(ProfileMiniSat))
+	s.AddFormula(f)
+	if st := s.SolveLimited(5); st != Unknown {
+		t.Fatalf("budget 5 on PHP(8,7) = %v, want UNKNOWN", st)
+	}
+	// With no budget it finishes.
+	if st := s.SolveLimited(-1); st != Unsat {
+		t.Fatal("PHP(8,7) should be UNSAT")
+	}
+}
+
+func TestLearntHarvest(t *testing.T) {
+	// After solving, learnt units are level-0 literals and learnt binaries
+	// must be logically implied by the formula.
+	rng := rand.New(rand.NewSource(5150))
+	for trial := 0; trial < 20; trial++ {
+		nVars := 8 + rng.Intn(5)
+		f := randomFormula(rng, nVars, int(4.2*float64(nVars)), 3)
+		s := New(DefaultOptions(ProfileMiniSat))
+		s.AddFormula(f)
+		st := s.Solve()
+		units := s.LearntUnits()
+		bins := s.LearntBinaries()
+		if st == Unsat {
+			continue
+		}
+		// Every unit and binary must hold in every satisfying assignment.
+		for mask := 0; mask < 1<<nVars; mask++ {
+			assign := func(v cnf.Var) bool { return mask>>uint(v)&1 == 1 }
+			if !f.Eval(assign) {
+				continue
+			}
+			for _, u := range units {
+				if assign(u.Var()) == u.Neg() {
+					t.Fatalf("trial %d: learnt unit %v violated by a model", trial, u)
+				}
+			}
+			for _, b := range bins {
+				if (assign(b[0].Var()) == b[0].Neg()) && (assign(b[1].Var()) == b[1].Neg()) {
+					t.Fatalf("trial %d: learnt binary %v violated by a model", trial, b)
+				}
+			}
+		}
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []uint64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(uint64(i)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	s := NewDefault()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, false))
+	s.AddClause(cnf.MkLit(a, true), cnf.MkLit(b, false), cnf.MkLit(c, false))
+	if !s.Simplify() {
+		t.Fatal("Simplify failed")
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatal("should stay SAT after Simplify")
+	}
+}
+
+func TestIncrementalSolves(t *testing.T) {
+	// Solve, add more clauses, solve again.
+	s := NewDefault()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, false))
+	if s.Solve() != Sat {
+		t.Fatal("first solve")
+	}
+	s.AddClause(cnf.MkLit(a, true))
+	if s.Solve() != Sat {
+		t.Fatal("second solve")
+	}
+	if s.Value(a) {
+		t.Fatal("a must now be false")
+	}
+	if !s.Value(b) {
+		t.Fatal("b must now be true")
+	}
+	s.AddClause(cnf.MkLit(b, true))
+	if s.Solve() != Unsat {
+		t.Fatal("third solve should be UNSAT")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	f := pigeonhole(6, 5)
+	s := New(DefaultOptions(ProfileMiniSat))
+	s.AddFormula(f)
+	s.Solve()
+	if s.Conflicts == 0 || s.Decisions == 0 || s.Propagations == 0 {
+		t.Fatalf("stats empty: conflicts=%d decisions=%d props=%d", s.Conflicts, s.Decisions, s.Propagations)
+	}
+}
+
+func BenchmarkSolvePigeonhole(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultOptions(ProfileMiniSat))
+		s.AddFormula(pigeonhole(8, 7))
+		if s.Solve() != Unsat {
+			b.Fatal("wrong verdict")
+		}
+	}
+}
+
+func BenchmarkSolveRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	f := randomFormula(rng, 60, 255, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultOptions(ProfileMiniSat))
+		s.AddFormula(f)
+		s.Solve()
+	}
+}

@@ -1,0 +1,33 @@
+package sat
+
+import "fmt"
+
+// Stats is a snapshot of the solver's counters.
+type Stats struct {
+	Vars, Clauses, Learnts             int
+	Conflicts, Decisions, Propagations uint64
+	Restarts, ReducedDBs               uint64
+	XorRows                            int
+}
+
+// Snapshot returns the current statistics.
+func (s *Solver) Snapshot() Stats {
+	return Stats{
+		Vars:         s.NumVars(),
+		Clauses:      len(s.clauses),
+		Learnts:      len(s.learnts),
+		Conflicts:    s.Conflicts,
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Restarts:     s.Restarts,
+		ReducedDBs:   s.ReducedDBs,
+		XorRows:      s.NumXorRows(),
+	}
+}
+
+// String renders the statistics in a MiniSat-style one-liner.
+func (st Stats) String() string {
+	return fmt.Sprintf("vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d restarts=%d reduceDBs=%d xors=%d",
+		st.Vars, st.Clauses, st.Learnts, st.Conflicts, st.Decisions,
+		st.Propagations, st.Restarts, st.ReducedDBs, st.XorRows)
+}

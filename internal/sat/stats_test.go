@@ -1,0 +1,29 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotAndString(t *testing.T) {
+	s := New(DefaultOptions(ProfileCMS))
+	s.AddFormula(pigeonhole(6, 5))
+	s.AddXor(true, 0, 1, 2)
+	s.Solve()
+	st := s.Snapshot()
+	if st.Vars == 0 || st.Clauses == 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	if st.Conflicts == 0 {
+		t.Fatal("pigeonhole should conflict")
+	}
+	if st.XorRows != 1 {
+		t.Fatalf("xor rows = %d", st.XorRows)
+	}
+	out := st.String()
+	for _, want := range []string{"vars=", "conflicts=", "xors=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats string missing %q: %s", want, out)
+		}
+	}
+}

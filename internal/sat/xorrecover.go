@@ -1,0 +1,131 @@
+package sat
+
+import (
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// RecoverXors detects XOR constraints hidden in clausal form — a parity
+// constraint over k variables appears as exactly 2^(k-1) clauses over the
+// same variable set, each with the same parity of negations — and returns
+// a formula where those clause groups are replaced by native XOR clauses.
+// This mirrors CryptoMiniSat's XOR recovery, the step that lets its
+// Gauss–Jordan component act on parity-rich CNF inputs (the SAT-2017
+// families where the paper's CMS column shines).
+//
+// Only full groups are converted; partial groups are left as clauses.
+// MaxWidth bounds the recovered arity (2^(k-1) grows fast; CMS uses ~6).
+func RecoverXors(f *cnf.Formula, maxWidth int) *cnf.Formula {
+	if maxWidth < 2 {
+		maxWidth = 5
+	}
+	type group struct {
+		vars    []cnf.Var
+		clauses []int          // indices into f.Clauses
+		masks   map[uint32]int // negation pattern -> clause index
+	}
+	groups := map[string]*group{}
+	keyOf := func(vars []cnf.Var) string {
+		b := make([]byte, 0, len(vars)*4)
+		for _, v := range vars {
+			b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return string(b)
+	}
+
+	for i, c := range f.Clauses {
+		if len(c) < 2 || len(c) > maxWidth {
+			continue
+		}
+		nc, taut := c.Clone().Normalize()
+		if taut || len(nc) != len(c) {
+			continue // duplicates or tautology: not part of an XOR group
+		}
+		vars := make([]cnf.Var, len(nc))
+		var mask uint32
+		for j, l := range nc {
+			vars[j] = l.Var()
+			if l.Neg() {
+				mask |= 1 << uint(j)
+			}
+		}
+		// Distinct variables required (Normalize sorts by literal, which
+		// sorts by variable; equal vars would have collapsed or
+		// tautologized).
+		distinct := true
+		for j := 1; j < len(vars); j++ {
+			if vars[j] == vars[j-1] {
+				distinct = false
+				break
+			}
+		}
+		if !distinct {
+			continue
+		}
+		k := keyOf(vars)
+		g := groups[k]
+		if g == nil {
+			g = &group{vars: vars, masks: map[uint32]int{}}
+			groups[k] = g
+		}
+		if _, dup := g.masks[mask]; !dup {
+			g.masks[mask] = i
+			g.clauses = append(g.clauses, i)
+		}
+	}
+
+	// A clause with negation pattern m blocks the assignment where every
+	// literal is false: variable j takes value mask-bit j. The blocked
+	// assignments of an XOR "sum = rhs" are those with parity(values) !=
+	// rhs. So a full group has 2^(k-1) clauses whose value-patterns all
+	// share one parity; that parity is ¬rhs... the value pattern equals
+	// the negation mask itself.
+	drop := map[int]bool{}
+	out := &cnf.Formula{NumVars: f.NumVars}
+	var sortedKeys []string
+	for k := range groups {
+		sortedKeys = append(sortedKeys, k)
+	}
+	sort.Strings(sortedKeys)
+	for _, k := range sortedKeys {
+		g := groups[k]
+		n := len(g.vars)
+		if len(g.masks) != 1<<uint(n-1) {
+			continue
+		}
+		// All masks must share the same parity.
+		wantParity := -1
+		ok := true
+		for mask := range g.masks {
+			p := 0
+			for j := 0; j < n; j++ {
+				p ^= int(mask >> uint(j) & 1)
+			}
+			if wantParity < 0 {
+				wantParity = p
+			} else if wantParity != p {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Blocked assignments have parity wantParity, so the constraint is
+		// parity(values) = 1 - wantParity, i.e. rhs = wantParity == 0.
+		out.AddXor(wantParity == 0, g.vars...)
+		for _, ci := range g.clauses {
+			drop[ci] = true
+		}
+	}
+	for i, c := range f.Clauses {
+		if !drop[i] {
+			out.AddClause(c...)
+		}
+	}
+	for _, x := range f.Xors {
+		out.AddXor(x.RHS, x.Vars...)
+	}
+	return out
+}

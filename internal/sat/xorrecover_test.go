@@ -1,0 +1,132 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// clausalXor appends the 2^(k-1) clause encoding of an XOR to f.
+func clausalXor(f *cnf.Formula, rhs bool, vars ...cnf.Var) {
+	n := len(vars)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		parity := false
+		for i := 0; i < n; i++ {
+			if mask>>uint(i)&1 == 1 {
+				parity = !parity
+			}
+		}
+		if parity == rhs {
+			continue
+		}
+		lits := make([]cnf.Lit, n)
+		for i := 0; i < n; i++ {
+			lits[i] = cnf.MkLit(vars[i], mask>>uint(i)&1 == 1)
+		}
+		f.AddClause(lits...)
+	}
+}
+
+func TestRecoverXorsBasic(t *testing.T) {
+	f := cnf.NewFormula(4)
+	clausalXor(f, true, 0, 1, 2)
+	clausalXor(f, false, 1, 3)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(3, false)) // ordinary clause
+	out := RecoverXors(f, 6)
+	if len(out.Xors) != 2 {
+		t.Fatalf("recovered %d xors, want 2", len(out.Xors))
+	}
+	if len(out.Clauses) != 1 {
+		t.Fatalf("kept %d clauses, want 1", len(out.Clauses))
+	}
+	for _, x := range out.Xors {
+		switch len(x.Vars) {
+		case 3:
+			if !x.RHS {
+				t.Fatal("ternary xor rhs wrong")
+			}
+		case 2:
+			if x.RHS {
+				t.Fatal("binary xor rhs wrong")
+			}
+		default:
+			t.Fatalf("unexpected xor arity %d", len(x.Vars))
+		}
+	}
+}
+
+func TestRecoverXorsPartialGroupKept(t *testing.T) {
+	f := cnf.NewFormula(3)
+	clausalXor(f, true, 0, 1, 2)
+	// Remove one clause: the group is incomplete, nothing to recover.
+	f.Clauses = f.Clauses[:len(f.Clauses)-1]
+	out := RecoverXors(f, 6)
+	if len(out.Xors) != 0 {
+		t.Fatal("partial group wrongly recovered")
+	}
+	if len(out.Clauses) != 3 {
+		t.Fatalf("clauses = %d", len(out.Clauses))
+	}
+}
+
+// Recovery must preserve semantics exactly, on every assignment.
+func TestRecoverXorsSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 5 + rng.Intn(4) // ≥ 5 so k ≤ 4 always has enough distinct vars
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			k := 2 + rng.Intn(3)
+			seen := map[int]bool{}
+			var vs []cnf.Var
+			for len(vs) < k {
+				v := rng.Intn(nVars)
+				if !seen[v] {
+					seen[v] = true
+					vs = append(vs, cnf.Var(v))
+				}
+			}
+			clausalXor(f, rng.Intn(2) == 1, vs...)
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			f.AddClause(cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1),
+				cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1))
+		}
+		out := RecoverXors(f, 6)
+		for mask := 0; mask < 1<<uint(nVars); mask++ {
+			assign := func(v cnf.Var) bool { return mask>>uint(v)&1 == 1 }
+			if f.Eval(assign) != out.Eval(assign) {
+				t.Fatalf("trial %d: semantics changed at %b", trial, mask)
+			}
+		}
+		if len(out.Xors) == 0 {
+			t.Fatalf("trial %d: no xors recovered", trial)
+		}
+	}
+}
+
+func TestRecoverXorsSpeedsUpCMS(t *testing.T) {
+	// An UNSAT parity system: recovery + GJE detects it without search.
+	rng := rand.New(rand.NewSource(77))
+	nVars := 20
+	f := cnf.NewFormula(nVars)
+	// Planted inconsistent chain: x0⊕x1=0, x1⊕x2=0, ..., x19⊕x0=1.
+	for i := 0; i < nVars; i++ {
+		rhs := i == nVars-1
+		clausalXor(f, rhs, cnf.Var(i), cnf.Var((i+1)%nVars))
+	}
+	_ = rng
+	rec := RecoverXors(f, 6)
+	if len(rec.Xors) != nVars {
+		t.Fatalf("recovered %d xors, want %d", len(rec.Xors), nVars)
+	}
+	s := New(DefaultOptions(ProfileCMS))
+	s.AddFormula(rec)
+	if s.Solve() != Unsat {
+		t.Fatal("inconsistent chain not refuted")
+	}
+	if s.Conflicts != 0 {
+		t.Fatalf("GJE should refute without conflicts, used %d", s.Conflicts)
+	}
+}

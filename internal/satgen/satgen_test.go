@@ -1,0 +1,156 @@
+package satgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+func solve(t *testing.T, f *cnf.Formula) sat.Status {
+	t.Helper()
+	s := sat.NewDefault()
+	if !s.AddFormula(f) {
+		return sat.Unsat
+	}
+	return s.Solve()
+}
+
+func TestPigeonholeStatus(t *testing.T) {
+	u := Pigeonhole(5, 4)
+	if u.Status != StatusUnsat {
+		t.Fatal("PHP(5,4) should be marked UNSAT")
+	}
+	if solve(t, u.Formula) != sat.Unsat {
+		t.Fatal("PHP(5,4) solver disagrees")
+	}
+	s := Pigeonhole(4, 4)
+	if s.Status != StatusSat || solve(t, s.Formula) != sat.Sat {
+		t.Fatal("PHP(4,4) should be SAT")
+	}
+}
+
+func TestParityPlantedIsSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5; i++ {
+		inst := ParityChain(16, 20, 3, true, rng)
+		if inst.Status != StatusSat {
+			t.Fatal("planted parity not marked SAT")
+		}
+		if solve(t, inst.Formula) != sat.Sat {
+			t.Fatal("planted parity unsolvable")
+		}
+	}
+}
+
+func TestLFSRStatuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	satInst := LFSRReach(8, 6, false, rng)
+	if satInst.Status != StatusSat || solve(t, satInst.Formula) != sat.Sat {
+		t.Fatalf("LFSR sat instance wrong: %v", satInst.Status)
+	}
+	rng = rand.New(rand.NewSource(4))
+	unsatInst := LFSRReach(8, 6, true, rng)
+	if unsatInst.Status != StatusUnsat || solve(t, unsatInst.Formula) != sat.Unsat {
+		t.Fatalf("LFSR unsat instance wrong: %v", unsatInst.Status)
+	}
+}
+
+func TestGraphColoringWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := GraphColoring(8, 3, 0.3, rng)
+	if inst.Formula.NumVars != 24 {
+		t.Fatalf("vars = %d", inst.Formula.NumVars)
+	}
+	st := solve(t, inst.Formula)
+	if st == sat.Unknown {
+		t.Fatal("small colouring should be decidable")
+	}
+}
+
+func TestRandomKSATShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inst := RandomKSAT(50, 3, 4.26, rng)
+	if len(inst.Formula.Clauses) != 213 {
+		t.Fatalf("clauses = %d, want 213", len(inst.Formula.Clauses))
+	}
+	for _, c := range inst.Formula.Clauses {
+		if len(c) != 3 {
+			t.Fatal("non-ternary clause in 3-SAT")
+		}
+		seen := map[cnf.Var]bool{}
+		for _, l := range c {
+			if seen[l.Var()] {
+				t.Fatal("repeated variable in clause")
+			}
+			seen[l.Var()] = true
+		}
+	}
+}
+
+func TestSuitePopulation(t *testing.T) {
+	insts := Suite(DefaultSuiteConfig())
+	if len(insts) != 24 {
+		t.Fatalf("suite size = %d, want 24", len(insts))
+	}
+	names := map[string]bool{}
+	for _, in := range insts {
+		if names[in.Name] {
+			t.Fatalf("duplicate instance name %q", in.Name)
+		}
+		names[in.Name] = true
+		if in.Formula.NumVars == 0 || len(in.Formula.Clauses) == 0 {
+			t.Fatalf("instance %q empty", in.Name)
+		}
+	}
+	// Ground truths in the suite must agree with the solver. Large UNSAT
+	// members (the bigger pigeonholes) are deliberately hard — they exist
+	// to produce timeouts in the PAR-2 benchmark — so skip them here.
+	for _, in := range insts {
+		if in.Status == StatusUnknown || in.Formula.NumVars > 120 {
+			continue
+		}
+		if in.Status == StatusUnsat && in.Formula.NumVars > 60 {
+			continue
+		}
+		got := solve(t, in.Formula)
+		want := sat.Sat
+		if in.Status == StatusUnsat {
+			want = sat.Unsat
+		}
+		if got != want {
+			t.Fatalf("instance %q: solver %v, ground truth %v", in.Name, got, in.Status)
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a := Suite(DefaultSuiteConfig())
+	b := Suite(DefaultSuiteConfig())
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Formula.Clauses) != len(b[i].Formula.Clauses) {
+			t.Fatal("suite not deterministic")
+		}
+	}
+}
+
+func TestMutilatedChessboard(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		inst := MutilatedChessboard(n)
+		if inst.Status != StatusUnsat {
+			t.Fatalf("n=%d not marked UNSAT", n)
+		}
+		if n <= 4 {
+			if solve(t, inst.Formula) != sat.Unsat {
+				t.Fatalf("n=%d solver disagrees", n)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=1 accepted")
+		}
+	}()
+	MutilatedChessboard(1)
+}

@@ -1,0 +1,55 @@
+package simp
+
+import "repro/internal/cnf"
+
+// Blocked-clause elimination (Järvisalo, Biere, Heule — TACAS 2010): a
+// clause C is blocked on one of its literals l when every resolvent of C
+// with a clause containing ¬l is a tautology. Blocked clauses can be
+// removed without affecting satisfiability; a model of the reduced
+// formula extends to the original by flipping l when C is unsatisfied.
+// BCE composes with BVE/subsumption and uses the same reconstruction
+// stack.
+
+// eliminateBlocked removes blocked clauses, pushing (pivot, clause) pairs
+// onto the reconstruction stack. Frozen variables are not used as pivots
+// (their semantics must survive for XOR clauses). Reports whether any
+// clause was removed.
+func (p *preprocessor) eliminateBlocked() bool {
+	changed := false
+	for _, c := range p.clauses {
+		if c.deleted {
+			continue
+		}
+		for _, l := range c.lits {
+			if p.frozen[l.Var()] || p.assigns[l.Var()] != 0 {
+				continue
+			}
+			if p.isBlockedOn(c, l) {
+				c.deleted = true
+				p.rec.stack = append(p.rec.stack, elimGroup{
+					v:       l.Var(),
+					bce:     true,
+					pivot:   l,
+					clauses: []cnf.Clause{c.lits.Clone()},
+				})
+				p.blocked++
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// isBlockedOn reports whether every resolvent of c on l is tautological.
+func (p *preprocessor) isBlockedOn(c *simpClause, l cnf.Lit) bool {
+	for _, d := range p.occ[l.Not()] {
+		if d.deleted || d == c || !contains(d.lits, l.Not()) {
+			continue
+		}
+		if _, ok := resolve(c.lits, d.lits, l.Var()); ok {
+			return false // a non-tautological resolvent exists
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package simp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+func bceOptions() Options {
+	o := DefaultOptions()
+	o.EnableBCE = true
+	return o
+}
+
+func TestBCERemovesBlockedClause(t *testing.T) {
+	// (a ∨ b) is blocked on a when every clause with ¬a resolves to a
+	// tautology: take (¬a ∨ b). Resolvent on a: (b ∨ b) = (b) — NOT a
+	// tautology, so not blocked. Classic blocked example: (a ∨ b),
+	// (¬a ∨ ¬b): resolvent (b ∨ ¬b) is tautological, so (a ∨ b) is
+	// blocked on a (and on b).
+	f := cnf.NewFormula(2)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false))
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(1, true))
+	// Disable BVE (MaxOccurrences 0) so BCE sees the clauses first.
+	opts := Options{MaxResolventLen: 12, MaxOccurrences: 0, MaxRounds: 3, EnableBCE: true}
+	res := Preprocess(f, opts)
+	if res.Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if res.Blocked == 0 {
+		t.Fatalf("no blocked clauses removed: %s", res)
+	}
+}
+
+func TestBCEPreservesEquisatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(1213))
+	for trial := 0; trial < 150; trial++ {
+		nVars := 3 + rng.Intn(7)
+		nClauses := 2 + rng.Intn(4*nVars)
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < nClauses; i++ {
+			k := 1 + rng.Intn(3)
+			var c []cnf.Lit
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1))
+			}
+			f.AddClause(c...)
+		}
+		want := bruteForce(f)
+		res := Preprocess(f, bceOptions())
+		if res.Unsat {
+			if want {
+				t.Fatalf("trial %d: SAT formula became UNSAT under BCE", trial)
+			}
+			continue
+		}
+		s := sat.NewDefault()
+		s.AddFormula(res.Formula)
+		st := s.Solve()
+		if (st == sat.Sat) != want {
+			t.Fatalf("trial %d: want sat=%v, got %v", trial, want, st)
+		}
+		if st == sat.Sat {
+			m := s.Model()
+			for len(m) < nVars {
+				m = append(m, false)
+			}
+			full := res.Reconstructor.Extend(m)
+			if !f.Eval(func(v cnf.Var) bool { return full[v] }) {
+				t.Fatalf("trial %d: BCE reconstruction failed", trial)
+			}
+		}
+	}
+}
+
+func TestBCESkipsFrozenVars(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false))
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(1, true))
+	f.AddXor(true, 0, 1) // freezes both variables
+	res := Preprocess(f, bceOptions())
+	if res.Blocked != 0 {
+		t.Fatal("clause on frozen variables removed by BCE")
+	}
+}

@@ -1,0 +1,584 @@
+// Package simp implements SAT preprocessing in the SatELite tradition:
+// top-level unit propagation, subsumption, self-subsuming resolution
+// (strengthening), and bounded variable elimination (BVE). It plays the
+// role of the heavier inprocessing that distinguishes the paper's
+// "Lingeling" solver column from plain MiniSat.
+//
+// Preprocessing is model-changing: eliminated variables must be
+// reconstructed. Preprocess therefore returns a Reconstructor whose Extend
+// method lifts a model of the simplified formula back to the original
+// variable space.
+package simp
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// Options bounds the preprocessing effort.
+type Options struct {
+	// MaxResolventLen discards eliminations that would create clauses
+	// longer than this.
+	MaxResolventLen int
+	// MaxOccurrences skips elimination of variables occurring more often
+	// than this (quadratic blow-up guard).
+	MaxOccurrences int
+	// MaxRounds bounds the subsume/eliminate fixpoint iterations.
+	MaxRounds int
+	// EnableBCE adds blocked-clause elimination to each round.
+	EnableBCE bool
+}
+
+// DefaultOptions mirrors classic SatELite settings.
+func DefaultOptions() Options {
+	return Options{MaxResolventLen: 12, MaxOccurrences: 20, MaxRounds: 5}
+}
+
+// Reconstructor lifts models of the simplified formula back to the
+// original formula's variables.
+type Reconstructor struct {
+	numVars int
+	// elimination stack: groups pushed in elimination order; Extend
+	// replays in reverse.
+	stack []elimGroup
+	// units fixed at the top level.
+	units []cnf.Lit
+}
+
+type elimGroup struct {
+	v       cnf.Var
+	clauses []cnf.Clause // the original clauses containing v or ¬v
+	// bce marks a blocked-clause entry: reconstruction flips the pivot
+	// literal only when the clause is unsatisfied, instead of re-solving
+	// the variable from scratch as BVE does.
+	bce   bool
+	pivot cnf.Lit
+}
+
+// Extend completes a model of the simplified formula: eliminated variables
+// get values satisfying their original clauses; top-level units are
+// restored. The input slice must cover the simplified formula's variables;
+// the result covers the original formula's.
+func (r *Reconstructor) Extend(model []bool) []bool {
+	out := make([]bool, r.numVars)
+	copy(out, model)
+	for _, u := range r.units {
+		out[u.Var()] = !u.Neg()
+	}
+	for i := len(r.stack) - 1; i >= 0; i-- {
+		g := r.stack[i]
+		if g.bce {
+			// Blocked clause: flip the pivot only if the clause is
+			// currently unsatisfied.
+			c := g.clauses[0]
+			sat := false
+			for _, l := range c {
+				if out[l.Var()] != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				out[g.pivot.Var()] = !g.pivot.Neg()
+			}
+			continue
+		}
+		// BVE group: find a polarity for g.v that satisfies every original
+		// clause. Default false; flip if some clause with the positive
+		// literal is otherwise unsatisfied.
+		out[g.v] = false
+		for _, c := range g.clauses {
+			sat := false
+			needsTrue := false
+			for _, l := range c {
+				if l.Var() == g.v {
+					if !l.Neg() {
+						needsTrue = true
+					}
+					continue
+				}
+				if out[l.Var()] != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat && needsTrue {
+				out[g.v] = true
+			}
+		}
+	}
+	return out
+}
+
+// Result of preprocessing.
+type Result struct {
+	// Formula is the simplified CNF (same variable numbering; eliminated
+	// variables simply no longer occur).
+	Formula *cnf.Formula
+	// Reconstructor lifts models back; nil only when Unsat.
+	Reconstructor *Reconstructor
+	// Unsat is true when preprocessing already proves unsatisfiability.
+	Unsat bool
+	// Eliminated counts variables removed by BVE.
+	Eliminated int
+	// Subsumed counts clauses removed by subsumption.
+	Subsumed int
+	// Blocked counts clauses removed by blocked-clause elimination.
+	Blocked int
+	// Strengthened counts literals removed by self-subsumption.
+	Strengthened int
+}
+
+// Preprocess simplifies the formula. XOR clauses are passed through
+// untouched (their variables are frozen, i.e. never eliminated).
+func Preprocess(f *cnf.Formula, opts Options) *Result {
+	p := &preprocessor{
+		opts:    opts,
+		numVars: f.NumVars,
+		rec:     &Reconstructor{numVars: f.NumVars},
+		assigns: make([]int8, f.NumVars),
+		frozen:  make([]bool, f.NumVars),
+	}
+	for _, x := range f.Xors {
+		for _, v := range x.Vars {
+			p.frozen[v] = true
+		}
+	}
+	for _, c := range f.Clauses {
+		nc, taut := c.Clone().Normalize()
+		if taut {
+			continue
+		}
+		p.addClause(nc)
+	}
+	res := &Result{Reconstructor: p.rec}
+	if !p.run() {
+		res.Unsat = true
+		res.Reconstructor = nil
+		return res
+	}
+	out := cnf.NewFormula(f.NumVars)
+	for _, c := range p.clauses {
+		if c.deleted {
+			continue
+		}
+		out.AddClause(c.lits...)
+	}
+	for _, x := range f.Xors {
+		// Substitute top-level assignments into the XOR.
+		vs := make([]cnf.Var, 0, len(x.Vars))
+		rhs := x.RHS
+		for _, v := range x.Vars {
+			switch p.assigns[v] {
+			case 1:
+				rhs = !rhs
+			case 0:
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			if rhs {
+				res.Unsat = true
+				res.Reconstructor = nil
+				return res
+			}
+			continue
+		}
+		out.AddXor(rhs, vs...)
+	}
+	// Re-assert top-level units so the simplified formula is equivalent on
+	// the original variables.
+	for _, u := range p.rec.units {
+		out.AddClause(u)
+	}
+	res.Formula = out
+	res.Eliminated = p.eliminated
+	res.Blocked = p.blocked
+	res.Subsumed = p.subsumed
+	res.Strengthened = p.strengthened
+	return res
+}
+
+type simpClause struct {
+	lits    cnf.Clause
+	deleted bool
+	sig     uint64 // literal Bloom signature for fast subsumption checks
+}
+
+type preprocessor struct {
+	opts    Options
+	numVars int
+	clauses []*simpClause
+	occ     map[cnf.Lit][]*simpClause
+	assigns []int8 // 0 unknown, 1 true, -1 false
+	frozen  []bool
+	rec     *Reconstructor
+	queue   []cnf.Lit // pending top-level units
+
+	eliminated   int
+	subsumed     int
+	strengthened int
+	blocked      int
+}
+
+func signature(lits cnf.Clause) uint64 {
+	var s uint64
+	for _, l := range lits {
+		s |= 1 << (uint64(l) % 64)
+	}
+	return s
+}
+
+func (p *preprocessor) addClause(lits cnf.Clause) {
+	if p.occ == nil {
+		p.occ = map[cnf.Lit][]*simpClause{}
+	}
+	if len(lits) == 1 {
+		p.queue = append(p.queue, lits[0])
+		return
+	}
+	c := &simpClause{lits: lits, sig: signature(lits)}
+	p.clauses = append(p.clauses, c)
+	for _, l := range lits {
+		p.occ[l] = append(p.occ[l], c)
+	}
+}
+
+func (p *preprocessor) run() bool {
+	for round := 0; round < p.opts.MaxRounds; round++ {
+		changed := false
+		if !p.propagateUnits() {
+			return false
+		}
+		if p.subsumeAll() {
+			changed = true
+		}
+		if !p.propagateUnits() {
+			return false
+		}
+		elimChanged, ok := p.eliminateVars()
+		if !ok {
+			return false
+		}
+		if elimChanged {
+			changed = true
+		}
+		if !p.propagateUnits() {
+			return false
+		}
+		if p.opts.EnableBCE {
+			if p.eliminateBlocked() {
+				changed = true
+			}
+			if !p.propagateUnits() {
+				return false
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return true
+}
+
+// propagateUnits applies the pending top-level units to all clauses.
+func (p *preprocessor) propagateUnits() bool {
+	for len(p.queue) > 0 {
+		u := p.queue[0]
+		p.queue = p.queue[1:]
+		v := u.Var()
+		want := int8(1)
+		if u.Neg() {
+			want = -1
+		}
+		if p.assigns[v] != 0 {
+			if p.assigns[v] != want {
+				return false // contradictory units
+			}
+			continue
+		}
+		p.assigns[v] = want
+		p.rec.units = append(p.rec.units, u)
+		// Clauses containing u are satisfied.
+		for _, c := range p.occ[u] {
+			c.deleted = true
+		}
+		// Clauses containing ¬u shrink.
+		for _, c := range p.occ[u.Not()] {
+			if c.deleted {
+				continue
+			}
+			out := c.lits[:0]
+			for _, l := range c.lits {
+				if l != u.Not() {
+					out = append(out, l)
+				}
+			}
+			c.lits = out
+			c.sig = signature(out)
+			switch len(c.lits) {
+			case 0:
+				return false
+			case 1:
+				p.queue = append(p.queue, c.lits[0])
+				c.deleted = true
+			}
+		}
+	}
+	return true
+}
+
+// subsumeAll performs forward subsumption and self-subsuming resolution
+// over all clauses. Reports whether anything changed.
+func (p *preprocessor) subsumeAll() bool {
+	changed := false
+	for _, c := range p.clauses {
+		if c.deleted {
+			continue
+		}
+		if p.subsumeWith(c) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// subsumeWith uses clause c to subsume or strengthen other clauses.
+func (p *preprocessor) subsumeWith(c *simpClause) bool {
+	changed := false
+	// Scan candidates via the least-occurring literal of c.
+	best := c.lits[0]
+	for _, l := range c.lits[1:] {
+		if len(p.occ[l]) < len(p.occ[best]) {
+			best = l
+		}
+	}
+	// Self-subsumption: also check occurrences of each literal's negation.
+	for _, d := range append(append([]*simpClause(nil), p.occ[best]...), p.occ[best.Not()]...) {
+		if d == c || d.deleted || c.deleted {
+			continue
+		}
+		if len(d.lits) < len(c.lits) {
+			continue
+		}
+		// Subsumption needs c.sig ⊆ d.sig; strengthening flips exactly one
+		// literal, so at most one signature bit of c may be missing from d.
+		if bits.OnesCount64(c.sig&^d.sig) > 1 {
+			continue
+		}
+		switch rel := subsumes(c.lits, d.lits); rel {
+		case subsumeYes:
+			d.deleted = true
+			p.subsumed++
+			changed = true
+		case subsumeStrengthen:
+			// c \ {l} ⊆ d \ {¬l}: remove ¬l from d where l is the flipped
+			// literal found by subsumes.
+			lit := strengthenLit(c.lits, d.lits)
+			out := d.lits[:0]
+			for _, l := range d.lits {
+				if l != lit {
+					out = append(out, l)
+				}
+			}
+			d.lits = out
+			d.sig = signature(out)
+			p.strengthened++
+			changed = true
+			if len(d.lits) == 1 {
+				p.queue = append(p.queue, d.lits[0])
+				d.deleted = true
+			}
+		}
+	}
+	return changed
+}
+
+type subsumeRel int
+
+const (
+	subsumeNo subsumeRel = iota
+	subsumeYes
+	subsumeStrengthen
+)
+
+// subsumes reports whether every literal of c occurs in d (subsumption) or
+// every literal occurs except exactly one that occurs negated
+// (self-subsuming resolution).
+func subsumes(c, d cnf.Clause) subsumeRel {
+	flips := 0
+	for _, l := range c {
+		found := false
+		for _, m := range d {
+			if m == l {
+				found = true
+				break
+			}
+			if m == l.Not() {
+				found = true
+				flips++
+				break
+			}
+		}
+		if !found {
+			return subsumeNo
+		}
+	}
+	switch flips {
+	case 0:
+		return subsumeYes
+	case 1:
+		return subsumeStrengthen
+	default:
+		return subsumeNo
+	}
+}
+
+// strengthenLit returns the literal of d to delete: the negation of the
+// single literal of c that occurs flipped in d.
+func strengthenLit(c, d cnf.Clause) cnf.Lit {
+	for _, l := range c {
+		for _, m := range d {
+			if m == l.Not() {
+				return m
+			}
+		}
+	}
+	panic("simp: strengthenLit called without a flipped literal")
+}
+
+// eliminateVars runs bounded variable elimination over all non-frozen
+// variables in increasing occurrence order. The second result is false
+// when draining pending units exposes a contradiction.
+func (p *preprocessor) eliminateVars() (bool, bool) {
+	changed := false
+	type cand struct {
+		v   cnf.Var
+		occ int
+	}
+	var cands []cand
+	for v := 0; v < p.numVars; v++ {
+		if p.frozen[v] || p.assigns[v] != 0 {
+			continue
+		}
+		pos := p.liveOcc(cnf.MkLit(cnf.Var(v), false))
+		neg := p.liveOcc(cnf.MkLit(cnf.Var(v), true))
+		total := len(pos) + len(neg)
+		if total == 0 || total > p.opts.MaxOccurrences {
+			continue
+		}
+		cands = append(cands, cand{cnf.Var(v), total})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].occ < cands[j].occ })
+	for _, c := range cands {
+		// Eliminations queue resolvent units; drain them first so we never
+		// eliminate a variable that a pending unit is about to fix.
+		if len(p.queue) > 0 && !p.propagateUnits() {
+			return changed, false
+		}
+		if p.assigns[c.v] != 0 {
+			continue
+		}
+		if p.tryEliminate(c.v) {
+			changed = true
+		}
+	}
+	return changed, true
+}
+
+func (p *preprocessor) liveOcc(l cnf.Lit) []*simpClause {
+	var out []*simpClause
+	for _, c := range p.occ[l] {
+		if !c.deleted && contains(c.lits, l) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func contains(lits cnf.Clause, l cnf.Lit) bool {
+	for _, m := range lits {
+		if m == l {
+			return true
+		}
+	}
+	return false
+}
+
+// tryEliminate resolves the positive against the negative occurrences of v
+// and replaces them when the resolvent set is no larger.
+func (p *preprocessor) tryEliminate(v cnf.Var) bool {
+	pl, nl := cnf.MkLit(v, false), cnf.MkLit(v, true)
+	pos := p.liveOcc(pl)
+	neg := p.liveOcc(nl)
+	if len(pos)+len(neg) == 0 {
+		return false // variable no longer occurs; leave it free
+	}
+	var resolvents []cnf.Clause
+	for _, a := range pos {
+		for _, b := range neg {
+			r, ok := resolve(a.lits, b.lits, v)
+			if !ok {
+				continue // tautological resolvent
+			}
+			if len(r) > p.opts.MaxResolventLen {
+				return false
+			}
+			resolvents = append(resolvents, r)
+			if len(resolvents) > len(pos)+len(neg) {
+				return false // would grow the formula
+			}
+		}
+	}
+	// Commit: record originals for model reconstruction, delete them, add
+	// resolvents.
+	g := elimGroup{v: v}
+	for _, c := range append(append([]*simpClause(nil), pos...), neg...) {
+		g.clauses = append(g.clauses, c.lits.Clone())
+		c.deleted = true
+	}
+	p.rec.stack = append(p.rec.stack, g)
+	p.assigns[v] = 2 // mark as eliminated (neither true nor false)
+	for _, r := range resolvents {
+		nr, taut := r.Normalize()
+		if taut {
+			continue
+		}
+		p.addClause(nr.Clone())
+	}
+	p.eliminated++
+	return true
+}
+
+// resolve computes the resolvent of a and b on pivot v; reports ok=false
+// for tautologies.
+func resolve(a, b cnf.Clause, v cnf.Var) (cnf.Clause, bool) {
+	var out cnf.Clause
+	for _, l := range a {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range b {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	out, taut := out.Normalize()
+	if taut {
+		return nil, false
+	}
+	return out, true
+}
+
+// String summarizes a result.
+func (r *Result) String() string {
+	if r.Unsat {
+		return "simp: UNSAT at preprocessing"
+	}
+	return fmt.Sprintf("simp: eliminated %d vars, subsumed %d, strengthened %d -> %s",
+		r.Eliminated, r.Subsumed, r.Strengthened, r.Formula.Stats())
+}

@@ -1,0 +1,181 @@
+package simp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+func bruteForce(f *cnf.Formula) bool {
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		if f.Eval(func(v cnf.Var) bool { return mask>>uint(v)&1 == 1 }) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUnitPropagation(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.AddClause(cnf.MkLit(0, false))                     // v0
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(1, false)) // ¬v0 ∨ v1 => v1
+	f.AddClause(cnf.MkLit(1, true), cnf.MkLit(2, false)) // ¬v1 ∨ v2 => v2
+	res := Preprocess(f, DefaultOptions())
+	if res.Unsat {
+		t.Fatal("satisfiable chain reported UNSAT")
+	}
+	model := res.Reconstructor.Extend(make([]bool, 3))
+	if !model[0] || !model[1] || !model[2] {
+		t.Fatalf("unit chain model = %v, want all true", model)
+	}
+}
+
+func TestUnsatDetected(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(cnf.MkLit(0, false))
+	f.AddClause(cnf.MkLit(0, true))
+	res := Preprocess(f, DefaultOptions())
+	if !res.Unsat {
+		t.Fatal("x ∧ ¬x not detected")
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false))
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false), cnf.MkLit(2, false))
+	res := Preprocess(f, Options{MaxResolventLen: 100, MaxOccurrences: 0, MaxRounds: 2})
+	if res.Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if res.Subsumed != 1 {
+		t.Fatalf("subsumed = %d, want 1", res.Subsumed)
+	}
+}
+
+func TestStrengthening(t *testing.T) {
+	// (a ∨ b) and (¬a ∨ b ∨ c): resolving on a gives (b ∨ c), which
+	// self-subsumes the second clause to (b ∨ c).
+	f := cnf.NewFormula(3)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false))
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(1, false), cnf.MkLit(2, false))
+	res := Preprocess(f, Options{MaxResolventLen: 100, MaxOccurrences: 0, MaxRounds: 2})
+	if res.Strengthened == 0 {
+		t.Fatal("no strengthening performed")
+	}
+}
+
+func TestVariableElimination(t *testing.T) {
+	// v1 occurs twice; eliminating it resolves the clauses.
+	f := cnf.NewFormula(3)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false))
+	f.AddClause(cnf.MkLit(1, true), cnf.MkLit(2, false))
+	res := Preprocess(f, DefaultOptions())
+	if res.Eliminated == 0 {
+		t.Fatal("no variable eliminated")
+	}
+	// Solve the simplified formula and reconstruct.
+	s := sat.NewDefault()
+	s.AddFormula(res.Formula)
+	if s.Solve() != sat.Sat {
+		t.Fatal("simplified formula UNSAT")
+	}
+	m := s.Model()
+	for len(m) < res.Formula.NumVars {
+		m = append(m, false)
+	}
+	full := res.Reconstructor.Extend(m)
+	if !f.Eval(func(v cnf.Var) bool { return full[v] }) {
+		t.Fatalf("reconstructed model %v does not satisfy original", full)
+	}
+}
+
+func TestXorVarsFrozen(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false))
+	f.AddClause(cnf.MkLit(1, true), cnf.MkLit(2, false))
+	f.AddXor(true, 1, 2)
+	res := Preprocess(f, DefaultOptions())
+	if res.Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if len(res.Formula.Xors) != 1 {
+		t.Fatal("xor clause lost")
+	}
+	// v1 and v2 are frozen; only v0 could be eliminated.
+	for _, g := range res.Reconstructor.stack {
+		if g.v == 1 || g.v == 2 {
+			t.Fatalf("frozen variable %d eliminated", g.v)
+		}
+	}
+}
+
+// The central property: preprocessing preserves satisfiability, and models
+// of the simplified formula extend to models of the original.
+func TestQuickEquisatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 2 + rng.Intn(4*nVars)
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < nClauses; i++ {
+			k := 1 + rng.Intn(3)
+			var c []cnf.Lit
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1))
+			}
+			f.AddClause(c...)
+		}
+		want := bruteForce(f)
+		res := Preprocess(f, DefaultOptions())
+		if res.Unsat {
+			if want {
+				t.Fatalf("trial %d: SAT formula preprocessed to UNSAT", trial)
+			}
+			continue
+		}
+		s := sat.NewDefault()
+		s.AddFormula(res.Formula)
+		st := s.Solve()
+		if (st == sat.Sat) != want {
+			t.Fatalf("trial %d: original sat=%v, simplified %v", trial, want, st)
+		}
+		if st == sat.Sat {
+			m := s.Model()
+			for len(m) < nVars {
+				m = append(m, false)
+			}
+			full := res.Reconstructor.Extend(m)
+			if !f.Eval(func(v cnf.Var) bool { return full[v] }) {
+				t.Fatalf("trial %d: reconstructed model does not satisfy original", trial)
+			}
+		}
+	}
+}
+
+func TestPreprocessShrinks(t *testing.T) {
+	// A formula with heavy redundancy should shrink substantially.
+	f := cnf.NewFormula(10)
+	for i := 0; i < 9; i++ {
+		f.AddClause(cnf.MkLit(cnf.Var(i), false), cnf.MkLit(cnf.Var(i+1), true))
+		f.AddClause(cnf.MkLit(cnf.Var(i), false), cnf.MkLit(cnf.Var(i+1), true), cnf.MkLit(cnf.Var((i+2)%10), false))
+	}
+	res := Preprocess(f, DefaultOptions())
+	if res.Unsat {
+		t.Fatal("unexpected UNSAT")
+	}
+	if len(res.Formula.Clauses) >= len(f.Clauses) {
+		t.Fatalf("no shrink: %d -> %d clauses", len(f.Clauses), len(res.Formula.Clauses))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false))
+	res := Preprocess(f, DefaultOptions())
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
