@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race bench check perf
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/gf2
+
+# bench runs the perf-critical benchmarks (linearization, elimination
+# kernel, ElimLin) with allocation stats.
+bench:
+	$(GO) test -run '^$$' -bench 'XL|RREF|ElimLin|PickElimVar' -benchmem \
+		./internal/anf ./internal/core ./internal/gf2
+
+# check is the full local gate: vet + build + race tests + bench smoke.
+check:
+	sh scripts/check.sh
+
+# perf regenerates the machine-readable kernel-timing snapshot.
+perf: build
+	$(GO) run ./cmd/benchtab -perf BENCH_pr1.json

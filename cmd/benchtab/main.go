@@ -13,17 +13,22 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/anf"
 	"repro/internal/bench"
+	"repro/internal/ciphers/sr"
 	"repro/internal/conv"
 	"repro/internal/core"
+	"repro/internal/gf2"
 )
 
 func main() {
@@ -44,10 +49,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed    = fs.Int64("seed", 1, "random seed")
 		hard    = fs.Bool("hard", false, "also evaluate the SAT-2017 hard subset (Table II's second block)")
 		cactus  = fs.String("cactus", "", "with -table 2: also write a cactus-plot CSV (w vs w/o per solver) to this file")
+		perf    = fs.String("perf", "", "write a JSON snapshot of the linearization/elimination kernel timings to this file and exit")
 		verbose = fs.Bool("v", false, "log each cell as it completes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *perf != "" {
+		return perfSnapshot(*perf, *seed, stderr)
 	}
 
 	switch *table {
@@ -111,6 +121,78 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown table %q", *table)
 	}
+}
+
+// perfSnapshot times the hot kernels this reproduction optimizes — the XL
+// linearization pass, the ElimLin rounds loop and the (optionally parallel)
+// M4R elimination — and writes the medians as JSON, so successive PRs can
+// diff like against like (see BENCH_pr1.json).
+func perfSnapshot(path string, seed int64, stderr io.Writer) error {
+	median := func(runs int, f func()) int64 {
+		times := make([]int64, runs)
+		for i := range times {
+			t0 := time.Now()
+			f()
+			times[i] = time.Since(t0).Nanoseconds()
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		return times[runs/2]
+	}
+	srSys := sr.GenerateInstance(sr.Params{N: 1, R: 2, C: 2, E: 4},
+		rand.New(rand.NewSource(7))).Sys
+	randMatrix := func(n int, src int64) *gf2.Matrix {
+		rng := rand.New(rand.NewSource(src))
+		m := gf2.NewMatrix(n, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if rng.Intn(2) == 1 {
+					m.Set(r, c, true)
+				}
+			}
+		}
+		return m
+	}
+	workers := runtime.GOMAXPROCS(0)
+	results := map[string]int64{
+		"xl_sr_ns": median(5, func() {
+			core.RunXL(srSys, core.XLConfig{M: 20, DeltaM: 4, Deg: 1,
+				Rand: rand.New(rand.NewSource(seed))})
+		}),
+		"elimlin_sr_ns": median(5, func() {
+			core.RunElimLin(srSys, core.ElimLinConfig{M: 20,
+				Rand: rand.New(rand.NewSource(seed))})
+		}),
+		"rref_m4r_1024_w1_ns": median(5, func() {
+			randMatrix(1024, seed).RREFM4RWorkers(1)
+		}),
+		"rref_m4r_1024_wN_ns": median(5, func() {
+			randMatrix(1024, seed).RREFM4RWorkers(workers)
+		}),
+	}
+	blob := struct {
+		Date       string           `json:"date"`
+		GOOS       string           `json:"goos"`
+		GOARCH     string           `json:"goarch"`
+		GOMAXPROCS int              `json:"gomaxprocs"`
+		Seed       int64            `json:"seed"`
+		Medians    map[string]int64 `json:"medians_ns"`
+	}{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: workers,
+		Seed:       seed,
+		Medians:    results,
+	}
+	data, err := json.MarshalIndent(blob, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "perf snapshot written to %s\n", path)
+	return nil
 }
 
 // tableI prints the worked XL example of Table I.

@@ -54,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		verbose   = fs.Bool("v", false, "log per-iteration progress")
 		probe     = fs.Bool("probe", false, "enable failed-literal probing in the SAT step (§V lookahead)")
 		groebner  = fs.Bool("groebner", false, "enable the budgeted Buchberger phase (§V)")
+		workers   = fs.Int("j", 0, "fact-learning workers: 0 = sequential paper loop, N ≥ 1 = deterministic snapshot pipeline with N goroutines")
 		enum      = fs.Int("enum", 0, "enumerate up to N solutions of the processed system over the original variables")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.StopOnSolution = *solve
 	cfg.EnableProbing = *probe
 	cfg.EnableGroebner = *groebner
+	cfg.Workers = *workers
 	if *verbose {
 		cfg.Log = stderr
 	}

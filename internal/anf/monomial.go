@@ -25,6 +25,11 @@ func (v Var) String() string { return fmt.Sprintf("x%d", v) }
 // The empty monomial is the constant 1.
 type Monomial struct {
 	vars []Var
+	// id caches this monomial's MonoTable ID plus one (0 = not interned).
+	// It is ignored by all algebraic operations — Compare, Equal and friends
+	// look only at vars — and is validated against the table's canonical
+	// copy before use, so a stale id from another table is harmless.
+	id uint32
 }
 
 // One is the constant-1 monomial (the empty product).
@@ -57,10 +62,16 @@ func (m Monomial) IsOne() bool { return len(m.vars) == 0 }
 // returned slice must not be modified.
 func (m Monomial) Vars() []Var { return m.vars }
 
-// Contains reports whether variable v divides the monomial.
+// Contains reports whether variable v divides the monomial. Monomials are
+// short (degree is small in every workload here), so a linear scan with
+// sorted-order early exit beats binary search's closure overhead.
 func (m Monomial) Contains(v Var) bool {
-	i := sort.Search(len(m.vars), func(i int) bool { return m.vars[i] >= v })
-	return i < len(m.vars) && m.vars[i] == v
+	for _, x := range m.vars {
+		if x >= v {
+			return x == v
+		}
+	}
+	return false
 }
 
 // Mul returns the product m·o (the union of variable sets).
@@ -163,15 +174,16 @@ func (m Monomial) Equal(o Monomial) bool { return m.Compare(o) == 0 }
 // Key returns a compact string key identifying the monomial, suitable for
 // map indexing (e.g. the monomial↔CNF-variable map in the converter).
 func (m Monomial) Key() string {
-	var b strings.Builder
-	b.Grow(len(m.vars) * 4)
+	return string(m.appendKey(make([]byte, 0, len(m.vars)*4)))
+}
+
+// appendKey appends the monomial's compact key bytes to b. MonoTable uses
+// it with a scratch buffer so map probes allocate nothing.
+func (m Monomial) appendKey(b []byte) []byte {
 	for _, v := range m.vars {
-		b.WriteByte(byte(v))
-		b.WriteByte(byte(v >> 8))
-		b.WriteByte(byte(v >> 16))
-		b.WriteByte(byte(v >> 24))
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
-	return b.String()
+	return b
 }
 
 // Eval evaluates the monomial under the assignment: a product is 1 iff all

@@ -1,0 +1,126 @@
+package anf
+
+// MonoTable interns monomials to dense uint32 IDs. It is the column-index
+// backbone of the linearization hot path: XL and ElimLin linearize a
+// polynomial system into a GF(2) matrix with one column per distinct
+// monomial, and with a table the column of a term is an integer array
+// lookup instead of a string-keyed map probe.
+//
+// IDs are assigned densely in first-intern order, so a table with Len() = n
+// has valid IDs 0..n-1. Monomials returned by the table (via Mono or
+// InternPoly) carry their ID in a hidden field; calling ID on such a
+// monomial is an O(1) pointer comparison with no hashing — the fast path
+// that makes repeated linearization passes over the same system cheap.
+//
+// A MonoTable is not safe for concurrent mutation, and slow-path probes
+// share a scratch key buffer. Concurrent readers are safe once every
+// monomial they will ask about is a canonical copy from this table (ID
+// then always takes the fast path, which touches no shared scratch);
+// System.MonoTable establishes exactly that invariant for a system's own
+// polynomials.
+type MonoTable struct {
+	ids   map[string]uint32 // Monomial.Key() → ID, the slow path
+	monos []Monomial        // ID → canonical monomial (id field set)
+	kbuf  []byte            // scratch for zero-alloc key probes (slow path only)
+}
+
+// NewMonoTable returns an empty table.
+func NewMonoTable() *MonoTable {
+	return &MonoTable{ids: make(map[string]uint32)}
+}
+
+// Len returns the number of distinct monomials interned so far.
+func (t *MonoTable) Len() int { return len(t.monos) }
+
+// Mono returns the canonical monomial for id. The returned monomial carries
+// its cached ID, so a later ID() call on it takes the fast path.
+func (t *MonoTable) Mono(id uint32) Monomial { return t.monos[id] }
+
+// Monos returns the interned monomials indexed by ID. The slice is owned by
+// the table and must not be modified; it is invalidated by further interning.
+func (t *MonoTable) Monos() []Monomial { return t.monos }
+
+// sameInterned reports whether a and b are the same interned monomial
+// value: equal length and identical backing storage. The vars slices here
+// are immutable, so identity implies content equality; the length check
+// guards against prefix-aliased subslices.
+func sameInterned(a, b Monomial) bool {
+	if len(a.vars) != len(b.vars) {
+		return false
+	}
+	return len(a.vars) == 0 || &a.vars[0] == &b.vars[0]
+}
+
+// ID interns m (if new) and returns its dense ID. Monomials previously
+// returned by this table resolve without hashing.
+func (t *MonoTable) ID(m Monomial) uint32 {
+	if m.id != 0 {
+		if id := m.id - 1; int(id) < len(t.monos) && sameInterned(t.monos[id], m) {
+			return id
+		}
+	}
+	t.kbuf = m.appendKey(t.kbuf[:0])
+	if id, ok := t.ids[string(t.kbuf)]; ok { // no alloc: map probe by []byte
+		return id
+	}
+	id := uint32(len(t.monos))
+	m.id = id + 1
+	t.monos = append(t.monos, m)
+	t.ids[string(t.kbuf)] = id
+	return id
+}
+
+// Lookup returns the ID of m without interning it. The second result is
+// false if m has not been interned.
+func (t *MonoTable) Lookup(m Monomial) (uint32, bool) {
+	if m.id != 0 {
+		if id := m.id - 1; int(id) < len(t.monos) && sameInterned(t.monos[id], m) {
+			return id, true
+		}
+	}
+	t.kbuf = m.appendKey(t.kbuf[:0])
+	id, ok := t.ids[string(t.kbuf)]
+	return id, ok
+}
+
+// Canonical interns m and returns the table's canonical copy, which carries
+// its cached ID.
+func (t *MonoTable) Canonical(m Monomial) Monomial {
+	return t.monos[t.ID(m)]
+}
+
+// InternPoly interns every term of p and returns a polynomial whose terms
+// are the canonical copies, so subsequent ID() calls on its terms take the
+// fast path. If p is already fully canonical with respect to this table it
+// is returned unchanged (no allocation).
+func (t *MonoTable) InternPoly(p Poly) Poly {
+	canonical := true
+	for _, m := range p.terms {
+		if m.id == 0 {
+			canonical = false
+			break
+		}
+		id := m.id - 1
+		if int(id) >= len(t.monos) || !sameInterned(t.monos[id], m) {
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		return p
+	}
+	terms := make([]Monomial, len(p.terms))
+	for i, m := range p.terms {
+		terms[i] = t.monos[t.ID(m)]
+	}
+	return Poly{terms: terms}
+}
+
+// AppendTermIDs appends the IDs of p's terms (interning as needed) to dst
+// and returns it, avoiding per-call allocation when dst is reused.
+func (t *MonoTable) AppendTermIDs(dst []uint32, p Poly) []uint32 {
+	for _, m := range p.terms {
+		dst = append(dst, t.ID(m))
+	}
+	return dst
+}

@@ -1,0 +1,183 @@
+package anf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMonoTableDenseIDs(t *testing.T) {
+	tab := NewMonoTable()
+	ms := []Monomial{
+		NewMonomial(1, 2),
+		NewMonomial(3),
+		One,
+		NewMonomial(1, 2, 7),
+	}
+	for i, m := range ms {
+		if id := tab.ID(m); id != uint32(i) {
+			t.Fatalf("ID(%v) = %d, want %d", m, id, i)
+		}
+	}
+	if tab.Len() != len(ms) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(ms))
+	}
+	// Re-interning structurally equal monomials returns the same IDs.
+	for i, m := range ms {
+		dup := NewMonomial(m.Vars()...)
+		if id := tab.ID(dup); id != uint32(i) {
+			t.Fatalf("re-ID(%v) = %d, want %d", m, id, i)
+		}
+	}
+	// Mono round-trips and carries the fast-path ID.
+	for i := range ms {
+		c := tab.Mono(uint32(i))
+		if !c.Equal(ms[i]) {
+			t.Fatalf("Mono(%d) = %v, want %v", i, c, ms[i])
+		}
+		if c.id != uint32(i)+1 {
+			t.Fatalf("canonical id cache = %d, want %d", c.id, i+1)
+		}
+	}
+}
+
+// A monomial interned by one table must resolve correctly in another table,
+// regardless of its cached id (the fast path must reject foreign ids).
+func TestMonoTableForeignID(t *testing.T) {
+	a, b := NewMonoTable(), NewMonoTable()
+	// Table a: x1 gets id 0. Table b: x5 gets id 0.
+	ca := a.Canonical(NewMonomial(1))
+	b.ID(NewMonomial(5))
+	if id := b.ID(ca); id != 1 {
+		t.Fatalf("foreign monomial got id %d, want fresh id 1", id)
+	}
+	if got := b.Mono(1); !got.Equal(ca) {
+		t.Fatalf("table b id 1 = %v, want x1", got)
+	}
+	// And the constant-1 monomial (empty vars — identity check degenerates
+	// to content equality, which is still correct).
+	cOne := a.Canonical(One)
+	idB := b.ID(One)
+	if got := b.ID(cOne); got != idB {
+		t.Fatalf("One resolved to %d in table b, want %d", got, idB)
+	}
+}
+
+func TestMonoTableLookup(t *testing.T) {
+	tab := NewMonoTable()
+	m := NewMonomial(2, 4)
+	if _, ok := tab.Lookup(m); ok {
+		t.Fatal("Lookup hit before interning")
+	}
+	id := tab.ID(m)
+	if got, ok := tab.Lookup(m); !ok || got != id {
+		t.Fatalf("Lookup = %d,%v; want %d,true", got, ok, id)
+	}
+	if got, ok := tab.Lookup(tab.Mono(id)); !ok || got != id {
+		t.Fatalf("Lookup(canonical) = %d,%v; want %d,true", got, ok, id)
+	}
+}
+
+func TestInternPolyIdempotent(t *testing.T) {
+	tab := NewMonoTable()
+	p := MustParsePoly("x1*x2 + x3 + 1")
+	q := tab.InternPoly(p)
+	if !q.Equal(p) {
+		t.Fatalf("InternPoly changed the polynomial: %v vs %v", q, p)
+	}
+	// All terms of q are canonical; interning again must return q unchanged
+	// (same backing slice, no allocation).
+	r := tab.InternPoly(q)
+	if len(r.terms) > 0 && len(q.terms) > 0 && &r.terms[0] != &q.terms[0] {
+		t.Fatal("InternPoly reallocated an already-canonical polynomial")
+	}
+	for _, m := range q.terms {
+		if id, ok := tab.Lookup(m); !ok {
+			t.Fatalf("term %v not interned", m)
+		} else if !tab.Mono(id).Equal(m) {
+			t.Fatalf("term %v maps to %v", m, tab.Mono(id))
+		}
+	}
+}
+
+// Property test: the table must agree with a plain string-keyed map over a
+// random stream of monomials (the structure it replaces).
+func TestMonoTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tab := NewMonoTable()
+	ref := map[string]uint32{}
+	for i := 0; i < 5000; i++ {
+		var vs []Var
+		for d := 0; d < rng.Intn(4); d++ {
+			vs = append(vs, Var(rng.Intn(12)))
+		}
+		m := NewMonomial(vs...)
+		id := tab.ID(m)
+		if want, ok := ref[m.Key()]; ok {
+			if id != want {
+				t.Fatalf("step %d: ID(%v) = %d, want %d", i, m, id, want)
+			}
+		} else {
+			if int(id) != len(ref) {
+				t.Fatalf("step %d: fresh ID %d not dense (have %d)", i, id, len(ref))
+			}
+			ref[m.Key()] = id
+		}
+		// Mix in fast-path hits on canonical copies.
+		if rng.Intn(2) == 0 {
+			c := tab.Mono(id)
+			if got := tab.ID(c); got != id {
+				t.Fatalf("fast path ID = %d, want %d", got, id)
+			}
+		}
+	}
+	if tab.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(ref))
+	}
+}
+
+func TestSystemMonoTable(t *testing.T) {
+	sys := NewSystem()
+	sys.Add(MustParsePoly("x1*x2 + x3"))
+	sys.Add(MustParsePoly("x2 + 1"))
+	tab := sys.MonoTable()
+	if tab.Len() != 4 { // x1*x2, x3, x2, 1
+		t.Fatalf("table has %d monomials, want 4", tab.Len())
+	}
+	// System polys were rewritten to canonical terms: ID() on them must hit
+	// without growing the table.
+	for _, p := range sys.Polys() {
+		for _, m := range p.Terms() {
+			tab.ID(m)
+		}
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("table grew to %d re-interning system terms", tab.Len())
+	}
+	// Later Adds keep the table current.
+	sys.Add(MustParsePoly("x4*x5 + x2"))
+	if _, ok := tab.Lookup(NewMonomial(4, 5)); !ok {
+		t.Fatal("Add did not intern new monomials")
+	}
+	// Replace too.
+	sys.Replace(0, MustParsePoly("x6 + 1"))
+	if _, ok := tab.Lookup(NewMonomial(6)); !ok {
+		t.Fatal("Replace did not intern new monomials")
+	}
+	// Clones intern independently.
+	c := sys.Clone()
+	ct := c.MonoTable()
+	if ct == tab {
+		t.Fatal("clone shares the monomial table")
+	}
+}
+
+func TestFromSortedMonomials(t *testing.T) {
+	want := MustParsePoly("x1*x2 + x3 + 1")
+	got := FromSortedMonomials(want.Terms())
+	if !got.Equal(want) {
+		t.Fatalf("FromSortedMonomials = %v, want %v", got, want)
+	}
+	if !FromSortedMonomials(nil).IsZero() {
+		t.Fatal("empty FromSortedMonomials not zero")
+	}
+}

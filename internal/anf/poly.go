@@ -41,6 +41,15 @@ func FromMonomials(ms ...Monomial) Poly {
 	return Poly{terms: append([]Monomial(nil), out...)}
 }
 
+// FromSortedMonomials builds a polynomial from monomials that are already
+// in strictly descending order with no duplicates — the canonical term
+// order. It trusts the caller (no sorting, no cancellation) and copies the
+// slice. The linearization kernels use it to read reduced matrix rows back
+// into polynomials without paying FromMonomials' sort.
+func FromSortedMonomials(ms []Monomial) Poly {
+	return Poly{terms: append([]Monomial(nil), ms...)}
+}
+
 // VarPoly returns the polynomial consisting of the single variable v.
 func VarPoly(v Var) Poly { return Poly{terms: []Monomial{NewMonomial(v)}} }
 

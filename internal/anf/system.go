@@ -15,6 +15,9 @@ type System struct {
 	// deleted (zeroed) equations may linger; readers must re-check.
 	occ     map[Var][]int
 	numVars int
+	// table, once built by MonoTable(), interns every monomial of the
+	// system; Add and Replace keep it current.
+	table *MonoTable
 }
 
 // NewSystem returns an empty system.
@@ -27,6 +30,9 @@ func NewSystem() *System {
 func (s *System) Add(p Poly) bool {
 	if p.IsZero() {
 		return false
+	}
+	if s.table != nil {
+		p = s.table.InternPoly(p)
 	}
 	idx := len(s.polys)
 	s.polys = append(s.polys, p)
@@ -72,6 +78,9 @@ func (s *System) At(i int) Poly { return s.polys[i] }
 // Replace overwrites slot i with p, maintaining occurrence lists for any
 // new variables.
 func (s *System) Replace(i int, p Poly) {
+	if s.table != nil {
+		p = s.table.InternPoly(p)
+	}
 	s.polys[i] = p
 	for _, v := range p.Vars() {
 		s.occ[v] = appendUnique(s.occ[v], i)
@@ -107,6 +116,26 @@ func (s *System) OccurrenceCount(v Var) int {
 	return n
 }
 
+// MonoTable returns the system's monomial interning table, building it on
+// first use. Building rewrites the stored polynomials with their canonical
+// interned terms, so later ID() calls on any term of the system take the
+// table's O(1) fast path instead of hashing a string key. Add and Replace
+// keep the table current once it exists.
+//
+// Concurrent callers must arrange for the table to be built (and every
+// system monomial interned) before sharing the system read-only; the
+// engine's parallel fact-learning phase pre-warms it for exactly this
+// reason.
+func (s *System) MonoTable() *MonoTable {
+	if s.table == nil {
+		s.table = NewMonoTable()
+		for i, p := range s.polys {
+			s.polys[i] = s.table.InternPoly(p)
+		}
+	}
+	return s.table
+}
+
 // NumVars returns one more than the largest variable index seen.
 func (s *System) NumVars() int { return s.numVars }
 
@@ -119,7 +148,9 @@ func (s *System) SetNumVars(n int) {
 }
 
 // Clone returns a deep-enough copy: polynomials are immutable values, so
-// only the slices and maps are duplicated.
+// only the slices and maps are duplicated. The monomial table is not
+// carried over — the clone rebuilds its own lazily, keeping the two
+// systems free to intern independently (and concurrently).
 func (s *System) Clone() *System {
 	n := &System{
 		polys:   append([]Poly(nil), s.polys...),

@@ -13,6 +13,9 @@ type ElimLinConfig struct {
 	// MaxRounds caps the GJE–substitute iterations (a safety valve; the
 	// algorithm terminates when no linear equations remain).
 	MaxRounds int
+	// Workers is the fan-out for the GF(2) elimination kernel (≤ 1 =
+	// sequential). The result is identical for every value.
+	Workers int
 	// Rand drives the subsampling.
 	Rand *rand.Rand
 }
@@ -33,10 +36,11 @@ func RunElimLin(sys *anf.System, cfg ElimLinConfig) []anf.Poly {
 	if len(work) == 0 {
 		return nil
 	}
+	var scratch elimScratch
 	var learnt []anf.Poly
 	for round := 0; round < cfg.MaxRounds; round++ {
 		// Step (1): GJE on the linearization.
-		reduced := gjeRows(work)
+		reduced := gjeRowsWorkers(work, cfg.Workers)
 		// Step (2): gather the linear equations.
 		var linear []anf.Poly
 		var rest []anf.Poly
@@ -64,7 +68,7 @@ func RunElimLin(sys *anf.System, cfg ElimLinConfig) []anf.Poly {
 			if len(vs) == 0 {
 				continue
 			}
-			v := pickElimVar(vs, rest)
+			v := scratch.pick(vs, rest)
 			// Solve l for v: v = l ⊕ v (the rest of the equation).
 			rhs := l.Add(anf.VarPoly(v))
 			for i, p := range rest {
@@ -76,21 +80,70 @@ func RunElimLin(sys *anf.System, cfg ElimLinConfig) []anf.Poly {
 	return learnt
 }
 
-// pickElimVar returns the variable of vs occurring in the fewest
-// polynomials of rest.
-func pickElimVar(vs []anf.Var, rest []anf.Poly) anf.Var {
-	best := vs[0]
-	bestCount := -1
+// elimScratch holds the generation-stamped dense arrays behind the
+// eliminate-variable choice, reused across every pick of a RunElimLin
+// call so the per-pick cost is one pass over rest with no allocation.
+type elimScratch struct {
+	cand   []int32 // cand[v] == gen: v is a candidate this pick
+	seen   []int32 // seen[v] == tick: v already counted for current poly
+	counts []int32 // occurrences of candidate v across rest
+	gen    int32
+	tick   int32
+}
+
+func (s *elimScratch) grow(n int) {
+	if n <= len(s.cand) {
+		return
+	}
+	c := make([]int32, n)
+	copy(c, s.cand)
+	s.cand = c
+	sn := make([]int32, n)
+	copy(sn, s.seen)
+	s.seen = sn
+	ct := make([]int32, n)
+	copy(ct, s.counts)
+	s.counts = ct
+}
+
+// pick returns the variable of vs occurring in the fewest polynomials of
+// rest (first in vs on ties, matching the sorted order LinearVars
+// produces). It counts all candidates in a single occurrence-count pass
+// over rest — O(total terms) instead of the O(len(vs) × total terms)
+// rescan a per-variable ContainsVar sweep costs.
+func (s *elimScratch) pick(vs []anf.Var, rest []anf.Poly) anf.Var {
+	if len(vs) == 1 {
+		return vs[0]
+	}
+	s.grow(int(vs[len(vs)-1]) + 1) // vs is sorted ascending
+	s.gen++
 	for _, v := range vs {
-		count := 0
-		for _, p := range rest {
-			if p.ContainsVar(v) {
-				count++
+		s.cand[v] = s.gen
+		s.counts[v] = 0
+	}
+	for _, p := range rest {
+		s.tick++
+		for _, t := range p.Terms() {
+			for _, v := range t.Vars() {
+				if int(v) < len(s.cand) && s.cand[v] == s.gen && s.seen[v] != s.tick {
+					s.seen[v] = s.tick
+					s.counts[v]++
+				}
 			}
 		}
-		if bestCount < 0 || count < bestCount {
-			best, bestCount = v, count
+	}
+	best := vs[0]
+	for _, v := range vs[1:] {
+		if s.counts[v] < s.counts[best] {
+			best = v
 		}
 	}
 	return best
+}
+
+// pickElimVar is the standalone form of elimScratch.pick, kept for tests
+// and one-off callers.
+func pickElimVar(vs []anf.Var, rest []anf.Poly) anf.Var {
+	var s elimScratch
+	return s.pick(vs, rest)
 }

@@ -66,6 +66,18 @@ type Config struct {
 	// ProbeMax bounds probing per SAT step (0 = all variables).
 	ProbeMax int
 
+	// Workers sets the fan-out of the fact-learning pipeline. 0 (the
+	// default) keeps the paper's strictly sequential loop: each technique
+	// sees the facts of the previous one within the same iteration.
+	// Workers ≥ 1 switches to the snapshot pipeline: every enabled
+	// technique of an iteration runs against the iteration-start system
+	// with its own deterministically derived RNG, and the fact batches are
+	// merged in fixed technique order before a single propagation — so the
+	// Result is bit-identical for every Workers value ≥ 1, and with
+	// Workers > 1 the techniques (and the GF(2) elimination kernel) run
+	// concurrently across that many goroutines.
+	Workers int
+
 	// Seed drives all randomized choices; fixed seed = reproducible run.
 	Seed int64
 
@@ -193,54 +205,68 @@ func Process(input *anf.System, cfg Config) *Result {
 		res.Iterations = iter + 1
 		newThisIter := 0
 
-		if !cfg.DisableXL && !expired() {
-			facts := RunXL(sys, XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Rand: rng})
-			added, ok := prop.AddFacts(facts)
-			res.XL.Runs++
-			res.XL.NewFacts += added
-			newThisIter += added
-			logf("iter %d: XL learnt %d facts (%d new)", iter, len(facts), added)
-			if !ok {
-				return finish(SolvedUNSAT)
+		if cfg.Workers >= 1 {
+			// Snapshot pipeline: all fact learners of this iteration see the
+			// iteration-start system and run (possibly concurrently) with
+			// deterministically derived RNGs; their batches merge in fixed
+			// technique order, so the outcome is Workers-independent.
+			if !expired() {
+				added, ok := runSnapshotPhase(prop, cfg, res, iter, logf)
+				newThisIter += added
+				if !ok {
+					return finish(SolvedUNSAT)
+				}
 			}
-		}
+		} else {
+			if !cfg.DisableXL && !expired() {
+				facts := RunXL(sys, XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Rand: rng})
+				added, ok := prop.AddFacts(facts)
+				res.XL.Runs++
+				res.XL.NewFacts += added
+				newThisIter += added
+				logf("iter %d: XL learnt %d facts (%d new)", iter, len(facts), added)
+				if !ok {
+					return finish(SolvedUNSAT)
+				}
+			}
 
-		if !cfg.DisableElimLin && !expired() {
-			facts := RunElimLin(sys, ElimLinConfig{M: cfg.M, Rand: rng})
-			added, ok := prop.AddFacts(facts)
-			res.ElimLin.Runs++
-			res.ElimLin.NewFacts += added
-			newThisIter += added
-			logf("iter %d: ElimLin learnt %d facts (%d new)", iter, len(facts), added)
-			if !ok {
-				return finish(SolvedUNSAT)
+			if !cfg.DisableElimLin && !expired() {
+				facts := RunElimLin(sys, ElimLinConfig{M: cfg.M, Rand: rng})
+				added, ok := prop.AddFacts(facts)
+				res.ElimLin.Runs++
+				res.ElimLin.NewFacts += added
+				newThisIter += added
+				logf("iter %d: ElimLin learnt %d facts (%d new)", iter, len(facts), added)
+				if !ok {
+					return finish(SolvedUNSAT)
+				}
 			}
-		}
 
-		for _, tech := range cfg.ExtraTechniques {
-			if expired() {
-				break
+			for _, tech := range cfg.ExtraTechniques {
+				if expired() {
+					break
+				}
+				facts := tech.Learn(sys, rng)
+				added, ok := prop.AddFacts(facts)
+				res.Extra.Runs++
+				res.Extra.NewFacts += added
+				newThisIter += added
+				logf("iter %d: %s learnt %d facts (%d new)", iter, tech.Name(), len(facts), added)
+				if !ok {
+					return finish(SolvedUNSAT)
+				}
 			}
-			facts := tech.Learn(sys, rng)
-			added, ok := prop.AddFacts(facts)
-			res.Extra.Runs++
-			res.Extra.NewFacts += added
-			newThisIter += added
-			logf("iter %d: %s learnt %d facts (%d new)", iter, tech.Name(), len(facts), added)
-			if !ok {
-				return finish(SolvedUNSAT)
-			}
-		}
 
-		if cfg.EnableGroebner && !expired() {
-			facts := RunGroebnerStep(sys, DefaultGroebnerConfig(rng))
-			added, ok := prop.AddFacts(facts)
-			res.Groebner.Runs++
-			res.Groebner.NewFacts += added
-			newThisIter += added
-			logf("iter %d: Groebner learnt %d facts (%d new)", iter, len(facts), added)
-			if !ok {
-				return finish(SolvedUNSAT)
+			if cfg.EnableGroebner && !expired() {
+				facts := RunGroebnerStep(sys, DefaultGroebnerConfig(rng))
+				added, ok := prop.AddFacts(facts)
+				res.Groebner.Runs++
+				res.Groebner.NewFacts += added
+				newThisIter += added
+				logf("iter %d: Groebner learnt %d facts (%d new)", iter, len(facts), added)
+				if !ok {
+					return finish(SolvedUNSAT)
+				}
 			}
 		}
 

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/anf"
+)
+
+// techJob is one fact learner of an iteration's snapshot phase: a closure
+// over the read-only master system, the stats bucket it reports into, and
+// the derived seed for its private RNG.
+type techJob struct {
+	name  string
+	stats *PhaseStats
+	seed  int64
+	learn func(rng *rand.Rand) []anf.Poly
+	facts []anf.Poly
+}
+
+// deriveSeed mixes the run seed, iteration and job index into a decorrelated
+// per-technique seed (splitmix64 finalizer). Only the inputs matter — not
+// execution order — so any Workers fan-out sees identical streams.
+func deriveSeed(base int64, iter, job int) int64 {
+	z := uint64(base) + 0x9E3779B97F4A7C15*uint64(iter+1) + 0xBF58476D1CE4E5B9*uint64(job+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// snapshotJobs assembles the iteration's enabled fact learners in the fixed
+// merge order: XL, ElimLin, extra techniques (registration order), then the
+// optional Gröbner phase — the same order the sequential loop runs them.
+func snapshotJobs(sys *anf.System, cfg Config, res *Result, iter int) []*techJob {
+	var jobs []*techJob
+	add := func(name string, stats *PhaseStats, learn func(rng *rand.Rand) []anf.Poly) {
+		jobs = append(jobs, &techJob{
+			name:  name,
+			stats: stats,
+			seed:  deriveSeed(cfg.Seed, iter, len(jobs)),
+			learn: learn,
+		})
+	}
+	if !cfg.DisableXL {
+		add("XL", &res.XL, func(rng *rand.Rand) []anf.Poly {
+			return RunXL(sys, XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Workers: cfg.Workers, Rand: rng})
+		})
+	}
+	if !cfg.DisableElimLin {
+		add("ElimLin", &res.ElimLin, func(rng *rand.Rand) []anf.Poly {
+			return RunElimLin(sys, ElimLinConfig{M: cfg.M, Workers: cfg.Workers, Rand: rng})
+		})
+	}
+	for _, tech := range cfg.ExtraTechniques {
+		tech := tech
+		add(tech.Name(), &res.Extra, func(rng *rand.Rand) []anf.Poly {
+			return tech.Learn(sys, rng)
+		})
+	}
+	if cfg.EnableGroebner {
+		add("Groebner", &res.Groebner, func(rng *rand.Rand) []anf.Poly {
+			return RunGroebnerStep(sys, DefaultGroebnerConfig(rng))
+		})
+	}
+	return jobs
+}
+
+// runSnapshotPhase runs one iteration's fact learners against the
+// iteration-start system and merges their fact batches deterministically.
+// All learners see the same snapshot (they only read sys; each already
+// works on subsampled copies), so the learnt facts — and therefore the
+// whole Result — are identical for every Workers value; Workers > 1 only
+// changes how many run at once. Returns the number of new facts and false
+// if the merge derived a contradiction.
+func runSnapshotPhase(prop *Propagator, cfg Config, res *Result, iter int,
+	logf func(string, ...interface{})) (int, bool) {
+	sys := prop.Sys
+	jobs := snapshotJobs(sys, cfg, res, iter)
+	if len(jobs) == 0 {
+		return 0, true
+	}
+	// Pre-warm the system's monomial table: once every stored polynomial
+	// carries canonical interned terms, the concurrent subsample passes
+	// below only ever take the table's read-only fast path.
+	sys.MonoTable()
+
+	if cfg.Workers > 1 {
+		sem := make(chan struct{}, cfg.Workers)
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			j := j
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer func() { <-sem; wg.Done() }()
+				j.facts = j.learn(rand.New(rand.NewSource(j.seed)))
+			}()
+		}
+		wg.Wait()
+	} else {
+		for _, j := range jobs {
+			j.facts = j.learn(rand.New(rand.NewSource(j.seed)))
+		}
+	}
+
+	// Merge in fixed technique order: one AddFacts per technique keeps the
+	// per-phase stats and the propagation order seed-reproducible.
+	total := 0
+	for _, j := range jobs {
+		added, ok := prop.AddFacts(j.facts)
+		j.stats.Runs++
+		j.stats.NewFacts += added
+		total += added
+		logf("iter %d: %s learnt %d facts (%d new)", iter, j.name, len(j.facts), added)
+		if !ok {
+			return total, false
+		}
+	}
+	return total, true
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anf"
+	"repro/internal/ciphers/simon"
+	"repro/internal/ciphers/sr"
+)
+
+func TestDeriveSeedDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for iter := 0; iter < 8; iter++ {
+		for job := 0; job < 8; job++ {
+			s := deriveSeed(42, iter, job)
+			if seen[s] {
+				t.Fatalf("seed collision at iter=%d job=%d", iter, job)
+			}
+			seen[s] = true
+		}
+	}
+	if deriveSeed(42, 3, 2) != deriveSeed(42, 3, 2) {
+		t.Fatal("deriveSeed not a pure function")
+	}
+}
+
+// resultFingerprint renders everything about a Result that the pipeline
+// promises to keep Workers-independent.
+func resultFingerprint(t *testing.T, r *Result) string {
+	t.Helper()
+	s := r.Status.String()
+	s += "|" + r.State.String()
+	for _, p := range r.System.Polys() {
+		s += "|" + p.String()
+	}
+	for _, b := range r.Solution {
+		if b {
+			s += "1"
+		} else {
+			s += "0"
+		}
+	}
+	return s
+}
+
+// TestProcessWorkersBitIdentical is the tentpole determinism contract: with
+// the snapshot pipeline enabled, the entire Result — verdict, solution,
+// learnt-fact counts, final system and variable state — must be bit-identical
+// for every Workers value ≥ 1.
+func TestProcessWorkersBitIdentical(t *testing.T) {
+	instances := []*anf.System{
+		simon.GenerateInstance(simon.Params{NPlaintexts: 2, Rounds: 5},
+			rand.New(rand.NewSource(77))).Sys,
+		sr.GenerateInstance(sr.Params{N: 1, R: 1, C: 2, E: 4},
+			rand.New(rand.NewSource(5))).Sys,
+	}
+	for i, sys := range instances {
+		cfg := DefaultConfig()
+		cfg.Seed = 9
+		cfg.EnableGroebner = true
+		cfg.Workers = 1
+		base := Process(sys, cfg)
+		want := resultFingerprint(t, base)
+		for _, w := range []int{2, 4} {
+			cfg.Workers = w
+			got := Process(sys, cfg)
+			if base.Status != got.Status || base.Iterations != got.Iterations {
+				t.Fatalf("instance %d: Workers=1 gave %v/%d, Workers=%d gave %v/%d",
+					i, base.Status, base.Iterations, w, got.Status, got.Iterations)
+			}
+			if base.XL != got.XL || base.ElimLin != got.ElimLin ||
+				base.SAT != got.SAT || base.Groebner != got.Groebner ||
+				base.Extra != got.Extra ||
+				base.PropagationFacts != got.PropagationFacts {
+				t.Fatalf("instance %d: phase stats differ between Workers=1 and Workers=%d", i, w)
+			}
+			if fp := resultFingerprint(t, got); fp != want {
+				t.Fatalf("instance %d: result fingerprint differs between Workers=1 and Workers=%d", i, w)
+			}
+		}
+	}
+}
+
+// TestProcessWorkersSolves checks the snapshot pipeline still recovers the
+// key, i.e. parallelism does not cost solving power on the standard cases.
+func TestProcessWorkersSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := sr.GenerateInstance(sr.Params{N: 1, R: 1, C: 2, E: 4}, rng)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	res := Process(inst.Sys, cfg)
+	if res.Status != SolvedSAT {
+		t.Fatalf("status %v, want SAT", res.Status)
+	}
+	if !VerifySolution(inst.Sys, res.Solution) {
+		t.Fatal("solution does not satisfy the system")
+	}
+}
+
+// TestPickElimVarMatchesRescan cross-checks the single-pass occurrence
+// counter against the obvious per-variable rescan on random systems.
+func TestPickElimVarMatchesRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randPoly := func(nvars int) anf.Poly {
+		p := anf.Zero()
+		for t := 0; t < 1+rng.Intn(5); t++ {
+			m := anf.NewMonomial(anf.Var(rng.Intn(nvars)), anf.Var(rng.Intn(nvars)))
+			p = p.Add(anf.FromMonomials(m))
+		}
+		return p
+	}
+	naive := func(vs []anf.Var, rest []anf.Poly) anf.Var {
+		best, bestCount := vs[0], int(^uint(0)>>1)
+		for _, v := range vs {
+			count := 0
+			for _, p := range rest {
+				if p.ContainsVar(v) {
+					count++
+				}
+			}
+			if count < bestCount {
+				best, bestCount = v, count
+			}
+		}
+		return best
+	}
+	for trial := 0; trial < 200; trial++ {
+		nvars := 4 + rng.Intn(40)
+		rest := make([]anf.Poly, 1+rng.Intn(20))
+		for i := range rest {
+			rest[i] = randPoly(nvars)
+		}
+		nvs := 1 + rng.Intn(6)
+		if nvs > nvars {
+			nvs = nvars
+		}
+		seen := map[anf.Var]bool{}
+		var vs []anf.Var
+		for len(vs) < nvs {
+			v := anf.Var(rng.Intn(nvars))
+			if !seen[v] {
+				seen[v] = true
+				vs = append(vs, v)
+			}
+		}
+		sortVars(vs)
+		if got, want := pickElimVar(vs, rest), naive(vs, rest); got != want {
+			t.Fatalf("trial %d: pickElimVar=%v naive=%v (vs=%v)", trial, got, want, vs)
+		}
+	}
+}
+
+func sortVars(vs []anf.Var) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// BenchmarkPickElimVar isolates the eliminate-variable choice that used to
+// rescan rest once per candidate variable.
+func BenchmarkPickElimVar(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const nvars = 256
+	rest := make([]anf.Poly, 400)
+	for i := range rest {
+		p := anf.Zero()
+		for t := 0; t < 6; t++ {
+			m := anf.NewMonomial(anf.Var(rng.Intn(nvars)), anf.Var(rng.Intn(nvars)))
+			p = p.Add(anf.FromMonomials(m))
+		}
+		rest[i] = p
+	}
+	vs := []anf.Var{3, 17, 40, 99, 180, 220}
+	var s elimScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.pick(vs, rest)
+	}
+}
+
+// BenchmarkProcessWorkers runs the whole loop on the Simon instance under
+// the snapshot pipeline — the end-to-end number the -j flag moves.
+func BenchmarkProcessWorkers(b *testing.B) {
+	sys := simon.GenerateInstance(simon.Params{NPlaintexts: 2, Rounds: 5},
+		rand.New(rand.NewSource(77))).Sys
+	for _, w := range []int{1, 4} {
+		b.Run(map[int]string{1: "w1", 4: "w4"}[w], func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Seed = 9
+			cfg.Workers = w
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = Process(sys, cfg)
+			}
+		})
+	}
+}

@@ -18,6 +18,9 @@ type XLConfig struct {
 	// Deg is D, the maximum degree of the multiplier monomials (the paper
 	// runs with D = 1: multiply by 1 and by each single variable).
 	Deg int
+	// Workers is the fan-out for the GF(2) elimination kernel (≤ 1 =
+	// sequential). The result is identical for every value.
+	Workers int
 	// Rand drives the uniform subsampling.
 	Rand *rand.Rand
 }
@@ -41,11 +44,23 @@ func RunXL(sys *anf.System, cfg XLConfig) []anf.Poly {
 		return nil
 	}
 	// Expand in ascending degree order by monomials up to degree D, while
-	// the linearized size stays under 2^(M+DeltaM).
+	// the linearized size stays under 2^(M+DeltaM). All expanded
+	// polynomials are interned into a pass-local monomial table as they are
+	// produced, which both tracks the distinct-monomial count incrementally
+	// (the old implementation re-counted from scratch) and pre-computes the
+	// integer column IDs the linearization step indexes by.
 	sort.SliceStable(polys, func(i, j int) bool { return polys[i].Deg() < polys[j].Deg() })
 	limit := uint64(1) << uint(cfg.M+cfg.DeltaM)
+	tab := anf.NewMonoTable()
 	expanded := make([]anf.Poly, 0, 2*len(polys))
-	expanded = append(expanded, polys...)
+	var ids []uint32 // flat term IDs, concatenated per expanded row
+	push := func(q anf.Poly) {
+		expanded = append(expanded, q)
+		ids = tab.AppendTermIDs(ids, q)
+	}
+	for _, p := range polys {
+		push(p)
+	}
 	// Collect the variables of the sampled subsystem as degree-1
 	// multipliers (D = 1); for D > 1, products of those variables.
 	vars := collectVars(polys)
@@ -57,38 +72,49 @@ expansion:
 			if q.IsZero() {
 				continue
 			}
-			expanded = append(expanded, q)
-			// Recheck the size bound periodically (counting distinct
-			// monomials is itself linear in the system size).
-			if len(expanded)%64 == 0 {
-				cols := countMonomials(expanded)
-				if uint64(len(expanded))*uint64(cols) > limit {
-					break expansion
-				}
+			push(q)
+			if uint64(len(expanded))*uint64(tab.Len()) > limit {
+				break expansion
 			}
 		}
 	}
-	return gjeFacts(expanded)
+	var facts []anf.Poly
+	for _, p := range gjeRowsIDs(expanded, ids, tab, cfg.Workers) {
+		if p.IsLinear() || p.IsMonomialPlusOne() || p.IsOne() {
+			facts = append(facts, p)
+		}
+	}
+	return facts
 }
 
 // subsample uniformly picks equations until the linearized size
-// (rows × distinct monomials) reaches about 2^M (§II-B: m′·n′ ≳ 2^M).
+// (rows × distinct monomials) reaches about 2^M (§II-B: m′·n′ ≳ 2^M). The
+// distinct-monomial count runs over the system's interned IDs — a bitmap
+// probe per term instead of the string-keyed map the seed used.
 func subsample(sys *anf.System, m int, rng *rand.Rand) []anf.Poly {
+	// Warm the table before snapshotting: MonoTable() rewrites the stored
+	// polynomials with canonical interned terms, so the polys we pull carry
+	// their IDs and every ID() below is an O(1) fast-path hit.
+	tab := sys.MonoTable()
 	all := sys.Polys()
 	if len(all) == 0 {
 		return nil
 	}
 	target := uint64(1) << uint(m)
 	perm := rng.Perm(len(all))
-	monos := map[string]struct{}{}
+	seen := make([]bool, tab.Len())
+	distinct := 0
 	var out []anf.Poly
 	for _, idx := range perm {
 		p := all[idx]
 		out = append(out, p)
 		for _, t := range p.Terms() {
-			monos[t.Key()] = struct{}{}
+			if id := tab.ID(t); !seen[id] {
+				seen[id] = true
+				distinct++
+			}
 		}
-		if uint64(len(out))*uint64(len(monos)) >= target {
+		if uint64(len(out))*uint64(distinct) >= target {
 			break
 		}
 	}
@@ -132,72 +158,76 @@ func buildMultipliers(vars []anf.Var, deg int) []anf.Monomial {
 	return out
 }
 
-func countMonomials(polys []anf.Poly) int {
-	monos := map[string]struct{}{}
-	for _, p := range polys {
-		for _, t := range p.Terms() {
-			monos[t.Key()] = struct{}{}
-		}
-	}
-	return len(monos)
-}
-
-// gjeFacts linearizes the polynomials, reduces, and returns the rows that
-// are linear equations or of the form monomial ⊕ 1 (Table I's retained
-// facts).
-func gjeFacts(polys []anf.Poly) []anf.Poly {
-	var facts []anf.Poly
-	for _, p := range gjeRows(polys) {
-		if p.IsLinear() || p.IsMonomialPlusOne() || p.IsOne() {
-			facts = append(facts, p)
-		}
-	}
-	return facts
-}
-
 // gjeRows linearizes the polynomials (one column per distinct monomial,
 // constant column last), runs Gauss–Jordan elimination with the M4R
 // kernel, and returns every nonzero reduced row as a polynomial.
 func gjeRows(polys []anf.Poly) []anf.Poly {
+	return gjeRowsWorkers(polys, 0)
+}
+
+// gjeRowsWorkers is gjeRows with an explicit elimination fan-out.
+func gjeRowsWorkers(polys []anf.Poly, workers int) []anf.Poly {
+	tab := anf.NewMonoTable()
+	n := 0
+	for _, p := range polys {
+		n += p.NumTerms()
+	}
+	ids := make([]uint32, 0, n)
+	for _, p := range polys {
+		ids = tab.AppendTermIDs(ids, p)
+	}
+	return gjeRowsIDs(polys, ids, tab, workers)
+}
+
+// gjeRowsIDs is the linearize→eliminate→extract kernel. ids holds the
+// term IDs of every polynomial, concatenated in row order (row r owns the
+// next polys[r].NumTerms() entries), with every ID already interned in
+// tab — so each column index is an integer array lookup and the hot path
+// does no string hashing at all.
+func gjeRowsIDs(polys []anf.Poly, ids []uint32, tab *anf.MonoTable, workers int) []anf.Poly {
 	// Build the column order: monomials sorted descending (leading terms
 	// first) so the reduction eliminates high-degree monomials first,
 	// mirroring Table I.
-	monoSet := map[string]anf.Monomial{}
-	for _, p := range polys {
-		for _, t := range p.Terms() {
-			monoSet[t.Key()] = t
-		}
+	monos := tab.Monos()
+	order := make([]uint32, len(monos))
+	for i := range order {
+		order[i] = uint32(i)
 	}
-	monos := make([]anf.Monomial, 0, len(monoSet))
-	for _, m := range monoSet {
-		monos = append(monos, m)
-	}
-	sort.Slice(monos, func(i, j int) bool { return monos[i].Compare(monos[j]) > 0 })
-	col := map[string]int{}
-	for i, m := range monos {
-		col[m.Key()] = i
+	sort.Slice(order, func(i, j int) bool {
+		return monos[order[i]].Compare(monos[order[j]]) > 0
+	})
+	col := make([]int, len(monos)) // monomial ID → matrix column
+	for c, id := range order {
+		col[id] = c
 	}
 	mat := gf2.NewMatrix(len(polys), len(monos))
+	pos := 0
 	for r, p := range polys {
-		for _, t := range p.Terms() {
-			mat.Flip(r, col[t.Key()])
+		row := mat.Row(r)
+		for n := p.NumTerms(); n > 0; n-- {
+			c := col[ids[pos]]
+			pos++
+			row[c>>6] ^= 1 << (uint(c) & 63)
 		}
 	}
-	rank := mat.RREFM4R()
+	rank := mat.RREFM4RWorkers(workers)
 	out := make([]anf.Poly, 0, rank)
+	var terms []anf.Monomial
 	for r := 0; r < rank; r++ {
-		var terms []anf.Monomial
+		terms = terms[:0]
 		row := mat.Row(r)
 		for w, word := range row {
 			for word != 0 {
 				c := w*64 + bits.TrailingZeros64(word)
 				word &= word - 1
-				if c < len(monos) {
-					terms = append(terms, monos[c])
+				if c < len(order) {
+					terms = append(terms, monos[order[c]])
 				}
 			}
 		}
-		out = append(out, anf.FromMonomials(terms...))
+		// Ascending columns are descending monomials — already the
+		// canonical Poly term order, so skip FromMonomials' sort.
+		out = append(out, anf.FromSortedMonomials(terms))
 	}
 	return out
 }

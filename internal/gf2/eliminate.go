@@ -1,6 +1,9 @@
 package gf2
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // RREF reduces the matrix in place to reduced row echelon form using plain
 // Gauss–Jordan elimination with partial (first-nonzero) pivoting, and
@@ -60,32 +63,58 @@ func m4rK(rows, cols int) int {
 }
 
 // RREFM4R reduces the matrix in place to reduced row echelon form using the
-// Method of the Four Russians and returns the rank. It processes up to k
-// pivot columns per round: the k pivot rows are first fully reduced against
-// each other, then a 2^k-entry table of all their GF(2) combinations is
-// built, and every other row is cleared in one table lookup plus one
-// word-parallel XOR. This is the elimination algorithm that gives M4RI its
-// name and its asymptotic O(n^3 / log n) behaviour.
-func (m *Matrix) RREFM4R() int {
+// Method of the Four Russians and returns the rank. It is the sequential
+// form of RREFM4RWorkers.
+func (m *Matrix) RREFM4R() int { return m.RREFM4RWorkers(1) }
+
+// minWorkerWords is the minimum number of matrix words a round must touch
+// per worker before the kernel fans the table-application loop out to
+// goroutines; below it the per-round synchronization outweighs the XOR
+// work.
+const minWorkerWords = 8192
+
+// RREFM4RWorkers reduces the matrix in place to reduced row echelon form
+// using the Method of the Four Russians and returns the rank. It processes
+// up to k pivot columns per round: the k pivot rows are first fully reduced
+// against each other, then a 2^k-entry table of all their GF(2)
+// combinations is built, and every other row is cleared in one table
+// lookup plus one word-parallel XOR. This is the elimination algorithm that
+// gives M4RI its name and its asymptotic O(n^3 / log n) behaviour.
+//
+// The combination table lives in a pooled workspace, so steady-state rounds
+// allocate nothing. With workers > 1 the table-application loop — the bulk
+// of the work, and independent per row once the pivot block and table are
+// fixed — is split over row blocks across that many goroutines. Each row's
+// final value is a fixed XOR of table entries regardless of scheduling, so
+// the result is bit-identical for every worker count.
+func (m *Matrix) RREFM4RWorkers(workers int) int {
 	k := m4rK(m.rows, m.cols)
+	ws := getM4RWorkspace(m.stride, k)
+	defer putM4RWorkspace(ws)
+	// Cap the fan-out by the per-round work so small matrices stay on the
+	// fast sequential path.
+	if limit := m.rows * m.stride / minWorkerWords; workers > limit {
+		workers = limit
+	}
+
 	rank := 0
 	col := 0
 	for col < m.cols && rank < m.rows {
-		// Gather up to k pivots starting from this column.
-		type pivot struct{ row, col int }
-		var pivots []pivot
+		// Gather up to k pivots starting from this column. Chosen pivot
+		// rows are swapped up to the contiguous block [rank, rank+np).
+		np := 0 // pivots gathered this round
 		c := col
-		for c < m.cols && len(pivots) < k {
+		for c < m.cols && np < k {
 			// Scan candidate rows below the block, reducing each against
 			// the block pivots before testing its bit at column c. Rows
 			// that are reduced but not chosen stay partially reduced; that
 			// is only a row operation, so correctness is unaffected and the
 			// table step below finishes them.
 			found := -1
-			for r := rank + len(pivots); r < m.rows; r++ {
-				for _, p := range pivots {
-					if m.Get(r, p.col) {
-						m.AddRowTo(p.row, r)
+			for r := rank + np; r < m.rows; r++ {
+				for i := 0; i < np; i++ {
+					if m.data[r*m.stride+ws.pcWord[i]]>>ws.pcBit[i]&1 == 1 {
+						m.AddRowTo(rank+i, r)
 					}
 				}
 				if m.Get(r, c) {
@@ -94,67 +123,49 @@ func (m *Matrix) RREFM4R() int {
 				}
 			}
 			if found >= 0 {
-				newRow := rank + len(pivots)
+				newRow := rank + np
 				m.SwapRows(newRow, found)
 				// Clear column c from the earlier pivot rows so the block
 				// stays in reduced form.
-				for _, p := range pivots {
-					if m.Get(p.row, c) {
-						m.AddRowTo(newRow, p.row)
+				for i := 0; i < np; i++ {
+					if m.Get(rank+i, c) {
+						m.AddRowTo(newRow, rank+i)
 					}
 				}
-				pivots = append(pivots, pivot{newRow, c})
+				ws.pcWord[np] = c / wordBits
+				ws.pcBit[np] = uint(c) % wordBits
+				np++
 			}
 			c++
 		}
-		if len(pivots) == 0 {
+		if np == 0 {
 			break
 		}
-		// Build the combination table: table[mask] = XOR of pivot rows whose
-		// bit is set in mask. Built incrementally (Gray-code style) so each
-		// entry costs one row XOR.
-		nComb := 1 << len(pivots)
-		table := make([][]uint64, nComb)
-		table[0] = make([]uint64, m.stride)
+		// Build the combination table in the workspace: table[mask] = XOR
+		// of pivot rows whose bit is set in mask. Built incrementally
+		// (Gray-code style) so each entry costs one row XOR.
+		nComb := 1 << uint(np)
+		zero := ws.tableRow(0, m.stride)
+		for w := range zero {
+			zero[w] = 0
+		}
 		for mask := 1; mask < nComb; mask++ {
 			low := bits.TrailingZeros(uint(mask))
-			prev := table[mask&(mask-1)]
-			row := make([]uint64, m.stride)
-			pr := m.Row(pivots[low].row)
+			prev := ws.tableRow(mask&(mask-1), m.stride)
+			row := ws.tableRow(mask, m.stride)
+			pr := m.Row(rank + low)
 			for w := range row {
 				row[w] = prev[w] ^ pr[w]
 			}
-			table[mask] = row
 		}
 		// Reduce every non-pivot row: read its bits at the pivot columns to
 		// form the table index, then XOR the combination in.
-		for r := 0; r < m.rows; r++ {
-			inBlock := false
-			for _, p := range pivots {
-				if r == p.row {
-					inBlock = true
-					break
-				}
-			}
-			if inBlock {
-				continue
-			}
-			mask := 0
-			for i, p := range pivots {
-				if m.Get(r, p.col) {
-					mask |= 1 << i
-				}
-			}
-			if mask == 0 {
-				continue
-			}
-			row := m.Row(r)
-			comb := table[mask]
-			for w := range row {
-				row[w] ^= comb[w]
-			}
+		if workers > 1 {
+			m.applyTableParallel(ws, rank, np, workers)
+		} else {
+			m.applyTable(ws, rank, np, 0, m.rows)
 		}
-		rank += len(pivots)
+		rank += np
 		col = c
 	}
 	// The pivot gathering above can leave rows unsorted by leading column
@@ -162,6 +173,50 @@ func (m *Matrix) RREFM4R() int {
 	// restores canonical RREF row order.
 	m.sortRowsByLeading()
 	return rank
+}
+
+// applyTable clears the pivot columns from every non-pivot row in
+// [lo, hi): the row's bits at the np pivot columns index the combination
+// table, whose entry is XORed in. Rows in the pivot block
+// [rank, rank+np) are skipped.
+func (m *Matrix) applyTable(ws *m4rWorkspace, rank, np, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		if r >= rank && r < rank+np {
+			continue
+		}
+		base := r * m.stride
+		mask := 0
+		for i := 0; i < np; i++ {
+			mask |= int(m.data[base+ws.pcWord[i]]>>ws.pcBit[i]&1) << uint(i)
+		}
+		if mask == 0 {
+			continue
+		}
+		xorWords(m.data[base:base+m.stride], ws.tableRow(mask, m.stride))
+	}
+}
+
+// applyTableParallel splits applyTable's row range over `workers`
+// goroutines in contiguous blocks. Every row's update depends only on the
+// fixed pivot block and table, so the partitioning does not affect the
+// result.
+func (m *Matrix) applyTableParallel(ws *m4rWorkspace, rank, np, workers int) {
+	chunk := (m.rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < m.rows; lo += chunk {
+		hi := lo + chunk
+		if hi > m.rows {
+			hi = m.rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.applyTable(ws, rank, np, lo, hi)
+		}(lo, hi)
+	}
+	// The first chunk runs on the calling goroutine.
+	m.applyTable(ws, rank, np, 0, chunk)
+	wg.Wait()
 }
 
 // sortRowsByLeading reorders rows so leading columns are strictly
@@ -229,13 +284,18 @@ func (m *Matrix) Solve(b []bool) ([]bool, bool) {
 	if len(b) != m.rows {
 		panic("gf2: Solve rhs length mismatch")
 	}
-	// Build the augmented matrix [m | b].
+	// Build the augmented matrix [m | b]. Row() exposes the packed words,
+	// so a caller can have smeared bits past column cols into the source
+	// row's final partial word; mask the trailing word after the copy so
+	// stale bits cannot land in (or beyond) the augmented column.
 	aug := NewMatrix(m.rows, m.cols+1)
+	mask := lastWordMask(m.cols)
 	for r := 0; r < m.rows; r++ {
-		copy(aug.Row(r), m.Row(r))
-		// The copy above may smear bits of the old last partial word into
-		// the augmented column region only if cols%64 leaves room; clear
-		// and re-set the augmented bit explicitly.
+		dst := aug.Row(r)
+		copy(dst, m.Row(r))
+		if m.stride > 0 {
+			dst[m.stride-1] &= mask
+		}
 		aug.Set(r, m.cols, b[r])
 	}
 	aug.RREF()

@@ -110,6 +110,24 @@ func (m *Matrix) AddRowTo(src, dst int) {
 	}
 }
 
+// AddRowFrom XORs the packed words src into row dst (dst += src over
+// GF(2)). src must have at least stride words; extra words are ignored.
+// This is the word-level hook the elimination kernels use to apply
+// combination-table rows without materializing per-round slices.
+func (m *Matrix) AddRowFrom(dst int, src []uint64) {
+	xorWords(m.Row(dst), src)
+}
+
+// lastWordMask returns the mask of valid bits in the final word of a row
+// with the given positive column count (all ones when cols is a multiple
+// of 64).
+func lastWordMask(cols int) uint64 {
+	if r := uint(cols) % wordBits; r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
+}
+
 // RowIsZero reports whether row r is all zeros.
 func (m *Matrix) RowIsZero(r int) bool {
 	for _, w := range m.Row(r) {

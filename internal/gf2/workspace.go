@@ -1,0 +1,47 @@
+package gf2
+
+import "sync"
+
+// m4rWorkspace holds the per-call scratch of the M4R elimination kernel:
+// the flat backing store of the 2^k combination table and the precomputed
+// pivot-column word/shift pairs used for mask extraction. Eliminations run
+// once per XL/ElimLin round, so the workspaces are pooled — a steady-state
+// reduction allocates nothing beyond the matrix itself.
+type m4rWorkspace struct {
+	buf    []uint64 // (1<<k)*stride words; table[mask] = buf[mask*stride:]
+	pcWord []int    // pivot column / 64
+	pcBit  []uint   // pivot column % 64
+}
+
+var m4rPool = sync.Pool{New: func() interface{} { return new(m4rWorkspace) }}
+
+// getM4RWorkspace returns a workspace with room for a 2^k-entry table of
+// stride-word rows and k pivot descriptors.
+func getM4RWorkspace(stride, k int) *m4rWorkspace {
+	ws := m4rPool.Get().(*m4rWorkspace)
+	need := (1 << uint(k)) * stride
+	if cap(ws.buf) < need {
+		ws.buf = make([]uint64, need)
+	}
+	ws.buf = ws.buf[:need]
+	if cap(ws.pcWord) < k {
+		ws.pcWord = make([]int, k)
+		ws.pcBit = make([]uint, k)
+	}
+	return ws
+}
+
+func putM4RWorkspace(ws *m4rWorkspace) { m4rPool.Put(ws) }
+
+// tableRow returns the mask-th combination row of the workspace table.
+func (ws *m4rWorkspace) tableRow(mask, stride int) []uint64 {
+	return ws.buf[mask*stride : (mask+1)*stride : (mask+1)*stride]
+}
+
+// xorWords XORs src into dst word-by-word. len(src) must be ≥ len(dst).
+func xorWords(dst, src []uint64) {
+	_ = src[:len(dst)] // bounds hint
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}

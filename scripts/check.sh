@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the full local gate: vet, build, race-enabled tests, and a
+# one-iteration smoke pass over the perf-critical benchmarks. CI and
+# pre-commit runs should both go through `make check`, which calls this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> bench smoke (1 iteration per benchmark)"
+go test -run '^$' -bench 'XL|RREF|ElimLin|PickElimVar' -benchtime 1x \
+	./internal/anf ./internal/core ./internal/gf2
+
+echo "==> OK"
