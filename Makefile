@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check perf
+.PHONY: build test race bench check perf smoke
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/gf2
+	$(GO) test -race ./internal/core ./internal/gf2 ./internal/server
+
+# smoke builds the daemon and runs the end-to-end service test: start,
+# submit jobs, cancellation, backpressure, metrics, SIGTERM drain.
+smoke:
+	$(GO) test -count=1 -run TestEndToEndSmoke ./cmd/bosphorusd
 
 # bench runs the perf-critical benchmarks (linearization, elimination
 # kernel, ElimLin) with allocation stats.

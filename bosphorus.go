@@ -22,6 +22,7 @@
 package bosphorus
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -81,6 +82,11 @@ type Options struct {
 	MaxIterations int
 	// TimeBudget caps wall-clock time (0 = none).
 	TimeBudget time.Duration
+	// Context, when non-nil, cancels the run cooperatively: the loop,
+	// every technique, and the SAT solver's conflict loop all poll it, so
+	// cancellation returns within a bounded number of conflicts. The
+	// partial Result carries the facts learnt so far and Interrupted set.
+	Context context.Context
 	// Seed fixes all randomness for reproducible runs.
 	Seed int64
 	// Log receives progress lines when non-nil.
@@ -149,6 +155,7 @@ func (o Options) toCore(stopOnSolution bool) core.Config {
 		cfg.MaxIterations = o.MaxIterations
 	}
 	cfg.TimeBudget = o.TimeBudget
+	cfg.Context = o.Context
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
@@ -203,6 +210,9 @@ type Result struct {
 	FactsSAT         int
 	FactsPropagation int
 	Elapsed          time.Duration
+	// Interrupted is true when Options.Context was cancelled before the
+	// run finished; the facts and simplified systems remain sound.
+	Interrupted bool
 }
 
 func wrap(res *core.Result, o Options) *Result {
@@ -215,6 +225,7 @@ func wrap(res *core.Result, o Options) *Result {
 		FactsSAT:         res.SAT.NewFacts,
 		FactsPropagation: res.PropagationFacts,
 		Elapsed:          res.Elapsed,
+		Interrupted:      res.Interrupted,
 	}
 	switch res.Status {
 	case core.SolvedSAT:

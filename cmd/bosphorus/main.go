@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/anf"
@@ -117,8 +120,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sys = conv.CNFToANF(origCNF, cfg.Conv)
 	}
 
+	// Ctrl-C / SIGTERM cancels the run cooperatively: the loop stops at
+	// the next poll point and the outputs below still carry every fact
+	// learnt up to that moment.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Context = ctx
+
 	start := time.Now()
 	res := core.Process(sys, cfg)
+	if res.Interrupted {
+		fmt.Fprintln(stdout, "c interrupted: partial results follow")
+	}
 	fmt.Fprintf(stdout, "c bosphorus: %s\n", res.Summary())
 
 	switch res.Status {

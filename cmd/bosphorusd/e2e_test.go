@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/satgen"
+)
+
+// TestEndToEndSmoke builds the real binary, starts it on a free port, and
+// drives the acceptance behaviors over actual HTTP: concurrent jobs
+// complete, a cancelled job frees its worker within 2 seconds, a full
+// queue answers 429, the metrics counters match the jobs submitted, and
+// SIGTERM drains cleanly.
+func TestEndToEndSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "bosphorusd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-solve-workers", "1",
+		"-queue", "1",
+		"-default-timeout", "5s",
+		"-drain-timeout", "15s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line names the resolved address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	addr := line[strings.LastIndex(line, " ")+1:]
+	base := "http://" + addr
+	go func() { // keep draining stdout so the process never blocks on it
+		for sc.Scan() {
+		}
+	}()
+
+	waitHealthy(t, base)
+
+	easy := `{"format":"anf","input":"x1*x2 + x1 + x2\nx1*x3 + x2\nx1 + x3\n"`
+	post := func(body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(base+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /solve: %v", err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+		}
+		return resp, out
+	}
+
+	// 1. One ANF job: 200 with learnt facts.
+	resp, out := post(easy + `}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("easy job status = %d", resp.StatusCode)
+	}
+	if facts, ok := out["facts"].(map[string]any); !ok || len(facts) == 0 {
+		t.Fatalf("easy job returned no facts: %v", out)
+	}
+
+	// 2. A hard job with a short deadline is cancelled and frees the single
+	// worker within 2 seconds.
+	var php strings.Builder
+	if err := cnf.WriteDimacs(&php, satgen.Pigeonhole(10, 9).Formula); err != nil {
+		t.Fatal(err)
+	}
+	hardBody := func(seed, timeoutMS int) string {
+		b, _ := json.Marshal(map[string]any{
+			"format": "dimacs", "input": php.String(), "mode": "solve",
+			"conflict_budget": int64(1) << 40, "timeout_ms": timeoutMS, "seed": seed,
+		})
+		return string(b)
+	}
+	start := time.Now()
+	_, out = post(hardBody(1, 300))
+	if got := out["status"]; got != "CANCELED" {
+		t.Fatalf("hard job status = %v, want CANCELED", got)
+	}
+	start = time.Now()
+	resp, _ = post(easy + `,"seed":7}`)
+	if resp.StatusCode != http.StatusOK || time.Since(start) > 2*time.Second {
+		t.Fatalf("worker not freed: follow-up status %d after %s", resp.StatusCode, time.Since(start))
+	}
+
+	// 3. Concurrent jobs all complete (distinct seeds dodge the cache).
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, o := post(easy + fmt.Sprintf(`,"seed":%d}`, 100+i))
+			if r.StatusCode != http.StatusOK || o["status"] == "CANCELED" {
+				t.Errorf("concurrent job %d: status %d / %v", i, r.StatusCode, o["status"])
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// 4. Backpressure: occupy the worker and the single queue slot with
+	// slow jobs, then overflow → 429 + Retry-After.
+	slowDone := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func(seed int) {
+			defer func() { slowDone <- struct{}{} }()
+			post(hardBody(10+seed, 1500))
+		}(i)
+	}
+	got429 := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		r, _ := post(hardBody(99, 1500))
+		if r.StatusCode == http.StatusTooManyRequests {
+			if r.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+			got429 = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !got429 {
+		t.Fatal("never saw 429 with worker and queue occupied")
+	}
+	<-slowDone
+	<-slowDone
+
+	// 5. Metrics reflect the submitted work.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb bytes.Buffer
+	mb.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	metrics := mb.String()
+	for _, want := range []string{
+		"bosphorusd_jobs_accepted_total",
+		"bosphorusd_jobs_rejected_total",
+		"bosphorusd_jobs_canceled_total",
+		"bosphorusd_facts_learnt_total",
+		"bosphorusd_solve_seconds_count",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s:\n%s", want, metrics)
+		}
+	}
+	if v := counter(t, metrics, "bosphorusd_jobs_rejected_total"); v < 1 {
+		t.Errorf("jobs_rejected = %d, want >= 1", v)
+	}
+	if v := counter(t, metrics, "bosphorusd_jobs_canceled_total"); v < 1 {
+		t.Errorf("jobs_canceled = %d, want >= 1", v)
+	}
+	accepted := counter(t, metrics, "bosphorusd_jobs_accepted_total")
+	completed := counter(t, metrics, "bosphorusd_jobs_completed_total")
+	canceled := counter(t, metrics, "bosphorusd_jobs_canceled_total")
+	if accepted != completed+canceled {
+		t.Errorf("accepted (%d) != completed (%d) + canceled (%d)", accepted, completed, canceled)
+	}
+
+	// 6. SIGTERM drains: healthz flips to 503 and the process exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exited with %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not exit within 20s of SIGTERM")
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+// counter extracts one un-labelled counter value from the metrics text.
+func counter(t *testing.T, metrics, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		var v int64
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 && !strings.Contains(line, "{") {
+			return v
+		}
+	}
+	t.Fatalf("counter %s not found in metrics", name)
+	return 0
+}

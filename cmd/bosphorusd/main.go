@@ -1,0 +1,126 @@
+// Command bosphorusd serves the fact-learning engine over HTTP/JSON: a
+// bounded job queue in front of a solve worker pool, with per-job
+// deadlines, backpressure (429 + Retry-After when the queue is full),
+// an LRU result cache, and a graceful drain on SIGTERM/SIGINT.
+//
+// Endpoints:
+//
+//	POST /solve    {"format":"anf"|"dimacs","input":"...","mode":"process"|"solve"|"portfolio",...}
+//	GET  /healthz  200 "ok" while serving, 503 while draining
+//	GET  /metrics  plain-text counters (Prometheus exposition format)
+//
+// Usage:
+//
+//	bosphorusd -listen :8176 -solve-workers 4 -queue 64
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sat"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bosphorusd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bosphorusd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:8176", "address to serve on (host:port; port 0 picks a free one)")
+		workers     = fs.Int("solve-workers", 0, "solve worker pool size (0 = GOMAXPROCS)")
+		queueSize   = fs.Int("queue", 64, "job queue capacity; a full queue answers 429")
+		cacheSize   = fs.Int("cache", 128, "LRU result-cache capacity (negative disables)")
+		defaultTime = fs.Duration("default-timeout", 10*time.Second, "job deadline when the request has no timeout_ms")
+		maxTime     = fs.Duration("max-timeout", 60*time.Second, "hard cap on any job deadline")
+		drainTime   = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+		solver      = fs.String("solver", "cms", "internal SAT solver: minisat | lingeling | cms")
+		budget      = fs.Int64("confl", 10000, "default starting SAT conflict budget per job")
+		maxIters    = fs.Int("iters", 16, "default maximum fact-learning iterations per job")
+		engineJ     = fs.Int("j", 0, "fact-learning pipeline workers per job (0 = sequential)")
+		verbose     = fs.Bool("v", false, "log one line per job")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	engine := core.DefaultConfig()
+	engine.ConflictBudget = *budget
+	engine.MaxIterations = *maxIters
+	engine.Workers = *engineJ
+	switch *solver {
+	case "minisat":
+		engine.Profile = sat.ProfileMiniSat
+	case "lingeling":
+		engine.Profile = sat.ProfileLingeling
+		engine.Preprocess = true
+	case "cms":
+		engine.Profile = sat.ProfileCMS
+	default:
+		return fmt.Errorf("unknown solver %q", *solver)
+	}
+
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueSize:      *queueSize,
+		CacheSize:      *cacheSize,
+		DefaultJobTime: *defaultTime,
+		MaxJobTime:     *maxTime,
+		Engine:         engine,
+	}
+	if *verbose {
+		cfg.Log = log.New(stderr, "bosphorusd: ", log.LstdFlags)
+	}
+	svc := server.New(cfg)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is load-bearing: with -listen :0 it is how
+	// callers (and the e2e smoke test) learn the actual port.
+	fmt.Fprintf(stdout, "bosphorusd listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: svc}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (healthz flips to 503, new jobs get
+	// 503), let queued and running jobs finish under their own deadlines,
+	// then close the listener once in-flight responses are written.
+	fmt.Fprintln(stdout, "bosphorusd draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTime)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Fprintln(stdout, "bosphorusd stopped")
+	return nil
+}

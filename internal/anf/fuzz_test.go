@@ -1,6 +1,9 @@
 package anf
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzParsePoly checks that the parser never panics and that everything
 // it accepts survives a print/parse round trip.
@@ -36,4 +39,64 @@ func FuzzParsePoly(f *testing.F) {
 			t.Fatalf("round trip changed %q: %q vs %q", s, p.String(), back.String())
 		}
 	})
+}
+
+// FuzzReadSystem checks that the system reader — the entry point for
+// service payloads — never panics, and that accepted systems survive a
+// write/read round trip with the same equation count and variable space.
+func FuzzReadSystem(f *testing.F) {
+	for _, seed := range []string{
+		"x1*x2 + x3 + 1\nx1 + x3\n",
+		"# comment\nx1\n\nc more\nx2 + 1\n",
+		"x1 +\n",
+		"x99999999999\n",
+		"x16777217\n", // MaxVarIndex + 1
+		"\xff\xfex1\n",
+		"0\n1\n",
+		strings.Repeat("x1 + ", 50) + "1\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sys, err := ReadSystem(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteSystem(&sb, sys); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		back, err := ReadSystem(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip does not parse: %v", err)
+		}
+		if back.Len() != sys.Len() || back.NumVars() != sys.NumVars() {
+			t.Fatalf("round trip changed shape: %d/%d eqs, %d/%d vars",
+				sys.Len(), back.Len(), sys.NumVars(), back.NumVars())
+		}
+	})
+}
+
+// TestParseRejectsMalformed pins the hardening contract for the ANF
+// reader: out-of-range indices and non-UTF-8 input error out, never
+// panic, never produce a system with an absurd variable space.
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []struct{ name, in string }{
+		{"index beyond MaxVarIndex", "x16777217\n"},
+		{"huge index", "x4294967295\n"},
+		{"overflowing index", "x99999999999999999999\n"},
+		{"non-UTF-8", "\xff\xfex1\n"},
+		{"empty term", "x1 +\n"},
+		{"bad factor", "x1*y2\n"},
+	}
+	for _, tc := range bad {
+		if _, err := ReadSystem(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.in)
+		}
+	}
+	if sys, err := ReadSystem(strings.NewReader("x16777216\n")); err != nil {
+		t.Errorf("index at MaxVarIndex rejected: %v", err)
+	} else if sys.NumVars() != MaxVarIndex+1 {
+		t.Errorf("NumVars = %d, want %d", sys.NumVars(), MaxVarIndex+1)
+	}
 }

@@ -6,7 +6,15 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
+
+// MaxVarIndex bounds the variable indices the parser accepts. Downstream
+// passes allocate dense per-variable tables, so an input naming
+// x4000000000 must fail here with an error instead of OOM-ing a solver
+// worker — the cap matters for service deployments that parse untrusted
+// payloads.
+const MaxVarIndex = 1 << 24
 
 // ParsePoly parses a polynomial in the textual ANF format used throughout
 // this repository (and by the original Bosphorus tool):
@@ -53,6 +61,9 @@ func parseVar(s string) (Var, error) {
 	if err != nil {
 		return 0, err
 	}
+	if n > MaxVarIndex {
+		return 0, fmt.Errorf("variable index %d out of range (max %d)", n, MaxVarIndex)
+	}
 	return Var(n), nil
 }
 
@@ -75,6 +86,9 @@ func ReadSystem(r io.Reader) (*System, error) {
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
+		if !utf8.ValidString(line) {
+			return nil, fmt.Errorf("line %d: invalid UTF-8", lineNo)
+		}
 		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "c ") || line == "c" {
 			continue
 		}

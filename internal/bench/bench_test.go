@@ -119,6 +119,11 @@ func TestBosphorusRescuesHardSimon(t *testing.T) {
 	fam := SimonFamily(simon.Params{NPlaintexts: 8, Rounds: 8}, 1, 14)
 	cfg := quickCfg()
 	cfg.Timeout = 5 * time.Second
+	if raceEnabled {
+		// The race detector slows the solve several-fold; this test is
+		// about the rescue effect, not raw speed, so scale the budget.
+		cfg.Timeout = 30 * time.Second
+	}
 	cfg.UseBosphorus = false
 	plain := RunCell(fam.Jobs, cfg)
 	cfg.UseBosphorus = true

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in, so
+// wall-clock-budgeted tests can scale their timeouts to its slowdown.
+const raceEnabled = true

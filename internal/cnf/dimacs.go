@@ -6,7 +6,15 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
+
+// MaxVar bounds the variable indices ReadDimacs accepts (whether declared
+// in the header or appearing as literals). Inputs beyond it are rejected
+// with an error rather than forcing downstream passes to allocate
+// per-variable tables for absurd index spaces — a malformed or hostile
+// service payload must fail in the parser, not OOM a solver worker.
+const MaxVar = 1 << 26
 
 // ReadDimacs parses a DIMACS CNF file. It accepts:
 //   - "c ..." comment lines,
@@ -14,6 +22,10 @@ import (
 //   - clause lines of whitespace-separated literals terminated by 0,
 //   - CryptoMiniSat-style XOR lines starting with "x" ("x1 2 -3 0"),
 //   - clauses spanning multiple lines.
+//
+// Malformed input — truncated or non-numeric headers, literals outside
+// [-MaxVar, MaxVar] or beyond the declared variable count, non-UTF-8
+// bytes — returns an error; the reader never panics (see FuzzReadDimacs).
 func ReadDimacs(r io.Reader) (*Formula, error) {
 	f := &Formula{}
 	sc := bufio.NewScanner(r)
@@ -46,17 +58,26 @@ func ReadDimacs(r io.Reader) (*Formula, error) {
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
+		if !utf8.ValidString(line) {
+			return nil, fmt.Errorf("dimacs line %d: invalid UTF-8", lineNo)
+		}
 		if line == "" || strings.HasPrefix(line, "c") {
 			continue
 		}
 		if strings.HasPrefix(line, "p") {
 			fields := strings.Fields(line)
 			if len(fields) < 4 || fields[1] != "cnf" {
-				return nil, fmt.Errorf("dimacs line %d: bad problem line %q", lineNo, line)
+				return nil, fmt.Errorf("dimacs line %d: truncated or bad problem line %q", lineNo, line)
 			}
 			n, err := strconv.Atoi(fields[2])
 			if err != nil {
 				return nil, fmt.Errorf("dimacs line %d: %w", lineNo, err)
+			}
+			if _, err := strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("dimacs line %d: %w", lineNo, err)
+			}
+			if n < 0 || n > MaxVar {
+				return nil, fmt.Errorf("dimacs line %d: declared variable count %d out of range [0, %d]", lineNo, n, MaxVar)
 			}
 			declaredVars = n
 			continue
@@ -82,6 +103,12 @@ func ReadDimacs(r io.Reader) (*Formula, error) {
 			v := d
 			if v < 0 {
 				v = -v
+			}
+			if v < 0 || v > MaxVar { // v < 0: -d overflowed (d == MinInt)
+				return nil, fmt.Errorf("dimacs line %d: literal %d out of range (max variable %d)", lineNo, d, MaxVar)
+			}
+			if declaredVars > 0 && v > declaredVars {
+				return nil, fmt.Errorf("dimacs line %d: literal %d exceeds declared variable count %d", lineNo, d, declaredVars)
 			}
 			if v > f.NumVars {
 				f.NumVars = v

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/anf"
@@ -16,6 +17,10 @@ type ElimLinConfig struct {
 	// Workers is the fan-out for the GF(2) elimination kernel (≤ 1 =
 	// sequential). The result is identical for every value.
 	Workers int
+	// Context, when non-nil, cancels the run: RunElimLin polls it at every
+	// GJE–substitute round boundary and returns the facts learnt so far.
+	// A nil Context never cancels.
+	Context context.Context
 	// Rand drives the subsampling.
 	Rand *rand.Rand
 }
@@ -39,6 +44,12 @@ func RunElimLin(sys *anf.System, cfg ElimLinConfig) []anf.Poly {
 	var scratch elimScratch
 	var learnt []anf.Poly
 	for round := 0; round < cfg.MaxRounds; round++ {
+		// A cancelled run returns what it has: learnt facts are valid the
+		// moment the GJE round that produced them finishes, so partial
+		// results are still sound to propagate.
+		if ctxCanceled(cfg.Context) {
+			return learnt
+		}
 		// Step (1): GJE on the linearization.
 		reduced := gjeRowsWorkers(work, cfg.Workers)
 		// Step (2): gather the linear equations.

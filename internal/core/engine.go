@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -42,6 +43,14 @@ type Config struct {
 	// TimeBudget caps wall-clock time for the whole loop (0 = none); the
 	// paper gives Bosphorus at most 1000 s of the 5000 s total.
 	TimeBudget time.Duration
+
+	// Context, when non-nil, cancels the run: Process polls it at every
+	// technique boundary and threads it into each technique, the SAT step,
+	// and user-supplied Techniques, so cancellation (a job deadline, a
+	// client disconnect) stops the whole stack promptly rather than waiting
+	// for budgets to run out. The facts learnt before cancellation are kept
+	// and the Result reports Interrupted. A nil Context never cancels.
+	Context context.Context
 
 	// StopOnSolution exits the loop when the SAT step finds a satisfying
 	// assignment (the paper's default behaviour in the experiments).
@@ -150,6 +159,9 @@ type Result struct {
 	XL, ElimLin, SAT, Groebner, Extra PhaseStats
 	PropagationFacts                  int
 	Elapsed                           time.Duration
+	// Interrupted is true when the run was cut short by Config.Context
+	// cancellation; the facts learnt before the cut are still applied.
+	Interrupted bool
 }
 
 // Process runs the Bosphorus fact-learning loop on a copy of the input
@@ -171,12 +183,17 @@ func Process(input *anf.System, cfg Config) *Result {
 		cfg.Conv = conv.DefaultOptions()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	sys := input.Clone()
 	prop := NewPropagator(sys)
 	res := &Result{System: sys, State: prop.State}
 	finish := func(st Status) *Result {
 		res.Status = st
+		res.Interrupted = ctx.Err() != nil
 		res.Elapsed = time.Since(start)
 		return res
 	}
@@ -198,6 +215,9 @@ func Process(input *anf.System, cfg Config) *Result {
 		deadline = start.Add(cfg.TimeBudget)
 	}
 	expired := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 
@@ -211,7 +231,7 @@ func Process(input *anf.System, cfg Config) *Result {
 			// deterministically derived RNGs; their batches merge in fixed
 			// technique order, so the outcome is Workers-independent.
 			if !expired() {
-				added, ok := runSnapshotPhase(prop, cfg, res, iter, logf)
+				added, ok := runSnapshotPhase(ctx, prop, cfg, res, iter, logf)
 				newThisIter += added
 				if !ok {
 					return finish(SolvedUNSAT)
@@ -219,7 +239,7 @@ func Process(input *anf.System, cfg Config) *Result {
 			}
 		} else {
 			if !cfg.DisableXL && !expired() {
-				facts := RunXL(sys, XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Rand: rng})
+				facts := RunXL(sys, XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Context: ctx, Rand: rng})
 				added, ok := prop.AddFacts(facts)
 				res.XL.Runs++
 				res.XL.NewFacts += added
@@ -231,7 +251,7 @@ func Process(input *anf.System, cfg Config) *Result {
 			}
 
 			if !cfg.DisableElimLin && !expired() {
-				facts := RunElimLin(sys, ElimLinConfig{M: cfg.M, Rand: rng})
+				facts := RunElimLin(sys, ElimLinConfig{M: cfg.M, Context: ctx, Rand: rng})
 				added, ok := prop.AddFacts(facts)
 				res.ElimLin.Runs++
 				res.ElimLin.NewFacts += added
@@ -246,7 +266,7 @@ func Process(input *anf.System, cfg Config) *Result {
 				if expired() {
 					break
 				}
-				facts := tech.Learn(sys, rng)
+				facts := tech.Learn(ctx, sys, rng)
 				added, ok := prop.AddFacts(facts)
 				res.Extra.Runs++
 				res.Extra.NewFacts += added
@@ -281,6 +301,7 @@ func Process(input *anf.System, cfg Config) *Result {
 				Probe:            cfg.EnableProbing,
 				ProbeMax:         cfg.ProbeMax,
 				Seed:             cfg.Seed + int64(iter) + 1,
+				Context:          ctx,
 			})
 			res.SAT.Runs++
 			if step.Status == sat.Sat && cfg.StopOnSolution {

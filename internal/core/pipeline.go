@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 
@@ -34,7 +35,7 @@ func deriveSeed(base int64, iter, job int) int64 {
 // snapshotJobs assembles the iteration's enabled fact learners in the fixed
 // merge order: XL, ElimLin, extra techniques (registration order), then the
 // optional Gröbner phase — the same order the sequential loop runs them.
-func snapshotJobs(sys *anf.System, cfg Config, res *Result, iter int) []*techJob {
+func snapshotJobs(ctx context.Context, sys *anf.System, cfg Config, res *Result, iter int) []*techJob {
 	var jobs []*techJob
 	add := func(name string, stats *PhaseStats, learn func(rng *rand.Rand) []anf.Poly) {
 		jobs = append(jobs, &techJob{
@@ -46,22 +47,25 @@ func snapshotJobs(sys *anf.System, cfg Config, res *Result, iter int) []*techJob
 	}
 	if !cfg.DisableXL {
 		add("XL", &res.XL, func(rng *rand.Rand) []anf.Poly {
-			return RunXL(sys, XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Workers: cfg.Workers, Rand: rng})
+			return RunXL(sys, XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Workers: cfg.Workers, Context: ctx, Rand: rng})
 		})
 	}
 	if !cfg.DisableElimLin {
 		add("ElimLin", &res.ElimLin, func(rng *rand.Rand) []anf.Poly {
-			return RunElimLin(sys, ElimLinConfig{M: cfg.M, Workers: cfg.Workers, Rand: rng})
+			return RunElimLin(sys, ElimLinConfig{M: cfg.M, Workers: cfg.Workers, Context: ctx, Rand: rng})
 		})
 	}
 	for _, tech := range cfg.ExtraTechniques {
 		tech := tech
 		add(tech.Name(), &res.Extra, func(rng *rand.Rand) []anf.Poly {
-			return tech.Learn(sys, rng)
+			return tech.Learn(ctx, sys, rng)
 		})
 	}
 	if cfg.EnableGroebner {
 		add("Groebner", &res.Groebner, func(rng *rand.Rand) []anf.Poly {
+			if ctx.Err() != nil {
+				return nil
+			}
 			return RunGroebnerStep(sys, DefaultGroebnerConfig(rng))
 		})
 	}
@@ -75,10 +79,10 @@ func snapshotJobs(sys *anf.System, cfg Config, res *Result, iter int) []*techJob
 // whole Result — are identical for every Workers value; Workers > 1 only
 // changes how many run at once. Returns the number of new facts and false
 // if the merge derived a contradiction.
-func runSnapshotPhase(prop *Propagator, cfg Config, res *Result, iter int,
+func runSnapshotPhase(ctx context.Context, prop *Propagator, cfg Config, res *Result, iter int,
 	logf func(string, ...interface{})) (int, bool) {
 	sys := prop.Sys
-	jobs := snapshotJobs(sys, cfg, res, iter)
+	jobs := snapshotJobs(ctx, sys, cfg, res, iter)
 	if len(jobs) == 0 {
 		return 0, true
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/anf"
 	"repro/internal/cnf"
 	"repro/internal/conv"
@@ -34,6 +36,11 @@ type SATStepConfig struct {
 	ProbeMax int
 	// Seed makes the solver deterministic.
 	Seed int64
+	// Context, when non-nil, cancels the step: the solver's interrupt hook
+	// polls it during probing and search, so the step returns (with the
+	// facts harvested so far) soon after cancellation. A nil Context never
+	// cancels.
+	Context context.Context
 }
 
 // SATStepResult carries the outcome of one conflict-bounded solve.
@@ -82,6 +89,10 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 		opts.RandomSeed = cfg.Seed
 	}
 	s := sat.New(opts)
+	if cfg.Context != nil && cfg.Context.Done() != nil {
+		ctx := cfg.Context
+		s.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
 	if !s.AddFormula(target) {
 		res.Status = sat.Unsat
 		res.Facts = []anf.Poly{anf.OnePoly()}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/anf"
@@ -21,8 +22,12 @@ type Technique interface {
 	// Name identifies the technique in logs and statistics.
 	Name() string
 	// Learn returns facts implied by the system. Implementations must not
-	// modify sys. The rng is seeded deterministically per run.
-	Learn(sys *anf.System, rng *rand.Rand) []anf.Poly
+	// modify sys. The rng is seeded deterministically per run. The context
+	// is the run's cancellation signal: long-running techniques should poll
+	// ctx.Err() at internal boundaries and return (possibly partial) facts
+	// promptly once it is non-nil — this is what lets a solver-service job
+	// deadline or client disconnect actually free the worker.
+	Learn(ctx context.Context, sys *anf.System, rng *rand.Rand) []anf.Poly
 }
 
 // TechniqueFunc adapts a function to the Technique interface.
@@ -30,15 +35,15 @@ type TechniqueFunc struct {
 	// TechName is returned by Name.
 	TechName string
 	// Fn is invoked by Learn.
-	Fn func(sys *anf.System, rng *rand.Rand) []anf.Poly
+	Fn func(ctx context.Context, sys *anf.System, rng *rand.Rand) []anf.Poly
 }
 
 // Name implements Technique.
 func (t TechniqueFunc) Name() string { return t.TechName }
 
 // Learn implements Technique.
-func (t TechniqueFunc) Learn(sys *anf.System, rng *rand.Rand) []anf.Poly {
-	return t.Fn(sys, rng)
+func (t TechniqueFunc) Learn(ctx context.Context, sys *anf.System, rng *rand.Rand) []anf.Poly {
+	return t.Fn(ctx, sys, rng)
 }
 
 // BuchbergerTechnique wraps the budgeted Gröbner phase as a Technique —
@@ -48,7 +53,10 @@ func (t TechniqueFunc) Learn(sys *anf.System, rng *rand.Rand) []anf.Poly {
 func BuchbergerTechnique() Technique {
 	return TechniqueFunc{
 		TechName: "buchberger",
-		Fn: func(sys *anf.System, rng *rand.Rand) []anf.Poly {
+		Fn: func(ctx context.Context, sys *anf.System, rng *rand.Rand) []anf.Poly {
+			if ctx.Err() != nil {
+				return nil
+			}
 			return RunGroebnerStep(sys, DefaultGroebnerConfig(rng))
 		},
 	}

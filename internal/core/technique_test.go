@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestExtraTechniquePlugIn(t *testing.T) {
 	sys := sysFrom(t, paperExample)
 	oracle := TechniqueFunc{
 		TechName: "oracle",
-		Fn: func(s *anf.System, rng *rand.Rand) []anf.Poly {
+		Fn: func(ctx context.Context, s *anf.System, rng *rand.Rand) []anf.Poly {
 			return []anf.Poly{anf.MustParsePoly("x3 + 1")}
 		},
 	}
@@ -38,7 +39,7 @@ func TestExtraTechniqueContradiction(t *testing.T) {
 	sys := sysFrom(t, "x0 + x1\n")
 	liar := TechniqueFunc{
 		TechName: "liar",
-		Fn: func(s *anf.System, rng *rand.Rand) []anf.Poly {
+		Fn: func(ctx context.Context, s *anf.System, rng *rand.Rand) []anf.Poly {
 			return []anf.Poly{anf.OnePoly()}
 		},
 	}

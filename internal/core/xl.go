@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 	"math/rand"
 	"sort"
@@ -8,6 +9,12 @@ import (
 	"repro/internal/anf"
 	"repro/internal/gf2"
 )
+
+// ctxCanceled reports whether a (possibly nil) context has been cancelled
+// — the shared interrupt probe of the technique implementations.
+func ctxCanceled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
 
 // XLConfig parameterizes eXtended Linearization (§II-B).
 type XLConfig struct {
@@ -21,6 +28,10 @@ type XLConfig struct {
 	// Workers is the fan-out for the GF(2) elimination kernel (≤ 1 =
 	// sequential). The result is identical for every value.
 	Workers int
+	// Context, when non-nil, cancels the pass: RunXL polls it at expansion
+	// and elimination boundaries and returns nil facts promptly after
+	// cancellation. A nil Context never cancels.
+	Context context.Context
 	// Rand drives the uniform subsampling.
 	Rand *rand.Rand
 }
@@ -38,6 +49,9 @@ func DefaultXLConfig(rng *rand.Rand) XLConfig {
 func RunXL(sys *anf.System, cfg XLConfig) []anf.Poly {
 	if cfg.Deg < 0 {
 		cfg.Deg = 1
+	}
+	if ctxCanceled(cfg.Context) {
+		return nil
 	}
 	polys := subsample(sys, cfg.M, cfg.Rand)
 	if len(polys) == 0 {
@@ -67,6 +81,9 @@ func RunXL(sys *anf.System, cfg XLConfig) []anf.Poly {
 	multipliers := buildMultipliers(vars, cfg.Deg)
 expansion:
 	for _, p := range polys {
+		if ctxCanceled(cfg.Context) {
+			return nil
+		}
 		for _, m := range multipliers {
 			q := p.MulMonomial(m)
 			if q.IsZero() {
@@ -77,6 +94,9 @@ expansion:
 				break expansion
 			}
 		}
+	}
+	if ctxCanceled(cfg.Context) {
+		return nil
 	}
 	var facts []anf.Poly
 	for _, p := range gjeRowsIDs(expanded, ids, tab, cfg.Workers) {

@@ -8,6 +8,7 @@
 package portfolio
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -21,6 +22,10 @@ type Worker struct {
 	Name string
 	// Options configures its solver.
 	Options sat.Options
+	// ConflictBudget bounds this worker's search (0 = unlimited). A
+	// budgeted worker that exhausts its conflicts reports Unknown; the
+	// portfolio keeps waiting for the others.
+	ConflictBudget int64
 }
 
 // DefaultWorkers returns the three paper profiles with distinct seeds,
@@ -45,19 +50,31 @@ func DefaultWorkers() []Worker {
 // Result of a portfolio run.
 type Result struct {
 	// Status is the first verdict (Unknown if every worker exhausted its
-	// budget or the deadline passed).
+	// budget, the deadline passed, or the context was cancelled).
 	Status sat.Status
 	// Winner names the worker that produced the verdict.
 	Winner string
 	// Model is the satisfying assignment on Sat.
 	Model []bool
-	// Elapsed is the wall-clock time of the run.
+	// Elapsed is the time to the first verdict — not the time for the
+	// interrupted losers to wind down. Without a verdict it is the full
+	// wall-clock time of the run.
 	Elapsed time.Duration
 }
 
 // Solve runs the workers concurrently on (copies of) the formula until
 // the first verdict or the timeout (0 = none).
 func Solve(f *cnf.Formula, workers []Worker, timeout time.Duration) *Result {
+	return SolveContext(context.Background(), f, workers, timeout)
+}
+
+// SolveContext is Solve bound to a context: cancellation interrupts every
+// worker promptly (through the solver interrupt hook, polled every few
+// hundred conflicts) and the call returns Unknown. The same hook is what
+// stops the losers the moment a verdict lands, so a worker deep inside a
+// large conflict budget does not keep its goroutine and memory alive
+// after the race is decided.
+func SolveContext(ctx context.Context, f *cnf.Formula, workers []Worker, timeout time.Duration) *Result {
 	if len(workers) == 0 {
 		workers = DefaultWorkers()
 	}
@@ -66,6 +83,11 @@ func Solve(f *cnf.Formula, workers []Worker, timeout time.Duration) *Result {
 	if timeout > 0 {
 		deadline = start.Add(timeout)
 	}
+
+	// raceCtx cancels when a verdict lands (or the caller's ctx does);
+	// every solver polls it through its interrupt hook.
+	raceCtx, stopAll := context.WithCancel(ctx)
+	defer stopAll()
 
 	type verdict struct {
 		status sat.Status
@@ -79,8 +101,12 @@ func Solve(f *cnf.Formula, workers []Worker, timeout time.Duration) *Result {
 		s := sat.New(w.Options)
 		ok := s.AddFormula(f.Clone())
 		solvers[i] = s
+		budget := w.ConflictBudget
+		if budget <= 0 {
+			budget = -1
+		}
 		wg.Add(1)
-		go func(name string, s *sat.Solver, trivialUnsat bool) {
+		go func(name string, s *sat.Solver, budget int64, trivialUnsat bool) {
 			defer wg.Done()
 			if trivialUnsat {
 				results <- verdict{sat.Unsat, name, nil}
@@ -89,13 +115,13 @@ func Solve(f *cnf.Formula, workers []Worker, timeout time.Duration) *Result {
 			if !deadline.IsZero() {
 				s.SetDeadline(deadline)
 			}
-			st := s.Solve()
+			st := s.SolveLimitedCtx(raceCtx, budget)
 			var m []bool
 			if st == sat.Sat {
 				m = s.Model()
 			}
 			results <- verdict{st, name, m}
-		}(w.Name, s, !ok)
+		}(w.Name, s, budget, !ok)
 	}
 
 	res := &Result{Status: sat.Unknown}
@@ -105,13 +131,21 @@ func Solve(f *cnf.Formula, workers []Worker, timeout time.Duration) *Result {
 			res.Status = v.status
 			res.Winner = v.name
 			res.Model = v.model
-			// First verdict: stop everyone else.
+			// Elapsed is the time to the verdict; the loser wind-down
+			// below is bookkeeping, not solving.
+			res.Elapsed = time.Since(start)
+			// First verdict: stop everyone else, both through the context
+			// (persistent, hook-polled) and the one-shot interrupt flag
+			// (caught between the hook polls).
+			stopAll()
 			for _, s := range solvers {
 				s.Interrupt()
 			}
 		}
 	}
 	wg.Wait()
-	res.Elapsed = time.Since(start)
+	if res.Status == sat.Unknown {
+		res.Elapsed = time.Since(start)
+	}
 	return res
 }

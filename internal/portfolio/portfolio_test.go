@@ -1,6 +1,7 @@
 package portfolio
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -84,6 +85,65 @@ func TestPortfolioAgreesWithReference(t *testing.T) {
 		if res.Status != want {
 			t.Fatalf("trial %d: portfolio %v, reference %v", trial, res.Status, want)
 		}
+	}
+}
+
+// Regression for the loser-shutdown fix: once the first verdict lands,
+// the remaining workers must be interrupted promptly (through the solver
+// interrupt hook) instead of running out their conflict budgets, and
+// Result.Elapsed must reflect the first-verdict time, not the wind-down.
+func TestLoserShutdownPromptAndElapsed(t *testing.T) {
+	inst := satgen.Pigeonhole(8, 7) // hard enough that every worker is mid-search
+	workers := []Worker{
+		{Name: "a", Options: sat.DefaultOptions(sat.ProfileMiniSat)},
+		{Name: "b", Options: sat.DefaultOptions(sat.ProfileLingeling), ConflictBudget: 1 << 40},
+		{Name: "c", Options: sat.DefaultOptions(sat.ProfileMiniSat), ConflictBudget: 1 << 40},
+	}
+	start := time.Now()
+	res := Solve(inst.Formula, workers, 30*time.Second)
+	wall := time.Since(start)
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Elapsed <= 0 || res.Elapsed > wall+time.Millisecond {
+		t.Fatalf("Elapsed %v outside (0, wall=%v]", res.Elapsed, wall)
+	}
+	// The budgeted losers must not run out their 2^40 conflicts: the whole
+	// call returns within a small interrupt-poll latency of the verdict.
+	if wall-res.Elapsed > 2*time.Second {
+		t.Fatalf("losers took %v to stop after the verdict", wall-res.Elapsed)
+	}
+}
+
+func TestSolveContextCancelPrompt(t *testing.T) {
+	inst := satgen.Pigeonhole(12, 11) // effectively unsolvable here
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *Result, 1)
+	go func() { done <- SolveContext(ctx, inst.Formula, nil, 0) }()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res.Status != sat.Unknown {
+			t.Fatalf("cancelled portfolio returned %v", res.Status)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("portfolio did not stop within 2s of cancellation")
+	}
+}
+
+func TestWorkerConflictBudget(t *testing.T) {
+	inst := satgen.Pigeonhole(10, 9) // needs far more than 50 conflicts
+	workers := []Worker{
+		{Name: "tiny-a", Options: sat.DefaultOptions(sat.ProfileMiniSat), ConflictBudget: 50},
+		{Name: "tiny-b", Options: sat.DefaultOptions(sat.ProfileLingeling), ConflictBudget: 50},
+	}
+	res := Solve(inst.Formula, workers, 0)
+	if res.Status != sat.Unknown {
+		t.Fatalf("budget-bounded portfolio returned %v (winner %s)", res.Status, res.Winner)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded on budget exhaustion")
 	}
 }
 

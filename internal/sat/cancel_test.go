@@ -1,0 +1,149 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/satgen"
+)
+
+// countingCtx is a context.Context whose Err flips to Canceled after the
+// Nth poll — a deterministic way to cancel "mid-solve" without timers.
+type countingCtx struct {
+	context.Context
+	polls   int
+	trigger int
+	done    chan struct{}
+}
+
+func newCountingCtx(trigger int) *countingCtx {
+	return &countingCtx{
+		Context: context.Background(),
+		trigger: trigger,
+		done:    make(chan struct{}),
+	}
+}
+
+func (c *countingCtx) Done() <-chan struct{} { return c.done }
+
+func (c *countingCtx) Err() error {
+	c.polls++
+	if c.polls >= c.trigger {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestSolveCtxCancelledBeforeStart(t *testing.T) {
+	inst := satgen.Pigeonhole(12, 11) // far too hard to finish
+	s := New(DefaultOptions(ProfileMiniSat))
+	s.AddFormula(inst.Formula)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if st := s.SolveCtx(ctx); st != Unknown {
+		t.Fatalf("cancelled solve returned %v", st)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled solve took %v", d)
+	}
+}
+
+// TestSolveCtxMidRestart cancels after a fixed number of interrupt polls,
+// which land every ~256 conflicts and at restart boundaries — i.e. the
+// cancellation arrives mid-search, across restarts.
+func TestSolveCtxMidRestart(t *testing.T) {
+	for _, trigger := range []int{1, 2, 5, 20} {
+		inst := satgen.Pigeonhole(12, 11)
+		s := New(DefaultOptions(ProfileMiniSat))
+		s.AddFormula(inst.Formula)
+		ctx := newCountingCtx(trigger)
+		if st := s.SolveCtx(ctx); st != Unknown {
+			t.Fatalf("trigger %d: cancelled solve returned %v", trigger, st)
+		}
+		// After the trigger fired, the solver may poll only a bounded number
+		// of further times before giving up: once per ~256 conflicts plus
+		// once per restart boundary, and it must stop at the first positive
+		// poll. Allow a small slack for the restart-boundary double checks.
+		if extra := ctx.polls - trigger; extra > 4 {
+			t.Fatalf("trigger %d: solver kept polling %d times after cancellation", trigger, extra)
+		}
+	}
+}
+
+func TestSolveCtxWallClockBound(t *testing.T) {
+	inst := satgen.Pigeonhole(12, 11)
+	s := New(DefaultOptions(ProfileMiniSat))
+	s.AddFormula(inst.Formula)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Status, 1)
+	go func() { done <- s.SolveCtx(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case st := <-done:
+		if st != Unknown {
+			t.Fatalf("cancelled solve returned %v", st)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("solver did not stop within 2s of cancellation")
+	}
+}
+
+// The hook must survive across solve calls (unlike the one-shot Interrupt
+// flag) and must not poison a solver whose context is still live.
+func TestSetInterruptPersistsAcrossSolves(t *testing.T) {
+	inst := satgen.Pigeonhole(12, 11)
+	s := New(DefaultOptions(ProfileMiniSat))
+	s.AddFormula(inst.Formula)
+	stop := false
+	s.SetInterrupt(func() bool { return stop })
+	stop = true
+	for i := 0; i < 2; i++ {
+		if st := s.SolveLimited(-1); st != Unknown {
+			t.Fatalf("solve %d with active hook returned %v", i, st)
+		}
+	}
+	stop = false
+	s.SetInterrupt(nil)
+	if st := s.SolveLimited(100); st != Unknown {
+		// Budget-bounded solve on a hard instance: Unknown is the expected
+		// verdict; the point is that it ran (no stale interrupt).
+		t.Logf("status %v", st)
+	}
+}
+
+// SolveLimitedCtx with a background context must behave exactly like
+// SolveLimited (no hook overhead path taken).
+func TestSolveCtxBackgroundEquivalence(t *testing.T) {
+	inst := satgen.ParityChain(16, 18, 3, true, rand.New(rand.NewSource(9)))
+	a := New(DefaultOptions(ProfileMiniSat))
+	a.AddFormula(inst.Formula.Clone())
+	b := New(DefaultOptions(ProfileMiniSat))
+	b.AddFormula(inst.Formula.Clone())
+	stA := a.Solve()
+	stB := b.SolveCtx(context.Background())
+	if stA != stB {
+		t.Fatalf("Solve=%v SolveCtx(background)=%v", stA, stB)
+	}
+}
+
+func TestProbeLiteralsInterrupt(t *testing.T) {
+	inst := satgen.Pigeonhole(8, 7)
+	s := New(DefaultOptions(ProfileMiniSat))
+	s.AddFormula(inst.Formula)
+	s.SetInterrupt(func() bool { return true })
+	start := time.Now()
+	res := s.ProbeLiterals(0)
+	if res.Unsat {
+		t.Fatal("interrupted probe reported UNSAT")
+	}
+	if res.Probed != 0 {
+		t.Fatalf("interrupted probe examined %d variables", res.Probed)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("interrupted probe took %v", d)
+	}
+}

@@ -62,6 +62,12 @@ func (s *Solver) ProbeLiterals(maxVars int) *ProbeResult {
 		if maxVars > 0 && res.Probed >= maxVars {
 			break
 		}
+		// Probing runs one propagation pair per variable, which adds up on
+		// service-sized formulas; honour interruption between variables so a
+		// cancelled job does not hold its worker through the whole sweep.
+		if res.Probed%64 == 0 && s.deadlineExpired() {
+			break
+		}
 		if s.assigns[v] != lUndef {
 			continue
 		}

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -37,8 +38,40 @@ func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
 // starts.
 func (s *Solver) Interrupt() { s.interrupted.Store(true) }
 
+// SetInterrupt installs a hook polled at the same cadence as the deadline
+// (every few hundred conflicts and at restart boundaries); returning true
+// makes the current and future solve calls stop with Unknown. A nil hook
+// removes it. Unlike Interrupt, the hook is not cleared when a solve
+// starts, so a persistent cancellation source (a context, a shared stop
+// flag) needs to be wired only once. Not safe to call concurrently with a
+// running solve — install the hook before handing the solver to a worker.
+func (s *Solver) SetInterrupt(hook func() bool) { s.interruptHook = hook }
+
+// SolveCtx is Solve bound to a context: the solve stops with Unknown soon
+// after ctx is cancelled or its deadline passes.
+func (s *Solver) SolveCtx(ctx context.Context) Status { return s.SolveLimitedCtx(ctx, -1) }
+
+// SolveLimitedCtx is SolveLimited bound to a context. The context is
+// polled through the interrupt-hook path (every few hundred conflicts and
+// at restart boundaries), composing with any hook installed via
+// SetInterrupt.
+func (s *Solver) SolveLimitedCtx(ctx context.Context, conflictBudget int64) Status {
+	if ctx == nil || ctx.Done() == nil {
+		return s.SolveLimited(conflictBudget)
+	}
+	prev := s.interruptHook
+	s.interruptHook = func() bool {
+		return ctx.Err() != nil || (prev != nil && prev())
+	}
+	defer func() { s.interruptHook = prev }()
+	return s.SolveLimited(conflictBudget)
+}
+
 func (s *Solver) deadlineExpired() bool {
 	if s.interrupted.Load() {
+		return true
+	}
+	if s.interruptHook != nil && s.interruptHook() {
 		return true
 	}
 	return !s.deadline.IsZero() && time.Now().After(s.deadline)

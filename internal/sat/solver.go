@@ -80,6 +80,12 @@ type Solver struct {
 	// search loop; solving returns Unknown soon after.
 	interrupted atomic.Bool
 
+	// interruptHook, when non-nil, is polled alongside the deadline (every
+	// few hundred conflicts and at every restart boundary); returning true
+	// stops the solve with Unknown. This is the cancellation plug point the
+	// service stack uses to thread context.Context down to the search loop.
+	interruptHook func() bool
+
 	// Learnt-fact harvest for Bosphorus (§II-D): all unit facts forced at
 	// level 0 and all learnt binary clauses, in learning order.
 	learntBinaries []cnf.Clause

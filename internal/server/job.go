@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/anf"
+	"repro/internal/cnf"
+	"repro/internal/conv"
+	"repro/internal/core"
+	"repro/internal/portfolio"
+	"repro/internal/sat"
+)
+
+// Request is the JSON body of POST /solve.
+type Request struct {
+	// Format of Input: "anf" (one polynomial per line) or "dimacs".
+	Format string `json:"format"`
+	// Input is the problem text.
+	Input string `json:"input"`
+	// Mode selects the work: "process" runs the fact-learning loop to its
+	// fixed point, "solve" keeps going until a verdict, "portfolio" races
+	// the parallel solver portfolio on the (CNF form of the) input.
+	// Default: "process".
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMS bounds the job's wall-clock time; 0 takes the server
+	// default, and the server's MaxJobTime caps it either way.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// MaxIterations / ConflictBudget / Seed / Workers override the engine
+	// defaults when positive.
+	MaxIterations  int   `json:"max_iterations,omitempty"`
+	ConflictBudget int64 `json:"conflict_budget,omitempty"`
+	Seed           int64 `json:"seed,omitempty"`
+	Workers        int   `json:"workers,omitempty"`
+}
+
+// Response is the JSON answer for a solved/processed job.
+type Response struct {
+	// Status is SAT, UNSAT, PROCESSED, or CANCELED.
+	Status string `json:"status"`
+	// Solution holds the satisfying assignment (x1, x2, ... order) on SAT.
+	Solution []bool `json:"solution,omitempty"`
+	// Winner names the portfolio worker that produced the verdict.
+	Winner string `json:"winner,omitempty"`
+	// Facts counts the learnt facts per technique.
+	Facts map[string]int `json:"facts,omitempty"`
+	// Iterations of the fact-learning loop.
+	Iterations int `json:"iterations,omitempty"`
+	// ANF is the processed system (learnt facts applied) for engine modes.
+	ANF string `json:"anf,omitempty"`
+	// ElapsedMS is the solve's wall-clock time (0 for cache hits).
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// Cached is true when the answer came from the result cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// jobKind is the validated mode.
+type jobKind int
+
+const (
+	kindProcess jobKind = iota
+	kindSolve
+	kindPortfolio
+)
+
+// job is one unit of queued work: the parsed problem plus its
+// cancellation scope. done is closed by the worker after resp/err are
+// set.
+type job struct {
+	kind jobKind
+	req  Request
+	sys  *anf.System  // engine modes
+	form *cnf.Formula // portfolio mode
+	key  string       // cache key over normalized input + config
+
+	ctx  context.Context
+	resp *Response
+	err  error
+	done chan struct{}
+}
+
+// parseJob validates a request and normalizes its input. The returned
+// job carries the parsed system/formula and the cache key; ctx/done are
+// filled in by the caller.
+func parseJob(req Request) (*job, error) {
+	jb := &job{req: req}
+	switch strings.ToLower(req.Mode) {
+	case "", "process":
+		jb.kind = kindProcess
+	case "solve":
+		jb.kind = kindSolve
+	case "portfolio":
+		jb.kind = kindPortfolio
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want process, solve, or portfolio)", req.Mode)
+	}
+	if strings.TrimSpace(req.Input) == "" {
+		return nil, fmt.Errorf("empty input")
+	}
+
+	// Parse, then re-serialize for the cache key: two payloads that differ
+	// only in whitespace or comments normalize to the same key.
+	var canon strings.Builder
+	switch strings.ToLower(req.Format) {
+	case "anf":
+		sys, err := anf.ReadSystem(strings.NewReader(req.Input))
+		if err != nil {
+			return nil, fmt.Errorf("bad ANF input: %w", err)
+		}
+		if sys.Len() == 0 {
+			return nil, fmt.Errorf("ANF input has no equations")
+		}
+		if err := anf.WriteSystem(&canon, sys); err != nil {
+			return nil, err
+		}
+		jb.sys = sys
+		if jb.kind == kindPortfolio {
+			f, _ := conv.ANFToCNF(sys, conv.DefaultOptions())
+			jb.form = f
+		}
+	case "dimacs", "cnf":
+		f, err := cnf.ReadDimacs(strings.NewReader(req.Input))
+		if err != nil {
+			return nil, fmt.Errorf("bad DIMACS input: %w", err)
+		}
+		if err := cnf.WriteDimacs(&canon, f); err != nil {
+			return nil, err
+		}
+		jb.form = f
+		if jb.kind != kindPortfolio {
+			jb.sys = conv.CNFToANF(f, conv.DefaultOptions())
+		}
+	default:
+		return nil, fmt.Errorf("unknown format %q (want anf or dimacs)", req.Format)
+	}
+
+	h := sha256.New()
+	fmt.Fprintf(h, "mode=%d|iters=%d|confl=%d|seed=%d|workers=%d|timeout=%d|",
+		jb.kind, req.MaxIterations, req.ConflictBudget, req.Seed, req.Workers, req.TimeoutMS)
+	h.Write([]byte(canon.String()))
+	jb.key = hex.EncodeToString(h.Sum(nil))
+	return jb, nil
+}
+
+// run executes the job under its context and fills resp. Engine config
+// starts from the server's base config; per-request knobs override it.
+func (jb *job) run(base core.Config, metrics *Metrics) *Response {
+	start := time.Now()
+	if jb.kind == kindPortfolio {
+		res := portfolio.SolveContext(jb.ctx, jb.form, nil, 0)
+		resp := &Response{
+			Status:    res.Status.String(),
+			Winner:    res.Winner,
+			ElapsedMS: time.Since(start).Milliseconds(),
+		}
+		if res.Status == sat.Sat {
+			resp.Solution = res.Model
+		}
+		if res.Status == sat.Unknown {
+			resp.Status = statusFor(jb.ctx, "PROCESSED")
+		}
+		return resp
+	}
+
+	cfg := base
+	cfg.Context = jb.ctx
+	cfg.StopOnSolution = jb.kind == kindSolve
+	if jb.req.MaxIterations > 0 {
+		cfg.MaxIterations = jb.req.MaxIterations
+	}
+	if jb.req.ConflictBudget > 0 {
+		cfg.ConflictBudget = jb.req.ConflictBudget
+	}
+	if jb.req.Seed != 0 {
+		cfg.Seed = jb.req.Seed
+	}
+	if jb.req.Workers > 0 {
+		cfg.Workers = jb.req.Workers
+	}
+	res := core.Process(jb.sys, cfg)
+
+	facts := map[string]int{
+		"xl":          res.XL.NewFacts,
+		"elimlin":     res.ElimLin.NewFacts,
+		"sat":         res.SAT.NewFacts,
+		"groebner":    res.Groebner.NewFacts,
+		"extra":       res.Extra.NewFacts,
+		"propagation": res.PropagationFacts,
+	}
+	for t, n := range facts {
+		metrics.AddFacts(t, n)
+	}
+	var anfOut strings.Builder
+	_ = anf.WriteSystem(&anfOut, res.OutputANF())
+	resp := &Response{
+		Status:     res.Status.String(),
+		Facts:      facts,
+		Iterations: res.Iterations,
+		ANF:        anfOut.String(),
+		ElapsedMS:  time.Since(start).Milliseconds(),
+	}
+	if res.Status == core.SolvedSAT {
+		resp.Solution = res.Solution
+	}
+	if res.Interrupted {
+		resp.Status = statusFor(jb.ctx, resp.Status)
+	}
+	return resp
+}
+
+// statusFor maps a context-cancelled run to the CANCELED wire status,
+// keeping the engine's own verdict otherwise.
+func statusFor(ctx context.Context, fallback string) string {
+	if ctx != nil && ctx.Err() != nil {
+		return "CANCELED"
+	}
+	return fallback
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the solve-latency
+// histogram, chosen to straddle the service's job-time range: interactive
+// preprocessing jobs land in the millisecond buckets, portfolio solves in
+// the second ones, and everything at the per-job cap in the last.
+var latencyBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// Metrics is the daemon's plain-text counter registry. All fields are
+// safe for concurrent use; rendering takes a consistent-enough snapshot
+// (counters are monotonic, the gauge is read last).
+type Metrics struct {
+	JobsAccepted  atomic.Int64 // admitted to the queue
+	JobsRejected  atomic.Int64 // turned away with 429 (queue full)
+	JobsCompleted atomic.Int64 // ran to a verdict/fixed point
+	JobsCanceled  atomic.Int64 // cut short by disconnect or deadline
+	JobsFailed    atomic.Int64 // malformed input or internal error
+	CacheHits     atomic.Int64 // served from the result cache
+	QueueDepth    atomic.Int64 // jobs admitted but not yet picked up
+
+	mu         sync.Mutex
+	facts      map[string]int64 // per-technique facts learnt
+	latencyCnt [14]int64        // len(latencyBuckets)+1, last is +Inf
+	latencySum float64
+	latencyN   int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{facts: make(map[string]int64)}
+}
+
+// AddFacts credits n learnt facts to a technique label (xl, elimlin, sat,
+// groebner, extra, propagation).
+func (m *Metrics) AddFacts(technique string, n int) {
+	if n == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.facts[technique] += int64(n)
+	m.mu.Unlock()
+}
+
+// ObserveLatency records one completed solve's wall-clock time.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	s := d.Seconds()
+	idx := len(latencyBuckets)
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			idx = i
+			break
+		}
+	}
+	m.mu.Lock()
+	m.latencyCnt[idx]++
+	m.latencySum += s
+	m.latencyN++
+	m.mu.Unlock()
+}
+
+// Render writes the registry in the Prometheus text exposition format
+// (counters and one cumulative histogram) — stdlib-only, scrapable, and
+// greppable by the smoke tests.
+func (m *Metrics) Render() string {
+	var b strings.Builder
+	count := func(name string, v int64) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	count("bosphorusd_jobs_accepted_total", m.JobsAccepted.Load())
+	count("bosphorusd_jobs_rejected_total", m.JobsRejected.Load())
+	count("bosphorusd_jobs_completed_total", m.JobsCompleted.Load())
+	count("bosphorusd_jobs_canceled_total", m.JobsCanceled.Load())
+	count("bosphorusd_jobs_failed_total", m.JobsFailed.Load())
+	count("bosphorusd_cache_hits_total", m.CacheHits.Load())
+	fmt.Fprintf(&b, "# TYPE bosphorusd_queue_depth gauge\nbosphorusd_queue_depth %d\n", m.QueueDepth.Load())
+
+	m.mu.Lock()
+	techs := make([]string, 0, len(m.facts))
+	for t := range m.facts {
+		techs = append(techs, t)
+	}
+	sort.Strings(techs)
+	b.WriteString("# TYPE bosphorusd_facts_learnt_total counter\n")
+	for _, t := range techs {
+		fmt.Fprintf(&b, "bosphorusd_facts_learnt_total{technique=%q} %d\n", t, m.facts[t])
+	}
+	b.WriteString("# TYPE bosphorusd_solve_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.latencyCnt[i]
+		fmt.Fprintf(&b, "bosphorusd_solve_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.latencyCnt[len(latencyBuckets)]
+	fmt.Fprintf(&b, "bosphorusd_solve_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "bosphorusd_solve_seconds_sum %g\n", m.latencySum)
+	fmt.Fprintf(&b, "bosphorusd_solve_seconds_count %d\n", m.latencyN)
+	m.mu.Unlock()
+	return b.String()
+}

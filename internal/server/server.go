@@ -1,0 +1,247 @@
+// Package server implements bosphorusd's HTTP/JSON solver service: a
+// bounded job queue in front of a fixed worker pool, with per-job
+// deadlines threaded through the whole solve stack as context
+// cancellation, backpressure when the queue is full, an LRU cache for
+// identical normalized inputs, and plain-text metrics.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// maxBodyBytes caps a request body; anything larger is a client error,
+// not a reason to let one request eat the heap.
+const maxBodyBytes = 64 << 20
+
+// Config sets the daemon's pool/queue shape and the base engine
+// configuration shared by all jobs.
+type Config struct {
+	// Workers is the solve pool size. 0 = GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the number of admitted-but-unstarted jobs; a full
+	// queue turns new jobs away with 429. 0 = 64.
+	QueueSize int
+	// CacheSize is the LRU result-cache capacity. 0 = 128; negative
+	// disables caching.
+	CacheSize int
+	// DefaultJobTime applies when a request carries no timeout_ms. 0 = 10s.
+	DefaultJobTime time.Duration
+	// MaxJobTime caps every job regardless of the requested timeout. 0 = 60s.
+	MaxJobTime time.Duration
+	// Engine is the base fact-learning configuration; per-request knobs
+	// (max_iterations, conflict_budget, seed, workers) override it.
+	Engine core.Config
+	// Log receives one line per job; nil silences it.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.DefaultJobTime <= 0 {
+		c.DefaultJobTime = 10 * time.Second
+	}
+	if c.MaxJobTime <= 0 {
+		c.MaxJobTime = 60 * time.Second
+	}
+	return c
+}
+
+// Server is the running service. Create with New, expose via ServeHTTP,
+// stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *lruCache
+	mux     *http.ServeMux
+
+	queue chan *job
+	pool  sync.WaitGroup
+
+	mu       sync.RWMutex // guards draining vs. enqueue-on-closed-queue
+	draining bool
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		cache:   newLRUCache(cfg.CacheSize),
+		mux:     http.NewServeMux(),
+		queue:   make(chan *job, cfg.QueueSize),
+	}
+	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.pool.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the registry (for tests and embedding binaries).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the service: no new jobs are admitted, queued and
+// running jobs finish (bounded by their own deadlines), and the worker
+// pool exits. It returns early with ctx.Err() if ctx expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.pool.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker owns one pool slot: pull a job, run it under the job's context,
+// publish the response, repeat until the queue closes.
+func (s *Server) worker() {
+	defer s.pool.Done()
+	for jb := range s.queue {
+		s.metrics.QueueDepth.Add(-1)
+		start := time.Now()
+		resp := jb.run(s.cfg.Engine, s.metrics)
+		if resp.Status == "CANCELED" {
+			s.metrics.JobsCanceled.Add(1)
+		} else {
+			s.metrics.JobsCompleted.Add(1)
+			s.cache.Put(jb.key, resp)
+		}
+		s.metrics.ObserveLatency(time.Since(start))
+		s.logf("job mode=%s status=%s elapsed=%s", jb.req.Mode, resp.Status, time.Since(start))
+		jb.resp = resp
+		close(jb.done)
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.JobsFailed.Add(1)
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	jb, err := parseJob(req)
+	if err != nil {
+		s.metrics.JobsFailed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	if hit, ok := s.cache.Get(jb.key); ok {
+		s.metrics.CacheHits.Add(1)
+		cached := *hit // shallow copy; cached responses are never mutated
+		cached.Cached = true
+		writeJSON(w, http.StatusOK, &cached)
+		return
+	}
+
+	// Per-job deadline: request override, server default, hard cap — and
+	// tied to the client connection, so a disconnect cancels the solve.
+	effTimeout := s.cfg.DefaultJobTime
+	if req.TimeoutMS > 0 {
+		effTimeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if effTimeout > s.cfg.MaxJobTime {
+		effTimeout = s.cfg.MaxJobTime
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), effTimeout)
+	defer cancel()
+	jb.ctx = ctx
+	jb.done = make(chan struct{})
+
+	// Admit or reject. The read lock keeps Shutdown's close(queue) from
+	// racing the send; a full queue answers immediately with backpressure.
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case s.queue <- jb:
+		s.mu.RUnlock()
+		s.metrics.JobsAccepted.Add(1)
+		s.metrics.QueueDepth.Add(1)
+	default:
+		s.mu.RUnlock()
+		s.metrics.JobsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+
+	<-jb.done
+	writeJSON(w, http.StatusOK, jb.resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.metrics.Render())
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,379 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/satgen"
+)
+
+// easyANF is the worked example from the paper: processing it learns
+// facts and simplifies the system in well under a millisecond.
+const easyANF = "x1*x2 + x1 + x2\nx1*x3 + x2\nx1 + x3\n"
+
+// hardDimacs returns PHP(n+1, n) as DIMACS text — UNSAT, and
+// exponentially hard for a CDCL solver, so a job over it with a huge
+// conflict budget only ends by cancellation.
+func hardDimacs(t *testing.T, holes int) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := cnf.WriteDimacs(&sb, satgen.Pigeonhole(holes+1, holes).Formula); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Engine.MaxIterations == 0 {
+		cfg.Engine = core.DefaultConfig()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, url string, req Request) (*http.Response, *Response) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/solve", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, &out
+}
+
+func TestSolveANFJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, out := postJob(t, ts.URL, Request{Format: "anf", Input: easyANF, Mode: "solve"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if out.Status != "SAT" && out.Status != "PROCESSED" {
+		t.Fatalf("Status = %q", out.Status)
+	}
+	total := 0
+	for _, n := range out.Facts {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no facts learnt on the paper example")
+	}
+	if out.ANF == "" {
+		t.Fatal("no simplified ANF returned")
+	}
+}
+
+func TestSolveDimacsPortfolio(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, out := postJob(t, ts.URL, Request{
+		Format: "dimacs", Input: hardDimacs(t, 4), Mode: "portfolio", TimeoutMS: 20000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if out.Status != "UNSAT" {
+		t.Fatalf("PHP(5,4) portfolio Status = %q, want UNSAT", out.Status)
+	}
+	if out.Winner == "" {
+		t.Fatal("no winner reported")
+	}
+}
+
+func TestConcurrentJobsComplete(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueSize: 32})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds dodge the cache so every job really runs.
+			_, out := postJob(t, ts.URL, Request{Format: "anf", Input: easyANF, Seed: int64(i + 1)})
+			if out == nil {
+				errs <- fmt.Errorf("job %d rejected", i)
+			} else if out.Status == "CANCELED" {
+				errs <- fmt.Errorf("job %d canceled", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.Metrics().JobsCompleted.Load(); got != n {
+		t.Errorf("JobsCompleted = %d, want %d", got, n)
+	}
+	if got := s.Metrics().QueueDepth.Load(); got != 0 {
+		t.Errorf("QueueDepth = %d after drain of work, want 0", got)
+	}
+}
+
+// TestCanceledJobFreesWorker is the core acceptance check: a job over an
+// exponentially hard instance with an effectively unlimited conflict
+// budget gets a short deadline, and the single worker must be free for
+// the next job within 2 seconds of the deadline.
+func TestCanceledJobFreesWorker(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+	hard := hardDimacs(t, 9)
+
+	start := time.Now()
+	_, out := postJob(t, ts.URL, Request{
+		Format: "dimacs", Input: hard, Mode: "solve",
+		ConflictBudget: 1 << 40, TimeoutMS: 300,
+	})
+	if out == nil {
+		t.Fatal("hard job rejected")
+	}
+	if out.Status != "CANCELED" {
+		t.Fatalf("hard job Status = %q, want CANCELED", out.Status)
+	}
+	if wall := time.Since(start); wall > 2*time.Second+300*time.Millisecond {
+		t.Fatalf("canceled job held its worker for %s", wall)
+	}
+
+	// The freed worker must pick up a fresh job promptly.
+	start = time.Now()
+	_, out = postJob(t, ts.URL, Request{Format: "anf", Input: easyANF})
+	if out == nil || time.Since(start) > 2*time.Second {
+		t.Fatalf("worker not freed: follow-up job took %s (resp %+v)", time.Since(start), out)
+	}
+	if got := s.Metrics().JobsCanceled.Load(); got != 1 {
+		t.Errorf("JobsCanceled = %d, want 1", got)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 1})
+	hard := hardDimacs(t, 9)
+	slow := func(seed int64) Request {
+		return Request{
+			Format: "dimacs", Input: hard, Mode: "solve",
+			ConflictBudget: 1 << 40, TimeoutMS: 3000, Seed: seed,
+		}
+	}
+
+	// Occupy the worker, then the one queue slot, then overflow.
+	var wg sync.WaitGroup
+	for i := int64(1); i <= 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			postJob(t, ts.URL, slow(seed))
+		}(i)
+	}
+	// Wait until both jobs are admitted (one running, one queued).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().JobsAccepted.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.Metrics().JobsAccepted.Load() < 2 {
+		t.Fatal("setup jobs never admitted")
+	}
+	// Give the worker a moment to pull the first job off the queue, so
+	// the queue slot is held by the second.
+	for s.Metrics().QueueDepth.Load() > 1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, _ := postJob(t, ts.URL, slow(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow job status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	if got := s.Metrics().JobsRejected.Load(); got != 1 {
+		t.Errorf("JobsRejected = %d, want 1", got)
+	}
+	wg.Wait()
+}
+
+func TestCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	req := Request{Format: "anf", Input: easyANF}
+	_, first := postJob(t, ts.URL, req)
+	if first == nil || first.Cached {
+		t.Fatalf("first job: %+v", first)
+	}
+	// Same problem, different whitespace: normalization must map both to
+	// the same cache key.
+	req.Input = "x1*x2  +  x1 + x2\n\nx1*x3 + x2\nx1 + x3\n"
+	_, second := postJob(t, ts.URL, req)
+	if second == nil || !second.Cached {
+		t.Fatalf("second job not served from cache: %+v", second)
+	}
+	if second.Status != first.Status {
+		t.Errorf("cached Status = %q, first = %q", second.Status, first.Status)
+	}
+	if got := s.Metrics().CacheHits.Load(); got != 1 {
+		t.Errorf("CacheHits = %d, want 1", got)
+	}
+}
+
+func TestMetricsCountersMatchJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	const n = 5
+	for i := 0; i < n; i++ {
+		postJob(t, ts.URL, Request{Format: "anf", Input: easyANF, Seed: int64(i + 1)})
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		fmt.Sprintf("bosphorusd_jobs_accepted_total %d", n),
+		fmt.Sprintf("bosphorusd_jobs_completed_total %d", n),
+		"bosphorusd_jobs_rejected_total 0",
+		"bosphorusd_queue_depth 0",
+		fmt.Sprintf("bosphorusd_solve_seconds_count %d", n),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, `bosphorusd_facts_learnt_total{technique="propagation"}`) {
+		t.Errorf("metrics missing per-technique facts:\n%s", text)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct{ name, body string }{
+		{"not json", "{"},
+		{"empty input", `{"format":"anf","input":""}`},
+		{"bad format", `{"format":"smtlib","input":"x1\n"}`},
+		{"bad mode", `{"format":"anf","input":"x1\n","mode":"quantum"}`},
+		{"bad anf", `{"format":"anf","input":"x1*y2\n"}`},
+		{"bad dimacs", `{"format":"dimacs","input":"p cnf 3\n"}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	if got := s.Metrics().JobsFailed.Load(); got != int64(len(cases)) {
+		t.Errorf("JobsFailed = %d, want %d", got, len(cases))
+	}
+}
+
+func TestHealthzAndDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	post, _ := postJob(t, ts.URL, Request{Format: "anf", Input: easyANF})
+	if post.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("solve while draining = %d, want 503", post.StatusCode)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", &Response{Status: "A"})
+	c.Put("b", &Response{Status: "B"})
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted early")
+	}
+	c.Put("c", &Response{Status: "C"}) // evicts b (a was just touched)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	var nilCache *lruCache
+	nilCache.Put("x", nil)
+	if _, ok := nilCache.Get("x"); ok {
+		t.Error("nil cache returned a hit")
+	}
+}
+
+func TestMetricsRenderShape(t *testing.T) {
+	m := NewMetrics()
+	m.JobsAccepted.Add(3)
+	m.AddFacts("xl", 2)
+	m.AddFacts("sat", 5)
+	m.AddFacts("xl", 1)
+	m.ObserveLatency(7 * time.Millisecond)
+	m.ObserveLatency(90 * time.Second) // +Inf bucket
+	text := m.Render()
+	for _, want := range []string{
+		"bosphorusd_jobs_accepted_total 3",
+		`bosphorusd_facts_learnt_total{technique="xl"} 3`,
+		`bosphorusd_facts_learnt_total{technique="sat"} 5`,
+		`bosphorusd_solve_seconds_bucket{le="0.01"} 1`,
+		`bosphorusd_solve_seconds_bucket{le="+Inf"} 2`,
+		"bosphorusd_solve_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -12,8 +12,18 @@ go vet ./...
 echo "==> go build"
 go build ./...
 
+echo "==> build bosphorusd"
+go build -o /tmp/bosphorusd.check ./cmd/bosphorusd
+rm -f /tmp/bosphorusd.check
+
 echo "==> go test -race"
 go test -race ./...
+
+echo "==> server tests (-race, uncached)"
+go test -race -count=1 ./internal/server
+
+echo "==> bosphorusd e2e smoke (start, solve, backpressure, drain)"
+go test -count=1 -run TestEndToEndSmoke ./cmd/bosphorusd
 
 echo "==> bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench 'XL|RREF|ElimLin|PickElimVar' -benchtime 1x \
