@@ -22,9 +22,19 @@ bench:
 	$(GO) test -run '^$$' -bench 'XL|RREF|ElimLin|PickElimVar' -benchmem \
 		./internal/anf ./internal/core ./internal/gf2
 
-# check is the full local gate: vet + build + race tests + bench smoke.
+# check is the full local gate: gofmt + vet + build + race tests + proof
+# round-trip smoke + checker fuzz + bench smoke.
 check:
 	sh scripts/check.sh
+
+# proofsmoke runs only the proof round-trip: solve an UNSAT instance with
+# --proof and --verify-facts, check the DRAT with proofcheck, and confirm
+# a corrupted proof is rejected.
+proofsmoke: build
+	$(GO) run ./cmd/bosphorus -anf examples/instances/unsat_pair.anf -solve \
+		-no-xl -no-elimlin -verify-facts -proof /tmp/bosphorus.smoke.drat
+	$(GO) run ./cmd/proofcheck -cnf /tmp/bosphorus.smoke.drat.cnf -v /tmp/bosphorus.smoke.drat
+	rm -f /tmp/bosphorus.smoke.drat /tmp/bosphorus.smoke.drat.cnf
 
 # perf regenerates the machine-readable kernel-timing snapshot.
 perf: build

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/conv"
 	"repro/internal/core"
+	"repro/internal/proof"
 	"repro/internal/sat"
 )
 
@@ -89,6 +90,10 @@ type Options struct {
 	Context context.Context
 	// Seed fixes all randomness for reproducible runs.
 	Seed int64
+	// Workers selects the engine mode: 0 runs the paper's sequential
+	// loop, N ≥ 1 the deterministic snapshot pipeline with N goroutines
+	// (identical facts for every value).
+	Workers int
 	// Log receives progress lines when non-nil.
 	Log io.Writer
 
@@ -101,6 +106,16 @@ type Options struct {
 	// workflow (§V: "it is relatively easy to include new solving
 	// techniques by plugging them as components").
 	ExtraTechniques []Technique
+
+	// Provenance records every learnt fact's derivation (technique,
+	// iteration, algebraic witness) into Result.Provenance, ready for
+	// VerifyFacts. Tracking never changes which facts are learnt.
+	Provenance bool
+	// EmitProof captures a DRAT proof from the SAT step; when the run ends
+	// UNSAT via the solver, Result.Certificate carries the checkable proof.
+	EmitProof bool
+	// ProofBinary selects the compact binary DRAT encoding.
+	ProofBinary bool
 }
 
 // Technique is the §V plug point for custom fact-learning components
@@ -159,11 +174,15 @@ func (o Options) toCore(stopOnSolution bool) core.Config {
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
+	cfg.Workers = o.Workers
 	cfg.Log = o.Log
 	cfg.StopOnSolution = stopOnSolution
 	cfg.EnableGroebner = o.EnableGroebner
 	cfg.EnableProbing = o.EnableProbing
 	cfg.ExtraTechniques = o.ExtraTechniques
+	cfg.Provenance = o.Provenance
+	cfg.EmitProof = o.EmitProof
+	cfg.ProofBinary = o.ProofBinary
 	return cfg
 }
 
@@ -213,6 +232,37 @@ type Result struct {
 	// Interrupted is true when Options.Context was cancelled before the
 	// run finished; the facts and simplified systems remain sound.
 	Interrupted bool
+	// Provenance is the fact ledger recorded when Options.Provenance was
+	// set: one record per input equation and learnt fact, carrying the
+	// derivation. Feed it to VerifyFacts for independent re-derivation.
+	Provenance *Ledger
+	// Certificate is the DRAT proof captured when Options.EmitProof was
+	// set and the SAT step derived the refutation; Certificate.Check()
+	// re-verifies it with the built-in checker.
+	Certificate *Certificate
+}
+
+// Ledger is the provenance table: a record per input equation and learnt
+// fact (re-exported).
+type Ledger = proof.Ledger
+
+// Certificate pairs an UNSAT SAT-step's CNF with its DRAT proof
+// (re-exported).
+type Certificate = proof.Certificate
+
+// VerifyReport aggregates per-fact verification verdicts (re-exported).
+type VerifyReport = proof.VerifyReport
+
+// VerifyOptions tunes VerifyFacts (re-exported).
+type VerifyOptions = proof.VerifyOptions
+
+// VerifyFacts independently re-derives every fact in a run's provenance
+// ledger against the original input system: exact replay of the recorded
+// algebraic witnesses, a random-assignment falsification screen, and SAT
+// refutation for facts without a replayable witness. It never trusts the
+// engine that produced the ledger.
+func VerifyFacts(original *System, lg *Ledger, opts VerifyOptions) *VerifyReport {
+	return proof.VerifyFacts(original, lg, opts)
 }
 
 func wrap(res *core.Result, o Options) *Result {
@@ -226,6 +276,8 @@ func wrap(res *core.Result, o Options) *Result {
 		FactsPropagation: res.PropagationFacts,
 		Elapsed:          res.Elapsed,
 		Interrupted:      res.Interrupted,
+		Provenance:       res.Provenance,
+		Certificate:      res.Certificate,
 	}
 	switch res.Status {
 	case core.SolvedSAT:

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/conv"
 	"repro/internal/core"
+	"repro/internal/proof"
 	"repro/internal/sat"
 )
 
@@ -59,6 +60,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		groebner  = fs.Bool("groebner", false, "enable the budgeted Buchberger phase (§V)")
 		workers   = fs.Int("j", 0, "fact-learning workers: 0 = sequential paper loop, N ≥ 1 = deterministic snapshot pipeline with N goroutines")
 		enum      = fs.Int("enum", 0, "enumerate up to N solutions of the processed system over the original variables")
+		proofOut  = fs.String("proof", "", "capture a DRAT proof from the refuting SAT step and write it here (the exact CNF it is against goes to <path>.cnf for proofcheck)")
+		proofFmt  = fs.String("proof-format", "text", "proof encoding: text | bin")
+		verify    = fs.Bool("verify-facts", false, "track fact provenance and independently re-derive every learnt fact against the input; nonzero exit if any fact fails")
+		noXL      = fs.Bool("no-xl", false, "ablation: disable the XL phase")
+		noElimLin = fs.Bool("no-elimlin", false, "ablation: disable the ElimLin phase")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +86,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.EnableProbing = *probe
 	cfg.EnableGroebner = *groebner
 	cfg.Workers = *workers
+	cfg.DisableXL = *noXL
+	cfg.DisableElimLin = *noElimLin
+	cfg.Provenance = *verify
+	cfg.EmitProof = *proofOut != ""
+	switch *proofFmt {
+	case "text":
+	case "bin":
+		cfg.ProofBinary = true
+	default:
+		return fmt.Errorf("unknown proof format %q", *proofFmt)
+	}
 	if *verbose {
 		cfg.Log = stderr
 	}
@@ -153,6 +170,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, " 0")
 	default:
 		fmt.Fprintf(stdout, "c processed to fixed point (%v total)\n", time.Since(start))
+	}
+
+	if *proofOut != "" {
+		if res.Certificate == nil {
+			fmt.Fprintln(stdout, "c no proof captured (refutation did not come from the SAT solver)")
+		} else {
+			if err := os.WriteFile(*proofOut, res.Certificate.Proof, 0o644); err != nil {
+				return err
+			}
+			cf, err := os.Create(*proofOut + ".cnf")
+			if err != nil {
+				return err
+			}
+			if err := cnf.WriteDimacs(cf, res.Certificate.Formula); err != nil {
+				cf.Close()
+				return err
+			}
+			if err := cf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "c proof: %d bytes to %s (formula: %s.cnf)\n",
+				len(res.Certificate.Proof), *proofOut, *proofOut)
+		}
+	}
+
+	if *verify {
+		report := proof.VerifyFacts(sys, res.Provenance, proof.VerifyOptions{
+			Seed: *seed, Context: ctx, Conv: cfg.Conv, Profile: cfg.Profile,
+		})
+		fmt.Fprintf(stdout, "c verify: %s\n", report.Summary())
+		for _, v := range report.Verdicts {
+			if !v.Verdict.Verified() {
+				fmt.Fprintf(stdout, "c verify: fact %d (%s, iter %d): %v — %s\n",
+					v.ID, v.Technique, v.Iteration, v.Verdict, v.Detail)
+			}
+		}
+		if !report.AllVerified() {
+			return fmt.Errorf("fact verification failed: %s", report.Summary())
+		}
 	}
 
 	if *enum > 0 && res.Status != core.SolvedUNSAT {

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/proof"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -119,5 +122,101 @@ func TestEnumerateSolutions(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "2 solution(s)") {
 		t.Fatalf("enumeration output wrong:\n%s", s)
+	}
+}
+
+// The --proof flag must round-trip: solve an UNSAT instance whose
+// refutation is forced through the SAT step, write the DRAT proof and its
+// formula, and have the built-in checker accept the pair — while a
+// corrupted proof is rejected.
+func TestProofFlagRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "u.anf", "x1*x2 + x3\nx1*x2 + x3 + 1\n")
+	proofPath := filepath.Join(dir, "p.drat")
+	for _, format := range []string{"text", "bin"} {
+		var out, errw bytes.Buffer
+		err := run([]string{"-anf", in, "-solve", "-no-xl", "-no-elimlin",
+			"-proof", proofPath, "-proof-format", format}, &out, &errw)
+		if err != nil {
+			t.Fatalf("format %s: %v\n%s", format, err, errw.String())
+		}
+		if !strings.Contains(out.String(), "s UNSATISFIABLE") {
+			t.Fatalf("format %s: output:\n%s", format, out.String())
+		}
+		if !strings.Contains(out.String(), "c proof: ") {
+			t.Fatalf("format %s: no proof line:\n%s", format, out.String())
+		}
+		cf, err := os.Open(proofPath + ".cnf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := cnf.ReadDimacs(cf)
+		cf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := os.ReadFile(proofPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := proof.Check(f, bytes.NewReader(pf))
+		if err != nil || !cr.Verified {
+			t.Fatalf("format %s: proof rejected: %+v err=%v", format, cr, err)
+		}
+		// Some single-bit corruption of the stream must be detected.
+		rejected := false
+		for i := range pf {
+			mut := append([]byte(nil), pf...)
+			mut[i] ^= 0x01
+			if cr, err := proof.Check(f, bytes.NewReader(mut)); err != nil || !cr.Verified {
+				rejected = true
+				break
+			}
+		}
+		if !rejected {
+			t.Fatalf("format %s: no single-bit mutation was rejected", format)
+		}
+	}
+}
+
+// An UNSAT verdict that does not come from the SAT solver (propagation
+// refutes the odd cycle) reports that no proof was captured instead of
+// writing an empty file.
+func TestProofFlagNoCertificate(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFile(t, dir, "c.anf", "x1 + x2\nx2 + x3\nx1 + x3 + 1\n")
+	proofPath := filepath.Join(dir, "p.drat")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-anf", in, "-solve", "-proof", proofPath}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "c no proof captured") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if _, err := os.Stat(proofPath); !os.IsNotExist(err) {
+		t.Fatal("proof file written without a certificate")
+	}
+}
+
+// --verify-facts re-derives every learnt fact; on sound runs the summary
+// reports zero failures and the exit status is clean, for SAT and UNSAT
+// inputs alike.
+func TestVerifyFactsFlag(t *testing.T) {
+	dir := t.TempDir()
+	for name, src := range map[string]string{
+		"sat.anf":   "x1*x2 + x3 + x4 + 1\nx1*x2*x3 + x1 + x3 + 1\nx1*x3 + x3*x4*x5 + x3\nx2*x3 + x3*x5 + 1\nx2*x3 + x5 + 1\n",
+		"unsat.anf": "x1*x2 + x3\nx1*x2 + x3 + 1\n",
+	} {
+		in := writeFile(t, dir, name, src)
+		var out, errw bytes.Buffer
+		if err := run([]string{"-anf", in, "-solve", "-verify-facts"}, &out, &errw); err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, out.String())
+		}
+		if !strings.Contains(out.String(), "c verify: facts=") {
+			t.Fatalf("%s: no verify summary:\n%s", name, out.String())
+		}
+		if !strings.Contains(out.String(), "failed=0 unverified=0") {
+			t.Fatalf("%s: verification not clean:\n%s", name, out.String())
+		}
 	}
 }

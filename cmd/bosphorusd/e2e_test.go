@@ -129,19 +129,33 @@ func TestEndToEndSmoke(t *testing.T) {
 	}
 	wg.Wait()
 
-	// 4. Backpressure: occupy the worker and the single queue slot with
-	// slow jobs, then overflow → 429 + Retry-After.
-	slowDone := make(chan struct{}, 2)
+	// 4. Backpressure: keep the worker and the single queue slot saturated
+	// with a stream of hard jobs, then overflow → 429 + Retry-After. Two
+	// occupier goroutines each re-post the moment their previous job
+	// returns (distinct seeds dodge the result cache), so the system stays
+	// full even when a probe momentarily wins the race for a slot or the
+	// solver finishes a job faster than its deadline. Probes use distinct
+	// seeds too: a cached probe answer would bypass admission entirely.
+	stop := make(chan struct{})
+	var occupiers sync.WaitGroup
 	for i := 0; i < 2; i++ {
-		go func(seed int) {
-			defer func() { slowDone <- struct{}{} }()
-			post(hardBody(10+seed, 1500))
+		occupiers.Add(1)
+		go func(i int) {
+			defer occupiers.Done()
+			for seed := 1000 * (i + 1); ; seed++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				post(hardBody(seed, 1500))
+			}
 		}(i)
 	}
 	got429 := false
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		r, _ := post(hardBody(99, 1500))
+	deadline := time.Now().Add(10 * time.Second)
+	for seed := 99; time.Now().Before(deadline); seed++ {
+		r, _ := post(hardBody(seed, 1500))
 		if r.StatusCode == http.StatusTooManyRequests {
 			if r.Header.Get("Retry-After") == "" {
 				t.Error("429 without Retry-After")
@@ -151,11 +165,11 @@ func TestEndToEndSmoke(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+	close(stop)
+	occupiers.Wait()
 	if !got429 {
 		t.Fatal("never saw 429 with worker and queue occupied")
 	}
-	<-slowDone
-	<-slowDone
 
 	// 5. Metrics reflect the submitted work.
 	mresp, err := http.Get(base + "/metrics")

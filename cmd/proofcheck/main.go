@@ -1,0 +1,91 @@
+// Command proofcheck verifies a DRAT proof against a DIMACS CNF formula
+// with the built-in streaming forward RUP checker — no external tool
+// (drat-trim et al.) involved. It is the independent half of the
+// bosphorus --proof round trip: solve with a proof, check the proof here.
+//
+// Usage:
+//
+//	proofcheck -cnf formula.cnf proof.drat
+//	proofcheck -cnf formula.cnf -format bin proof.bin
+//
+// Prints "s VERIFIED" and exits 0 when the proof derives the empty
+// clause and every step checks; prints "s NOT VERIFIED" and exits 1
+// otherwise (including malformed streams).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cnf"
+	"repro/internal/proof"
+)
+
+func main() {
+	code, out := run(os.Args[1:], os.Stderr)
+	fmt.Fprint(os.Stdout, out)
+	os.Exit(code)
+}
+
+func run(args []string, stderr io.Writer) (int, string) {
+	fs := flag.NewFlagSet("proofcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		cnfPath = fs.String("cnf", "", "DIMACS CNF formula the proof refutes (required)")
+		format  = fs.String("format", "auto", "proof encoding: auto | text | bin")
+		verbose = fs.Bool("v", false, "print per-kind step counts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, ""
+	}
+	if *cnfPath == "" || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: proofcheck -cnf formula.cnf [-format auto|text|bin] proof")
+		return 2, ""
+	}
+
+	cf, err := os.Open(*cnfPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "proofcheck:", err)
+		return 2, ""
+	}
+	defer cf.Close()
+	f, err := cnf.ReadDimacs(cf)
+	if err != nil {
+		fmt.Fprintln(stderr, "proofcheck: reading formula:", err)
+		return 2, ""
+	}
+
+	pf, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "proofcheck:", err)
+		return 2, ""
+	}
+	defer pf.Close()
+
+	var res *proof.CheckResult
+	switch *format {
+	case "auto":
+		res, err = proof.Check(f, pf)
+	case "text":
+		res, err = proof.CheckText(f, pf)
+	case "bin":
+		res, err = proof.CheckBinary(f, pf)
+	default:
+		fmt.Fprintf(stderr, "proofcheck: unknown format %q\n", *format)
+		return 2, ""
+	}
+
+	out := ""
+	if err != nil {
+		out += fmt.Sprintf("c check error: %v\n", err)
+	} else if *verbose {
+		out += fmt.Sprintf("c steps=%d adds=%d deletes=%d justified=%d skipped-deletes=%d\n",
+			res.Steps, res.Adds, res.Deletes, res.Justified, res.SkippedDeletes)
+	}
+	if err == nil && res.Verified {
+		return 0, out + "s VERIFIED\n"
+	}
+	return 1, out + "s NOT VERIFIED\n"
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifiedProof(t *testing.T) {
+	dir := t.TempDir()
+	cnfPath := writeFile(t, dir, "f.cnf", "p cnf 1 2\n1 0\n-1 0\n")
+	proofPath := writeFile(t, dir, "p.drat", "0\n")
+	for _, format := range []string{"auto", "text"} {
+		var errw bytes.Buffer
+		code, out := run([]string{"-cnf", cnfPath, "-format", format, proofPath}, &errw)
+		if code != 0 || !strings.Contains(out, "s VERIFIED") {
+			t.Fatalf("format %s: code=%d out=%q err=%q", format, code, out, errw.String())
+		}
+	}
+}
+
+func TestNotVerifiedProof(t *testing.T) {
+	dir := t.TempDir()
+	// Satisfiable formula: the empty clause is not RUP, so the add step
+	// fails and the proof must be rejected.
+	cnfPath := writeFile(t, dir, "f.cnf", "p cnf 2 2\n1 0\n2 0\n")
+	proofPath := writeFile(t, dir, "p.drat", "0\n")
+	var errw bytes.Buffer
+	code, out := run([]string{"-cnf", cnfPath, proofPath}, &errw)
+	if code != 1 || !strings.Contains(out, "s NOT VERIFIED") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestIncompleteProof(t *testing.T) {
+	dir := t.TempDir()
+	// Well-formed proof that never derives the empty clause: well-formed
+	// but not a refutation → NOT VERIFIED, no error line.
+	cnfPath := writeFile(t, dir, "f.cnf", "p cnf 2 2\n1 2 0\n-1 2 0\n")
+	proofPath := writeFile(t, dir, "p.drat", "2 0\n")
+	var errw bytes.Buffer
+	code, out := run([]string{"-cnf", cnfPath, "-v", proofPath}, &errw)
+	if code != 1 || !strings.Contains(out, "s NOT VERIFIED") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "c steps=1 adds=1") {
+		t.Fatalf("verbose counters missing: %q", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	cnfPath := writeFile(t, dir, "f.cnf", "p cnf 1 1\n1 0\n")
+	proofPath := writeFile(t, dir, "p.drat", "0\n")
+	cases := [][]string{
+		{},                // no args
+		{proofPath},       // missing -cnf
+		{"-cnf", cnfPath}, // missing proof operand
+		{"-cnf", cnfPath, "-format", "weird", proofPath}, // bad format
+		{"-cnf", filepath.Join(dir, "missing.cnf"), proofPath},
+	}
+	for i, args := range cases {
+		var errw bytes.Buffer
+		if code, _ := run(args, &errw); code != 2 {
+			t.Fatalf("case %d (%v): code=%d, want 2", i, args, code)
+		}
+	}
+}

@@ -91,6 +91,91 @@ func RunElimLin(sys *anf.System, cfg ElimLinConfig) []anf.Poly {
 	return learnt
 }
 
+// RunElimLinProv is RunElimLin with provenance: identical subsampling,
+// reduction (unique RREF), variable choice and substitution, plus a
+// witness per learnt linear equation. Witnesses thread through the rounds:
+// a reduced row combines the working polynomials' witnesses per the
+// elimination's ops matrix, and substituting v := l ⊕ v into p rewrites p
+// to p ⊕ A·l (A the cofactor of v in p), so the working witness gains
+// A-scaled copies of l's witness.
+func RunElimLinProv(sys *anf.System, cfg ElimLinConfig) []ProvFact {
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 64
+	}
+	idxs := subsampleIdx(sys, cfg.M, cfg.Rand)
+	if len(idxs) == 0 {
+		return nil
+	}
+	slots := polysSlots(sys)
+	all := sys.Polys()
+	work := make([]anf.Poly, len(idxs))
+	wits := make([][]SlotTerm, len(idxs))
+	for i, idx := range idxs {
+		work[i] = all[idx]
+		wits[i] = []SlotTerm{{Mult: anf.OnePoly(), Slot: slots[idx]}}
+	}
+	var scratch elimScratch
+	var learnt []ProvFact
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if ctxCanceled(cfg.Context) {
+			return learnt
+		}
+		reduced, ops := gjeRowsTracked(work)
+		rwits := make([][]SlotTerm, len(reduced))
+		for r := range reduced {
+			var w []SlotTerm
+			for j := range work {
+				if ops.Get(r, j) {
+					w = append(w, wits[j]...)
+				}
+			}
+			rwits[r] = canonSlotTerms(w)
+		}
+		var linear []anf.Poly
+		var linWits [][]SlotTerm
+		var rest []anf.Poly
+		var restWits [][]SlotTerm
+		for r, p := range reduced {
+			switch {
+			case p.IsZero():
+			case p.IsLinear():
+				linear = append(linear, p)
+				linWits = append(linWits, rwits[r])
+			default:
+				rest = append(rest, p)
+				restWits = append(restWits, rwits[r])
+			}
+		}
+		if len(linear) == 0 {
+			break
+		}
+		for i, l := range linear {
+			learnt = append(learnt, ProvFact{Poly: l, Witness: linWits[i], Note: "gje row"})
+		}
+		for li, l := range linear {
+			if l.IsOne() {
+				return append(learnt, ProvFact{Poly: anf.OnePoly(), Witness: linWits[li], Note: "gje contradiction"})
+			}
+			vs := l.LinearVars()
+			if len(vs) == 0 {
+				continue
+			}
+			v := scratch.pick(vs, rest)
+			rhs := l.Add(anf.VarPoly(v))
+			for i, p := range rest {
+				a := cofactor(p, v)
+				rest[i] = p.SubstituteVar(v, rhs)
+				if !a.IsZero() {
+					restWits[i] = canonSlotTerms(scaleSlotTerms(restWits[i], linWits[li], a))
+				}
+			}
+		}
+		work = rest
+		wits = restWits
+	}
+	return learnt
+}
+
 // elimScratch holds the generation-stamped dense arrays behind the
 // eliminate-variable choice, reused across every pick of a RunElimLin
 // call so the per-pick cost is one pass over rest with no allocation.

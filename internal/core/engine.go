@@ -10,6 +10,7 @@ import (
 	"repro/internal/anf"
 	"repro/internal/cnf"
 	"repro/internal/conv"
+	"repro/internal/proof"
 	"repro/internal/sat"
 )
 
@@ -90,6 +91,20 @@ type Config struct {
 	// Seed drives all randomized choices; fixed seed = reproducible run.
 	Seed int64
 
+	// Provenance records every learnt fact into a proof.Ledger with the
+	// technique, iteration, and — for the propagation and linear-algebra
+	// paths — an exact algebraic witness, available as Result.Provenance
+	// and independently checkable with proof.VerifyFacts. The learnt facts
+	// are identical with tracking on or off (the tracked elimination kernel
+	// produces the same unique RREF); only the run time differs.
+	Provenance bool
+	// EmitProof attaches a DRAT writer to every SAT step; when a step
+	// refutes its formula the proof and the exact CNF it refutes are kept
+	// as Result.Certificate, checkable with proof.Check (or cmd/proofcheck).
+	EmitProof bool
+	// ProofBinary selects the compact binary proof encoding.
+	ProofBinary bool
+
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -162,6 +177,12 @@ type Result struct {
 	// Interrupted is true when the run was cut short by Config.Context
 	// cancellation; the facts learnt before the cut are still applied.
 	Interrupted bool
+	// Provenance is the fact ledger when Config.Provenance was set: inputs
+	// first, then one record per learnt fact/rewrite/binding.
+	Provenance *proof.Ledger
+	// Certificate is the DRAT proof of the refuting SAT step when
+	// Config.EmitProof was set and that step proved UNSAT.
+	Certificate *proof.Certificate
 }
 
 // Process runs the Bosphorus fact-learning loop on a copy of the input
@@ -191,6 +212,10 @@ func Process(input *anf.System, cfg Config) *Result {
 	sys := input.Clone()
 	prop := NewPropagator(sys)
 	res := &Result{System: sys, State: prop.State}
+	if cfg.Provenance {
+		prop.prov = newProvTracker(sys)
+		res.Provenance = prop.prov.ledger
+	}
 	finish := func(st Status) *Result {
 		res.Status = st
 		res.Interrupted = ctx.Err() != nil
@@ -238,26 +263,51 @@ func Process(input *anf.System, cfg Config) *Result {
 				}
 			}
 		} else {
-			if !cfg.DisableXL && !expired() {
-				facts := RunXL(sys, XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Context: ctx, Rand: rng})
-				added, ok := prop.AddFacts(facts)
-				res.XL.Runs++
-				res.XL.NewFacts += added
+			// merge folds one technique's batch into the master system —
+			// through the provenance tracker when it is on (witness-carrying
+			// ProvFacts), through plain AddFacts otherwise. Both paths learn
+			// identical facts.
+			merge := func(stats *PhaseStats, tech, name string, facts []anf.Poly, pfacts []ProvFact) bool {
+				var added int
+				var ok bool
+				n := len(facts)
+				if prop.prov != nil {
+					added, ok = prop.AddProvFacts(pfacts, tech, iter, nil)
+					n = len(pfacts)
+				} else {
+					added, ok = prop.AddFacts(facts)
+				}
+				stats.Runs++
+				stats.NewFacts += added
 				newThisIter += added
-				logf("iter %d: XL learnt %d facts (%d new)", iter, len(facts), added)
-				if !ok {
+				logf("iter %d: %s learnt %d facts (%d new)", iter, name, n, added)
+				return ok
+			}
+
+			if !cfg.DisableXL && !expired() {
+				xcfg := XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Context: ctx, Rand: rng}
+				var facts []anf.Poly
+				var pfacts []ProvFact
+				if prop.prov != nil {
+					pfacts = RunXLProv(sys, xcfg)
+				} else {
+					facts = RunXL(sys, xcfg)
+				}
+				if !merge(&res.XL, proof.TechXL, "XL", facts, pfacts) {
 					return finish(SolvedUNSAT)
 				}
 			}
 
 			if !cfg.DisableElimLin && !expired() {
-				facts := RunElimLin(sys, ElimLinConfig{M: cfg.M, Context: ctx, Rand: rng})
-				added, ok := prop.AddFacts(facts)
-				res.ElimLin.Runs++
-				res.ElimLin.NewFacts += added
-				newThisIter += added
-				logf("iter %d: ElimLin learnt %d facts (%d new)", iter, len(facts), added)
-				if !ok {
+				ecfg := ElimLinConfig{M: cfg.M, Context: ctx, Rand: rng}
+				var facts []anf.Poly
+				var pfacts []ProvFact
+				if prop.prov != nil {
+					pfacts = RunElimLinProv(sys, ecfg)
+				} else {
+					facts = RunElimLin(sys, ecfg)
+				}
+				if !merge(&res.ElimLin, proof.TechElimLin, "ElimLin", facts, pfacts) {
 					return finish(SolvedUNSAT)
 				}
 			}
@@ -267,24 +317,14 @@ func Process(input *anf.System, cfg Config) *Result {
 					break
 				}
 				facts := tech.Learn(ctx, sys, rng)
-				added, ok := prop.AddFacts(facts)
-				res.Extra.Runs++
-				res.Extra.NewFacts += added
-				newThisIter += added
-				logf("iter %d: %s learnt %d facts (%d new)", iter, tech.Name(), len(facts), added)
-				if !ok {
+				if !merge(&res.Extra, proof.TechExtra, tech.Name(), facts, wrapPlain(facts, tech.Name())) {
 					return finish(SolvedUNSAT)
 				}
 			}
 
 			if cfg.EnableGroebner && !expired() {
 				facts := RunGroebnerStep(sys, DefaultGroebnerConfig(rng))
-				added, ok := prop.AddFacts(facts)
-				res.Groebner.Runs++
-				res.Groebner.NewFacts += added
-				newThisIter += added
-				logf("iter %d: Groebner learnt %d facts (%d new)", iter, len(facts), added)
-				if !ok {
+				if !merge(&res.Groebner, proof.TechGroebner, "Groebner", facts, wrapPlain(facts, "buchberger reduction")) {
 					return finish(SolvedUNSAT)
 				}
 			}
@@ -302,13 +342,33 @@ func Process(input *anf.System, cfg Config) *Result {
 				ProbeMax:         cfg.ProbeMax,
 				Seed:             cfg.Seed + int64(iter) + 1,
 				Context:          ctx,
+				CaptureProof:     cfg.EmitProof,
+				ProofBinary:      cfg.ProofBinary,
 			})
 			res.SAT.Runs++
+			if step.Certificate != nil {
+				step.Certificate.Iteration = iter
+				res.Certificate = step.Certificate
+			}
 			if step.Status == sat.Sat && cfg.StopOnSolution {
 				res.Solution = completeSolution(input, prop.State, step.Model)
 				return finish(SolvedSAT)
 			}
-			added, ok := prop.AddFacts(step.Facts)
+			var added int
+			var ok bool
+			if prop.prov != nil {
+				pfacts := make([]ProvFact, len(step.Facts))
+				for i, f := range step.Facts {
+					note := "sat harvest"
+					if i < len(step.Notes) {
+						note = step.Notes[i]
+					}
+					pfacts[i] = ProvFact{Poly: f, Note: note}
+				}
+				added, ok = prop.AddProvFacts(pfacts, proof.TechSAT, iter, nil)
+			} else {
+				added, ok = prop.AddFacts(step.Facts)
+			}
 			res.SAT.NewFacts += added
 			newThisIter += added
 			logf("iter %d: SAT step (%v, %d conflicts) learnt %d facts (%d new)",

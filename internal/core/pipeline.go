@@ -6,17 +6,21 @@ import (
 	"sync"
 
 	"repro/internal/anf"
+	"repro/internal/proof"
 )
 
 // techJob is one fact learner of an iteration's snapshot phase: a closure
 // over the read-only master system, the stats bucket it reports into, and
 // the derived seed for its private RNG.
 type techJob struct {
-	name  string
-	stats *PhaseStats
-	seed  int64
-	learn func(rng *rand.Rand) []anf.Poly
-	facts []anf.Poly
+	name   string
+	tech   string // proof.Tech* label for the provenance ledger
+	stats  *PhaseStats
+	seed   int64
+	learn  func(rng *rand.Rand) []anf.Poly
+	plearn func(rng *rand.Rand) []ProvFact // provenance-tracking variant
+	facts  []anf.Poly
+	pfacts []ProvFact
 }
 
 // deriveSeed mixes the run seed, iteration and job index into a decorrelated
@@ -37,36 +41,58 @@ func deriveSeed(base int64, iter, job int) int64 {
 // optional Gröbner phase — the same order the sequential loop runs them.
 func snapshotJobs(ctx context.Context, sys *anf.System, cfg Config, res *Result, iter int) []*techJob {
 	var jobs []*techJob
-	add := func(name string, stats *PhaseStats, learn func(rng *rand.Rand) []anf.Poly) {
+	add := func(name, tech string, stats *PhaseStats, learn func(rng *rand.Rand) []anf.Poly, plearn func(rng *rand.Rand) []ProvFact) {
 		jobs = append(jobs, &techJob{
-			name:  name,
-			stats: stats,
-			seed:  deriveSeed(cfg.Seed, iter, len(jobs)),
-			learn: learn,
+			name:   name,
+			tech:   tech,
+			stats:  stats,
+			seed:   deriveSeed(cfg.Seed, iter, len(jobs)),
+			learn:  learn,
+			plearn: plearn,
 		})
 	}
 	if !cfg.DisableXL {
-		add("XL", &res.XL, func(rng *rand.Rand) []anf.Poly {
-			return RunXL(sys, XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Workers: cfg.Workers, Context: ctx, Rand: rng})
+		xcfg := XLConfig{M: cfg.M, DeltaM: cfg.DeltaM, Deg: cfg.XLDeg, Workers: cfg.Workers, Context: ctx}
+		add("XL", proof.TechXL, &res.XL, func(rng *rand.Rand) []anf.Poly {
+			c := xcfg
+			c.Rand = rng
+			return RunXL(sys, c)
+		}, func(rng *rand.Rand) []ProvFact {
+			c := xcfg
+			c.Rand = rng
+			return RunXLProv(sys, c)
 		})
 	}
 	if !cfg.DisableElimLin {
-		add("ElimLin", &res.ElimLin, func(rng *rand.Rand) []anf.Poly {
-			return RunElimLin(sys, ElimLinConfig{M: cfg.M, Workers: cfg.Workers, Context: ctx, Rand: rng})
+		ecfg := ElimLinConfig{M: cfg.M, Workers: cfg.Workers, Context: ctx}
+		add("ElimLin", proof.TechElimLin, &res.ElimLin, func(rng *rand.Rand) []anf.Poly {
+			c := ecfg
+			c.Rand = rng
+			return RunElimLin(sys, c)
+		}, func(rng *rand.Rand) []ProvFact {
+			c := ecfg
+			c.Rand = rng
+			return RunElimLinProv(sys, c)
 		})
 	}
 	for _, tech := range cfg.ExtraTechniques {
 		tech := tech
-		add(tech.Name(), &res.Extra, func(rng *rand.Rand) []anf.Poly {
+		learn := func(rng *rand.Rand) []anf.Poly {
 			return tech.Learn(ctx, sys, rng)
+		}
+		add(tech.Name(), proof.TechExtra, &res.Extra, learn, func(rng *rand.Rand) []ProvFact {
+			return wrapPlain(learn(rng), tech.Name())
 		})
 	}
 	if cfg.EnableGroebner {
-		add("Groebner", &res.Groebner, func(rng *rand.Rand) []anf.Poly {
+		learn := func(rng *rand.Rand) []anf.Poly {
 			if ctx.Err() != nil {
 				return nil
 			}
 			return RunGroebnerStep(sys, DefaultGroebnerConfig(rng))
+		}
+		add("Groebner", proof.TechGroebner, &res.Groebner, learn, func(rng *rand.Rand) []ProvFact {
+			return wrapPlain(learn(rng), "buchberger reduction")
 		})
 	}
 	return jobs
@@ -91,6 +117,15 @@ func runSnapshotPhase(ctx context.Context, prop *Propagator, cfg Config, res *Re
 	// below only ever take the table's read-only fast path.
 	sys.MonoTable()
 
+	prov := prop.prov != nil
+	run := func(j *techJob) {
+		rng := rand.New(rand.NewSource(j.seed))
+		if prov {
+			j.pfacts = j.plearn(rng)
+		} else {
+			j.facts = j.learn(rng)
+		}
+	}
 	if cfg.Workers > 1 {
 		sem := make(chan struct{}, cfg.Workers)
 		var wg sync.WaitGroup
@@ -100,25 +135,37 @@ func runSnapshotPhase(ctx context.Context, prop *Propagator, cfg Config, res *Re
 			sem <- struct{}{}
 			go func() {
 				defer func() { <-sem; wg.Done() }()
-				j.facts = j.learn(rand.New(rand.NewSource(j.seed)))
+				run(j)
 			}()
 		}
 		wg.Wait()
 	} else {
 		for _, j := range jobs {
-			j.facts = j.learn(rand.New(rand.NewSource(j.seed)))
+			run(j)
 		}
 	}
 
 	// Merge in fixed technique order: one AddFacts per technique keeps the
-	// per-phase stats and the propagation order seed-reproducible.
+	// per-phase stats and the propagation order seed-reproducible. Witness
+	// slots refer to the iteration-start system every learner saw, so the
+	// slot→record snapshot is taken once, before the first merge mutates
+	// the slot records.
+	snap := prop.ProvSnapshot()
 	total := 0
 	for _, j := range jobs {
-		added, ok := prop.AddFacts(j.facts)
+		var added int
+		var ok bool
+		n := len(j.facts)
+		if prov {
+			added, ok = prop.AddProvFacts(j.pfacts, j.tech, iter, snap)
+			n = len(j.pfacts)
+		} else {
+			added, ok = prop.AddFacts(j.facts)
+		}
 		j.stats.Runs++
 		j.stats.NewFacts += added
 		total += added
-		logf("iter %d: %s learnt %d facts (%d new)", iter, j.name, len(j.facts), added)
+		logf("iter %d: %s learnt %d facts (%d new)", iter, j.name, n, added)
 		if !ok {
 			return total, false
 		}

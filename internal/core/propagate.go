@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/anf"
+	"repro/internal/proof"
 )
 
 // Propagator runs ANF propagation (§II-A): value assignments from unit and
@@ -13,6 +14,10 @@ type Propagator struct {
 	State *VarState
 	// Contradiction is set when 1 = 0 is derived; the system is UNSAT.
 	Contradiction bool
+	// prov, when non-nil, records the provenance of every binding and
+	// rewrite into a ledger. All prov hooks are behind nil checks so the
+	// tracking-off path is unchanged.
+	prov *provTracker
 }
 
 // NewPropagator wraps a system with fresh state.
@@ -64,13 +69,35 @@ func (p *Propagator) step(i int) (int, []anf.Var, bool) {
 		return 0, nil, true
 	}
 	p.State.Grow(p.Sys.NumVars())
-	q = p.State.NormalizePoly(q)
+	orig := q
+	var wit []proof.Term
+	if p.prov != nil {
+		q, wit = p.prov.normalize(p.State, q)
+	} else {
+		q = p.State.NormalizePoly(q)
+	}
 	if q.IsZero() {
 		p.Sys.Replace(i, anf.Zero())
+		if p.prov != nil {
+			p.prov.slotRec[i] = -1
+		}
 		return 0, nil, true
+	}
+	// recQ backs the slot's normalized content in the ledger; a rewrite
+	// record is appended when normalization changed the polynomial, so the
+	// bindings below (and the 1 = 0 contradiction) carry exact witnesses.
+	recQ := -1
+	if p.prov != nil {
+		recQ = p.prov.slotRecord(i, orig, q, wit)
 	}
 	if q.IsOne() {
 		return 0, nil, false
+	}
+	zeroSlot := func() {
+		p.Sys.Replace(i, anf.Zero())
+		if p.prov != nil {
+			p.prov.slotRec[i] = -1
+		}
 	}
 	facts := 0
 	var affected []anf.Var
@@ -81,28 +108,37 @@ func (p *Propagator) step(i int) (int, []anf.Var, bool) {
 		if !p.State.SetValue(v, false) {
 			return 0, nil, false
 		}
+		if p.prov != nil {
+			p.prov.noteValue(v, false, recQ)
+		}
 		facts++
 		affected = append(affected, v)
-		p.Sys.Replace(i, anf.Zero())
+		zeroSlot()
 	case q.NumTerms() == 2 && q.Deg() == 1 && q.HasConstant():
 		// Polynomial x ⊕ 1: x = 1.
 		v := q.Lead().Vars()[0]
 		if !p.State.SetValue(v, true) {
 			return 0, nil, false
 		}
+		if p.prov != nil {
+			p.prov.noteValue(v, true, recQ)
+		}
 		facts++
 		affected = append(affected, v)
-		p.Sys.Replace(i, anf.Zero())
+		zeroSlot()
 	case q.IsMonomialPlusOne():
 		// x·y·…·z ⊕ 1: every factor is 1.
 		for _, v := range q.Lead().Vars() {
 			if !p.State.SetValue(v, true) {
 				return 0, nil, false
 			}
+			if p.prov != nil {
+				p.prov.noteFactor(v, recQ)
+			}
 			facts++
 			affected = append(affected, v)
 		}
-		p.Sys.Replace(i, anf.Zero())
+		zeroSlot()
 	case q.Deg() == 1 && q.NumTerms() == 2 && !q.HasConstant():
 		// x ⊕ y: x = y.
 		vs := q.LinearVars()
@@ -111,10 +147,13 @@ func (p *Propagator) step(i int) (int, []anf.Var, bool) {
 			return 0, nil, false
 		}
 		if changed {
+			if p.prov != nil {
+				p.prov.noteMerge(vs[0], vs[1], false, recQ)
+			}
 			facts++
 			affected = append(affected, vs[0], vs[1])
 		}
-		p.Sys.Replace(i, anf.Zero())
+		zeroSlot()
 	case q.Deg() == 1 && q.NumTerms() == 3 && q.HasConstant():
 		// x ⊕ y ⊕ 1: x = ¬y.
 		vs := q.LinearVars()
@@ -123,10 +162,13 @@ func (p *Propagator) step(i int) (int, []anf.Var, bool) {
 			return 0, nil, false
 		}
 		if changed {
+			if p.prov != nil {
+				p.prov.noteMerge(vs[0], vs[1], true, recQ)
+			}
 			facts++
 			affected = append(affected, vs[0], vs[1])
 		}
-		p.Sys.Replace(i, anf.Zero())
+		zeroSlot()
 	default:
 		p.Sys.Replace(i, q)
 	}
@@ -137,23 +179,46 @@ func (p *Propagator) step(i int) (int, []anf.Var, bool) {
 // one is already present (after normalization). It reports whether the
 // fact was new.
 func (p *Propagator) AddFact(f anf.Poly) bool {
+	return p.addFact(f, nil, "")
+}
+
+// addFact is AddFact carrying a provenance witness (in ledger record
+// terms) and note for the appended record.
+func (p *Propagator) addFact(f anf.Poly, base []proof.Term, note string) bool {
 	p.State.Grow(p.Sys.NumVars())
 	if mv, ok := f.MaxVar(); ok {
 		p.State.Grow(int(mv) + 1)
 	}
-	q := p.State.NormalizePoly(f)
+	var q anf.Poly
+	var wit []proof.Term
+	if p.prov != nil {
+		q, wit = p.prov.normalize(p.State, f)
+	} else {
+		q = p.State.NormalizePoly(f)
+	}
+	record := func() {
+		if p.prov == nil {
+			return
+		}
+		terms := make([]proof.Term, 0, len(base)+len(wit))
+		terms = append(terms, base...)
+		terms = append(terms, wit...)
+		p.prov.slotRec = append(p.prov.slotRec, p.prov.append(q, terms, note))
+	}
 	if q.IsZero() {
 		return false
 	}
 	if q.IsOne() {
 		p.Contradiction = true
 		p.Sys.Add(q)
+		record()
 		return true
 	}
 	if p.Sys.Contains(q) {
 		return false
 	}
 	p.Sys.Add(q)
+	record()
 	return true
 }
 
@@ -176,4 +241,59 @@ func (p *Propagator) AddFacts(fs []anf.Poly) (int, bool) {
 		}
 	}
 	return added, true
+}
+
+// AddProvFacts merges a batch of facts carrying slot-level witnesses:
+// each SlotTerm is resolved to the ledger record backing that slot (via
+// snap, a slot→record snapshot taken when the producing technique ran, or
+// the current mapping when snap is nil), the records are stamped with the
+// technique label and iteration, and the system propagates to a fixed
+// point afterwards. Without an attached tracker it degrades to AddFacts.
+func (p *Propagator) AddProvFacts(fs []ProvFact, technique string, iter int, snap []int) (int, bool) {
+	if p.prov == nil {
+		polys := make([]anf.Poly, len(fs))
+		for i, f := range fs {
+			polys[i] = f.Poly
+		}
+		return p.AddFacts(polys)
+	}
+	if snap == nil {
+		snap = p.prov.slotRec
+	}
+	added := 0
+	for _, f := range fs {
+		p.prov.setPhase(technique, iter)
+		var base []proof.Term
+		for _, t := range f.Witness {
+			src := -1
+			if t.Slot >= 0 && t.Slot < len(snap) {
+				src = snap[t.Slot]
+			}
+			base = append(base, proof.Term{Mult: t.Mult, Src: src})
+		}
+		if p.addFact(f.Poly, base, f.Note) {
+			added++
+		}
+		if p.Contradiction {
+			return added, false
+		}
+	}
+	p.prov.setPhase(proof.TechPropagation, iter)
+	if added > 0 {
+		if _, ok := p.Propagate(); !ok {
+			return added, false
+		}
+	}
+	return added, true
+}
+
+// ProvSnapshot returns a copy of the current slot→ledger-record mapping
+// (nil without provenance tracking) — taken before a merge sequence so
+// witnesses computed against a system snapshot resolve to the records that
+// described it.
+func (p *Propagator) ProvSnapshot() []int {
+	if p.prov == nil {
+		return nil
+	}
+	return append([]int(nil), p.prov.slotRec...)
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"context"
 
 	"repro/internal/anf"
 	"repro/internal/cnf"
 	"repro/internal/conv"
+	"repro/internal/proof"
 	"repro/internal/sat"
 	"repro/internal/simp"
 )
@@ -41,6 +43,14 @@ type SATStepConfig struct {
 	// facts harvested so far) soon after cancellation. A nil Context never
 	// cancels.
 	Context context.Context
+	// CaptureProof attaches a DRAT writer to the solver and, when the step
+	// refutes the formula, returns the proof as a Certificate. Capture
+	// forces Preprocess off: simp rewrites the clause set, so a proof
+	// logged against the preprocessed formula would not check against the
+	// emitted CNF.
+	CaptureProof bool
+	// ProofBinary selects the compact binary proof encoding.
+	ProofBinary bool
 }
 
 // SATStepResult carries the outcome of one conflict-bounded solve.
@@ -56,6 +66,13 @@ type SATStepResult struct {
 	VarMap *conv.VarMap
 	// Conflicts actually spent.
 	Conflicts uint64
+	// Notes describes, parallel to Facts, where each fact came from
+	// ("learnt unit", "complementary binary pair", ...) — the per-fact
+	// detail the provenance ledger records.
+	Notes []string
+	// Certificate holds the DRAT proof when CaptureProof was set and the
+	// step refuted the formula.
+	Certificate *proof.Certificate
 }
 
 // RunSATStep converts the system to CNF, solves under the conflict budget,
@@ -64,12 +81,21 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 	if cfg.ConflictBudget <= 0 {
 		cfg.ConflictBudget = 10000
 	}
+	if cfg.CaptureProof {
+		// A proof logged against the simp-rewritten clause set would not
+		// check against the emitted CNF; capture implies no preprocessing.
+		cfg.Preprocess = false
+	}
 	convOpts := cfg.Conv
 	if cfg.Profile == sat.ProfileCMS {
 		convOpts.NativeXor = true
 	}
 	f, vm := conv.ANFToCNF(sys, convOpts)
 	res := &SATStepResult{VarMap: vm}
+	addFact := func(p anf.Poly, note string) {
+		res.Facts = append(res.Facts, p)
+		res.Notes = append(res.Notes, note)
+	}
 
 	target := f
 	var rec *simp.Reconstructor
@@ -77,7 +103,7 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 		pres := simp.Preprocess(f, simp.DefaultOptions())
 		if pres.Unsat {
 			res.Status = sat.Unsat
-			res.Facts = []anf.Poly{anf.OnePoly()}
+			addFact(anf.OnePoly(), "preprocessor refutation")
 			return res
 		}
 		target = pres.Formula
@@ -89,20 +115,46 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 		opts.RandomSeed = cfg.Seed
 	}
 	s := sat.New(opts)
+	var proofBuf *bytes.Buffer
+	var proofW sat.ProofWriter
+	if cfg.CaptureProof {
+		proofBuf = &bytes.Buffer{}
+		if cfg.ProofBinary {
+			proofW = proof.NewBinaryWriter(proofBuf)
+		} else {
+			proofW = proof.NewTextWriter(proofBuf)
+		}
+		s.SetProof(proofW)
+	}
+	// certify snapshots the proof stream into the result; called on every
+	// refutation exit so the caller gets a checkable certificate.
+	certify := func() {
+		if proofW == nil {
+			return
+		}
+		_ = proofW.Flush()
+		res.Certificate = &proof.Certificate{
+			Formula: target,
+			Proof:   append([]byte(nil), proofBuf.Bytes()...),
+			Binary:  cfg.ProofBinary,
+		}
+	}
 	if cfg.Context != nil && cfg.Context.Done() != nil {
 		ctx := cfg.Context
 		s.SetInterrupt(func() bool { return ctx.Err() != nil })
 	}
 	if !s.AddFormula(target) {
 		res.Status = sat.Unsat
-		res.Facts = []anf.Poly{anf.OnePoly()}
+		addFact(anf.OnePoly(), "refuted at clause insertion")
+		certify()
 		return res
 	}
 	if cfg.Probe {
 		probe := s.ProbeLiterals(cfg.ProbeMax)
 		if probe.Unsat {
 			res.Status = sat.Unsat
-			res.Facts = []anf.Poly{anf.OnePoly()}
+			addFact(anf.OnePoly(), "refuted by probing")
+			certify()
 			return res
 		}
 		for _, eq := range probe.Equivalences {
@@ -114,7 +166,7 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 			if a.Neg() != b.Neg() {
 				p = p.Add(anf.OnePoly())
 			}
-			res.Facts = append(res.Facts, p)
+			addFact(p, "probe equivalence")
 		}
 	}
 	res.Status = s.SolveLimited(cfg.ConflictBudget)
@@ -122,8 +174,11 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 
 	switch res.Status {
 	case sat.Unsat:
-		// Case (1): the learnt fact is the contradiction 1 = 0.
-		res.Facts = []anf.Poly{anf.OnePoly()}
+		// Case (1): the learnt fact is the contradiction 1 = 0 (alone — the
+		// probe harvest is subsumed, matching the paper's behaviour).
+		res.Facts, res.Notes = nil, nil
+		addFact(anf.OnePoly(), "solver refutation")
+		certify()
 		return res
 	case sat.Sat:
 		m := s.Model()
@@ -159,7 +214,7 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 	}
 	for _, u := range s.LearntUnits() {
 		if p, ok := harvest(u); ok {
-			res.Facts = append(res.Facts, p)
+			addFact(p, "learnt unit")
 		}
 	}
 	// Complementary binary pairs (a ∨ b) ∧ (¬a ∨ ¬b) give a = ¬b, and
@@ -195,11 +250,11 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 		av, bv := anf.Var(k.a), anf.Var(k.b)
 		if entry[0] && entry[3] {
 			// (a∨b) and (¬a∨¬b): exactly one true → a = ¬b.
-			res.Facts = append(res.Facts, anf.VarPoly(av).Add(anf.VarPoly(bv)).Add(anf.OnePoly()))
+			addFact(anf.VarPoly(av).Add(anf.VarPoly(bv)).Add(anf.OnePoly()), "complementary binary pair")
 		}
 		if entry[1] && entry[2] {
 			// (a∨¬b) and (¬a∨b): a = b.
-			res.Facts = append(res.Facts, anf.VarPoly(av).Add(anf.VarPoly(bv)))
+			addFact(anf.VarPoly(av).Add(anf.VarPoly(bv)), "complementary binary pair")
 		}
 	}
 	// Generalized binary harvest: strongly connected components of the
@@ -217,7 +272,7 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 			bin.AddClause(c...)
 		}
 		if eqs, ok := sat.BinaryEquivalences(bin); !ok {
-			res.Facts = append(res.Facts, anf.OnePoly())
+			addFact(anf.OnePoly(), "binary implication contradiction")
 		} else {
 			for _, eq := range eqs {
 				a, b := eq[0], eq[1]
@@ -228,7 +283,7 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 				if a.Neg() != b.Neg() {
 					p = p.Add(anf.OnePoly())
 				}
-				res.Facts = append(res.Facts, p)
+				addFact(p, "implication-graph equivalence")
 			}
 		}
 	}

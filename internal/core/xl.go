@@ -112,6 +112,24 @@ expansion:
 // distinct-monomial count runs over the system's interned IDs — a bitmap
 // probe per term instead of the string-keyed map the seed used.
 func subsample(sys *anf.System, m int, rng *rand.Rand) []anf.Poly {
+	all := sys.Polys()
+	idxs := subsampleIdx(sys, m, rng)
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]anf.Poly, len(idxs))
+	for i, idx := range idxs {
+		out[i] = all[idx]
+	}
+	return out
+}
+
+// subsampleIdx is subsample returning indices into sys.Polys() instead of
+// the polynomials, so provenance-tracking callers can attribute each
+// sampled equation to its system slot. It consumes the RNG exactly as
+// subsample does (one Perm call), keeping tracked and untracked runs on
+// identical random streams.
+func subsampleIdx(sys *anf.System, m int, rng *rand.Rand) []int {
 	// Warm the table before snapshotting: MonoTable() rewrites the stored
 	// polynomials with canonical interned terms, so the polys we pull carry
 	// their IDs and every ID() below is an O(1) fast-path hit.
@@ -124,10 +142,10 @@ func subsample(sys *anf.System, m int, rng *rand.Rand) []anf.Poly {
 	perm := rng.Perm(len(all))
 	seen := make([]bool, tab.Len())
 	distinct := 0
-	var out []anf.Poly
+	var out []int
 	for _, idx := range perm {
 		p := all[idx]
-		out = append(out, p)
+		out = append(out, idx)
 		for _, t := range p.Terms() {
 			if id := tab.ID(t); !seen[id] {
 				seen[id] = true
@@ -136,6 +154,18 @@ func subsample(sys *anf.System, m int, rng *rand.Rand) []anf.Poly {
 		}
 		if uint64(len(out))*uint64(distinct) >= target {
 			break
+		}
+	}
+	return out
+}
+
+// polysSlots maps sys.Polys() indices back to raw equation slots: entry k
+// is the slot holding the k-th non-zero polynomial.
+func polysSlots(sys *anf.System) []int {
+	out := make([]int, 0, sys.RawLen())
+	for i := 0; i < sys.RawLen(); i++ {
+		if !sys.At(i).IsZero() {
+			out = append(out, i)
 		}
 	}
 	return out
@@ -178,6 +208,96 @@ func buildMultipliers(vars []anf.Var, deg int) []anf.Monomial {
 	return out
 }
 
+// RunXLProv is RunXL with provenance: the same subsample, expansion and
+// reduction (the RREF of a matrix is unique, so the tracked plain
+// elimination returns bit-identical rows to the M4R kernel RunXL uses),
+// plus a witness per learnt fact expressing it as a GF(2) combination of
+// multiplier·slot-polynomial products read off the elimination's ops
+// matrix.
+func RunXLProv(sys *anf.System, cfg XLConfig) []ProvFact {
+	if cfg.Deg < 0 {
+		cfg.Deg = 1
+	}
+	if ctxCanceled(cfg.Context) {
+		return nil
+	}
+	idxs := subsampleIdx(sys, cfg.M, cfg.Rand)
+	if len(idxs) == 0 {
+		return nil
+	}
+	slots := polysSlots(sys)
+	all := sys.Polys()
+	type sampled struct {
+		p    anf.Poly
+		slot int
+	}
+	polys := make([]sampled, len(idxs))
+	for i, idx := range idxs {
+		polys[i] = sampled{p: all[idx], slot: slots[idx]}
+	}
+	// Mirror RunXL's stable degree sort; the comparator reads only the
+	// polynomials, so co-sorting the slots preserves the permutation.
+	sort.SliceStable(polys, func(i, j int) bool { return polys[i].p.Deg() < polys[j].p.Deg() })
+	limit := uint64(1) << uint(cfg.M+cfg.DeltaM)
+	tab := anf.NewMonoTable()
+	expanded := make([]anf.Poly, 0, 2*len(polys))
+	type rowSrc struct {
+		slot int
+		mult anf.Monomial
+	}
+	srcs := make([]rowSrc, 0, 2*len(polys))
+	var ids []uint32
+	push := func(q anf.Poly, slot int, mult anf.Monomial) {
+		expanded = append(expanded, q)
+		srcs = append(srcs, rowSrc{slot: slot, mult: mult})
+		ids = tab.AppendTermIDs(ids, q)
+	}
+	one := anf.NewMonomial()
+	for _, s := range polys {
+		push(s.p, s.slot, one)
+	}
+	plain := make([]anf.Poly, len(polys))
+	for i, s := range polys {
+		plain[i] = s.p
+	}
+	vars := collectVars(plain)
+	multipliers := buildMultipliers(vars, cfg.Deg)
+expansion:
+	for _, s := range polys {
+		if ctxCanceled(cfg.Context) {
+			return nil
+		}
+		for _, m := range multipliers {
+			q := s.p.MulMonomial(m)
+			if q.IsZero() {
+				continue
+			}
+			push(q, s.slot, m)
+			if uint64(len(expanded))*uint64(tab.Len()) > limit {
+				break expansion
+			}
+		}
+	}
+	if ctxCanceled(cfg.Context) {
+		return nil
+	}
+	rows, ops := gjeRowsIDsTracked(expanded, ids, tab)
+	var facts []ProvFact
+	for r, p := range rows {
+		if !(p.IsLinear() || p.IsMonomialPlusOne() || p.IsOne()) {
+			continue
+		}
+		var wit []SlotTerm
+		for j := range expanded {
+			if ops.Get(r, j) {
+				wit = append(wit, SlotTerm{Mult: anf.FromMonomials(srcs[j].mult), Slot: srcs[j].slot})
+			}
+		}
+		facts = append(facts, ProvFact{Poly: p, Witness: canonSlotTerms(wit), Note: "gje row"})
+	}
+	return facts
+}
+
 // gjeRows linearizes the polynomials (one column per distinct monomial,
 // constant column last), runs Gauss–Jordan elimination with the M4R
 // kernel, and returns every nonzero reduced row as a polynomial.
@@ -205,9 +325,39 @@ func gjeRowsWorkers(polys []anf.Poly, workers int) []anf.Poly {
 // tab — so each column index is an integer array lookup and the hot path
 // does no string hashing at all.
 func gjeRowsIDs(polys []anf.Poly, ids []uint32, tab *anf.MonoTable, workers int) []anf.Poly {
-	// Build the column order: monomials sorted descending (leading terms
-	// first) so the reduction eliminates high-degree monomials first,
-	// mirroring Table I.
+	mat, order, monos := linearize(polys, ids, tab)
+	rank := mat.RREFM4RWorkers(workers)
+	return extractRows(mat, rank, order, monos)
+}
+
+// gjeRowsTracked is gjeRowsWorkers via the tracked plain elimination,
+// returning the reduced rows together with the ops matrix attributing each
+// row to a combination of the input polynomials. The reduced rows are
+// bit-identical to the untracked kernel's (RREF is unique).
+func gjeRowsTracked(polys []anf.Poly) ([]anf.Poly, *gf2.Matrix) {
+	tab := anf.NewMonoTable()
+	n := 0
+	for _, p := range polys {
+		n += p.NumTerms()
+	}
+	ids := make([]uint32, 0, n)
+	for _, p := range polys {
+		ids = tab.AppendTermIDs(ids, p)
+	}
+	return gjeRowsIDsTracked(polys, ids, tab)
+}
+
+// gjeRowsIDsTracked is gjeRowsIDs with row-operation tracking.
+func gjeRowsIDsTracked(polys []anf.Poly, ids []uint32, tab *anf.MonoTable) ([]anf.Poly, *gf2.Matrix) {
+	mat, order, monos := linearize(polys, ids, tab)
+	rank, ops := mat.RREFTracked()
+	return extractRows(mat, rank, order, monos), ops
+}
+
+// linearize builds the GF(2) matrix of the polynomials: one column per
+// distinct monomial, sorted descending (leading terms first) so the
+// reduction eliminates high-degree monomials first, mirroring Table I.
+func linearize(polys []anf.Poly, ids []uint32, tab *anf.MonoTable) (*gf2.Matrix, []uint32, []anf.Monomial) {
 	monos := tab.Monos()
 	order := make([]uint32, len(monos))
 	for i := range order {
@@ -230,7 +380,11 @@ func gjeRowsIDs(polys []anf.Poly, ids []uint32, tab *anf.MonoTable, workers int)
 			row[c>>6] ^= 1 << (uint(c) & 63)
 		}
 	}
-	rank := mat.RREFM4RWorkers(workers)
+	return mat, order, monos
+}
+
+// extractRows reads the first rank reduced rows back into polynomials.
+func extractRows(mat *gf2.Matrix, rank int, order []uint32, monos []anf.Monomial) []anf.Poly {
 	out := make([]anf.Poly, 0, rank)
 	var terms []anf.Monomial
 	for r := 0; r < rank; r++ {

@@ -47,6 +47,15 @@ func DefaultWorkers() []Worker {
 	}
 }
 
+// Stats carries the winning solver's final search counters, so service
+// latency can be correlated with work done, not just wall-clock.
+type Stats struct {
+	Conflicts    uint64
+	Decisions    uint64
+	Propagations uint64
+	Restarts     uint64
+}
+
 // Result of a portfolio run.
 type Result struct {
 	// Status is the first verdict (Unknown if every worker exhausted its
@@ -60,6 +69,9 @@ type Result struct {
 	// interrupted losers to wind down. Without a verdict it is the full
 	// wall-clock time of the run.
 	Elapsed time.Duration
+	// Stats are the winner's final solver counters (zero when the verdict
+	// needed no search, e.g. a formula refuted at clause insertion).
+	Stats Stats
 }
 
 // Solve runs the workers concurrently on (copies of) the formula until
@@ -93,6 +105,7 @@ func SolveContext(ctx context.Context, f *cnf.Formula, workers []Worker, timeout
 		status sat.Status
 		name   string
 		model  []bool
+		stats  Stats
 	}
 	results := make(chan verdict, len(workers))
 	solvers := make([]*sat.Solver, len(workers))
@@ -109,7 +122,7 @@ func SolveContext(ctx context.Context, f *cnf.Formula, workers []Worker, timeout
 		go func(name string, s *sat.Solver, budget int64, trivialUnsat bool) {
 			defer wg.Done()
 			if trivialUnsat {
-				results <- verdict{sat.Unsat, name, nil}
+				results <- verdict{sat.Unsat, name, nil, Stats{}}
 				return
 			}
 			if !deadline.IsZero() {
@@ -120,7 +133,15 @@ func SolveContext(ctx context.Context, f *cnf.Formula, workers []Worker, timeout
 			if st == sat.Sat {
 				m = s.Model()
 			}
-			results <- verdict{st, name, m}
+			// The stats are read here, on the worker goroutine after the
+			// solve returns, so the winner's counters travel with its
+			// verdict instead of racing the losers' wind-down.
+			results <- verdict{st, name, m, Stats{
+				Conflicts:    s.Conflicts,
+				Decisions:    s.Decisions,
+				Propagations: s.Propagations,
+				Restarts:     s.Restarts,
+			}}
 		}(w.Name, s, budget, !ok)
 	}
 
@@ -131,6 +152,7 @@ func SolveContext(ctx context.Context, f *cnf.Formula, workers []Worker, timeout
 			res.Status = v.status
 			res.Winner = v.name
 			res.Model = v.model
+			res.Stats = v.stats
 			// Elapsed is the time to the verdict; the loser wind-down
 			// below is bookkeeping, not solving.
 			res.Elapsed = time.Since(start)

@@ -165,3 +165,32 @@ func TestInterruptLatency(t *testing.T) {
 		t.Fatal("interrupt did not stop the solver")
 	}
 }
+
+// The winner's final search counters must travel into the Result: a
+// pigeonhole refutation needs real search, so the winning solver's
+// conflict/decision/propagation counts are all nonzero.
+func TestWinnerStatsPropagated(t *testing.T) {
+	inst := satgen.Pigeonhole(7, 6)
+	res := Solve(inst.Formula, nil, 10*time.Second)
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Stats.Conflicts == 0 || res.Stats.Decisions == 0 || res.Stats.Propagations == 0 {
+		t.Fatalf("winner stats not propagated: %+v", res.Stats)
+	}
+}
+
+// A formula refuted at clause insertion produces a verdict with zero
+// stats — no search happened, and the counters must say so.
+func TestTrivialUnsatZeroStats(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(cnf.MkLit(0, false))
+	f.AddClause(cnf.MkLit(0, true))
+	res := Solve(f, nil, time.Second)
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Stats != (Stats{}) {
+		t.Fatalf("trivial refutation carries stats: %+v", res.Stats)
+	}
+}

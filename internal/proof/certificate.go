@@ -1,0 +1,31 @@
+package proof
+
+import (
+	"bytes"
+
+	"repro/internal/cnf"
+)
+
+// Certificate pairs the CNF formula handed to the SAT step that derived
+// UNSAT with the DRAT proof its solver logged. Check re-verifies the pair
+// with the independent checker; the engine attaches one to Result when
+// proof capture is on and the verdict is UNSAT.
+type Certificate struct {
+	// Formula is the exact CNF the proof is against (the SAT step's
+	// translation of the simplified ANF at that iteration).
+	Formula *cnf.Formula
+	// Proof is the captured DRAT stream.
+	Proof []byte
+	// Binary marks the compact binary form (text otherwise).
+	Binary bool
+	// Iteration is the fact-learning iteration that produced it.
+	Iteration int
+}
+
+// Check runs the streaming checker over the certificate.
+func (c *Certificate) Check() (*CheckResult, error) {
+	if c.Binary {
+		return CheckBinary(c.Formula, bytes.NewReader(c.Proof))
+	}
+	return CheckText(c.Formula, bytes.NewReader(c.Proof))
+}

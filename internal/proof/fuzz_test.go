@@ -1,0 +1,80 @@
+package proof
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// FuzzProofCheck feeds arbitrary bytes to the checker as a proof of a
+// fixed formula: the checker must never panic, and — the DRAT soundness
+// property — it must never report Verified on a satisfiable formula.
+func FuzzProofCheck(f *testing.F) {
+	f.Add([]byte("2 0\n"))
+	f.Add([]byte("d 1 2 0\n2 0\n"))
+	f.Add([]byte("x 1 2 0\n0\n"))
+	f.Add([]byte{0x61, 0x04, 0x00})
+	f.Add([]byte("1 -1 0\nd 3 0\n"))
+	sample := phpFuzz()
+	f.Fuzz(func(t *testing.T, proof []byte) {
+		res, err := Check(sample, bytes.NewReader(proof))
+		if err != nil {
+			return
+		}
+		if res.Verified {
+			t.Fatalf("satisfiable formula verified UNSAT by proof %q", proof)
+		}
+	})
+}
+
+// phpFuzz is a small satisfiable formula with an XOR row so all record
+// kinds are reachable.
+func phpFuzz() *cnf.Formula {
+	f := &cnf.Formula{}
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(1, false))
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(2, false))
+	f.AddClause(cnf.MkLit(1, true), cnf.MkLit(2, true), cnf.MkLit(3, false))
+	f.AddXor(true, 2, 3)
+	return f
+}
+
+// FuzzProofMutation solves a fixed UNSAT instance once, then applies the
+// fuzzed byte edit to the recorded proof: any mutation must either fail
+// to parse, fail a RUP/justification step, or still be a valid proof —
+// never crash the checker.
+func FuzzProofMutation(f *testing.F) {
+	formula := phpUnsatFuzz()
+	s := sat.New(sat.DefaultOptions(sat.ProfileMiniSat))
+	var buf bytes.Buffer
+	w := NewTextWriter(&buf)
+	s.SetProof(w)
+	if s.AddFormula(formula) {
+		s.Solve()
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	base := buf.Bytes()
+	f.Add(0, byte(' '))
+	f.Add(1, byte('-'))
+	f.Add(2, byte('9'))
+	f.Fuzz(func(t *testing.T, pos int, b byte) {
+		if len(base) == 0 {
+			t.Skip()
+		}
+		mut := append([]byte(nil), base...)
+		mut[abs(pos)%len(mut)] = b
+		_, _ = Check(formula, bytes.NewReader(mut)) // must not panic
+	})
+}
+
+func phpUnsatFuzz() *cnf.Formula { return php(4, 3) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,169 @@
+// Package proof provides checkable correctness artifacts for the whole
+// fact-learning stack: DRAT proof logging for the CDCL SAT solver (with a
+// justification extension for Gauss/XOR-derived clauses), a from-scratch
+// streaming RUP proof checker, and an ANF fact-provenance ledger whose
+// records can be independently re-derived against the original system.
+//
+// Nothing in this package depends on the engine (internal/core); the
+// engine depends on it. The SAT solver does not import this package
+// either — it declares a small structural logging interface that the
+// writers here satisfy, so the logging-off path stays free of any proof
+// machinery.
+package proof
+
+import (
+	"bufio"
+	"io"
+
+	"repro/internal/cnf"
+)
+
+// Writer receives the solver's proof events. TextWriter and BinaryWriter
+// implement it (and, structurally, the solver's logging interface).
+//
+// The stream is standard DRAT extended with one record kind: Justify marks
+// a clause that is not necessarily RUP but is entailed by the input
+// formula's XOR constraints (a Gauss/GJE-derived reason or conflict
+// clause). The checker verifies those by GF(2) row-space membership
+// instead of unit propagation.
+type Writer interface {
+	// Learn records the addition of a (learnt) clause. An empty or nil
+	// clause is the empty clause — the UNSAT terminator.
+	Learn(lits []cnf.Lit)
+	// Delete records the deletion of a clause (reduceDB, simplification).
+	Delete(lits []cnf.Lit)
+	// Justify records the addition of an XOR-derived clause.
+	Justify(lits []cnf.Lit)
+	// Flush drains buffered output. The first write error is sticky and
+	// returned here.
+	Flush() error
+}
+
+// TextWriter emits the human-readable DRAT text form: additions as bare
+// DIMACS literal lines, deletions prefixed "d", XOR justifications
+// prefixed "x".
+type TextWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewTextWriter wraps w in a buffered DRAT text writer.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{bw: bufio.NewWriter(w)}
+}
+
+func (t *TextWriter) line(prefix string, lits []cnf.Lit) {
+	if t.err != nil {
+		return
+	}
+	if prefix != "" {
+		if _, t.err = t.bw.WriteString(prefix); t.err != nil {
+			return
+		}
+	}
+	var buf [12]byte
+	for _, l := range lits {
+		buf2 := appendInt(buf[:0], l.Dimacs())
+		buf2 = append(buf2, ' ')
+		if _, t.err = t.bw.Write(buf2); t.err != nil {
+			return
+		}
+	}
+	_, t.err = t.bw.WriteString("0\n")
+}
+
+// Learn implements Writer.
+func (t *TextWriter) Learn(lits []cnf.Lit) { t.line("", lits) }
+
+// Delete implements Writer.
+func (t *TextWriter) Delete(lits []cnf.Lit) { t.line("d ", lits) }
+
+// Justify implements Writer.
+func (t *TextWriter) Justify(lits []cnf.Lit) { t.line("x ", lits) }
+
+// Flush implements Writer.
+func (t *TextWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.bw.Flush()
+}
+
+// appendInt is strconv.AppendInt for small ints without the import weight.
+func appendInt(b []byte, v int) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [11]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}
+
+// BinaryWriter emits the compact binary DRAT form: each record is a tag
+// byte ('a' addition, 'd' deletion, 'x' XOR justification) followed by
+// the clause's literals as ULEB128 varints and a 0x00 terminator. A
+// literal l (cnf encoding 2·var+sign) maps to the unsigned value l+2, so
+// 0 stays free as the terminator and var 0 is representable.
+type BinaryWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewBinaryWriter wraps w in a buffered binary DRAT writer.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{bw: bufio.NewWriter(w)}
+}
+
+func (b *BinaryWriter) record(tag byte, lits []cnf.Lit) {
+	if b.err != nil {
+		return
+	}
+	if b.err = b.bw.WriteByte(tag); b.err != nil {
+		return
+	}
+	var buf [5]byte
+	for _, l := range lits {
+		n := putUvarint(buf[:], uint32(l)+2)
+		if _, b.err = b.bw.Write(buf[:n]); b.err != nil {
+			return
+		}
+	}
+	b.err = b.bw.WriteByte(0)
+}
+
+// Learn implements Writer.
+func (b *BinaryWriter) Learn(lits []cnf.Lit) { b.record('a', lits) }
+
+// Delete implements Writer.
+func (b *BinaryWriter) Delete(lits []cnf.Lit) { b.record('d', lits) }
+
+// Justify implements Writer.
+func (b *BinaryWriter) Justify(lits []cnf.Lit) { b.record('x', lits) }
+
+// Flush implements Writer.
+func (b *BinaryWriter) Flush() error {
+	if b.err != nil {
+		return b.err
+	}
+	return b.bw.Flush()
+}
+
+func putUvarint(buf []byte, v uint32) int {
+	n := 0
+	for v >= 0x80 {
+		buf[n] = byte(v) | 0x80
+		v >>= 7
+		n++
+	}
+	buf[n] = byte(v)
+	return n + 1
+}

@@ -121,11 +121,15 @@ func (s *Solver) recordLearnt(lits []cnf.Lit) {
 	switch len(lits) {
 	case 0:
 		s.ok = false
+		s.logEmpty()
 	case 1:
+		s.logLearn(lits)
 		if !s.enqueue(lits[0], nil) {
 			s.ok = false
+			s.logEmpty()
 		}
 	default:
+		s.logLearn(lits)
 		c := &clause{lits: append([]cnf.Lit(nil), lits...), learnt: true}
 		c.lbd = s.computeLBD(c.lits)
 		s.learnts = append(s.learnts, c)

@@ -48,6 +48,7 @@ func (g *gauss) addRow(vars []cnf.Var, rhs bool) bool {
 	if len(vs) == 0 {
 		if rhs {
 			g.s.ok = false
+			g.s.logJustify(nil)
 			return false
 		}
 		return true
@@ -81,11 +82,13 @@ func (g *gauss) initialize() lbool {
 		switch len(r.vars) {
 		case 0:
 			if r.rhs {
+				g.s.logJustify(nil)
 				return lFalse
 			}
 		case 1:
 			// Unit row: fix the variable at level 0.
 			l := cnf.MkLit(r.vars[0], !r.rhs)
+			g.s.logJustify([]cnf.Lit{l})
 			if g.s.valueLit(l) == lFalse {
 				return lFalse
 			}
@@ -271,6 +274,10 @@ func (g *gauss) imply(row *xorRow) *clause {
 		}
 		reason.lits = append(reason.lits, cnf.MkLit(v, g.s.assigns[v] == lTrue))
 	}
+	// The reason clause is entailed by the row (vars, rhs), which lies in
+	// the span of the input XOR rows — log it so conflict analysis that
+	// resolves on it stays checkable.
+	g.s.logJustify(reason.lits)
 	if g.s.valueLit(l) == lFalse {
 		return reason
 	}
@@ -285,6 +292,7 @@ func (g *gauss) conflictClause(row *xorRow) *clause {
 	for _, v := range row.vars {
 		c.lits = append(c.lits, cnf.MkLit(v, g.s.assigns[v] == lTrue))
 	}
+	g.s.logJustify(c.lits)
 	return c
 }
 

@@ -37,22 +37,38 @@ func (s *Solver) ProbeLiterals(maxVars int) *ProbeResult {
 	}
 	if s.propagate() != nil {
 		s.ok = false
+		s.logEmpty()
 		res.Unsat = true
 		return res
 	}
 	if s.gauss != nil {
 		if s.gauss.initialize() == lFalse || s.propagate() != nil {
 			s.ok = false
+			s.logEmpty()
 			res.Unsat = true
 			return res
 		}
 	}
-	assertUnit := func(l cnf.Lit) bool {
+	// assertUnit fixes l at level 0. bridge, when not litUndef, is the
+	// probed literal that implied l in both branches: the unit [l] alone is
+	// not RUP then, but the two implication bridges (¬bridge ∨ l) and
+	// (bridge ∨ l) are — each probe branch propagated to l — and together
+	// they make [l] RUP. The bridges go only into the proof stream, never
+	// into the clause database.
+	assertUnit := func(l cnf.Lit, bridge cnf.Lit) bool {
 		if s.valueLit(l) == lTrue {
 			return true
 		}
+		if s.proof != nil {
+			if bridge != litUndef {
+				s.logLearn([]cnf.Lit{bridge.Not(), l})
+				s.logLearn([]cnf.Lit{bridge, l})
+			}
+			s.logLearn([]cnf.Lit{l})
+		}
 		if !s.enqueue(l, nil) || s.propagate() != nil {
 			s.ok = false
+			s.logEmpty()
 			return false
 		}
 		res.Units = append(res.Units, l)
@@ -74,7 +90,7 @@ func (s *Solver) ProbeLiterals(maxVars int) *ProbeResult {
 		res.Probed++
 		pos, posOK := s.probeBranch(cnf.MkLit(cnf.Var(v), false))
 		if !posOK {
-			if !assertUnit(cnf.MkLit(cnf.Var(v), true)) {
+			if !assertUnit(cnf.MkLit(cnf.Var(v), true), litUndef) {
 				res.Unsat = true
 				return res
 			}
@@ -82,7 +98,7 @@ func (s *Solver) ProbeLiterals(maxVars int) *ProbeResult {
 		}
 		neg, negOK := s.probeBranch(cnf.MkLit(cnf.Var(v), true))
 		if !negOK {
-			if !assertUnit(cnf.MkLit(cnf.Var(v), false)) {
+			if !assertUnit(cnf.MkLit(cnf.Var(v), false), litUndef) {
 				res.Unsat = true
 				return res
 			}
@@ -99,7 +115,7 @@ func (s *Solver) ProbeLiterals(maxVars int) *ProbeResult {
 			}
 			if inPos[l] {
 				// Necessary assignment.
-				if !assertUnit(l) {
+				if !assertUnit(l, cnf.MkLit(cnf.Var(v), false)) {
 					res.Unsat = true
 					return res
 				}

@@ -1,0 +1,50 @@
+package sat
+
+import "repro/internal/cnf"
+
+// ProofWriter receives the solver's DRAT proof events: learnt-clause
+// additions, clause deletions, and XOR-justified clauses (Gauss/GJE
+// reasons and conflicts, which are entailed by the input XOR rows rather
+// than RUP-derivable). The interface is structural on purpose — the
+// solver does not import internal/proof; proof.TextWriter and
+// proof.BinaryWriter satisfy it implicitly, and with no writer installed
+// the solver's behavior is byte-identical to a build without logging.
+type ProofWriter interface {
+	Learn(lits []cnf.Lit)
+	Delete(lits []cnf.Lit)
+	Justify(lits []cnf.Lit)
+	Flush() error
+}
+
+// SetProof installs (or, with nil, removes) a proof writer. Install it
+// before adding clauses so the stream covers every derivation; the
+// emitted stream together with the exact input formula forms a
+// certificate checkable by the internal/proof checker.
+func (s *Solver) SetProof(w ProofWriter) { s.proof = w }
+
+func (s *Solver) logLearn(lits []cnf.Lit) {
+	if s.proof != nil {
+		s.proof.Learn(lits)
+	}
+}
+
+func (s *Solver) logDelete(lits []cnf.Lit) {
+	if s.proof != nil {
+		s.proof.Delete(lits)
+	}
+}
+
+func (s *Solver) logJustify(lits []cnf.Lit) {
+	if s.proof != nil {
+		s.proof.Justify(lits)
+	}
+}
+
+// logEmpty records the empty-clause derivation — the UNSAT terminator —
+// at most once per solver.
+func (s *Solver) logEmpty() {
+	if s.proof != nil && !s.loggedEmpty {
+		s.loggedEmpty = true
+		s.proof.Learn(nil)
+	}
+}

@@ -89,16 +89,19 @@ func (s *Solver) SolveLimited(conflictBudget int64) Status {
 	s.cancelUntil(0)
 	if s.propagate() != nil {
 		s.ok = false
+		s.logEmpty()
 		return Unsat
 	}
 	if s.gauss != nil {
 		if s.gauss.initialize() == lFalse {
 			s.ok = false
+			s.logEmpty()
 			return Unsat
 		}
 		// Elimination may have produced unit rows; propagate them.
 		if s.propagate() != nil {
 			s.ok = false
+			s.logEmpty()
 			return Unsat
 		}
 	}
@@ -144,6 +147,7 @@ func (s *Solver) search(restartBudget, globalBudget int64) (Status, int64) {
 			conflicts++
 			if s.decisionLevel() == 0 {
 				s.ok = false
+				s.logEmpty()
 				return Unsat, conflicts
 			}
 			learnt, btLevel := s.analyze(conf)
@@ -228,6 +232,7 @@ func (s *Solver) reduceDB() {
 			continue
 		}
 		s.detach(c)
+		s.logDelete(c.lits)
 	}
 	s.learnts = keep
 }
@@ -243,6 +248,7 @@ func (s *Solver) Simplify() bool {
 	}
 	if s.propagate() != nil {
 		s.ok = false
+		s.logEmpty()
 		return false
 	}
 	for _, list := range []*[]*clause{&s.clauses, &s.learnts} {
@@ -257,11 +263,16 @@ func (s *Solver) Simplify() bool {
 			}
 			if sat {
 				s.detach(c)
+				s.logDelete(c.lits)
 				continue
 			}
 			// Remove false literals beyond the watched pair (watched
 			// literals of a non-satisfied clause cannot be false at level
 			// 0 after propagation).
+			var old []cnf.Lit
+			if s.proof != nil {
+				old = append(old, c.lits...)
+			}
 			out := c.lits[:2]
 			for _, l := range c.lits[2:] {
 				if s.valueLit(l) != lFalse {
@@ -269,6 +280,12 @@ func (s *Solver) Simplify() bool {
 				}
 			}
 			c.lits = out
+			if len(old) > len(c.lits) {
+				// The shrunk clause is RUP (the dropped literals are false
+				// at level 0); add it before retiring the original.
+				s.logLearn(c.lits)
+				s.logDelete(old)
+			}
 			keep = append(keep, c)
 		}
 		*list = keep

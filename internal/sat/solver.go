@@ -90,6 +90,11 @@ type Solver struct {
 	// level 0 and all learnt binary clauses, in learning order.
 	learntBinaries []cnf.Clause
 
+	// proof, when non-nil, receives every clause derivation as a DRAT
+	// stream (see SetProof); loggedEmpty keeps the UNSAT terminator unique.
+	proof       ProofWriter
+	loggedEmpty bool
+
 	// Statistics.
 	Conflicts    uint64
 	Decisions    uint64
@@ -193,14 +198,17 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 	switch len(c) {
 	case 0:
 		s.ok = false
+		s.logEmpty()
 		return false
 	case 1:
 		if !s.enqueue(c[0], nil) {
 			s.ok = false
+			s.logEmpty()
 			return false
 		}
 		if s.propagate() != nil {
 			s.ok = false
+			s.logEmpty()
 			return false
 		}
 		return true
@@ -243,6 +251,8 @@ func (s *Solver) addXorClausal(rhs bool, vars []cnf.Var) bool {
 	if len(vs) == 0 {
 		if rhs {
 			s.ok = false
+			// 0 = 1: justified by the (inconsistent) input XOR rows.
+			s.logJustify(nil)
 			return false
 		}
 		return true
@@ -264,6 +274,9 @@ func (s *Solver) addXorClausal(rhs bool, vars []cnf.Var) bool {
 		for i := 0; i < n; i++ {
 			lits[i] = cnf.MkLit(vs[i], mask>>i&1 == 1)
 		}
+		// The enumeration clauses are entailed by the XOR row, not by the
+		// formula's clauses, so they enter the proof as justifications.
+		s.logJustify(lits)
 		if !s.AddClause(lits...) {
 			return false
 		}

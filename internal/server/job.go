@@ -13,6 +13,7 @@ import (
 	"repro/internal/conv"
 	"repro/internal/core"
 	"repro/internal/portfolio"
+	"repro/internal/proof"
 	"repro/internal/sat"
 )
 
@@ -36,6 +37,23 @@ type Request struct {
 	ConflictBudget int64 `json:"conflict_budget,omitempty"`
 	Seed           int64 `json:"seed,omitempty"`
 	Workers        int   `json:"workers,omitempty"`
+	// Verify tracks the provenance of every learnt fact and independently
+	// re-derives each one against the input after the run; the response
+	// carries the per-verdict tally. Engine modes only.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// Verification is the fact re-derivation tally for verify=true jobs.
+type Verification struct {
+	// Facts checked (inputs are trusted axioms and not counted).
+	Facts int `json:"facts"`
+	// Verified = witness replays + SAT entailments + input matches.
+	Verified int `json:"verified"`
+	// Failed facts are provably wrong; Unverified ones exhausted the
+	// refutation budget. Both leave OK false.
+	Failed     int  `json:"failed"`
+	Unverified int  `json:"unverified"`
+	OK         bool `json:"ok"`
 }
 
 // Response is the JSON answer for a solved/processed job.
@@ -56,6 +74,8 @@ type Response struct {
 	ElapsedMS int64 `json:"elapsed_ms"`
 	// Cached is true when the answer came from the result cache.
 	Cached bool `json:"cached,omitempty"`
+	// Verification is present on verify=true jobs.
+	Verification *Verification `json:"verification,omitempty"`
 }
 
 // jobKind is the validated mode.
@@ -101,6 +121,9 @@ func parseJob(req Request) (*job, error) {
 	if strings.TrimSpace(req.Input) == "" {
 		return nil, fmt.Errorf("empty input")
 	}
+	if req.Verify && jb.kind == kindPortfolio {
+		return nil, fmt.Errorf("verify is only supported in process/solve modes (portfolio runs produce no fact ledger)")
+	}
 
 	// Parse, then re-serialize for the cache key: two payloads that differ
 	// only in whitespace or comments normalize to the same key.
@@ -139,8 +162,8 @@ func parseJob(req Request) (*job, error) {
 	}
 
 	h := sha256.New()
-	fmt.Fprintf(h, "mode=%d|iters=%d|confl=%d|seed=%d|workers=%d|timeout=%d|",
-		jb.kind, req.MaxIterations, req.ConflictBudget, req.Seed, req.Workers, req.TimeoutMS)
+	fmt.Fprintf(h, "mode=%d|iters=%d|confl=%d|seed=%d|workers=%d|timeout=%d|verify=%t|",
+		jb.kind, req.MaxIterations, req.ConflictBudget, req.Seed, req.Workers, req.TimeoutMS, req.Verify)
 	h.Write([]byte(canon.String()))
 	jb.key = hex.EncodeToString(h.Sum(nil))
 	return jb, nil
@@ -181,6 +204,7 @@ func (jb *job) run(base core.Config, metrics *Metrics) *Response {
 	if jb.req.Workers > 0 {
 		cfg.Workers = jb.req.Workers
 	}
+	cfg.Provenance = jb.req.Verify
 	res := core.Process(jb.sys, cfg)
 
 	facts := map[string]int{
@@ -205,6 +229,21 @@ func (jb *job) run(base core.Config, metrics *Metrics) *Response {
 	}
 	if res.Status == core.SolvedSAT {
 		resp.Solution = res.Solution
+	}
+	if jb.req.Verify && res.Provenance != nil {
+		report := proof.VerifyFacts(jb.sys, res.Provenance, proof.VerifyOptions{
+			Seed:    cfg.Seed,
+			Context: jb.ctx,
+		})
+		resp.Verification = &Verification{
+			Facts:      len(report.Verdicts),
+			Verified:   report.Verified,
+			Failed:     report.Failed,
+			Unverified: report.Unverified,
+			OK:         report.AllVerified(),
+		}
+		metrics.ProofVerified.Add(int64(report.Verified))
+		metrics.ProofFailed.Add(int64(report.Failed + report.Unverified))
 	}
 	if res.Interrupted {
 		resp.Status = statusFor(jb.ctx, resp.Status)

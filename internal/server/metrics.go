@@ -26,6 +26,8 @@ type Metrics struct {
 	JobsFailed    atomic.Int64 // malformed input or internal error
 	CacheHits     atomic.Int64 // served from the result cache
 	QueueDepth    atomic.Int64 // jobs admitted but not yet picked up
+	ProofVerified atomic.Int64 // facts independently re-derived (verify=true jobs)
+	ProofFailed   atomic.Int64 // facts that failed or exhausted verification
 
 	mu         sync.Mutex
 	facts      map[string]int64 // per-technique facts learnt
@@ -81,6 +83,8 @@ func (m *Metrics) Render() string {
 	count("bosphorusd_jobs_canceled_total", m.JobsCanceled.Load())
 	count("bosphorusd_jobs_failed_total", m.JobsFailed.Load())
 	count("bosphorusd_cache_hits_total", m.CacheHits.Load())
+	count("bosphorusd_proof_verified_total", m.ProofVerified.Load())
+	count("bosphorusd_proof_failed_total", m.ProofFailed.Load())
 	fmt.Fprintf(&b, "# TYPE bosphorusd_queue_depth gauge\nbosphorusd_queue_depth %d\n", m.QueueDepth.Load())
 
 	m.mu.Lock()

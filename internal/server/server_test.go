@@ -377,3 +377,65 @@ func TestMetricsRenderShape(t *testing.T) {
 		}
 	}
 }
+
+// verify=true jobs must return the re-derivation tally, credit the proof
+// counters in /metrics, and key the cache separately from unverified runs
+// of the same input.
+func TestVerifyJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, out := postJob(t, ts.URL, Request{Format: "anf", Input: easyANF, Mode: "solve", Verify: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if out.Verification == nil {
+		t.Fatal("no verification tally on a verify=true job")
+	}
+	if !out.Verification.OK || out.Verification.Failed != 0 || out.Verification.Unverified != 0 {
+		t.Fatalf("verification not clean: %+v", out.Verification)
+	}
+	if out.Verification.Facts == 0 || out.Verification.Verified != out.Verification.Facts {
+		t.Fatalf("tally inconsistent: %+v", out.Verification)
+	}
+
+	// Same input without verify must not hit the verified run's cache
+	// entry (the tally would silently vanish otherwise).
+	_, plain := postJob(t, ts.URL, Request{Format: "anf", Input: easyANF, Mode: "solve"})
+	if plain.Cached {
+		t.Fatal("verify and non-verify runs share a cache key")
+	}
+	if plain.Verification != nil {
+		t.Fatal("verification tally on a non-verify job")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	if !strings.Contains(body, "bosphorusd_proof_verified_total") {
+		t.Fatalf("metrics missing proof_verified counter:\n%s", body)
+	}
+	if strings.Contains(body, "bosphorusd_proof_verified_total 0\n") {
+		t.Fatal("proof_verified counter not credited")
+	}
+	if !strings.Contains(body, "bosphorusd_proof_failed_total 0") {
+		t.Fatal("proof_failed counter should be zero")
+	}
+}
+
+// verify is meaningless for portfolio jobs (no fact ledger) and must be
+// rejected up front.
+func TestVerifyPortfolioRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, _ := postJob(t, ts.URL, Request{
+		Format: "dimacs", Input: "p cnf 1 1\n1 0\n", Mode: "portfolio", Verify: true,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,13 +1,24 @@
 #!/bin/sh
-# check.sh — the full local gate: vet, build, race-enabled tests, and a
-# one-iteration smoke pass over the perf-critical benchmarks. CI and
-# pre-commit runs should both go through `make check`, which calls this.
+# check.sh — the full local gate: formatting, vet, build, race-enabled
+# tests, a proof round-trip smoke, short fuzz runs of the DRAT checker,
+# and a one-iteration smoke pass over the perf-critical benchmarks. CI
+# and pre-commit runs should both go through `make check`, which calls
+# this.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "==> go vet"
 go vet ./...
+go vet ./cmd/proofcheck
 
 echo "==> go build"
 go build ./...
@@ -24,6 +35,25 @@ go test -race -count=1 ./internal/server
 
 echo "==> bosphorusd e2e smoke (start, solve, backpressure, drain)"
 go test -count=1 -run TestEndToEndSmoke ./cmd/bosphorusd
+
+echo "==> proof round-trip smoke (solve UNSAT with --proof, check, reject corrupted)"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+go build -o "$workdir/bosphorus" ./cmd/bosphorus
+go build -o "$workdir/proofcheck" ./cmd/proofcheck
+"$workdir/bosphorus" -anf examples/instances/unsat_pair.anf -solve \
+	-no-xl -no-elimlin -verify-facts -proof "$workdir/p.drat" | grep -q "s UNSATISFIABLE"
+"$workdir/proofcheck" -cnf "$workdir/p.drat.cnf" "$workdir/p.drat" | grep -q "s VERIFIED"
+# A corrupted proof (bogus leading derivation) must be rejected nonzero.
+{ echo "999999 0"; cat "$workdir/p.drat"; } > "$workdir/bad.drat"
+if "$workdir/proofcheck" -cnf "$workdir/p.drat.cnf" "$workdir/bad.drat" >/dev/null 2>&1; then
+	echo "proofcheck accepted a corrupted proof" >&2
+	exit 1
+fi
+
+echo "==> proof checker fuzz (a few seconds each)"
+go test -run '^$' -fuzz '^FuzzProofCheck$' -fuzztime 3s ./internal/proof
+go test -run '^$' -fuzz '^FuzzProofMutation$' -fuzztime 3s ./internal/proof
 
 echo "==> bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench 'XL|RREF|ElimLin|PickElimVar' -benchtime 1x \
