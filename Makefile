@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check perf smoke
+.PHONY: build test race bench check perf smoke lint
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,11 @@ test:
 
 race:
 	$(GO) test -race ./internal/core ./internal/gf2 ./internal/server
+
+# lint runs the project's own static analyzers (cmd/bosphoruslint):
+# ctxpoll, determinism, gf2pack, proofhook, lockhold.
+lint:
+	$(GO) run ./cmd/bosphoruslint ./...
 
 # smoke builds the daemon and runs the end-to-end service test: start,
 # submit jobs, cancellation, backpressure, metrics, SIGTERM drain.

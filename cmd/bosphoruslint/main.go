@@ -1,0 +1,88 @@
+// bosphoruslint is the repo's multichecker: it loads the module's
+// packages with internal/lint (stdlib go/parser + go/types only), runs
+// the project-specific analyzers, and prints positioned diagnostics.
+//
+// Usage:
+//
+//	bosphoruslint [-json] [-analyzers ctxpoll,gf2pack] [patterns...]
+//
+// Patterns follow the usual ./... convention and default to ./... from
+// the module root above the working directory. Exit codes: 0 clean,
+// 1 diagnostics found, 2 usage or load error.
+//
+// Suppress a single finding with a reasoned directive on (or directly
+// above) the offending line:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bosphoruslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(stderr, "bosphoruslint:", err)
+		return 2
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "bosphoruslint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "bosphoruslint:", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "bosphoruslint:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "bosphoruslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir moves the process into dir for the duration of the test.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %s", code, errb.String())
+	}
+	for _, name := range []string{"ctxpoll", "determinism", "gf2pack", "proofhook", "lockhold"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-analyzers nosuch) = %d, want 2", code)
+	}
+}
+
+// TestFixtureExitCode drives the CLI against the lint fixtures: nonzero
+// exit, positioned file:line:col diagnostics on stdout.
+func TestFixtureExitCode(t *testing.T) {
+	fixture, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, fixture)
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 1 {
+		t.Fatalf("run(./...) on fixtures = %d, want 1; stderr %s", code, errb.String())
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if !strings.Contains(first, ".go:") || !strings.Contains(first, "(") {
+		t.Errorf("diagnostics are not positioned file:line:col lines: %q", first)
+	}
+
+	// -json must emit a machine-readable array with the same findings.
+	out.Reset()
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("run(-json ./...) = %d, want 1", code)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json reported no diagnostics on the fixtures")
+	}
+
+	// Restricting to one analyzer must filter the findings.
+	out.Reset()
+	if code := run([]string{"-json", "-analyzers", "lockhold", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("run(-analyzers lockhold) = %d, want 1", code)
+	}
+	var only []struct {
+		Analyzer string `json:"analyzer"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &only); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range only {
+		// Directive hygiene ("lint": malformed //lint:ignore comments) is
+		// checked regardless of the analyzer subset.
+		if d.Analyzer != "lockhold" && d.Analyzer != "lint" {
+			t.Errorf("-analyzers lockhold leaked a %s diagnostic", d.Analyzer)
+		}
+	}
+}
+
+// TestRepoClean mirrors the check.sh gate: the CLI exits 0 on the
+// repository itself.
+func TestRepoClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, root)
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("bosphoruslint ./... on the repo = %d, want 0\n%s%s", code, out.String(), errb.String())
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
 	"repro/internal/anf"
@@ -188,6 +187,7 @@ type Result struct {
 // Process runs the Bosphorus fact-learning loop on a copy of the input
 // system until fixed point, verdict, or budget exhaustion.
 func Process(input *anf.System, cfg Config) *Result {
+	//lint:ignore determinism timing only: start feeds Result.Elapsed and the TimeBudget deadline, never fact ordering
 	start := time.Now()
 	logf := func(format string, args ...interface{}) {
 		if cfg.Log != nil {
@@ -203,7 +203,7 @@ func Process(input *anf.System, cfg Config) *Result {
 	if cfg.Conv.CutLen == 0 {
 		cfg.Conv = conv.DefaultOptions()
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := NewRNG(cfg.Seed)
 	ctx := cfg.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -243,6 +243,7 @@ func Process(input *anf.System, cfg Config) *Result {
 		if ctx.Err() != nil {
 			return true
 		}
+		//lint:ignore determinism TimeBudget is an explicitly opted-in wall-clock cutoff; reproducible runs use ConflictBudget/MaxIterations instead
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 

@@ -119,7 +119,7 @@ func runSnapshotPhase(ctx context.Context, prop *Propagator, cfg Config, res *Re
 
 	prov := prop.prov != nil
 	run := func(j *techJob) {
-		rng := rand.New(rand.NewSource(j.seed))
+		rng := NewRNG(j.seed)
 		if prov {
 			j.pfacts = j.plearn(rng)
 		} else {

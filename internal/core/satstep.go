@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"sort"
 
 	"repro/internal/anf"
 	"repro/internal/cnf"
@@ -243,7 +244,22 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 			record(b)
 		}
 	}
-	for k, entry := range seen {
+	// Iterate the pairs in sorted order: map order is randomized per
+	// process, and the order facts are added is part of the reproducible-
+	// run contract (the determinism analyzer rejects map-range fact
+	// emission).
+	keys := make([]pairKey, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		entry := seen[k]
 		if !vm.IsOriginal(k.a) || !vm.IsOriginal(k.b) {
 			continue
 		}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -377,7 +376,7 @@ func linearize(polys []anf.Poly, ids []uint32, tab *anf.MonoTable) (*gf2.Matrix,
 		for n := p.NumTerms(); n > 0; n-- {
 			c := col[ids[pos]]
 			pos++
-			row[c>>6] ^= 1 << (uint(c) & 63)
+			gf2.XorBit(row, c)
 		}
 	}
 	return mat, order, monos
@@ -389,16 +388,11 @@ func extractRows(mat *gf2.Matrix, rank int, order []uint32, monos []anf.Monomial
 	var terms []anf.Monomial
 	for r := 0; r < rank; r++ {
 		terms = terms[:0]
-		row := mat.Row(r)
-		for w, word := range row {
-			for word != 0 {
-				c := w*64 + bits.TrailingZeros64(word)
-				word &= word - 1
-				if c < len(order) {
-					terms = append(terms, monos[order[c]])
-				}
+		gf2.ForEachSetBit(mat.Row(r), func(c int) {
+			if c < len(order) {
+				terms = append(terms, monos[order[c]])
 			}
-		}
+		})
 		// Ascending columns are descending monomials — already the
 		// canonical Poly term order, so skip FromMonomials' sort.
 		out = append(out, anf.FromSortedMonomials(terms))

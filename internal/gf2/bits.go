@@ -1,0 +1,65 @@
+package gf2
+
+import "math/bits"
+
+// This file is the single home of the repo's word-packed bit arithmetic.
+// Rows of GF(2) matrices — and the ad-hoc XOR rows kept by the SAT
+// solver's Gaussian component and the proof checker — are []uint64 with 64
+// columns per word, little-endian within a word. Every package that needs
+// to index such a row must go through these helpers; raw `c>>6` / `c&63`
+// arithmetic outside this package is rejected by the gf2pack analyzer
+// (cmd/bosphoruslint), because hand-rolled copies of the packing are
+// exactly how tail-word and indexing bugs crept into parity-reasoning
+// solvers.
+
+// Words returns the number of 64-bit words needed for cols packed bits.
+func Words(cols int) int {
+	return (cols + wordBits - 1) / wordBits
+}
+
+// XorBit flips bit c of a packed row.
+func XorBit(words []uint64, c int) {
+	words[c/wordBits] ^= 1 << (uint(c) % wordBits)
+}
+
+// SetBit sets bit c of a packed row to 1.
+func SetBit(words []uint64, c int) {
+	words[c/wordBits] |= 1 << (uint(c) % wordBits)
+}
+
+// TestBit reports whether bit c of a packed row is set.
+func TestBit(words []uint64, c int) bool {
+	return words[c/wordBits]>>(uint(c)%wordBits)&1 == 1
+}
+
+// FirstSetBit returns the position of the lowest set bit of a packed row,
+// or -1 if the row is zero.
+func FirstSetBit(words []uint64) int {
+	for w, word := range words {
+		if word != 0 {
+			return w*wordBits + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+// IsZero reports whether every word of a packed row is zero.
+func IsZero(words []uint64) bool {
+	for _, w := range words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachSetBit calls fn for every set bit of a packed row, in ascending
+// position order.
+func ForEachSetBit(words []uint64, fn func(c int)) {
+	for w, word := range words {
+		for word != 0 {
+			fn(w*wordBits + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}

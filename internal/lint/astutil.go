@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// pkgPathHas reports whether the package's import path contains the slash-
+// separated fragment (e.g. "internal/core") as whole path segments. Both
+// the real module ("repro/internal/core") and test fixtures
+// ("fixture/internal/core") match.
+func pkgPathHas(pkg *Package, fragment string) bool {
+	path := "/" + pkg.Path + "/"
+	return strings.Contains(path, "/"+fragment+"/")
+}
+
+// exprText renders an expression as source text — the cheap structural
+// identity used to match "the same lock" or "the same hook field" across
+// statements. One shared printer config keeps the rendering canonical.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&b, fset, e); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// calleeName returns the final identifier of a call's function expression:
+// "Err" for ctx.Err(), "ctxCanceled" for ctxCanceled(ctx), "" for
+// anonymous calls.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// callReceiver returns the receiver expression of a method-style call
+// (nil for plain function calls).
+func callReceiver(call *ast.CallExpr) ast.Expr {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// typeHasContextField reports whether t (after stripping pointers) is a
+// struct with a field of type context.Context — the repo's Config-struct
+// way of threading cancellation.
+func typeHasContextField(t types.Type) bool {
+	t = derefType(t)
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// derefType strips one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// typeOf looks up the static type of an expression, or nil.
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// intConstValue returns the constant integer value of an expression, with
+// ok=false for non-constant or non-integer expressions.
+func intConstValue(pkg *Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// isPkgIdent reports whether e is a reference to the named import of the
+// given package path (e.g. the "rand" in rand.Intn for "math/rand").
+func isPkgIdent(pkg *Package, e ast.Expr, path string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[id]
+	if !ok {
+		return false
+	}
+	pn, ok := obj.(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+// funcDeclFor maps a *types.Func back to its declaration within the
+// package, or nil.
+func funcDeclFor(pkg *Package, fn *types.Func) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pkg.Info.Defs[fd.Name] == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// containsCall reports whether any call within node satisfies pred.
+func containsCall(node ast.Node, pred func(*ast.CallExpr) bool) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && pred(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// eachFuncBody visits every function body of a file: declared functions,
+// methods, and function literals. The enclosing FuncDecl (nil for
+// package-level var initializers) rides along for naming.
+func eachFuncBody(file *ast.File, visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			visit(fd, fd.Body)
+		}
+	}
+}

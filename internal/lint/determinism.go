@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DeterminismAnalyzer guards the bit-identical-run contract of the
+// provenance-tracked packages (internal/core, internal/proof): a run is
+// reproducible from Config.Seed alone, so nothing in those packages may
+// consult a global entropy source or let map iteration order decide the
+// order facts are learnt or recorded. Rules:
+//
+//   - No package-level math/rand calls (rand.Intn, rand.Perm, ...): the
+//     global source is seeded from runtime entropy. Constructing an
+//     explicitly seeded generator (rand.New(rand.NewSource(seed))) is
+//     fine; in internal/core it must additionally go through the one
+//     NewRNG helper so every generator derives from Config.Seed.
+//   - No time.Now: wall-clock reads make runs diverge. Timing-only uses
+//     (Result.Elapsed, deadlines) carry a //lint:ignore with the reason.
+//   - No map-range loop that feeds an ordered output (append or an
+//     add/record/emit-style call in the body) unless the function sorts
+//     the result afterwards: map order is randomized per process, so the
+//     fact/equation order — and with it the whole downstream run — would
+//     differ between identical invocations.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "provenance-tracked paths must be reproducible: no global rand, no time.Now, no map-order-dependent fact ordering",
+	Run:  runDeterminism,
+}
+
+var determinismTargets = []string{"internal/core", "internal/proof"}
+
+// rngConstructors are the math/rand functions that build explicitly
+// seeded generators rather than drawing from the global source.
+var rngConstructors = map[string]bool{"New": true, "NewSource": true}
+
+func runDeterminism(pass *Pass) {
+	targeted := false
+	for _, t := range determinismTargets {
+		if pkgPathHas(pass.Pkg, t) {
+			targeted = true
+			break
+		}
+	}
+	if !targeted {
+		return
+	}
+	inCore := pkgPathHas(pass.Pkg, "internal/core")
+	for _, file := range pass.Pkg.Files {
+		eachFuncBody(file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			checkEntropySources(pass, fd, body, inCore)
+			checkMapRangeOrdering(pass, body)
+		})
+	}
+}
+
+// checkEntropySources flags global math/rand use and time.Now.
+func checkEntropySources(pass *Pass, fd *ast.FuncDecl, body *ast.BlockStmt, inCore bool) {
+	funcName := ""
+	if fd != nil {
+		funcName = fd.Name.Name
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isPkgIdent(pass.Pkg, sel.X, "math/rand"):
+			if !rngConstructors[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the global math/rand source; use the run's seeded *rand.Rand", sel.Sel.Name)
+			} else if inCore && funcName != "NewRNG" {
+				pass.Reportf(call.Pos(),
+					"construct RNGs through core.NewRNG so every generator derives from Config.Seed")
+			}
+		case isPkgIdent(pass.Pkg, sel.X, "time") && sel.Sel.Name == "Now":
+			pass.Reportf(call.Pos(),
+				"time.Now makes provenance-tracked runs irreproducible; derive ordering from the seed, not the clock")
+		}
+		return true
+	})
+}
+
+// orderedSinkFragments mark a call inside a map-range body as producing
+// ordered output.
+var orderedSinkFragments = []string{"add", "record", "emit", "learn", "push", "write", "fact"}
+
+// checkMapRangeOrdering flags range-over-map loops whose body feeds an
+// ordered sink, unless a sort call follows the loop in the same function.
+func checkMapRangeOrdering(pass *Pass, body *ast.BlockStmt) {
+	var sortCalls []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if isPkgIdent(pass.Pkg, sel.X, "sort") || isPkgIdent(pass.Pkg, sel.X, "slices") {
+				sortCalls = append(sortCalls, call.Pos())
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := typeOf(pass.Pkg, rng.X)
+		if t == nil {
+			return true
+		}
+		if !isMapType(t) {
+			return true
+		}
+		if !bodyFeedsOrderedSink(rng.Body) {
+			return true
+		}
+		for _, p := range sortCalls {
+			if p > rng.End() {
+				return true // sorted afterwards: order restored
+			}
+		}
+		pass.Reportf(rng.Pos(),
+			"map iteration order feeds an ordered output; collect and sort the keys first (or sort the result)")
+		return true
+	})
+}
+
+// bodyFeedsOrderedSink reports whether the loop body appends to a slice or
+// calls an add/record/emit-style function.
+func bodyFeedsOrderedSink(body *ast.BlockStmt) bool {
+	return containsCall(body, func(call *ast.CallExpr) bool {
+		name := calleeName(call)
+		if name == "append" {
+			return true
+		}
+		lower := strings.ToLower(name)
+		for _, frag := range orderedSinkFragments {
+			if strings.Contains(lower, frag) {
+				return true
+			}
+		}
+		return false
+	})
+}

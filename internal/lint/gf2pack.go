@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// GF2PackAnalyzer confines word-packed GF(2) bit arithmetic to
+// internal/gf2. Rows are []uint64 with 64 columns per word; the packing
+// invariants (word index c/64, bit index c%64, tail-word masking) live in
+// gf2's named helpers (Words, XorBit, TestBit, FirstSetBit, ForEachSetBit,
+// lastWordMask). Hand-rolled copies elsewhere are how the tail-word bug
+// class enters — so:
+//
+//   - Outside internal/gf2: indexing with c>>6 or c/64, shift amounts
+//     c&63 or c%64 paired with such an index, word-count sizing
+//     (n+63)/64, and bit-position reconstruction w*64+TrailingZeros64 are
+//     all rejected; call the gf2 helpers instead.
+//   - Inside internal/gf2: tail-word masks derived from the column count
+//     must go through lastWordMask, not be recomputed inline.
+var GF2PackAnalyzer = &Analyzer{
+	Name: "gf2pack",
+	Doc:  "word-packed GF(2) bit arithmetic is confined to internal/gf2's named helpers",
+	Run:  runGF2Pack,
+}
+
+func runGF2Pack(pass *Pass) {
+	if pkgPathHas(pass.Pkg, "internal/gf2") {
+		runGF2PackInside(pass)
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				if isWordIndexExpr(pass, n.Index) {
+					pass.Reportf(n.Pos(),
+						"raw word-index bit arithmetic outside internal/gf2; use gf2.XorBit/TestBit/SetBit")
+					return false // the index's own /64 would double-report
+				}
+			case *ast.BinaryExpr:
+				if isWordCountExpr(pass, n) {
+					pass.Reportf(n.Pos(),
+						"raw packed-row sizing outside internal/gf2; use gf2.Words")
+					return false
+				}
+				if isBitReconstructionExpr(pass, n) {
+					pass.Reportf(n.Pos(),
+						"raw bit-position reconstruction outside internal/gf2; use gf2.FirstSetBit/ForEachSetBit")
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isWordIndexExpr matches c>>6 and c/64 used as an index.
+func isWordIndexExpr(pass *Pass, idx ast.Expr) bool {
+	bin, ok := idx.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.SHR:
+		v, ok := intConstValue(pass.Pkg, bin.Y)
+		return ok && v == 6
+	case token.QUO:
+		v, ok := intConstValue(pass.Pkg, bin.Y)
+		return ok && v == 64
+	}
+	return false
+}
+
+// isWordCountExpr matches (n+63)/64.
+func isWordCountExpr(pass *Pass, bin *ast.BinaryExpr) bool {
+	if bin.Op != token.QUO {
+		return false
+	}
+	if v, ok := intConstValue(pass.Pkg, bin.Y); !ok || v != 64 {
+		return false
+	}
+	inner, ok := unparen(bin.X).(*ast.BinaryExpr)
+	if !ok || inner.Op != token.ADD {
+		return false
+	}
+	if v, ok := intConstValue(pass.Pkg, inner.Y); ok && v == 63 {
+		return true
+	}
+	if v, ok := intConstValue(pass.Pkg, inner.X); ok && v == 63 {
+		return true
+	}
+	return false
+}
+
+// isBitReconstructionExpr matches w*64 + <bits call>(...) (and the
+// mirrored operand order).
+func isBitReconstructionExpr(pass *Pass, bin *ast.BinaryExpr) bool {
+	if bin.Op != token.ADD {
+		return false
+	}
+	isMul64 := func(e ast.Expr) bool {
+		m, ok := unparen(e).(*ast.BinaryExpr)
+		if !ok || m.Op != token.MUL {
+			return false
+		}
+		if v, ok := intConstValue(pass.Pkg, m.Y); ok && v == 64 {
+			return true
+		}
+		v, ok := intConstValue(pass.Pkg, m.X)
+		return ok && v == 64
+	}
+	isBitsCall := func(e ast.Expr) bool {
+		call, ok := unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return isPkgIdent(pass.Pkg, sel.X, "math/bits")
+	}
+	return (isMul64(bin.X) && isBitsCall(bin.Y)) || (isMul64(bin.Y) && isBitsCall(bin.X))
+}
+
+// runGF2PackInside checks the one discipline internal/gf2 itself owes:
+// tail-word masks derived from the column count go through lastWordMask.
+func runGF2PackInside(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		eachFuncBody(file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			if fd != nil && fd.Name.Name == "lastWordMask" {
+				return // the named helper itself
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				if bin.Op != token.REM && bin.Op != token.AND {
+					return true
+				}
+				rhsIsWordWidth := false
+				if v, ok := intConstValue(pass.Pkg, bin.Y); ok && (v == 64 || v == 63) {
+					rhsIsWordWidth = true
+				}
+				if !rhsIsWordWidth {
+					return true
+				}
+				if mentionsCols(bin.X) {
+					pass.Reportf(bin.Pos(),
+						"inline tail-word mask arithmetic on the column count; use lastWordMask")
+				}
+				return true
+			})
+		})
+	}
+}
+
+// mentionsCols reports whether the expression references a cols-named
+// identifier or selector — the signature of tail-word computations.
+func mentionsCols(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.EqualFold(id.Name, "cols") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,210 @@
+// Package lint is a miniature static-analysis framework built only on the
+// standard library's go/ast, go/parser and go/types — no golang.org/x/tools
+// — matching the repo's from-scratch ethos. It exists to machine-check the
+// invariants the rest of the codebase relies on but no compiler enforces:
+// context polling in long-running technique loops, bit-identical fact
+// learning (no wall-clock or map-order dependence in provenance-tracked
+// paths), word-packed GF(2) indexing confined to internal/gf2, nil-guarded
+// proof hooks, and disciplined mutex handling in the server and solver.
+//
+// The pieces: LoadModule parses and type-checks the module's packages,
+// Analyzer is one rule with an AST-walking Run function, Run applies
+// analyzers to packages and resolves //lint:ignore suppressions, and
+// cmd/bosphoruslint is the multichecker CLI in front of it all.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	// Analyzer names the rule that produced the finding.
+	Analyzer string `json:"analyzer"`
+	// Pos locates the finding (file:line:column).
+	Pos token.Position `json:"pos"`
+	// Message states the violated invariant and, where possible, the fix.
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the identifier used on the command line and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the rule guards.
+	Doc string
+	// Run inspects one type-checked package and reports findings through
+	// the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) pairing.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		CtxPollAnalyzer,
+		DeterminismAnalyzer,
+		GF2PackAnalyzer,
+		ProofHookAnalyzer,
+		LockHoldAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	line     int // the line the directive suppresses is line or line+1
+	used     bool
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// parseIgnores scans a file's comments for //lint:ignore directives.
+// A well-formed directive is
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// and suppresses that analyzer's diagnostics on the directive's own line
+// and on the line directly below it (the usual "comment above the
+// offending statement" placement). A directive with a missing analyzer or
+// an empty reason is itself reported — a suppression without a recorded
+// reason defeats the point of the gate.
+func parseIgnores(pkg *Package, file *ast.File, diags *[]Diagnostic) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, strings.TrimSpace(ignorePrefix)) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, strings.TrimSpace(ignorePrefix))
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				*diags = append(*diags, Diagnostic{
+					Analyzer: "lint",
+					Pos:      pkg.Fset.Position(c.Pos()),
+					Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+				})
+				continue
+			}
+			out = append(out, &ignoreDirective{
+				analyzer: fields[0],
+				line:     pkg.Fset.Position(c.Pos()).Line,
+			})
+		}
+	}
+	return out
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// diagnostics, sorted by position. //lint:ignore directives matching a
+// diagnostic's analyzer and line (or the line above) drop it; a directive
+// for an analyzer that ran but suppressed nothing is itself reported, so
+// stale suppressions cannot silently outlive the code they excused.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores := map[string][]*ignoreDirective{}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			ignores[name] = parseIgnores(pkg, f, &diags)
+		}
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range ignores[d.Pos.Filename] {
+			if ig.analyzer == d.Analyzer && (ig.line == d.Pos.Line || ig.line == d.Pos.Line-1) {
+				ig.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+	for file, igs := range ignores {
+		for _, ig := range igs {
+			if !ig.used && ran[ig.analyzer] {
+				diags = append(diags, Diagnostic{
+					Analyzer: "lint",
+					Pos:      token.Position{Filename: file, Line: ig.line, Column: 1},
+					Message:  fmt.Sprintf("unused //lint:ignore directive: no %s diagnostic here to suppress", ig.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expected diagnostic, parsed from a fixture comment.
+type want struct {
+	file     string // relative to the fixture root
+	line     int
+	analyzer string
+	substr   string
+}
+
+var wantSpecRe = regexp.MustCompile(`(\w+)\s+"([^"]*)"`)
+
+// parseWants extracts the expected diagnostics from the fixture sources.
+// A trailing `// want <analyzer> "<substring>" ...` comment applies to
+// its own line; a standalone want comment line applies to the next line.
+// Several analyzer/substring pairs in one comment expect several
+// diagnostics on the same line.
+func parseWants(t *testing.T, root string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			idx := strings.Index(lineText, "// want ")
+			if idx < 0 {
+				continue
+			}
+			line := i + 1
+			if strings.HasPrefix(strings.TrimSpace(lineText), "// want ") {
+				line++ // standalone comment: expectation is for the next line
+			}
+			specs := wantSpecRe.FindAllStringSubmatch(lineText[idx+len("// want "):], -1)
+			if len(specs) == 0 {
+				t.Fatalf("%s:%d: unparseable want comment: %s", rel, i+1, lineText)
+			}
+			for _, m := range specs {
+				wants = append(wants, &want{file: rel, line: line, analyzer: m[1], substr: m[2]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestFixtureGolden runs the full suite on the testdata fixture module
+// and checks the diagnostics against the fixtures' want comments: every
+// want must be produced at its position, and nothing else may be
+// reported (which also asserts //lint:ignore suppressions are honored).
+func TestFixtureGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	diags := Run(pkgs, Analyzers())
+
+	wants := parseWants(t, root)
+	if len(wants) == 0 {
+		t.Fatal("no want comments found in fixtures")
+	}
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			rel, err := filepath.Rel(root, d.Pos.Filename)
+			if err != nil {
+				continue
+			}
+			if rel == w.file && d.Pos.Line == w.line && d.Analyzer == w.analyzer &&
+				strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic: %s:%d %s %q", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestRepoIsClean is the meta-test: the suite must exit clean on the
+// repository itself, so a regression in any guarded invariant fails the
+// ordinary `go test ./...` run, not just the lint step.
+func TestRepoIsClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}
+
+// TestByName checks analyzer-subset resolution.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	got, err := ByName("ctxpoll, gf2pack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "ctxpoll" || got[1].Name != "gf2pack" {
+		t.Fatalf("ByName subset = %v", names(got))
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) succeeded; want error")
+	}
+}
+
+func names(as []*Analyzer) []string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// TestDiagnosticString pins the file:line:col rendering the check script
+// and editors rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "ctxpoll", Message: "m"}
+	d.Pos.Filename = "f.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, wantS := d.String(), "f.go:3:7: m (ctxpoll)"; got != wantS {
+		t.Fatalf("String() = %q, want %q", got, wantS)
+	}
+}

@@ -1,0 +1,414 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHoldAnalyzer enforces the mutex discipline of internal/server and
+// internal/sat. Two rules, both checked by a conservative walk over each
+// function body that tracks which sync.Mutex/RWMutex values are held:
+//
+//   - No return path may hold a lock that was not released and has no
+//     deferred unlock: an early return under a held lock wedges every
+//     later request (the PR 2 outage class).
+//   - No call from a locked region to a method (of the same receiver,
+//     same package) that re-takes the same lock: with sync.Mutex that is
+//     an instant self-deadlock, with RWMutex a writer-starvation deadlock
+//     waiting for load.
+var LockHoldAnalyzer = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no lock-holding return paths without defer, no re-entrant locking through method calls",
+	Run:  runLockHold,
+}
+
+var lockholdTargets = []string{"internal/server", "internal/sat"}
+
+func runLockHold(pass *Pass) {
+	targeted := false
+	for _, t := range lockholdTargets {
+		if pkgPathHas(pass.Pkg, t) {
+			targeted = true
+			break
+		}
+	}
+	if !targeted {
+		return
+	}
+	locksByMethod := methodLockFields(pass)
+	for _, file := range pass.Pkg.Files {
+		eachFuncBody(file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			w := &lockWalker{pass: pass, locksByMethod: locksByMethod}
+			st := lockState{held: map[string]bool{}, deferred: map[string]bool{}}
+			st = w.walkBlock(body, st)
+			w.reportHeldAtExit(body.Rbrace, st, "function end")
+		})
+	}
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockCall decodes a call as a mutex operation: the lock's source text,
+// and whether it acquires (Lock/RLock) or releases (Unlock/RUnlock).
+func lockCall(pass *Pass, call *ast.CallExpr) (lock string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	t := typeOf(pass.Pkg, sel.X)
+	if t == nil || !isMutexType(t) {
+		return "", false, false
+	}
+	return exprText(pass.Pkg.Fset, sel.X), acquire, true
+}
+
+// methodLockFields maps each method of the package to the mutex fields of
+// its own receiver that its body acquires — the callee side of the
+// re-entrant locking rule.
+func methodLockFields(pass *Pass) map[*types.Func]map[string]bool {
+	out := map[*types.Func]map[string]bool{}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var recvName string
+			if names := fd.Recv.List[0].Names; len(names) > 0 {
+				recvName = names[0].Name
+			}
+			if recvName == "" || recvName == "_" {
+				continue
+			}
+			fields := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+					return true
+				}
+				inner, ok := sel.X.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				base, ok := inner.X.(*ast.Ident)
+				if !ok || base.Name != recvName {
+					return true
+				}
+				if t := typeOf(pass.Pkg, sel.X); t != nil && isMutexType(t) {
+					fields[inner.Sel.Name] = true
+				}
+				return true
+			})
+			if len(fields) > 0 {
+				out[fn] = fields
+			}
+		}
+	}
+	return out
+}
+
+// lockState is the abstract state of the walk: locks currently held and
+// locks with a registered deferred unlock.
+type lockState struct {
+	held     map[string]bool
+	deferred map[string]bool
+}
+
+func (s lockState) clone() lockState {
+	n := lockState{held: map[string]bool{}, deferred: map[string]bool{}}
+	for k := range s.held {
+		n.held[k] = true
+	}
+	for k := range s.deferred {
+		n.deferred[k] = true
+	}
+	return n
+}
+
+type lockWalker struct {
+	pass          *Pass
+	locksByMethod map[*types.Func]map[string]bool
+}
+
+func (w *lockWalker) reportHeldAtExit(pos token.Pos, st lockState, where string) {
+	for lock := range st.held {
+		if !st.deferred[lock] {
+			w.pass.Reportf(pos, "%s reached while holding %s with no deferred unlock", where, lock)
+		}
+	}
+}
+
+// walkBlock threads the state through a statement list.
+func (w *lockWalker) walkBlock(b *ast.BlockStmt, st lockState) lockState {
+	for _, s := range b.List {
+		st = w.walkStmt(s, st)
+	}
+	return st
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, st lockState) lockState {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.walkExprEffects(s.X, st)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			st = w.walkExprEffects(r, st)
+		}
+		return st
+	case *ast.DeferStmt:
+		if lock, acquire, ok := lockCall(w.pass, s.Call); ok && !acquire {
+			st.deferred[lock] = true
+		}
+		w.walkFuncLits(s.Call, st)
+		return st
+	case *ast.GoStmt:
+		w.walkFuncLits(s.Call, st)
+		return st
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.walkExprEffects(r, st)
+		}
+		w.reportHeldAtExit(s.Pos(), st, "return")
+		return st
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.walkStmt(s.Init, st)
+		}
+		st = w.walkExprEffects(s.Cond, st)
+		thenSt := w.walkBlock(s.Body, st.clone())
+		elseSt := st.clone()
+		if s.Else != nil {
+			elseSt = w.walkStmt(s.Else, elseSt)
+		}
+		return mergeStates(thenSt, elseSt, s.Body, s.Else)
+	case *ast.BlockStmt:
+		return w.walkBlock(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.walkStmt(s.Init, st)
+		}
+		w.walkBlock(s.Body, st.clone())
+		return st
+	case *ast.RangeStmt:
+		w.walkBlock(s.Body, st.clone())
+		return st
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.walkStmt(s.Init, st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sub := st.clone()
+				for _, cs := range cc.Body {
+					sub = w.walkStmt(cs, sub)
+				}
+			}
+		}
+		return st
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sub := st.clone()
+				for _, cs := range cc.Body {
+					sub = w.walkStmt(cs, sub)
+				}
+			}
+		}
+		return st
+	case *ast.SelectStmt:
+		var exits []lockState
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				sub := st.clone()
+				if cc.Comm != nil {
+					sub = w.walkStmt(cc.Comm, sub)
+				}
+				terminated := false
+				for _, cs := range cc.Body {
+					sub = w.walkStmt(cs, sub)
+					if isTerminal(cs) {
+						terminated = true
+					}
+				}
+				if !terminated {
+					exits = append(exits, sub)
+				}
+			}
+		}
+		if len(exits) > 0 {
+			return unionStates(exits)
+		}
+		return st
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	}
+	return st
+}
+
+// walkExprEffects applies lock/unlock effects of calls within an
+// expression, checks re-entrant locking, and descends into function
+// literals with a fresh state.
+func (w *lockWalker) walkExprEffects(e ast.Expr, st lockState) lockState {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			fresh := lockState{held: map[string]bool{}, deferred: map[string]bool{}}
+			end := w.walkBlock(fl.Body, fresh)
+			w.reportHeldAtExit(fl.Body.Rbrace, end, "function end")
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lock, acquire, ok := lockCall(w.pass, call); ok {
+			if acquire {
+				if st.held[lock] {
+					w.pass.Reportf(call.Pos(), "%s acquired while already held (self-deadlock)", lock)
+				}
+				st.held[lock] = true
+			} else {
+				delete(st.held, lock)
+			}
+			return true
+		}
+		w.checkReentrantCall(call, st)
+		return true
+	})
+	return st
+}
+
+// walkFuncLits scans go/defer call arguments for function literals.
+func (w *lockWalker) walkFuncLits(call *ast.CallExpr, st lockState) {
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		fresh := lockState{held: map[string]bool{}, deferred: map[string]bool{}}
+		end := w.walkBlock(fl.Body, fresh)
+		w.reportHeldAtExit(fl.Body.Rbrace, end, "function end")
+	}
+	for _, a := range call.Args {
+		if fl, ok := a.(*ast.FuncLit); ok {
+			fresh := lockState{held: map[string]bool{}, deferred: map[string]bool{}}
+			end := w.walkBlock(fl.Body, fresh)
+			w.reportHeldAtExit(fl.Body.Rbrace, end, "function end")
+		}
+	}
+}
+
+// checkReentrantCall reports x.M(...) while a lock x.<field> is held and
+// M's body acquires the same receiver field.
+func (w *lockWalker) checkReentrantCall(call *ast.CallExpr, st lockState) {
+	if len(st.held) == 0 {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := w.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	fields, ok := w.locksByMethod[fn]
+	if !ok {
+		return
+	}
+	recvText := exprText(w.pass.Pkg.Fset, sel.X)
+	for field := range fields {
+		if st.held[recvText+"."+field] {
+			w.pass.Reportf(call.Pos(),
+				"call to %s.%s while holding %s.%s, which %s re-acquires (deadlock)",
+				recvText, sel.Sel.Name, recvText, field, sel.Sel.Name)
+		}
+	}
+}
+
+// mergeStates joins the two branches of an if: a branch that certainly
+// terminated (ended in return/branch) does not constrain the fall-through
+// state.
+func mergeStates(thenSt, elseSt lockState, thenBlock *ast.BlockStmt, elseStmt ast.Stmt) lockState {
+	thenTerm := blockTerminates(thenBlock)
+	elseTerm := elseStmt != nil && stmtTerminates(elseStmt)
+	switch {
+	case thenTerm && elseTerm:
+		return lockState{held: map[string]bool{}, deferred: map[string]bool{}}
+	case thenTerm:
+		return elseSt
+	case elseTerm:
+		return thenSt
+	default:
+		return unionStates([]lockState{thenSt, elseSt})
+	}
+}
+
+func unionStates(states []lockState) lockState {
+	out := lockState{held: map[string]bool{}, deferred: map[string]bool{}}
+	for _, s := range states {
+		for k := range s.held {
+			out.held[k] = true
+		}
+		for k := range s.deferred {
+			out.deferred[k] = true
+		}
+	}
+	return out
+}
+
+// blockTerminates reports whether a block certainly leaves the enclosing
+// scope (last statement is return/branch/panic).
+func blockTerminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return isTerminal(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return blockTerminates(s)
+	case *ast.IfStmt:
+		return blockTerminates(s.Body) && s.Else != nil && stmtTerminates(s.Else)
+	default:
+		return isTerminal(s)
+	}
+}
+
+func isTerminal(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && calleeName(call) == "panic" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ProofHookAnalyzer enforces the nil-guard contract of the proof logging
+// hooks. The SAT solver's proof stream and the engine's fact ledger are
+// optional: with no writer installed, solving must behave byte-identically
+// to a build without logging, which the code expresses as nilable hook
+// fields of the structural ProofWriter/Writer interface type. Every call
+// through such a hook must therefore be dominated by a nil check —
+// either an enclosing `if hook != nil`, or an earlier `if hook == nil {
+// return }` guard in the same function.
+var ProofHookAnalyzer = &Analyzer{
+	Name: "proofhook",
+	Doc:  "calls on proof.Writer/ProofWriter hooks must be nil-guarded",
+	Run:  runProofHook,
+}
+
+func runProofHook(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		eachFuncBody(file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			checkProofCalls(pass, body)
+		})
+	}
+}
+
+func checkProofCalls(pass *Pass, body *ast.BlockStmt) {
+	// stack tracks the enclosing nodes so a call can look upward for its
+	// guarding if statement.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv := callReceiver(call)
+		if recv == nil {
+			return true
+		}
+		t := typeOf(pass.Pkg, recv)
+		if t == nil || !isProofWriterInterface(t) {
+			return true
+		}
+		recvText := exprText(pass.Pkg.Fset, recv)
+		if guardedByNilCheck(pass, stack, body, call, recvText) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"call on proof hook %s without a nil guard; the hook is optional by contract", recvText)
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+// isProofWriterInterface identifies the proof-writer hook family: an
+// interface (possibly behind a named type) whose method set contains both
+// Learn and Justify — the structural signature shared by proof.Writer and
+// sat.ProofWriter.
+func isProofWriterInterface(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	hasLearn, hasJustify := false, false
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "Learn":
+			hasLearn = true
+		case "Justify":
+			hasJustify = true
+		}
+	}
+	return hasLearn && hasJustify
+}
+
+// guardedByNilCheck reports whether the call is dominated by a nil check
+// on recvText: an ancestor if-statement whose condition mentions
+// `recv != nil`, or an earlier `if recv == nil { ... }` whose body always
+// leaves the function.
+func guardedByNilCheck(pass *Pass, stack []ast.Node, body *ast.BlockStmt, call *ast.CallExpr, recvText string) bool {
+	for _, anc := range stack {
+		ifs, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if condHasNilCompare(pass, ifs.Cond, recvText, true) {
+			return true
+		}
+	}
+	// Early-return guard anywhere before the call in the function body.
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded || n == nil || n.Pos() >= call.Pos() {
+			return !guarded && n != nil && n.Pos() < call.Pos()
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if condHasNilCompare(pass, ifs.Cond, recvText, false) && blockAlwaysExits(ifs.Body) {
+			guarded = true
+			return false
+		}
+		return true
+	})
+	return guarded
+}
+
+// condHasNilCompare reports whether cond contains `text != nil` (wantNeq)
+// or `text == nil` (!wantNeq), possibly inside && / || chains.
+func condHasNilCompare(pass *Pass, cond ast.Expr, text string, wantNeq bool) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		var op = bin.Op.String()
+		if (wantNeq && op != "!=") || (!wantNeq && op != "==") {
+			return true
+		}
+		x := exprText(pass.Pkg.Fset, bin.X)
+		y := exprText(pass.Pkg.Fset, bin.Y)
+		if (x == text && y == "nil") || (y == text && x == "nil") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// blockAlwaysExits reports whether a block's last statement leaves the
+// enclosing function or loop iteration (return, panic, continue, break,
+// goto) — good enough for the early-guard idiom.
+func blockAlwaysExits(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok && calleeName(call) == "panic" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,32 @@
+// Package bitops is a lint fixture for the gf2pack analyzer's outside
+// rule: raw word-packed bit arithmetic anywhere but internal/gf2 must go
+// through the gf2 helpers.
+package bitops
+
+import "math/bits"
+
+func badShiftIndex(row []uint64, c int) {
+	row[c>>6] ^= 1 << (uint(c) & 63) // want gf2pack "raw word-index"
+}
+
+func badDivIndex(row []uint64, c int) bool {
+	return row[c/64]>>(uint(c)%64)&1 == 1 // want gf2pack "raw word-index"
+}
+
+func badWordCount(n int) int {
+	return (n + 63) / 64 // want gf2pack "raw packed-row sizing"
+}
+
+func badReconstruct(row []uint64) int {
+	for w, word := range row {
+		if word != 0 {
+			return w*64 + bits.TrailingZeros64(word) // want gf2pack "raw bit-position reconstruction"
+		}
+	}
+	return -1
+}
+
+// plainDivision has nothing to do with bit packing: clean.
+func plainDivision(n int) int {
+	return n / 2
+}

@@ -1,0 +1,49 @@
+package bitops
+
+// Writer mirrors the structural signature of the repo's proof-writer
+// hooks (Learn + Justify): the proofhook analyzer applies in every
+// package.
+type Writer interface {
+	Learn(lits []int)
+	Justify(lits []int)
+}
+
+// Logger lacks Justify, so it is not a proof hook: calls through it need
+// no guard.
+type Logger interface {
+	Learn(lits []int)
+}
+
+type engine struct {
+	hook Writer
+	log  Logger
+}
+
+func (e *engine) badUnguarded() {
+	e.hook.Learn(nil) // want proofhook "without a nil guard"
+}
+
+func (e *engine) guardedEnclosing() {
+	if e.hook != nil {
+		e.hook.Learn(nil)
+	}
+}
+
+func (e *engine) guardedEarlyReturn() {
+	if e.hook == nil {
+		return
+	}
+	e.hook.Justify(nil)
+}
+
+func (e *engine) notAHook() {
+	e.log.Learn(nil)
+}
+
+// A directive that excuses nothing is itself a finding, so stale
+// suppressions cannot outlive the code they excused.
+func (e *engine) staleSuppression() {
+	// want lint "unused //lint:ignore directive"
+	//lint:ignore proofhook nothing here needs suppressing
+	e.log.Learn(nil)
+}

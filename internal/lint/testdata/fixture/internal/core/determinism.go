@@ -1,0 +1,70 @@
+// Package core is a lint fixture: its import path ends in internal/core,
+// so the determinism and ctxpoll analyzers treat it as a target package.
+// Trailing want-comments state the expected diagnostics (see
+// lint_test.go); a standalone want-comment line applies to the next line.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// globalRand draws from the process-global math/rand source.
+func globalRand() int {
+	return rand.Intn(10) // want determinism "global math/rand source"
+}
+
+// unroutedRNG constructs a generator without going through NewRNG.
+func unroutedRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want determinism "core.NewRNG" determinism "core.NewRNG"
+}
+
+// NewRNG is the one sanctioned constructor; rand.New/NewSource inside it
+// are exempt.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// wallClock reads the wall clock on a provenance-tracked path.
+func wallClock() int64 {
+	return time.Now().Unix() // want determinism "time.Now"
+}
+
+// suppressedClock carries a reasoned suppression, so no diagnostic.
+func suppressedClock() int64 {
+	//lint:ignore determinism timing only: feeds Elapsed, never fact ordering
+	return time.Now().Unix()
+}
+
+// want lint "malformed //lint:ignore directive"
+//lint:ignore determinism
+
+// mapOrderFacts lets map iteration order decide the fact order.
+func mapOrderFacts(facts map[int]string) []string {
+	var out []string
+	for _, v := range facts { // want determinism "map iteration order"
+		out = append(out, v)
+	}
+	return out
+}
+
+// mapOrderSorted restores a canonical order afterwards, so no diagnostic.
+func mapOrderSorted(facts map[int]string) []string {
+	var out []string
+	for _, v := range facts {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mapOrderScan neither appends nor calls an ordered sink; counting is
+// order-independent, so no diagnostic.
+func mapOrderScan(facts map[int]string) int {
+	n := 0
+	for range facts {
+		n++
+	}
+	return n
+}

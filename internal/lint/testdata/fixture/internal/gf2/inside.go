@@ -1,0 +1,28 @@
+// Package gf2 is a lint fixture for the gf2pack analyzer's inside rule:
+// within internal/gf2, tail-word masks derived from the column count must
+// go through lastWordMask.
+package gf2
+
+const wordBits = 64
+
+// lastWordMask is the named helper; its own arithmetic is exempt.
+func lastWordMask(cols int) uint64 {
+	if r := uint(cols) % wordBits; r != 0 {
+		return 1<<r - 1
+	}
+	return ^uint64(0)
+}
+
+// badInlineMask recomputes the tail mask inline.
+func badInlineMask(cols int) uint64 {
+	if r := uint(cols) % 64; r != 0 { // want gf2pack "inline tail-word mask"
+		return 1<<r - 1
+	}
+	return ^uint64(0)
+}
+
+// bitIndex is ordinary word-packing on a bit position, not the column
+// count: clean inside gf2.
+func bitIndex(row []uint64, c int) bool {
+	return row[c/wordBits]>>(uint(c)%wordBits)&1 == 1
+}

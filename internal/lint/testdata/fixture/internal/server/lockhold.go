@@ -1,0 +1,69 @@
+// Package server is a lint fixture for the lockhold analyzer (its import
+// path ends in internal/server, one of the analyzer's target packages).
+package server
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Len locks and defers the unlock: clean, and the callee side of the
+// re-entrancy rule below.
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// badEarlyReturn leaves through a return while the lock is held with no
+// deferred unlock.
+func (c *cache) badEarlyReturn(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		return c.n // want lockhold "return reached while holding c.mu"
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// deferredReturn registers the unlock up front: every return path is
+// clean.
+func (c *cache) deferredReturn(cond bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cond {
+		return c.n
+	}
+	return 0
+}
+
+// badReentrant calls a method that re-takes the lock it is holding.
+func (c *cache) badReentrant() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Len() // want lockhold "which Len re-acquires"
+}
+
+// badDoubleLock re-acquires a mutex it already holds.
+func (c *cache) badDoubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want lockhold "already held"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// badFallthrough reaches the end of the function with the lock held.
+func (c *cache) badFallthrough() {
+	c.mu.Lock()
+	c.n++
+} // want lockhold "function end reached while holding c.mu"
+
+// unlockAfterCallee releases before calling the re-locking method: clean.
+func (c *cache) unlockAfterCallee() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.Len()
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/cnf"
+	"repro/internal/gf2"
 )
 
 // CheckResult summarizes a checked proof stream.
@@ -215,7 +216,7 @@ func newChecker(f *cnf.Formula) (*checker, error) {
 		watches: make([][]*chkClause, 2*f.NumVars),
 		byKey:   map[string][]*chkClause{},
 		xbasis:  map[int]*xrow{},
-		xwords:  (f.NumVars + 63) / 64,
+		xwords:  gf2.Words(f.NumVars),
 		res:     &CheckResult{},
 	}
 	for _, cl := range f.Clauses {
@@ -238,7 +239,7 @@ func newChecker(f *cnf.Formula) (*checker, error) {
 			if int(v) >= f.NumVars {
 				return nil, fmt.Errorf("proof: xor references variable %d beyond header", int(v)+1)
 			}
-			row.bits[int(v)/64] ^= 1 << (uint(v) % 64)
+			gf2.XorBit(row.bits, int(v))
 		}
 		c.insertXorRow(row)
 	}
@@ -517,14 +518,14 @@ func (c *checker) justified(lits []cnf.Lit) bool {
 		if v >= c.nVars {
 			return false
 		}
-		row.bits[v/64] ^= 1 << (uint(v) % 64)
+		gf2.XorBit(row.bits, v)
 		if l.Neg() {
 			parity = !parity
 		}
 	}
 	row.rhs = !parity
 	c.reduceXorRow(row)
-	if !rowZero(row.bits) {
+	if !gf2.IsZero(row.bits) {
 		return false
 	}
 	return !row.rhs || c.xorUnsat
@@ -532,7 +533,7 @@ func (c *checker) justified(lits []cnf.Lit) bool {
 
 func (c *checker) insertXorRow(row *xrow) {
 	c.reduceXorRow(row)
-	lead := rowLead(row.bits)
+	lead := gf2.FirstSetBit(row.bits)
 	if lead < 0 {
 		if row.rhs {
 			c.xorUnsat = true
@@ -544,7 +545,7 @@ func (c *checker) insertXorRow(row *xrow) {
 
 func (c *checker) reduceXorRow(row *xrow) {
 	for {
-		lead := rowLead(row.bits)
+		lead := gf2.FirstSetBit(row.bits)
 		if lead < 0 {
 			return
 		}
@@ -557,27 +558,4 @@ func (c *checker) reduceXorRow(row *xrow) {
 		}
 		row.rhs = row.rhs != piv.rhs
 	}
-}
-
-func rowLead(bits []uint64) int {
-	for w, word := range bits {
-		if word != 0 {
-			b := 0
-			for word&1 == 0 {
-				word >>= 1
-				b++
-			}
-			return w*64 + b
-		}
-	}
-	return -1
-}
-
-func rowZero(bits []uint64) bool {
-	for _, w := range bits {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
 }

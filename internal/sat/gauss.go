@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/cnf"
+	"repro/internal/gf2"
 )
 
 // gauss is the XOR-constraint component of the CMS solver profile. At the
@@ -133,27 +134,17 @@ func (g *gauss) eliminate() []xorRow {
 		bits []uint64
 		rhs  bool
 	}
-	words := (ncols + 63) / 64
+	words := gf2.Words(ncols)
 	mk := func(r xorRow) packed {
 		p := packed{bits: make([]uint64, words), rhs: r.rhs}
 		for _, v := range r.vars {
 			c := varSet[v]
-			p.bits[c/64] ^= 1 << (uint(c) % 64)
+			gf2.XorBit(p.bits, c)
 		}
 		return p
 	}
 	lead := func(p packed) int {
-		for w, word := range p.bits {
-			if word != 0 {
-				b := 0
-				for word&1 == 0 {
-					word >>= 1
-					b++
-				}
-				return w*64 + b
-			}
-		}
-		return -1
+		return gf2.FirstSetBit(p.bits)
 	}
 	pivots := make(map[int]*packed) // leading column -> row
 	var order []int
@@ -188,7 +179,7 @@ func (g *gauss) eliminate() []xorRow {
 		piv := pivots[l]
 		for _, l2 := range order[:i] {
 			p2 := pivots[l2]
-			if p2.bits[l/64]>>(uint(l)%64)&1 == 1 {
+			if gf2.TestBit(p2.bits, l) {
 				for w := range p2.bits {
 					p2.bits[w] ^= piv.bits[w]
 				}
@@ -201,7 +192,7 @@ func (g *gauss) eliminate() []xorRow {
 		p := pivots[l]
 		var vs []cnf.Var
 		for c := 0; c < ncols; c++ {
-			if p.bits[c/64]>>(uint(c)%64)&1 == 1 {
+			if gf2.TestBit(p.bits, c) {
 				vs = append(vs, vars[c])
 			}
 		}

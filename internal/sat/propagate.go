@@ -6,6 +6,7 @@ import "repro/internal/cnf"
 // the XOR component until a joint fixed point or a conflict. It returns
 // the conflicting clause, or nil.
 func (s *Solver) propagate() *clause {
+	//lint:ignore ctxpoll propagation reaches a joint fixed point within the current trail (qhead catches up, gauss.advance stops progressing); the search loop above polls the interrupt hook
 	for {
 		for s.qhead < len(s.trail) {
 			p := s.trail[s.qhead] // p is now true; scan watchers of p

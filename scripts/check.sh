@@ -18,7 +18,12 @@ fi
 
 echo "==> go vet"
 go vet ./...
-go vet ./cmd/proofcheck
+
+echo "==> bosphoruslint"
+# The project analyzers (ctxpoll, determinism, gf2pack, proofhook,
+# lockhold). On failure this prints file:line:col diagnostics and the
+# set -e aborts the gate.
+go run ./cmd/bosphoruslint ./...
 
 echo "==> go build"
 go build ./...
