@@ -12,7 +12,7 @@ race:
 	$(GO) test -race ./internal/core ./internal/gf2 ./internal/server
 
 # lint runs the project's own static analyzers (cmd/bosphoruslint):
-# ctxpoll, determinism, gf2pack, proofhook, lockhold.
+# arenaref, ctxpoll, determinism, gf2pack, proofhook, lockhold.
 lint:
 	$(GO) run ./cmd/bosphoruslint ./...
 
@@ -22,10 +22,12 @@ smoke:
 	$(GO) test -count=1 -run TestEndToEndSmoke ./cmd/bosphorusd
 
 # bench runs the perf-critical benchmarks (linearization, elimination
-# kernel, ElimLin) with allocation stats.
+# kernel, ElimLin, CDCL propagation/conflict families) with allocation
+# stats.
 bench:
 	$(GO) test -run '^$$' -bench 'XL|RREF|ElimLin|PickElimVar' -benchmem \
 		./internal/anf ./internal/core ./internal/gf2
+	$(GO) test -run '^$$' -bench 'BenchmarkCDCL' -benchmem ./internal/sat
 
 # check is the full local gate: gofmt + vet + build + race tests + proof
 # round-trip smoke + checker fuzz + bench smoke.
@@ -41,6 +43,7 @@ proofsmoke: build
 	$(GO) run ./cmd/proofcheck -cnf /tmp/bosphorus.smoke.drat.cnf -v /tmp/bosphorus.smoke.drat
 	rm -f /tmp/bosphorus.smoke.drat /tmp/bosphorus.smoke.drat.cnf
 
-# perf regenerates the machine-readable kernel-timing snapshot.
+# perf regenerates the machine-readable kernel + CDCL timing snapshot.
+# (BENCH_pr1.json is the frozen pre-arena artifact; don't overwrite it.)
 perf: build
-	$(GO) run ./cmd/benchtab -perf BENCH_pr1.json
+	$(GO) run ./cmd/benchtab -perf BENCH_pr5.json

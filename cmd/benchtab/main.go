@@ -29,6 +29,7 @@ import (
 	"repro/internal/conv"
 	"repro/internal/core"
 	"repro/internal/gf2"
+	"repro/internal/sat"
 )
 
 func main() {
@@ -124,9 +125,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // perfSnapshot times the hot kernels this reproduction optimizes — the XL
-// linearization pass, the ElimLin rounds loop and the (optionally parallel)
-// M4R elimination — and writes the medians as JSON, so successive PRs can
-// diff like against like (see BENCH_pr1.json).
+// linearization pass, the ElimLin rounds loop, the (optionally parallel)
+// M4R elimination, and (since PR 5) the CDCL solver's propagation-heavy
+// and conflict-analysis-heavy benchmark families — and writes the medians
+// as JSON, so successive PRs can diff like against like (see
+// BENCH_pr1.json, BENCH_pr5.json). The CDCL entries carry allocs/op and
+// bytes/op alongside ns/op: the arena clause store's target is both.
 func perfSnapshot(path string, seed int64, stderr io.Writer) error {
 	median := func(runs int, f func()) int64 {
 		times := make([]int64, runs)
@@ -169,13 +173,23 @@ func perfSnapshot(path string, seed int64, stderr io.Writer) error {
 			randMatrix(1024, seed).RREFM4RWorkers(workers)
 		}),
 	}
+	cdcl := map[string]bench.CDCLMeasurement{}
+	for fam, jobs := range map[string][]bench.CDCLJob{
+		"propagation": bench.CDCLPropagationJobs(),
+		"conflict":    bench.CDCLConflictJobs(),
+	} {
+		for name, m := range bench.MeasureCDCL(jobs, sat.ProfileMiniSat, 5) {
+			cdcl["cdcl_"+fam+"_"+name] = m
+		}
+	}
 	blob := struct {
-		Date       string           `json:"date"`
-		GOOS       string           `json:"goos"`
-		GOARCH     string           `json:"goarch"`
-		GOMAXPROCS int              `json:"gomaxprocs"`
-		Seed       int64            `json:"seed"`
-		Medians    map[string]int64 `json:"medians_ns"`
+		Date       string                           `json:"date"`
+		GOOS       string                           `json:"goos"`
+		GOARCH     string                           `json:"goarch"`
+		GOMAXPROCS int                              `json:"gomaxprocs"`
+		Seed       int64                            `json:"seed"`
+		Medians    map[string]int64                 `json:"medians_ns"`
+		CDCL       map[string]bench.CDCLMeasurement `json:"cdcl"`
 	}{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GOOS:       runtime.GOOS,
@@ -183,6 +197,7 @@ func perfSnapshot(path string, seed int64, stderr io.Writer) error {
 		GOMAXPROCS: workers,
 		Seed:       seed,
 		Medians:    results,
+		CDCL:       cdcl,
 	}
 	data, err := json.MarshalIndent(blob, "", "  ")
 	if err != nil {

@@ -17,6 +17,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -65,12 +67,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 		verify    = fs.Bool("verify-facts", false, "track fact provenance and independently re-derive every learnt fact against the input; nonzero exit if any fact fails")
 		noXL      = fs.Bool("no-xl", false, "ablation: disable the XL phase")
 		noElimLin = fs.Bool("no-elimlin", false, "ablation: disable the ElimLin phase")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf   = fs.String("memprofile", "", "write a heap allocation profile at exit to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*anfPath == "") == (*cnfPath == "") {
 		return fmt.Errorf("exactly one of -anf or -cnf is required")
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "bosphorus: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "bosphorus: memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := core.DefaultConfig()

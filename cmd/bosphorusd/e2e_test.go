@@ -116,14 +116,26 @@ func TestEndToEndSmoke(t *testing.T) {
 	}
 
 	// 3. Concurrent jobs all complete (distinct seeds dodge the cache).
+	// With one worker and one queue slot, four simultaneous posts can
+	// legitimately catch the queue momentarily full — 429 + Retry-After is
+	// the documented transient answer, not a failure — so each job retries
+	// briefly; what must hold is that every job eventually gets a 200.
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, o := post(easy + fmt.Sprintf(`,"seed":%d}`, 100+i))
-			if r.StatusCode != http.StatusOK || o["status"] == "CANCELED" {
-				t.Errorf("concurrent job %d: status %d / %v", i, r.StatusCode, o["status"])
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				r, o := post(easy + fmt.Sprintf(`,"seed":%d}`, 100+i))
+				if r.StatusCode == http.StatusTooManyRequests && time.Now().Before(deadline) {
+					time.Sleep(20 * time.Millisecond)
+					continue
+				}
+				if r.StatusCode != http.StatusOK || o["status"] == "CANCELED" {
+					t.Errorf("concurrent job %d: status %d / %v", i, r.StatusCode, o["status"])
+				}
+				return
 			}
 		}(i)
 	}

@@ -97,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// callers (and the e2e smoke test) learn the actual port.
 	fmt.Fprintf(stdout, "bosphorusd listening on %s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: svc}
+	httpSrv := &http.Server{Handler: withPprof(svc)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 

@@ -1,0 +1,11 @@
+//go:build !pprof
+
+package main
+
+import "net/http"
+
+// withPprof is a no-op in default builds: the daemon exposes no profiling
+// endpoints unless compiled with the pprof build tag (see pprof_on.go).
+// Keeping the debug surface out of production binaries entirely — not just
+// behind a flag — means a misconfigured deployment cannot expose it.
+func withPprof(h http.Handler) http.Handler { return h }

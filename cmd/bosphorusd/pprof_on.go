@@ -1,0 +1,28 @@
+//go:build pprof
+
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// withPprof (pprof builds: go build -tags pprof) mounts the standard
+// net/http/pprof handlers under /debug/pprof/ in front of the service
+// mux, so a long benchmark or a stuck production repro can be profiled
+// live:
+//
+//	go tool pprof http://<addr>/debug/pprof/profile?seconds=30
+//	go tool pprof http://<addr>/debug/pprof/heap
+//
+// Everything else falls through to the service unchanged.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
+}

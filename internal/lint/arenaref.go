@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ArenaRefAnalyzer keeps the SAT solver's clause arena opaque. A
+// sat.ClauseRef is a word offset into the arena's flat backing store, and
+// the offset/header encoding (metadata word layout, flag bits, forwarding
+// refs) is defined entirely in internal/sat/arena.go. Everywhere else a
+// ref is a handle: it may be stored, passed, and compared for (in)equality
+// against another ref or NullRef — nothing more. Offset arithmetic or
+// header peeking outside the arena is how stale-ref corruption enters
+// after a compacting GC changes the encoding's invariants, so:
+//
+//   - Arithmetic, bitwise, shift and ordering operators on a ClauseRef
+//     operand are rejected outside arena files (== and != are the allowed
+//     comparisons).
+//   - Numeric conversions to or from ClauseRef (ClauseRef(i), int(ref),
+//     uint32(ref), ...) are rejected outside arena files.
+//   - The clauseArena backing store (the data field) may not be touched
+//     outside arena files; go through the accessors.
+//
+// "Arena files" are arena.go and its unit test arena_test.go, matched by
+// basename so the rule follows the file if the package moves.
+var ArenaRefAnalyzer = &Analyzer{
+	Name: "arenaref",
+	Doc:  "ClauseRef offsets and the clause-arena encoding are confined to arena.go",
+	Run:  runArenaRef,
+}
+
+func runArenaRef(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		base := filepath.Base(pass.Pkg.Fset.Position(file.Pos()).Filename)
+		if base == "arena.go" || base == "arena_test.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if arenaRefBinaryOpBanned(n.Op) &&
+					(isClauseRefType(typeOf(pass.Pkg, n.X)) || isClauseRefType(typeOf(pass.Pkg, n.Y))) {
+					pass.Reportf(n.Pos(),
+						"raw ClauseRef offset arithmetic outside arena.go; refs are opaque handles — use the clauseArena accessors")
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.Pkg.Info.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+					target, arg := tv.Type, typeOf(pass.Pkg, n.Args[0])
+					switch {
+					case isClauseRefType(target) && !isClauseRefType(arg):
+						pass.Reportf(n.Pos(),
+							"numeric conversion into ClauseRef outside arena.go; refs are minted only by the arena")
+					case isClauseRefType(arg) && !isClauseRefType(target) && isNumericType(target):
+						pass.Reportf(n.Pos(),
+							"numeric conversion out of ClauseRef outside arena.go; the offset is arena-private")
+					}
+				}
+			case *ast.SelectorExpr:
+				if n.Sel.Name == "data" && isClauseArenaType(typeOf(pass.Pkg, n.X)) {
+					pass.Reportf(n.Sel.Pos(),
+						"clause-arena backing store accessed outside arena.go; use the clauseArena accessors")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// arenaRefBinaryOpBanned: everything arithmetic-, bit- or order-shaped.
+// EQL and NEQ stay legal — comparing a ref against NullRef (or another
+// ref for identity) is the one thing a handle supports.
+func arenaRefBinaryOpBanned(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.AND_NOT,
+		token.SHL, token.SHR,
+		token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// isClauseRefType matches the named type ClauseRef declared in a package
+// under internal/sat (the real solver or the lint fixture's copy).
+func isClauseRefType(t types.Type) bool {
+	return isSatNamedType(t, "ClauseRef")
+}
+
+// isClauseArenaType matches clauseArena (possibly through a pointer).
+func isClauseArenaType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isSatNamedType(t, "clauseArena")
+}
+
+func isSatNamedType(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return strings.Contains("/"+obj.Pkg().Path()+"/", "/internal/sat/")
+}
+
+func isNumericType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

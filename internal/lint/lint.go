@@ -68,6 +68,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		ArenaRefAnalyzer,
 		CtxPollAnalyzer,
 		DeterminismAnalyzer,
 		GF2PackAnalyzer,

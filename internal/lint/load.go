@@ -148,6 +148,13 @@ func (l *loader) load(path string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		// Honor build constraints the way the go tool would (default tag
+		// set, cgo off): without this, mutually exclusive variants like
+		// bosphorusd's pprof_on.go/pprof_off.go both load and the package
+		// fails to type-check on the redeclaration.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
 		filenames = append(filenames, filepath.Join(dir, name))
 	}
 	sort.Strings(filenames)

@@ -1,0 +1,26 @@
+// Package sat is a lint fixture for the arenaref analyzer: ClauseRef
+// offset arithmetic, ref<->integer conversions, and access to the
+// clauseArena backing store are legal only in a file named arena.go
+// (or its unit test arena_test.go). This file is that file, so every
+// raw manipulation below is clean.
+package sat
+
+// ClauseRef is a word offset into the arena's backing store.
+type ClauseRef uint32
+
+// NullRef is the absent-clause sentinel.
+const NullRef = ClauseRef(^uint32(0))
+
+type clauseArena struct {
+	data   []uint32
+	wasted int
+}
+
+func (a *clauseArena) header(r ClauseRef) uint32 { return a.data[r] }
+
+func (a *clauseArena) size(r ClauseRef) int { return int(a.header(r) >> 4) }
+
+// next walks to the following clause: offset arithmetic, fine here.
+func (a *clauseArena) next(r ClauseRef) ClauseRef {
+	return r + ClauseRef(a.size(r)) + 1
+}

@@ -1,0 +1,41 @@
+package sat
+
+// watcher stores a ref as an opaque handle next to its blocker: clean.
+type watcher struct {
+	ref     ClauseRef
+	blocker uint32
+}
+
+// okHandleUse: equality against NullRef (or another ref) is the one
+// comparison a handle supports, and passing refs around is free.
+func okHandleUse(w watcher, r ClauseRef) bool {
+	return w.ref != NullRef && w.ref == r
+}
+
+// badOffsetMath reimplements arena traversal outside the arena.
+func badOffsetMath(r ClauseRef) ClauseRef {
+	return r + 1 // want arenaref "raw ClauseRef offset arithmetic"
+}
+
+// badOrdering compares offsets by position, which is meaningless after a
+// compacting GC.
+func badOrdering(a, b ClauseRef) bool {
+	return a < b // want arenaref "raw ClauseRef offset arithmetic"
+}
+
+// badHeaderPeek reads the backing store directly.
+func badHeaderPeek(a *clauseArena, r ClauseRef) int {
+	w := a.header(r) // a method call is fine...
+	_ = w
+	return len(a.data) // want arenaref "backing store"
+}
+
+// badMint fabricates a ref from an integer.
+func badMint(i int) ClauseRef {
+	return ClauseRef(i) // want arenaref "conversion into ClauseRef"
+}
+
+// badLeak extracts the raw offset.
+func badLeak(r ClauseRef) uint32 {
+	return uint32(r) // want arenaref "conversion out of ClauseRef"
+}

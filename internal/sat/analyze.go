@@ -3,8 +3,10 @@ package sat
 import "repro/internal/cnf"
 
 // analyze performs first-UIP conflict analysis. It returns the learnt
-// clause (with the asserting literal first) and the backtrack level.
-func (s *Solver) analyze(conf *clause) ([]cnf.Lit, int) {
+// clause (with the asserting literal first) and the backtrack level. No
+// arena allocation happens during analysis, so the clause views taken
+// while walking the implication graph stay valid throughout.
+func (s *Solver) analyze(conf ClauseRef) ([]cnf.Lit, int) {
 	learnt := s.analyzeBuf[:0]
 	learnt = append(learnt, 0) // slot for the asserting literal
 	var p cnf.Lit
@@ -14,7 +16,7 @@ func (s *Solver) analyze(conf *clause) ([]cnf.Lit, int) {
 
 	c := conf
 	for {
-		for _, q := range c.lits {
+		for _, q := range s.ca.lits(c) {
 			if havePathLit && q == p {
 				continue
 			}
@@ -30,7 +32,7 @@ func (s *Solver) analyze(conf *clause) ([]cnf.Lit, int) {
 				learnt = append(learnt, q)
 			}
 		}
-		if c.learnt {
+		if s.ca.learnt(c) {
 			s.bumpClause(c)
 		}
 		// Select next literal to expand: walk the trail backwards to the
@@ -48,7 +50,7 @@ func (s *Solver) analyze(conf *clause) ([]cnf.Lit, int) {
 			break
 		}
 		c = s.reason[v]
-		if c == nil {
+		if c == NullRef {
 			panic("sat: decision variable reached during analysis with open paths")
 		}
 	}
@@ -62,7 +64,7 @@ func (s *Solver) analyze(conf *clause) ([]cnf.Lit, int) {
 	}
 	out := learnt[:1]
 	for _, l := range learnt[1:] {
-		if s.reason[l.Var()] == nil || !s.litRedundant(l) {
+		if s.reason[l.Var()] == NullRef || !s.litRedundant(l) {
 			out = append(out, l)
 		}
 	}
@@ -97,10 +99,10 @@ func (s *Solver) analyze(conf *clause) ([]cnf.Lit, int) {
 // ccmin mode) — it never recurses past unseen antecedents.
 func (s *Solver) litRedundant(l cnf.Lit) bool {
 	r := s.reason[l.Var()]
-	if r == nil {
+	if r == NullRef {
 		return false
 	}
-	for _, q := range r.lits {
+	for _, q := range s.ca.lits(r) {
 		if q.Var() == l.Var() {
 			continue
 		}
@@ -124,21 +126,21 @@ func (s *Solver) recordLearnt(lits []cnf.Lit) {
 		s.logEmpty()
 	case 1:
 		s.logLearn(lits)
-		if !s.enqueue(lits[0], nil) {
+		if !s.enqueue(lits[0], NullRef) {
 			s.ok = false
 			s.logEmpty()
 		}
 	default:
 		s.logLearn(lits)
-		c := &clause{lits: append([]cnf.Lit(nil), lits...), learnt: true}
-		c.lbd = s.computeLBD(c.lits)
-		s.learnts = append(s.learnts, c)
-		s.attach(c)
-		s.bumpClause(c)
+		cr := s.ca.alloc(lits, true, false)
+		s.ca.setLBD(cr, s.computeLBD(lits))
+		s.learnts = append(s.learnts, cr)
+		s.attach(cr)
+		s.bumpClause(cr)
 		if len(lits) == 2 {
 			s.learntBinaries = append(s.learntBinaries, append(cnf.Clause(nil), lits...))
 		}
-		if !s.enqueue(lits[0], c) {
+		if !s.enqueue(lits[0], cr) {
 			panic("sat: asserting literal not enqueueable")
 		}
 	}

@@ -1,0 +1,227 @@
+package sat
+
+import (
+	"math"
+
+	"repro/internal/cnf"
+)
+
+// This file is the only place allowed to interpret ClauseRef offsets or the
+// arena's header encoding (bosphoruslint's arenaref analyzer enforces it).
+// Everything else in the package treats ClauseRef as an opaque handle.
+//
+// Layout: the arena is one flat []cnf.Lit (cnf.Lit is a uint32, so header
+// words are stored type-punned as Lits). A clause at ref r is
+//
+//	data[r]      header: size<<4 | flags (learnt, reloc, temp, dead)
+//	data[r+1..]  learnt only: LBD word, then the float64 activity in two
+//	             words (low 32 bits first) — float64, not float32, so the
+//	             reduceDB activity tie-breaks stay bit-identical to the
+//	             pointer-based seed solver
+//	data[r+k..]  the literals, inline (k = 4 learnt, 1 otherwise)
+//
+// After relocation (GC) the header's reloc flag is set and data[r+1] holds
+// the forwarding ref in the new arena; the old literals are garbage. For a
+// two-literal problem clause that overwrites lits[0], which is fine: the
+// old arena is only ever read through relocate until it is dropped.
+
+// ClauseRef is the word offset of a clause header in the arena. Refs are
+// stable between GCs; a GC remaps every live root (watch lists, reason
+// slots, the clause lists) and drops the old arena.
+type ClauseRef uint32
+
+// NullRef is the absent clause: a decision's reason slot, "no conflict".
+const NullRef = ClauseRef(^uint32(0))
+
+const (
+	flagLearnt = 1 << 0 // clause carries LBD + activity words
+	flagReloc  = 1 << 1 // forwarded: data[r+1] is the new ref
+	flagTemp   = 1 << 2 // Gauss reason/conflict: freed when released
+	flagDead   = 1 << 3 // freed: words counted in wasted, awaiting GC
+	flagBits   = 4
+	maxSize    = 1<<(32-flagBits) - 1
+)
+
+// clauseArena is the flat clause store. The zero value is ready to use.
+type clauseArena struct {
+	data   []cnf.Lit
+	wasted int // words occupied by dead or shrunk-away clauses
+}
+
+func (a *clauseArena) header(r ClauseRef) uint32 { return uint32(a.data[r]) }
+
+func (a *clauseArena) size(r ClauseRef) int    { return int(a.header(r) >> flagBits) }
+func (a *clauseArena) learnt(r ClauseRef) bool { return a.header(r)&flagLearnt != 0 }
+func (a *clauseArena) temp(r ClauseRef) bool   { return a.header(r)&flagTemp != 0 }
+func (a *clauseArena) dead(r ClauseRef) bool   { return a.header(r)&flagDead != 0 }
+
+// headerWords returns the number of metadata words before the literals.
+func (a *clauseArena) headerWords(r ClauseRef) int {
+	if a.header(r)&flagLearnt != 0 {
+		return 4
+	}
+	return 1
+}
+
+// lits returns the clause's literals as a view into the arena. The view is
+// invalidated by any alloc (append may move the backing array) and by GC —
+// never hold one across either.
+func (a *clauseArena) lits(r ClauseRef) []cnf.Lit {
+	start := int(r) + a.headerWords(r)
+	return a.data[start : start+a.size(r) : start+a.size(r)]
+}
+
+// alloc copies lits into the arena and returns the new clause's ref.
+func (a *clauseArena) alloc(lits []cnf.Lit, learnt, temp bool) ClauseRef {
+	if len(lits) > maxSize {
+		panic("sat: clause exceeds arena size field")
+	}
+	r := ClauseRef(len(a.data))
+	hdr := uint32(len(lits)) << flagBits
+	if learnt {
+		hdr |= flagLearnt
+	}
+	if temp {
+		hdr |= flagTemp
+	}
+	a.data = append(a.data, cnf.Lit(hdr))
+	if learnt {
+		a.data = append(a.data, 0, 0, 0) // LBD, activity lo, activity hi
+	}
+	a.data = append(a.data, lits...)
+	return r
+}
+
+func (a *clauseArena) lbd(r ClauseRef) int { return int(uint32(a.data[r+1])) }
+
+func (a *clauseArena) setLBD(r ClauseRef, v int) { a.data[r+1] = cnf.Lit(uint32(v)) }
+
+func (a *clauseArena) activity(r ClauseRef) float64 {
+	lo := uint64(uint32(a.data[r+2]))
+	hi := uint64(uint32(a.data[r+3]))
+	return math.Float64frombits(hi<<32 | lo)
+}
+
+func (a *clauseArena) setActivity(r ClauseRef, v float64) {
+	bits := math.Float64bits(v)
+	a.data[r+2] = cnf.Lit(uint32(bits))
+	a.data[r+3] = cnf.Lit(uint32(bits >> 32))
+}
+
+// words returns the clause's total footprint (header + literals).
+func (a *clauseArena) words(r ClauseRef) int { return a.headerWords(r) + a.size(r) }
+
+// free marks the clause dead and accounts its words as wasted. The data
+// stays readable until the next GC, so views taken before the free (e.g.
+// a conflict clause being analyzed) remain valid.
+func (a *clauseArena) free(r ClauseRef) {
+	a.wasted += a.words(r)
+	a.data[r] = cnf.Lit(a.header(r) | flagDead)
+}
+
+// shrink truncates the clause to its first n literals, accounting the
+// dropped tail as wasted (the words become a gap; GC reclaims them).
+func (a *clauseArena) shrink(r ClauseRef, n int) {
+	old := a.size(r)
+	if n >= old {
+		return
+	}
+	a.wasted += old - n
+	a.data[r] = cnf.Lit(a.header(r)&(1<<flagBits-1) | uint32(n)<<flagBits)
+}
+
+// liveWords is the arena's footprint net of dead/shrunk words — the size
+// the next arena needs.
+func (a *clauseArena) liveWords() int { return len(a.data) - a.wasted }
+
+// relocate moves the clause into arena `to` (learnt metadata included) and
+// leaves a forwarding ref behind, or follows an existing forwarding ref.
+// Callers must not pass dead refs.
+func (a *clauseArena) relocate(r ClauseRef, to *clauseArena) ClauseRef {
+	if a.header(r)&flagReloc != 0 {
+		return ClauseRef(a.data[r+1])
+	}
+	hdr := a.header(r)
+	nr := to.alloc(a.lits(r), hdr&flagLearnt != 0, hdr&flagTemp != 0)
+	if hdr&flagLearnt != 0 {
+		to.setLBD(nr, a.lbd(r))
+		to.setActivity(nr, a.activity(r))
+	}
+	a.data[r] = cnf.Lit(hdr | flagReloc)
+	a.data[r+1] = cnf.Lit(uint32(nr))
+	return nr
+}
+
+// Arena GC thresholds: collect when a fifth of the arena is waste
+// (MiniSat's garbage_frac), and during a collection rebuild any watch list
+// whose capacity is both ≥ watchShrinkCap and ≥ watchShrinkFactor× its
+// length — the fix for watcher slices that grew huge during one hot stretch
+// (enumeration, a deep restart) and then pinned that capacity forever.
+const (
+	gcWasteDenom      = 5
+	watchShrinkCap    = 16
+	watchShrinkFactor = 4
+)
+
+// maybeGC runs a garbage collection if enough of the arena is wasted. The
+// trigger sites (reduceDB, Simplify, restart boundaries, enumeration
+// steps) are all places where no arena views are live.
+func (s *Solver) maybeGC() {
+	if s.ca.wasted > len(s.ca.data)/gcWasteDenom {
+		s.garbageCollect()
+	}
+}
+
+// garbageCollect compacts the arena: every live clause moves to a fresh
+// arena and every root — watch lists, the reason slots of assigned
+// variables, the problem/learnt clause lists — is remapped in place, in
+// that order, preserving list order (watcher order is search-visible).
+// Refs are opaque to the search, so a collection never changes behavior.
+func (s *Solver) garbageCollect() {
+	to := clauseArena{data: make([]cnf.Lit, 0, s.ca.liveWords())}
+	for i := range s.watches {
+		ws := s.watches[i]
+		for j := range ws {
+			ws[j].ref = s.ca.relocate(ws[j].ref, &to)
+		}
+		if cap(ws) >= watchShrinkCap && cap(ws) >= watchShrinkFactor*len(ws) {
+			if len(ws) == 0 {
+				s.watches[i] = nil
+			} else {
+				s.watches[i] = append(make([]watcher, 0, len(ws)), ws...)
+			}
+			s.WatchShrinks++
+		}
+	}
+	// Every assigned variable is on the trail, so the trail covers all live
+	// reason slots. A slot can point at a clause Simplify deleted (the seed
+	// solver tolerated the dangling pointer at level 0, where reasons are
+	// never dereferenced); those must not be resurrected — clear them.
+	for _, l := range s.trail {
+		v := l.Var()
+		if r := s.reason[v]; r != NullRef {
+			if s.ca.dead(r) {
+				s.reason[v] = NullRef
+			} else {
+				s.reason[v] = s.ca.relocate(r, &to)
+			}
+		}
+	}
+	for i := range s.clauses {
+		s.clauses[i] = s.ca.relocate(s.clauses[i], &to)
+	}
+	for i := range s.learnts {
+		s.learnts[i] = s.ca.relocate(s.learnts[i], &to)
+	}
+	s.ca = to
+	s.ArenaGCs++
+}
+
+// releaseConflict frees a temporary (Gauss-materialized) conflict clause
+// once analysis is done with it. Regular clause refs pass through
+// untouched; temp reasons on the trail are instead freed by cancelUntil.
+func (s *Solver) releaseConflict(cr ClauseRef) {
+	if cr != NullRef && s.ca.temp(cr) && !s.ca.dead(cr) {
+		s.ca.free(cr)
+	}
+}

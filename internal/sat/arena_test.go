@@ -1,0 +1,306 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/satgen"
+)
+
+func lits(ds ...int) []cnf.Lit {
+	out := make([]cnf.Lit, len(ds))
+	for i, d := range ds {
+		l, err := cnf.LitFromDimacs(d)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = l
+	}
+	return out
+}
+
+func TestArenaAllocAndViews(t *testing.T) {
+	var a clauseArena
+	c1 := a.alloc(lits(1, -2, 3), false, false)
+	c2 := a.alloc(lits(-4, 5), true, false)
+	c3 := a.alloc(lits(2, -3, 4, -5), false, true)
+
+	for _, tc := range []struct {
+		ref    ClauseRef
+		want   []cnf.Lit
+		learnt bool
+		temp   bool
+	}{
+		{c1, lits(1, -2, 3), false, false},
+		{c2, lits(-4, 5), true, false},
+		{c3, lits(2, -3, 4, -5), false, true},
+	} {
+		if got := a.lits(tc.ref); len(got) != len(tc.want) {
+			t.Fatalf("ref %d: %d lits, want %d", tc.ref, len(got), len(tc.want))
+		} else {
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("ref %d lit %d: %v, want %v", tc.ref, i, got[i], tc.want[i])
+				}
+			}
+		}
+		if a.size(tc.ref) != len(tc.want) {
+			t.Errorf("ref %d size = %d, want %d", tc.ref, a.size(tc.ref), len(tc.want))
+		}
+		if a.learnt(tc.ref) != tc.learnt || a.temp(tc.ref) != tc.temp || a.dead(tc.ref) {
+			t.Errorf("ref %d flags learnt=%v temp=%v dead=%v", tc.ref,
+				a.learnt(tc.ref), a.temp(tc.ref), a.dead(tc.ref))
+		}
+	}
+	// Footprints: 1+3, 4+2, 1+4 words.
+	if len(a.data) != 4+6+5 {
+		t.Errorf("arena holds %d words, want 15", len(a.data))
+	}
+	if a.wasted != 0 || a.liveWords() != len(a.data) {
+		t.Errorf("fresh arena wasted=%d live=%d", a.wasted, a.liveWords())
+	}
+}
+
+func TestArenaLearntMetadataRoundTrip(t *testing.T) {
+	var a clauseArena
+	r := a.alloc(lits(1, 2, 3), true, false)
+	// Activities are float64 on purpose (reduceDB tie-breaks must stay
+	// bit-identical to the seed solver); these values do not survive a
+	// float32 round trip.
+	for _, act := range []float64{0, 1, 1e-100, 1e20 + 4096, 0.1, 123456789.123456789} {
+		a.setActivity(r, act)
+		if got := a.activity(r); got != act {
+			t.Errorf("activity round trip: got %v, want %v", got, act)
+		}
+	}
+	for _, lbd := range []int{0, 1, 7, 1 << 20} {
+		a.setLBD(r, lbd)
+		if got := a.lbd(r); got != lbd {
+			t.Errorf("lbd round trip: got %d, want %d", got, lbd)
+		}
+	}
+	// Metadata writes must not clobber the literals.
+	got := a.lits(r)
+	for i, want := range lits(1, 2, 3) {
+		if got[i] != want {
+			t.Errorf("lit %d corrupted: %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestArenaFreeAndShrinkAccounting(t *testing.T) {
+	var a clauseArena
+	c1 := a.alloc(lits(1, 2, 3, 4, 5), false, false) // 6 words
+	c2 := a.alloc(lits(1, 2, 3), true, false)        // 7 words
+	if a.liveWords() != 13 {
+		t.Fatalf("liveWords = %d, want 13", a.liveWords())
+	}
+	a.shrink(c1, 3) // drops 2 words
+	if a.size(c1) != 3 || a.wasted != 2 {
+		t.Errorf("after shrink: size=%d wasted=%d, want 3/2", a.size(c1), a.wasted)
+	}
+	a.shrink(c1, 5) // growing is a no-op
+	if a.size(c1) != 3 || a.wasted != 2 {
+		t.Errorf("shrink must not grow: size=%d wasted=%d", a.size(c1), a.wasted)
+	}
+	a.free(c1) // 4 remaining words
+	if !a.dead(c1) || a.wasted != 6 {
+		t.Errorf("after free: dead=%v wasted=%d, want true/6", a.dead(c1), a.wasted)
+	}
+	a.free(c2)
+	if a.wasted != 13 || a.liveWords() != 0 {
+		t.Errorf("after freeing all: wasted=%d live=%d", a.wasted, a.liveWords())
+	}
+}
+
+func TestArenaRelocate(t *testing.T) {
+	var from, to clauseArena
+	c1 := from.alloc(lits(1, -2, 3), false, false)
+	c2 := from.alloc(lits(-4, 5), true, false)
+	from.setLBD(c2, 3)
+	from.setActivity(c2, 0.625)
+	c3 := from.alloc(lits(6, -7, 8), false, true)
+
+	n1 := from.relocate(c1, &to)
+	n2 := from.relocate(c2, &to)
+	n3 := from.relocate(c3, &to)
+	// Relocating again must follow the forwarding ref, not copy twice.
+	if again := from.relocate(c2, &to); again != n2 {
+		t.Errorf("second relocate returned %d, want forwarded %d", again, n2)
+	}
+	for i, want := range lits(1, -2, 3) {
+		if got := to.lits(n1)[i]; got != want {
+			t.Errorf("relocated c1 lit %d: %v, want %v", i, got, want)
+		}
+	}
+	if !to.learnt(n2) || to.lbd(n2) != 3 || to.activity(n2) != 0.625 {
+		t.Errorf("learnt metadata lost in relocation: learnt=%v lbd=%d act=%v",
+			to.learnt(n2), to.lbd(n2), to.activity(n2))
+	}
+	if !to.temp(n3) {
+		t.Error("temp flag lost in relocation")
+	}
+	if to.wasted != 0 || to.liveWords() != 4+6+4 {
+		t.Errorf("target arena wasted=%d live=%d, want 0/14", to.wasted, to.liveWords())
+	}
+}
+
+// checkWatchInvariants verifies the structural contract the GC must
+// preserve: every attached clause is watched exactly twice, on the
+// negations of its first two literals, and every watcher resolves to a
+// live clause in the database (temp reasons are never attached).
+func checkWatchInvariants(t *testing.T, s *Solver) {
+	t.Helper()
+	inDB := map[ClauseRef]int{}
+	for _, c := range append(append([]ClauseRef(nil), s.clauses...), s.learnts...) {
+		inDB[c] = 0
+		if s.ca.dead(c) {
+			t.Fatalf("dead clause %d in database", c)
+		}
+		if s.ca.size(c) < 2 {
+			t.Fatalf("clause %d has %d lits", c, s.ca.size(c))
+		}
+	}
+	for li := range s.watches {
+		for _, w := range s.watches[li] {
+			if _, ok := inDB[w.ref]; !ok {
+				t.Fatalf("watcher on %d references clause %d outside the database", li, w.ref)
+			}
+			inDB[w.ref]++
+			cl := s.ca.lits(w.ref)
+			if cnf.Lit(li) != cl[0].Not() && cnf.Lit(li) != cl[1].Not() {
+				t.Fatalf("clause %d watched on %v, but watched pair is %v %v",
+					w.ref, cnf.Lit(li), cl[0], cl[1])
+			}
+		}
+	}
+	for c, n := range inDB {
+		if n != 2 {
+			t.Fatalf("clause %d has %d watchers, want 2", c, n)
+		}
+	}
+}
+
+// TestGarbageCollectMidSearch interrupts a search, forces a collection,
+// and resumes: the GC must remap every root so the remaining search is
+// oblivious to it, and the structural invariants must hold on both sides.
+func TestGarbageCollectMidSearch(t *testing.T) {
+	f := satgen.Pigeonhole(7, 6).Formula
+	s := New(DefaultOptions(ProfileMiniSat))
+	if !s.AddFormula(f) {
+		t.Fatal("load-time UNSAT")
+	}
+	if st := s.SolveLimited(200); st != Unknown {
+		t.Fatalf("budgeted solve = %v, want Unknown", st)
+	}
+	checkWatchInvariants(t, s)
+	liveBefore := s.ca.liveWords()
+	s.garbageCollect()
+	checkWatchInvariants(t, s)
+	if s.ArenaGCs == 0 {
+		t.Error("ArenaGCs not counted")
+	}
+	if s.ca.wasted != 0 {
+		t.Errorf("fresh arena wasted = %d", s.ca.wasted)
+	}
+	if s.ca.liveWords() > liveBefore {
+		t.Errorf("GC grew the arena: %d -> %d", liveBefore, s.ca.liveWords())
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("post-GC solve = %v, want Unsat", st)
+	}
+	checkWatchInvariants(t, s)
+}
+
+// TestGCClearsDeadReasonSlots reproduces the one dangling-ref hazard the
+// pointer-based solver tolerated silently: Simplify deletes a satisfied
+// clause that is still the reason slot of a level-0 assignment (never
+// dereferenced at level 0, but a GC must not resurrect it).
+func TestGCClearsDeadReasonSlots(t *testing.T) {
+	s := New(DefaultOptions(ProfileMiniSat))
+	// Ballast keeps the freed clause under the GC waste threshold, so
+	// Simplify's own maybeGC stays quiet and the dangling state is
+	// observable before the explicit collection below.
+	for i := 0; i < 32; i++ {
+		if !s.AddClause(lits(10+i, 11+i, 12+i)...) {
+			t.Fatal("ballast UNSAT")
+		}
+	}
+	if !s.AddClause(lits(1, 2)...) || !s.AddClause(lits(-1)...) {
+		t.Fatal("setup UNSAT")
+	}
+	// ¬x1 propagated x2 through (x1 ∨ x2); that clause is x2's reason.
+	v := lits(2)[0].Var()
+	if s.reason[v] == NullRef {
+		t.Fatal("x2 has no reason clause")
+	}
+	if !s.Simplify() {
+		t.Fatal("Simplify reported UNSAT")
+	}
+	if r := s.reason[v]; r == NullRef || !s.ca.dead(r) {
+		t.Fatalf("expected a dangling dead reason after Simplify, got ref %d", r)
+	}
+	s.garbageCollect()
+	if r := s.reason[v]; r != NullRef {
+		t.Fatalf("GC kept dead reason slot: %d", r)
+	}
+	if st := s.Solve(); st != Sat || !s.Value(v) {
+		t.Fatalf("post-GC solve wrong: %v", st)
+	}
+}
+
+// TestGaussTempClausesAreReclaimed drives the CMS profile's XOR component
+// through deep search and checks that the temp reason/conflict clauses it
+// materializes in the arena are freed on backtrack rather than leaking.
+func TestGaussTempClausesAreReclaimed(t *testing.T) {
+	f := satgen.ParityChain(48, 44, 3, false, rand.New(rand.NewSource(31))).Formula
+	s := New(DefaultOptions(ProfileCMS))
+	if !s.AddFormula(f) {
+		t.Fatal("load-time UNSAT")
+	}
+	s.Solve()
+	s.cancelUntil(0)
+	// At level 0 every surviving temp must be dead (freed): walk the arena
+	// roots — no temp may be reachable from the database or reason slots.
+	for _, c := range append(append([]ClauseRef(nil), s.clauses...), s.learnts...) {
+		if s.ca.temp(c) {
+			t.Fatalf("temp clause %d attached to the database", c)
+		}
+	}
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != NullRef && s.ca.temp(r) && !s.ca.dead(r) {
+			t.Fatalf("live temp reason %d at level 0", r)
+		}
+	}
+}
+
+// TestWatchListShrink checks the unbounded-watcher-memory fix: after a
+// conflict-heavy solve deletes half the learnt database several times,
+// a GC rebuilds the grossly over-capacity watch lists.
+func TestWatchListShrink(t *testing.T) {
+	f := satgen.Pigeonhole(8, 7).Formula
+	s := New(DefaultOptions(ProfileMiniSat))
+	if !s.AddFormula(f) {
+		t.Fatal("load-time UNSAT")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("verdict %v", st)
+	}
+	before := 0
+	for i := range s.watches {
+		before += cap(s.watches[i])
+	}
+	s.garbageCollect()
+	after := 0
+	for i := range s.watches {
+		after += cap(s.watches[i])
+	}
+	if s.WatchShrinks == 0 {
+		t.Fatal("GC shrank no watch lists on a reduceDB-heavy run")
+	}
+	if after >= before {
+		t.Errorf("total watch capacity %d did not drop (was %d)", after, before)
+	}
+	checkWatchInvariants(t, s)
+}

@@ -64,14 +64,14 @@ func (s *Solver) analyzeFinal(p cnf.Lit) []cnf.Lit {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		if s.reason[v] == NullRef {
 			// A decision — under assumption solving these are exactly the
 			// assumption literals.
 			if v != p.Var() {
 				out = append(out, s.trail[i])
 			}
 		} else {
-			for _, q := range s.reason[v].lits {
+			for _, q := range s.ca.lits(s.reason[v]) {
 				if q.Var() != v && s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = 1
 				}

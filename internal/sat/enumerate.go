@@ -35,6 +35,10 @@ func (s *Solver) EnumerateModels(nVars int, max int) [][]bool {
 		if !s.AddClause(block...) {
 			break
 		}
+		// Each solve leaves reduceDB/Simplify debris in the arena; long
+		// enumerations are exactly the sessions whose watcher lists and
+		// clause store would otherwise only grow.
+		s.maybeGC()
 	}
 	return out
 }

@@ -1,0 +1,273 @@
+package sat
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/satgen"
+)
+
+// The seed-vs-arena equivalence regression: the arena clause store is a
+// representation change only, so for a fixed seed the solver must produce
+// the exact verdicts, models, counter values (conflicts, decisions,
+// propagations, restarts, reduceDBs) and learnt-fact harvest the
+// pointer-based seed solver produced. The golden file was captured from
+// the seed solver (the commit before the arena landed) with
+//
+//	go test ./internal/sat -run TestSeedEquivalence -update-golden
+//
+// and must never be regenerated as a side effect of solver changes: a
+// diff here means the refactor changed search behavior, which is a bug by
+// this PR's definition even if the verdict is still correct.
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/equivalence_golden.json from the current solver")
+
+type equivRecord struct {
+	Name    string `json:"name"`
+	Profile string `json:"profile"`
+	Verdict string `json:"verdict"`
+	// Model is the satisfying assignment as a 0/1 string ("" unless SAT).
+	Model string `json:"model,omitempty"`
+	// Counter snapshot after the solve.
+	Conflicts    uint64 `json:"conflicts"`
+	Decisions    uint64 `json:"decisions"`
+	Propagations uint64 `json:"propagations"`
+	Restarts     uint64 `json:"restarts"`
+	ReducedDBs   uint64 `json:"reduce_dbs"`
+	Clauses      int    `json:"clauses"`
+	Learnts      int    `json:"learnts"`
+	// Learnt-fact harvest: level-0 units in DIMACS form, and a digest of
+	// the learnt binary clauses in learning order.
+	Units       []int  `json:"units,omitempty"`
+	BinCount    int    `json:"bin_count"`
+	BinDigest   uint64 `json:"bin_digest"`
+	FailedAssum []int  `json:"failed_assumptions,omitempty"`
+	ProbeUnits  int    `json:"probe_units,omitempty"`
+	ProbeEquivs int    `json:"probe_equivs,omitempty"`
+	Models      int    `json:"models,omitempty"`
+}
+
+type equivCase struct {
+	name     string
+	profiles []Profile
+	build    func() *cnf.Formula
+	budget   int64
+	// mode selects the solve entry point, covering the assume, probe and
+	// enumerate paths alongside plain search.
+	mode        string // "solve", "assume", "probe", "enumerate"
+	assumptions []cnf.Lit
+}
+
+func equivalenceCases() []equivCase {
+	mini := []Profile{ProfileMiniSat}
+	all := []Profile{ProfileMiniSat, ProfileLingeling, ProfileCMS}
+	return []equivCase{
+		{name: "chain-2000", profiles: mini, mode: "solve", budget: -1,
+			build: func() *cnf.Formula {
+				f := cnf.NewFormula(2000)
+				for i := 0; i+1 < 2000; i++ {
+					f.AddClause(cnf.MkLit(cnf.Var(i), true), cnf.MkLit(cnf.Var(i+1), false))
+				}
+				f.AddClause(cnf.MkLit(0, false))
+				return f
+			}},
+		{name: "php-7-6", profiles: all, mode: "solve", budget: -1,
+			build: func() *cnf.Formula { return satgen.Pigeonhole(7, 6).Formula }},
+		{name: "php-8-7", profiles: mini, mode: "solve", budget: -1,
+			build: func() *cnf.Formula { return satgen.Pigeonhole(8, 7).Formula }},
+		{name: "rand3sat-v80-s21", profiles: all, mode: "solve", budget: 20000,
+			build: func() *cnf.Formula {
+				return satgen.RandomKSAT(80, 3, 4.26, rand.New(rand.NewSource(21))).Formula
+			}},
+		{name: "rand3sat-v80-s22", profiles: mini, mode: "solve", budget: 20000,
+			build: func() *cnf.Formula {
+				return satgen.RandomKSAT(80, 3, 4.26, rand.New(rand.NewSource(22))).Formula
+			}},
+		{name: "parity-planted-v64", profiles: all, mode: "solve", budget: -1,
+			build: func() *cnf.Formula {
+				return satgen.ParityChain(64, 56, 3, true, rand.New(rand.NewSource(23))).Formula
+			}},
+		{name: "lfsr-sat-n12-s24", profiles: []Profile{ProfileMiniSat, ProfileCMS}, mode: "solve", budget: -1,
+			build: func() *cnf.Formula {
+				return satgen.LFSRReach(12, 24, false, rand.New(rand.NewSource(24))).Formula
+			}},
+		{name: "lfsr-unsat-n10-s16", profiles: mini, mode: "solve", budget: -1,
+			build: func() *cnf.Formula {
+				return satgen.LFSRReach(10, 16, true, rand.New(rand.NewSource(25))).Formula
+			}},
+		{name: "xor-native-v24", profiles: []Profile{ProfileMiniSat, ProfileCMS}, mode: "solve", budget: -1,
+			build: buildXorMix},
+		{name: "mutilated-5", profiles: mini, mode: "solve", budget: -1,
+			build: func() *cnf.Formula { return satgen.MutilatedChessboard(5).Formula }},
+		{name: "assume-php-7-7", profiles: mini, mode: "assume", budget: -1,
+			build: func() *cnf.Formula { return satgen.Pigeonhole(7, 7).Formula },
+			assumptions: []cnf.Lit{
+				cnf.MkLit(0, false), cnf.MkLit(8, false), cnf.MkLit(16, false),
+				cnf.MkLit(24, true), cnf.MkLit(25, true), cnf.MkLit(26, true),
+				cnf.MkLit(27, true), cnf.MkLit(28, true), cnf.MkLit(29, true),
+				cnf.MkLit(30, true),
+			}},
+		{name: "probe-lfsr-n10-s12", profiles: []Profile{ProfileMiniSat, ProfileCMS}, mode: "probe", budget: -1,
+			build: func() *cnf.Formula {
+				return satgen.LFSRReach(10, 12, false, rand.New(rand.NewSource(26))).Formula
+			}},
+		{name: "enumerate-color-n10", profiles: mini, mode: "enumerate", budget: -1,
+			build: func() *cnf.Formula {
+				return satgen.GraphColoring(10, 3, 0.25, rand.New(rand.NewSource(27))).Formula
+			}},
+	}
+}
+
+// buildXorMix mixes clauses with native XOR rows so the CMS profile's
+// Gauss component (and the MiniSat profile's clausal XOR fallback) both
+// land in the golden set.
+func buildXorMix() *cnf.Formula {
+	rng := rand.New(rand.NewSource(28))
+	f := cnf.NewFormula(24)
+	for i := 0; i < 20; i++ {
+		a, b, c := rng.Intn(24), rng.Intn(24), rng.Intn(24)
+		f.AddClause(cnf.MkLit(cnf.Var(a), rng.Intn(2) == 1),
+			cnf.MkLit(cnf.Var(b), rng.Intn(2) == 1),
+			cnf.MkLit(cnf.Var(c), rng.Intn(2) == 1))
+	}
+	for i := 0; i < 10; i++ {
+		vs := []cnf.Var{cnf.Var(rng.Intn(24)), cnf.Var(rng.Intn(24)), cnf.Var(rng.Intn(24)), cnf.Var(rng.Intn(24))}
+		f.AddXor(rng.Intn(2) == 1, vs...)
+	}
+	return f
+}
+
+func runEquivCase(c equivCase, p Profile) equivRecord {
+	s := New(DefaultOptions(p))
+	rec := equivRecord{Name: c.name, Profile: p.String()}
+	loaded := s.AddFormula(c.build())
+	var st Status
+	switch {
+	case !loaded:
+		st = Unsat
+	case c.mode == "assume":
+		st = s.SolveAssuming(c.assumptions, c.budget)
+		for _, l := range s.FailedAssumptions() {
+			rec.FailedAssum = append(rec.FailedAssum, l.Dimacs())
+		}
+	case c.mode == "probe":
+		res := s.ProbeLiterals(0)
+		rec.ProbeUnits = len(res.Units)
+		rec.ProbeEquivs = len(res.Equivalences)
+		st = s.SolveLimited(c.budget)
+	case c.mode == "enumerate":
+		models := s.EnumerateModels(0, 40)
+		rec.Models = len(models)
+		st = Unknown
+		if !s.Okay() {
+			st = Unsat
+		}
+	default:
+		st = s.SolveLimited(c.budget)
+	}
+	rec.Verdict = st.String()
+	if st == Sat {
+		m := s.Model()
+		buf := make([]byte, len(m))
+		for i, b := range m {
+			buf[i] = '0'
+			if b {
+				buf[i] = '1'
+			}
+		}
+		rec.Model = string(buf)
+	}
+	snap := s.Snapshot()
+	rec.Conflicts = snap.Conflicts
+	rec.Decisions = snap.Decisions
+	rec.Propagations = snap.Propagations
+	rec.Restarts = snap.Restarts
+	rec.ReducedDBs = snap.ReducedDBs
+	rec.Clauses = snap.Clauses
+	rec.Learnts = snap.Learnts
+	for _, l := range s.LearntUnits() {
+		rec.Units = append(rec.Units, l.Dimacs())
+	}
+	bins := s.LearntBinaries()
+	rec.BinCount = len(bins)
+	h := fnv.New64a()
+	for _, b := range bins {
+		for _, l := range b {
+			fmt.Fprintf(h, "%d ", l.Dimacs())
+		}
+		fmt.Fprint(h, ";")
+	}
+	rec.BinDigest = h.Sum64()
+	return rec
+}
+
+func TestSeedEquivalence(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "equivalence_golden.json")
+	var got []equivRecord
+	for _, c := range equivalenceCases() {
+		for _, p := range c.profiles {
+			got = append(got, runEquivCase(c, p))
+		}
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %d records", len(got))
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (%v); run with -update-golden on the seed solver", err)
+	}
+	var want []equivRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d records, current run produced %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Name != g.Name || w.Profile != g.Profile {
+			t.Fatalf("record %d: case order changed (%s/%s vs %s/%s)",
+				i, w.Name, w.Profile, g.Name, g.Profile)
+		}
+		wj, _ := json.Marshal(w)
+		gj, _ := json.Marshal(g)
+		if string(wj) != string(gj) {
+			t.Errorf("%s/%s diverged from the seed solver:\n  seed:  %s\n  arena: %s",
+				w.Name, w.Profile, wj, gj)
+		}
+	}
+}
+
+// The same runs must also be self-consistent run over run (catches
+// map-order or allocator-address leakage into search heuristics).
+func TestEquivalenceRunsAreDeterministic(t *testing.T) {
+	for _, c := range equivalenceCases()[:4] {
+		p := c.profiles[0]
+		a := runEquivCase(c, p)
+		b := runEquivCase(c, p)
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Fatalf("%s: two identical runs diverged:\n%s\n%s", c.name, aj, bj)
+		}
+	}
+}

@@ -19,6 +19,10 @@ type gauss struct {
 	rows []*xorRow
 	occ  map[cnf.Var][]*xorRow
 	pos  int // number of trail literals already observed
+	// buf assembles reason/conflict literals before they are copied into
+	// the clause arena, so steady-state propagation allocates nothing on
+	// the Go heap.
+	buf []cnf.Lit
 }
 
 type xorRow struct {
@@ -93,7 +97,7 @@ func (g *gauss) initialize() lbool {
 			if g.s.valueLit(l) == lFalse {
 				return lFalse
 			}
-			if !g.s.enqueue(l, nil) {
+			if !g.s.enqueue(l, NullRef) {
 				return lFalse
 			}
 		default:
@@ -204,7 +208,7 @@ func (g *gauss) eliminate() []xorRow {
 // advance observes trail literals not yet seen, updating row counters and
 // enqueueing implications. It returns a conflict clause if a row's parity
 // is violated, plus whether any progress was made.
-func (g *gauss) advance() (*clause, bool) {
+func (g *gauss) advance() (ClauseRef, bool) {
 	progressed := false
 	for g.pos < len(g.s.trail) {
 		l := g.s.trail[g.pos]
@@ -216,13 +220,13 @@ func (g *gauss) advance() (*clause, bool) {
 		// even when a conflict is found part-way: pos has already advanced
 		// past the literal, so backtracking will undo the updates for every
 		// row in the list.
-		var conflict *clause
+		conflict := NullRef
 		for _, row := range g.occ[v] {
 			row.nUnassigned--
 			if val {
 				row.parity = !row.parity
 			}
-			if conflict != nil {
+			if conflict != NullRef {
 				continue
 			}
 			switch {
@@ -232,17 +236,18 @@ func (g *gauss) advance() (*clause, bool) {
 				conflict = g.imply(row)
 			}
 		}
-		if conflict != nil {
+		if conflict != NullRef {
 			return conflict, true
 		}
 	}
-	return nil, progressed
+	return NullRef, progressed
 }
 
 // imply enqueues the forced value of the single unassigned variable of the
-// row. Returns a conflict clause if the forced literal is already false
-// (cannot normally happen, defensive).
-func (g *gauss) imply(row *xorRow) *clause {
+// row, materializing the reason as a temp clause in the arena (freed by
+// cancelUntil when the variable unassigns). Returns a conflict clause if
+// the forced literal is already false (cannot normally happen, defensive).
+func (g *gauss) imply(row *xorRow) ClauseRef {
 	var u cnf.Var
 	found := false
 	for _, v := range row.vars {
@@ -253,38 +258,39 @@ func (g *gauss) imply(row *xorRow) *clause {
 		}
 	}
 	if !found {
-		return nil // raced with this very advance loop; counter catches up
+		return NullRef // raced with this very advance loop; counter catches up
 	}
 	val := row.rhs != row.parity
 	l := cnf.MkLit(u, !val)
-	reason := &clause{lits: make([]cnf.Lit, 0, len(row.vars))}
-	reason.lits = append(reason.lits, l)
+	g.buf = append(g.buf[:0], l)
 	for _, v := range row.vars {
 		if v == u {
 			continue
 		}
-		reason.lits = append(reason.lits, cnf.MkLit(v, g.s.assigns[v] == lTrue))
+		g.buf = append(g.buf, cnf.MkLit(v, g.s.assigns[v] == lTrue))
 	}
 	// The reason clause is entailed by the row (vars, rhs), which lies in
 	// the span of the input XOR rows — log it so conflict analysis that
 	// resolves on it stays checkable.
-	g.s.logJustify(reason.lits)
+	g.s.logJustify(g.buf)
+	reason := g.s.ca.alloc(g.buf, false, true)
 	if g.s.valueLit(l) == lFalse {
 		return reason
 	}
 	g.s.enqueue(l, reason)
-	return nil
+	return NullRef
 }
 
 // conflictClause materializes the clause forbidding the current (violating)
-// assignment of the row's variables: every literal is false right now.
-func (g *gauss) conflictClause(row *xorRow) *clause {
-	c := &clause{lits: make([]cnf.Lit, 0, len(row.vars))}
+// assignment of the row's variables: every literal is false right now. The
+// clause is an arena temp; the caller of propagate releases it.
+func (g *gauss) conflictClause(row *xorRow) ClauseRef {
+	g.buf = g.buf[:0]
 	for _, v := range row.vars {
-		c.lits = append(c.lits, cnf.MkLit(v, g.s.assigns[v] == lTrue))
+		g.buf = append(g.buf, cnf.MkLit(v, g.s.assigns[v] == lTrue))
 	}
-	g.s.logJustify(c.lits)
-	return c
+	g.s.logJustify(g.buf)
+	return g.s.ca.alloc(g.buf, false, true)
 }
 
 // unassign undoes the counter updates for literal l (called during

@@ -35,14 +35,22 @@ func (s *Solver) ProbeLiterals(maxVars int) *ProbeResult {
 	if s.decisionLevel() != 0 {
 		panic("sat: ProbeLiterals above level 0")
 	}
-	if s.propagate() != nil {
+	if conf := s.propagate(); conf != NullRef {
+		s.releaseConflict(conf)
 		s.ok = false
 		s.logEmpty()
 		res.Unsat = true
 		return res
 	}
 	if s.gauss != nil {
-		if s.gauss.initialize() == lFalse || s.propagate() != nil {
+		if s.gauss.initialize() == lFalse {
+			s.ok = false
+			s.logEmpty()
+			res.Unsat = true
+			return res
+		}
+		if conf := s.propagate(); conf != NullRef {
+			s.releaseConflict(conf)
 			s.ok = false
 			s.logEmpty()
 			res.Unsat = true
@@ -66,7 +74,13 @@ func (s *Solver) ProbeLiterals(maxVars int) *ProbeResult {
 			}
 			s.logLearn([]cnf.Lit{l})
 		}
-		if !s.enqueue(l, nil) || s.propagate() != nil {
+		if !s.enqueue(l, NullRef) {
+			s.ok = false
+			s.logEmpty()
+			return false
+		}
+		if conf := s.propagate(); conf != NullRef {
+			s.releaseConflict(conf)
 			s.ok = false
 			s.logEmpty()
 			return false
@@ -135,14 +149,15 @@ func (s *Solver) ProbeLiterals(maxVars int) *ProbeResult {
 func (s *Solver) probeBranch(l cnf.Lit) (implied []cnf.Lit, ok bool) {
 	base := len(s.trail)
 	s.trailLim = append(s.trailLim, base)
-	if !s.enqueue(l, nil) {
+	if !s.enqueue(l, NullRef) {
 		s.cancelUntil(s.decisionLevel() - 1)
 		return nil, false
 	}
 	conf := s.propagate()
-	if conf == nil {
+	s.releaseConflict(conf)
+	if conf == NullRef {
 		implied = append(implied, s.trail[base:]...)
 	}
 	s.cancelUntil(s.decisionLevel() - 1)
-	return implied, conf == nil
+	return implied, conf == NullRef
 }

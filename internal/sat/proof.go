@@ -9,6 +9,10 @@ import "repro/internal/cnf"
 // solver does not import internal/proof; proof.TextWriter and
 // proof.BinaryWriter satisfy it implicitly, and with no writer installed
 // the solver's behavior is byte-identical to a build without logging.
+//
+// The lits slices passed to a writer may be views into the solver's clause
+// arena, valid only for the duration of the call: a writer must encode or
+// copy them before returning, never retain them.
 type ProofWriter interface {
 	Learn(lits []cnf.Lit)
 	Delete(lits []cnf.Lit)

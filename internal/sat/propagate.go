@@ -4,59 +4,63 @@ import "repro/internal/cnf"
 
 // propagate performs unit propagation over the watched-literal lists and
 // the XOR component until a joint fixed point or a conflict. It returns
-// the conflicting clause, or nil.
-func (s *Solver) propagate() *clause {
+// the conflicting clause ref, or NullRef. A returned Gauss conflict is an
+// arena temporary — the caller releases it (releaseConflict) once conflict
+// analysis is done with it.
+func (s *Solver) propagate() ClauseRef {
 	//lint:ignore ctxpoll propagation reaches a joint fixed point within the current trail (qhead catches up, gauss.advance stops progressing); the search loop above polls the interrupt hook
 	for {
 		for s.qhead < len(s.trail) {
 			p := s.trail[s.qhead] // p is now true; scan watchers of p
 			s.qhead++
 			s.Propagations++
-			if conf := s.propagateLit(p); conf != nil {
+			if conf := s.propagateLit(p); conf != NullRef {
 				return conf
 			}
 		}
 		if s.gauss == nil {
-			return nil
+			return NullRef
 		}
 		conf, progressed := s.gauss.advance()
-		if conf != nil {
+		if conf != NullRef {
 			s.qhead = len(s.trail)
 			return conf
 		}
 		if !progressed && s.qhead >= len(s.trail) {
-			return nil
+			return NullRef
 		}
 	}
 }
 
-func (s *Solver) propagateLit(p cnf.Lit) *clause {
+func (s *Solver) propagateLit(p cnf.Lit) ClauseRef {
 	ws := s.watches[p]
 	kept := ws[:0]
 	for wi := 0; wi < len(ws); wi++ {
 		w := ws[wi]
-		// Cheap pre-check: if the blocker is true the clause is satisfied.
+		// Cheap pre-check: if the blocker is true the clause is satisfied
+		// without loading its literals from the arena.
 		if s.valueLit(w.blocker) == lTrue {
 			kept = append(kept, w)
 			continue
 		}
-		c := w.c
+		cr := w.ref
+		lits := s.ca.lits(cr)
 		// Normalize so that the false watched literal is lits[1].
 		falseLit := p.Not()
-		if c.lits[0] == falseLit {
-			c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+		if lits[0] == falseLit {
+			lits[0], lits[1] = lits[1], lits[0]
 		}
-		first := c.lits[0]
+		first := lits[0]
 		if first != w.blocker && s.valueLit(first) == lTrue {
-			kept = append(kept, watcher{c, first})
+			kept = append(kept, watcher{cr, first})
 			continue
 		}
 		// Look for a new literal to watch.
 		found := false
-		for k := 2; k < len(c.lits); k++ {
-			if s.valueLit(c.lits[k]) != lFalse {
-				c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-				s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+		for k := 2; k < len(lits); k++ {
+			if s.valueLit(lits[k]) != lFalse {
+				lits[1], lits[k] = lits[k], lits[1]
+				s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{cr, first})
 				found = true
 				break
 			}
@@ -65,19 +69,19 @@ func (s *Solver) propagateLit(p cnf.Lit) *clause {
 			continue // watcher moved; do not keep
 		}
 		// Clause is unit or conflicting.
-		kept = append(kept, watcher{c, first})
+		kept = append(kept, watcher{cr, first})
 		if s.valueLit(first) == lFalse {
 			// Conflict: keep the remaining watchers and bail out.
 			kept = append(kept, ws[wi+1:]...)
 			s.watches[p] = kept
 			s.qhead = len(s.trail)
-			return c
+			return cr
 		}
-		if !s.enqueue(first, c) {
+		if !s.enqueue(first, cr) {
 			// enqueue only fails when first is false, handled above.
 			panic("sat: enqueue failed on undefined literal")
 		}
 	}
 	s.watches[p] = kept
-	return nil
+	return NullRef
 }

@@ -87,7 +87,8 @@ func (s *Solver) SolveLimited(conflictBudget int64) Status {
 	s.interrupted.Store(false)
 	s.model = nil
 	s.cancelUntil(0)
-	if s.propagate() != nil {
+	if conf := s.propagate(); conf != NullRef {
+		s.releaseConflict(conf)
 		s.ok = false
 		s.logEmpty()
 		return Unsat
@@ -99,7 +100,8 @@ func (s *Solver) SolveLimited(conflictBudget int64) Status {
 			return Unsat
 		}
 		// Elimination may have produced unit rows; propagate them.
-		if s.propagate() != nil {
+		if conf := s.propagate(); conf != NullRef {
+			s.releaseConflict(conf)
 			s.ok = false
 			s.logEmpty()
 			return Unsat
@@ -132,6 +134,11 @@ func (s *Solver) SolveLimited(conflictBudget int64) Status {
 			s.reduceDB()
 			maxLearnts *= 1.1
 		}
+		// Restart boundaries are arena-view-free, so they double as a GC
+		// point: without this, Gauss reason temporaries accumulated during a
+		// long conflict-free stretch would never be reclaimed (reduceDB only
+		// triggers on learnt-clause growth).
+		s.maybeGC()
 	}
 }
 
@@ -142,15 +149,17 @@ func (s *Solver) search(restartBudget, globalBudget int64) (Status, int64) {
 	var conflicts int64
 	for {
 		conf := s.propagate()
-		if conf != nil {
+		if conf != NullRef {
 			s.Conflicts++
 			conflicts++
 			if s.decisionLevel() == 0 {
+				s.releaseConflict(conf)
 				s.ok = false
 				s.logEmpty()
 				return Unsat, conflicts
 			}
 			learnt, btLevel := s.analyze(conf)
+			s.releaseConflict(conf)
 			s.cancelUntil(btLevel)
 			s.recordLearnt(learnt)
 			if !s.ok {
@@ -181,7 +190,7 @@ func (s *Solver) search(restartBudget, globalBudget int64) (Status, int64) {
 		}
 		s.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
-		if !s.enqueue(next, nil) {
+		if !s.enqueue(next, NullRef) {
 			panic("sat: decision literal already assigned")
 		}
 	}
@@ -213,28 +222,34 @@ func (s *Solver) pickBranchLit() cnf.Lit {
 // lowest-LBD clauses.
 func (s *Solver) reduceDB() {
 	s.ReducedDBs++
+	// Stable sort on the same (LBD asc, activity desc) key as the seed
+	// solver; stability plus identical keys means the kept half is the
+	// exact set the pointer-based solver kept.
 	sort.SliceStable(s.learnts, func(i, j int) bool {
 		a, b := s.learnts[i], s.learnts[j]
-		if a.lbd != b.lbd {
-			return a.lbd < b.lbd
+		albd, blbd := s.ca.lbd(a), s.ca.lbd(b)
+		if albd != blbd {
+			return albd < blbd
 		}
-		return a.activity > b.activity
+		return s.ca.activity(a) > s.ca.activity(b)
 	})
 	keep := s.learnts[:0]
-	locked := func(c *clause) bool {
-		v := c.lits[0].Var()
-		return s.reason[v] == c && s.valueLit(c.lits[0]) == lTrue
+	locked := func(cr ClauseRef) bool {
+		first := s.ca.lits(cr)[0]
+		return s.reason[first.Var()] == cr && s.valueLit(first) == lTrue
 	}
 	limit := len(s.learnts) / 2
 	for i, c := range s.learnts {
-		if len(c.lits) == 2 || locked(c) || i < limit {
+		if s.ca.size(c) == 2 || locked(c) || i < limit {
 			keep = append(keep, c)
 			continue
 		}
 		s.detach(c)
-		s.logDelete(c.lits)
+		s.logDelete(s.ca.lits(c))
+		s.ca.free(c)
 	}
 	s.learnts = keep
+	s.maybeGC()
 }
 
 // Simplify removes satisfied problem clauses at level 0 and shrinks false
@@ -246,16 +261,18 @@ func (s *Solver) Simplify() bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: Simplify above level 0")
 	}
-	if s.propagate() != nil {
+	if conf := s.propagate(); conf != NullRef {
+		s.releaseConflict(conf)
 		s.ok = false
 		s.logEmpty()
 		return false
 	}
-	for _, list := range []*[]*clause{&s.clauses, &s.learnts} {
+	for _, list := range []*[]ClauseRef{&s.clauses, &s.learnts} {
 		keep := (*list)[:0]
 		for _, c := range *list {
+			lits := s.ca.lits(c)
 			sat := false
-			for _, l := range c.lits {
+			for _, l := range lits {
 				if s.valueLit(l) == lTrue {
 					sat = true
 					break
@@ -263,32 +280,35 @@ func (s *Solver) Simplify() bool {
 			}
 			if sat {
 				s.detach(c)
-				s.logDelete(c.lits)
+				s.logDelete(lits)
+				s.ca.free(c)
 				continue
 			}
 			// Remove false literals beyond the watched pair (watched
 			// literals of a non-satisfied clause cannot be false at level
-			// 0 after propagation).
+			// 0 after propagation). The compaction happens in place in the
+			// arena; shrink retires the dropped tail words.
 			var old []cnf.Lit
 			if s.proof != nil {
-				old = append(old, c.lits...)
+				old = append(old, lits...)
 			}
-			out := c.lits[:2]
-			for _, l := range c.lits[2:] {
+			out := lits[:2]
+			for _, l := range lits[2:] {
 				if s.valueLit(l) != lFalse {
 					out = append(out, l)
 				}
 			}
-			c.lits = out
-			if len(old) > len(c.lits) {
+			s.ca.shrink(c, len(out))
+			if len(old) > len(out) {
 				// The shrunk clause is RUP (the dropped literals are false
 				// at level 0); add it before retiring the original.
-				s.logLearn(c.lits)
+				s.logLearn(s.ca.lits(c))
 				s.logDelete(old)
 			}
 			keep = append(keep, c)
 		}
 		*list = keep
 	}
+	s.maybeGC()
 	return true
 }

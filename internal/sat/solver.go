@@ -23,19 +23,11 @@ func boolToLbool(b bool) lbool {
 	return lFalse
 }
 
-// clause is the internal clause representation. Learnt clauses carry an
-// activity for deletion heuristics and an LBD score.
-type clause struct {
-	lits     []cnf.Lit
-	activity float64
-	lbd      int
-	learnt   bool
-}
-
-// watcher pairs a watching clause with a blocker literal: if the blocker is
-// already true the clause cannot propagate and the watch list scan skips it.
+// watcher pairs a watching clause ref with a blocker literal: if the
+// blocker is already true the clause cannot propagate and the watch list
+// scan skips it without touching the arena.
 type watcher struct {
-	c       *clause
+	ref     ClauseRef
 	blocker cnf.Lit
 }
 
@@ -45,18 +37,19 @@ type Solver struct {
 	opts Options
 	rng  *rand.Rand
 
-	clauses []*clause // problem clauses (len >= 2)
-	learnts []*clause
+	ca      clauseArena // flat clause store; see arena.go
+	clauses []ClauseRef // problem clauses (len >= 2)
+	learnts []ClauseRef
 
 	watches [][]watcher // indexed by literal
 
-	assigns  []lbool   // per variable
-	level    []int32   // decision level of assignment
-	reason   []*clause // implying clause, nil for decisions
-	polarity []byte    // saved phase (1 = last value was true)
-	trail    []cnf.Lit // assignment stack
-	trailLim []int     // decision-level boundaries in trail
-	qhead    int       // propagation queue head
+	assigns  []lbool     // per variable
+	level    []int32     // decision level of assignment
+	reason   []ClauseRef // implying clause, NullRef for decisions
+	polarity []byte      // saved phase (1 = last value was true)
+	trail    []cnf.Lit   // assignment stack
+	trailLim []int       // decision-level boundaries in trail
+	qhead    int         // propagation queue head
 
 	activity []float64
 	varInc   float64
@@ -101,6 +94,8 @@ type Solver struct {
 	Propagations uint64
 	Restarts     uint64
 	ReducedDBs   uint64
+	ArenaGCs     uint64
+	WatchShrinks uint64
 }
 
 // New returns a solver with the given options and no variables.
@@ -130,7 +125,7 @@ func (s *Solver) NewVar() cnf.Var {
 	v := cnf.Var(len(s.assigns))
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, NullRef)
 	s.polarity = append(s.polarity, 1) // default to false (MiniSat habit)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
@@ -201,21 +196,22 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		s.logEmpty()
 		return false
 	case 1:
-		if !s.enqueue(c[0], nil) {
+		if !s.enqueue(c[0], NullRef) {
 			s.ok = false
 			s.logEmpty()
 			return false
 		}
-		if s.propagate() != nil {
+		if conf := s.propagate(); conf != NullRef {
+			s.releaseConflict(conf)
 			s.ok = false
 			s.logEmpty()
 			return false
 		}
 		return true
 	}
-	cl := &clause{lits: append([]cnf.Lit(nil), c...)}
-	s.clauses = append(s.clauses, cl)
-	s.attach(cl)
+	cr := s.ca.alloc(c, false, false)
+	s.clauses = append(s.clauses, cr)
+	s.attach(cr)
 	return true
 }
 
@@ -300,22 +296,24 @@ func (s *Solver) AddFormula(f *cnf.Formula) bool {
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
+func (s *Solver) attach(cr ClauseRef) {
 	// Watch the negations: when lits[0] or lits[1] becomes false we must
 	// visit the clause.
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+	lits := s.ca.lits(cr)
+	s.watches[lits[0].Not()] = append(s.watches[lits[0].Not()], watcher{cr, lits[1]})
+	s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{cr, lits[0]})
 }
 
-func (s *Solver) detach(c *clause) {
-	s.removeWatch(c.lits[0].Not(), c)
-	s.removeWatch(c.lits[1].Not(), c)
+func (s *Solver) detach(cr ClauseRef) {
+	lits := s.ca.lits(cr)
+	s.removeWatch(lits[0].Not(), cr)
+	s.removeWatch(lits[1].Not(), cr)
 }
 
-func (s *Solver) removeWatch(l cnf.Lit, c *clause) {
+func (s *Solver) removeWatch(l cnf.Lit, cr ClauseRef) {
 	ws := s.watches[l]
 	for i := range ws {
-		if ws[i].c == c {
+		if ws[i].ref == cr {
 			ws[i] = ws[len(ws)-1]
 			s.watches[l] = ws[:len(ws)-1]
 			return
@@ -325,7 +323,7 @@ func (s *Solver) removeWatch(l cnf.Lit, c *clause) {
 
 // enqueue assigns literal l with the given reason. Returns false on an
 // immediate conflict with the current assignment.
-func (s *Solver) enqueue(l cnf.Lit, from *clause) bool {
+func (s *Solver) enqueue(l cnf.Lit, from ClauseRef) bool {
 	switch s.valueLit(l) {
 	case lTrue:
 		return true
@@ -360,7 +358,13 @@ func (s *Solver) cancelUntil(level int) {
 			}
 		}
 		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		// Gauss reasons are temporaries materialized in the arena; the
+		// unassignment is the last point they are reachable, so free them
+		// here (a regular clause ref passes the temp check and survives).
+		if r := s.reason[v]; r != NullRef && s.ca.temp(r) && !s.ca.dead(r) {
+			s.ca.free(r)
+		}
+		s.reason[v] = NullRef
 		s.order.insert(v)
 	}
 	s.trail = s.trail[:bound]
@@ -428,11 +432,12 @@ func (s *Solver) bumpVar(v cnf.Var) {
 
 func (s *Solver) decayVar() { s.varInc /= s.opts.VarDecay }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+func (s *Solver) bumpClause(cr ClauseRef) {
+	act := s.ca.activity(cr) + s.claInc
+	s.ca.setActivity(cr, act)
+	if act > 1e20 {
 		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+			s.ca.setActivity(lc, s.ca.activity(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}

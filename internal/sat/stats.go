@@ -2,32 +2,44 @@ package sat
 
 import "fmt"
 
-// Stats is a snapshot of the solver's counters.
+// Stats is a snapshot of the solver's counters. The search counters
+// (conflicts through reduceDBs) are representation-independent: the arena
+// refactor keeps them bit-identical to the pointer-based seed solver. The
+// arena block (GCs, live/wasted words, watch-list shrinks) describes the
+// clause store itself.
 type Stats struct {
 	Vars, Clauses, Learnts             int
 	Conflicts, Decisions, Propagations uint64
 	Restarts, ReducedDBs               uint64
 	XorRows                            int
+	ArenaGCs                           uint64
+	ArenaLiveWords, ArenaWastedWords   int
+	WatchShrinks                       uint64
 }
 
 // Snapshot returns the current statistics.
 func (s *Solver) Snapshot() Stats {
 	return Stats{
-		Vars:         s.NumVars(),
-		Clauses:      len(s.clauses),
-		Learnts:      len(s.learnts),
-		Conflicts:    s.Conflicts,
-		Decisions:    s.Decisions,
-		Propagations: s.Propagations,
-		Restarts:     s.Restarts,
-		ReducedDBs:   s.ReducedDBs,
-		XorRows:      s.NumXorRows(),
+		Vars:             s.NumVars(),
+		Clauses:          len(s.clauses),
+		Learnts:          len(s.learnts),
+		Conflicts:        s.Conflicts,
+		Decisions:        s.Decisions,
+		Propagations:     s.Propagations,
+		Restarts:         s.Restarts,
+		ReducedDBs:       s.ReducedDBs,
+		XorRows:          s.NumXorRows(),
+		ArenaGCs:         s.ArenaGCs,
+		ArenaLiveWords:   s.ca.liveWords(),
+		ArenaWastedWords: s.ca.wasted,
+		WatchShrinks:     s.WatchShrinks,
 	}
 }
 
 // String renders the statistics in a MiniSat-style one-liner.
 func (st Stats) String() string {
-	return fmt.Sprintf("vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d restarts=%d reduceDBs=%d xors=%d",
+	return fmt.Sprintf("vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d restarts=%d reduceDBs=%d xors=%d arenaGCs=%d arenaWords=%d/%d watchShrinks=%d",
 		st.Vars, st.Clauses, st.Learnts, st.Conflicts, st.Decisions,
-		st.Propagations, st.Restarts, st.ReducedDBs, st.XorRows)
+		st.Propagations, st.Restarts, st.ReducedDBs, st.XorRows,
+		st.ArenaGCs, st.ArenaLiveWords, st.ArenaWastedWords, st.WatchShrinks)
 }
