@@ -44,6 +44,8 @@ proofsmoke: build
 	rm -f /tmp/bosphorus.smoke.drat /tmp/bosphorus.smoke.drat.cnf
 
 # perf regenerates the machine-readable kernel + CDCL timing snapshot.
-# (BENCH_pr1.json is the frozen pre-arena artifact; don't overwrite it.)
+# (BENCH_pr1.json and BENCH_pr5.json are frozen artifacts from earlier
+# PRs; don't overwrite them. Compare generations with
+# `go run ./cmd/benchtab -compare BENCH_pr5.json BENCH_pr6.json`.)
 perf: build
-	$(GO) run ./cmd/benchtab -perf BENCH_pr5.json
+	$(GO) run ./cmd/benchtab -perf BENCH_pr6.json

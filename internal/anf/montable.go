@@ -32,6 +32,20 @@ func NewMonoTable() *MonoTable {
 // Len returns the number of distinct monomials interned so far.
 func (t *MonoTable) Len() int { return len(t.monos) }
 
+// Reset empties the table while keeping its map and slice capacity, so a
+// pooled table re-interns the next pass's monomials without reallocating.
+// Monomials carrying a cached ID from before the reset stay safe: the
+// fast path accepts a cached ID only when the stored canonical entry has
+// the identical vars backing (sameInterned), which a post-reset table can
+// satisfy only for the monomial that owns that backing — any stale ID
+// falls through to the keyed slow path.
+func (t *MonoTable) Reset() {
+	for k := range t.ids {
+		delete(t.ids, k)
+	}
+	t.monos = t.monos[:0]
+}
+
 // Mono returns the canonical monomial for id. The returned monomial carries
 // its cached ID, so a later ID() call on it takes the fast path.
 func (t *MonoTable) Mono(id uint32) Monomial { return t.monos[id] }

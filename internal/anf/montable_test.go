@@ -181,3 +181,39 @@ func TestFromSortedMonomials(t *testing.T) {
 		t.Fatal("empty FromSortedMonomials not zero")
 	}
 }
+
+// Reset must empty the table while keeping it usable, and stale cached IDs
+// from a previous epoch must never short-circuit to a wrong answer — the
+// pooled reset-not-reallocate lifecycle the XL/ElimLin rounds rely on.
+func TestMonoTableReset(t *testing.T) {
+	tab := NewMonoTable()
+	ca := tab.Canonical(NewMonomial(1, 2)) // epoch 1: id 0
+	cb := tab.Canonical(NewMonomial(7))    // epoch 1: id 1
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", tab.Len())
+	}
+	if _, ok := tab.Lookup(ca); ok {
+		t.Fatalf("Lookup found %v after Reset", ca)
+	}
+	// Epoch 2 interns in the opposite order: cb must not keep its stale id.
+	if id := tab.ID(cb); id != 0 {
+		t.Fatalf("epoch-2 ID(%v) = %d, want 0", cb, id)
+	}
+	if id := tab.ID(ca); id != 1 {
+		t.Fatalf("epoch-2 ID(%v) = %d, want 1", ca, id)
+	}
+	if got := tab.Mono(1); !got.Equal(ca) {
+		t.Fatalf("epoch-2 Mono(1) = %v, want %v", got, ca)
+	}
+	// Same-order re-interning (the common repeated-pass shape) also agrees.
+	tab.Reset()
+	for want, m := range []Monomial{cb, ca, One} {
+		if id := tab.ID(m); id != uint32(want) {
+			t.Fatalf("epoch-3 ID(%v) = %d, want %d", m, id, want)
+		}
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("epoch-3 Len = %d, want 3", tab.Len())
+	}
+}

@@ -11,7 +11,7 @@ package cnf
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -78,7 +78,9 @@ func (c Clause) String() string {
 // whether the clause is a tautology (contains l and ¬l), in which case it
 // should be dropped. The returned clause aliases the (sorted) input.
 func (c Clause) Normalize() (Clause, bool) {
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	// slices.Sort, not sort.Slice: the reflection-based sorter allocates
+	// two objects per call, which a bulk clause load pays per clause.
+	slices.Sort(c)
 	out := c[:0]
 	for i, l := range c {
 		if i > 0 && l == c[i-1] {

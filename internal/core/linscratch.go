@@ -1,0 +1,49 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/anf"
+)
+
+// linScratch pools the interning and column-ordering state behind a
+// linearize→eliminate→extract pass. XL and ElimLin run one such pass per
+// iteration over systems of similar size, so the monomial table (its map
+// buckets and canonical slice), the flat term-ID buffer, and the column
+// permutation are reset and reused instead of reallocated — the table
+// rebuild was a visible slice of the xl_sr profile. Resetting is safe for
+// escaping results: extracted polynomials copy the canonical Monomial
+// values, whose vars backing is never recycled by Reset.
+type linScratch struct {
+	tab   *anf.MonoTable
+	ids   []uint32 // flat term IDs, concatenated per row
+	order []uint32 // column → monomial ID, sorted descending
+	col   []int    // monomial ID → column
+}
+
+var linScratchPool = sync.Pool{
+	New: func() interface{} { return &linScratch{tab: anf.NewMonoTable()} },
+}
+
+// getLinScratch returns a scratch with an empty table and a cleared ids
+// buffer; order/col are sized by linearize.
+func getLinScratch() *linScratch {
+	s := linScratchPool.Get().(*linScratch)
+	s.tab.Reset()
+	s.ids = s.ids[:0]
+	return s
+}
+
+func putLinScratch(s *linScratch) { linScratchPool.Put(s) }
+
+// orderBufs returns the order and col buffers sized for n monomials,
+// growing the backing at most geometrically across uses.
+func (s *linScratch) orderBufs(n int) ([]uint32, []int) {
+	if cap(s.order) < n {
+		s.order = make([]uint32, n)
+		s.col = make([]int, n)
+	}
+	s.order = s.order[:n]
+	s.col = s.col[:n]
+	return s.order, s.col
+}

@@ -64,12 +64,13 @@ func RunXL(sys *anf.System, cfg XLConfig) []anf.Poly {
 	// integer column IDs the linearization step indexes by.
 	sort.SliceStable(polys, func(i, j int) bool { return polys[i].Deg() < polys[j].Deg() })
 	limit := uint64(1) << uint(cfg.M+cfg.DeltaM)
-	tab := anf.NewMonoTable()
+	scratch := getLinScratch()
+	defer putLinScratch(scratch)
+	tab := scratch.tab
 	expanded := make([]anf.Poly, 0, 2*len(polys))
-	var ids []uint32 // flat term IDs, concatenated per expanded row
 	push := func(q anf.Poly) {
 		expanded = append(expanded, q)
-		ids = tab.AppendTermIDs(ids, q)
+		scratch.ids = tab.AppendTermIDs(scratch.ids, q)
 	}
 	for _, p := range polys {
 		push(p)
@@ -98,7 +99,7 @@ expansion:
 		return nil
 	}
 	var facts []anf.Poly
-	for _, p := range gjeRowsIDs(expanded, ids, tab, cfg.Workers) {
+	for _, p := range gjeRowsIDs(expanded, scratch.ids, tab, cfg.Workers, scratch) {
 		if p.IsLinear() || p.IsMonomialPlusOne() || p.IsOne() {
 			facts = append(facts, p)
 		}
@@ -238,18 +239,19 @@ func RunXLProv(sys *anf.System, cfg XLConfig) []ProvFact {
 	// polynomials, so co-sorting the slots preserves the permutation.
 	sort.SliceStable(polys, func(i, j int) bool { return polys[i].p.Deg() < polys[j].p.Deg() })
 	limit := uint64(1) << uint(cfg.M+cfg.DeltaM)
-	tab := anf.NewMonoTable()
+	scratch := getLinScratch()
+	defer putLinScratch(scratch)
+	tab := scratch.tab
 	expanded := make([]anf.Poly, 0, 2*len(polys))
 	type rowSrc struct {
 		slot int
 		mult anf.Monomial
 	}
 	srcs := make([]rowSrc, 0, 2*len(polys))
-	var ids []uint32
 	push := func(q anf.Poly, slot int, mult anf.Monomial) {
 		expanded = append(expanded, q)
 		srcs = append(srcs, rowSrc{slot: slot, mult: mult})
-		ids = tab.AppendTermIDs(ids, q)
+		scratch.ids = tab.AppendTermIDs(scratch.ids, q)
 	}
 	one := anf.NewMonomial()
 	for _, s := range polys {
@@ -280,7 +282,7 @@ expansion:
 	if ctxCanceled(cfg.Context) {
 		return nil
 	}
-	rows, ops := gjeRowsIDsTracked(expanded, ids, tab)
+	rows, ops := gjeRowsIDsTracked(expanded, scratch.ids, tab, scratch)
 	var facts []ProvFact
 	for r, p := range rows {
 		if !(p.IsLinear() || p.IsMonomialPlusOne() || p.IsOne()) {
@@ -304,18 +306,18 @@ func gjeRows(polys []anf.Poly) []anf.Poly {
 	return gjeRowsWorkers(polys, 0)
 }
 
-// gjeRowsWorkers is gjeRows with an explicit elimination fan-out.
+// gjeRowsWorkers is gjeRows with an explicit elimination fan-out. The
+// interning table and ID buffers come from the pooled scratch: ElimLin
+// calls this once per substitution round, and the reset-not-reallocate
+// lifecycle keeps the rounds allocation-light.
 func gjeRowsWorkers(polys []anf.Poly, workers int) []anf.Poly {
-	tab := anf.NewMonoTable()
-	n := 0
+	scratch := getLinScratch()
+	defer putLinScratch(scratch)
+	tab := scratch.tab
 	for _, p := range polys {
-		n += p.NumTerms()
+		scratch.ids = tab.AppendTermIDs(scratch.ids, p)
 	}
-	ids := make([]uint32, 0, n)
-	for _, p := range polys {
-		ids = tab.AppendTermIDs(ids, p)
-	}
-	return gjeRowsIDs(polys, ids, tab, workers)
+	return gjeRowsIDs(polys, scratch.ids, tab, workers, scratch)
 }
 
 // gjeRowsIDs is the linearize→eliminate→extract kernel. ids holds the
@@ -323,8 +325,8 @@ func gjeRowsWorkers(polys []anf.Poly, workers int) []anf.Poly {
 // next polys[r].NumTerms() entries), with every ID already interned in
 // tab — so each column index is an integer array lookup and the hot path
 // does no string hashing at all.
-func gjeRowsIDs(polys []anf.Poly, ids []uint32, tab *anf.MonoTable, workers int) []anf.Poly {
-	mat, order, monos := linearize(polys, ids, tab)
+func gjeRowsIDs(polys []anf.Poly, ids []uint32, tab *anf.MonoTable, workers int, s *linScratch) []anf.Poly {
+	mat, order, monos := linearize(polys, ids, tab, s)
 	rank := mat.RREFM4RWorkers(workers)
 	return extractRows(mat, rank, order, monos)
 }
@@ -334,21 +336,18 @@ func gjeRowsIDs(polys []anf.Poly, ids []uint32, tab *anf.MonoTable, workers int)
 // row to a combination of the input polynomials. The reduced rows are
 // bit-identical to the untracked kernel's (RREF is unique).
 func gjeRowsTracked(polys []anf.Poly) ([]anf.Poly, *gf2.Matrix) {
-	tab := anf.NewMonoTable()
-	n := 0
+	scratch := getLinScratch()
+	defer putLinScratch(scratch)
+	tab := scratch.tab
 	for _, p := range polys {
-		n += p.NumTerms()
+		scratch.ids = tab.AppendTermIDs(scratch.ids, p)
 	}
-	ids := make([]uint32, 0, n)
-	for _, p := range polys {
-		ids = tab.AppendTermIDs(ids, p)
-	}
-	return gjeRowsIDsTracked(polys, ids, tab)
+	return gjeRowsIDsTracked(polys, scratch.ids, tab, scratch)
 }
 
 // gjeRowsIDsTracked is gjeRowsIDs with row-operation tracking.
-func gjeRowsIDsTracked(polys []anf.Poly, ids []uint32, tab *anf.MonoTable) ([]anf.Poly, *gf2.Matrix) {
-	mat, order, monos := linearize(polys, ids, tab)
+func gjeRowsIDsTracked(polys []anf.Poly, ids []uint32, tab *anf.MonoTable, s *linScratch) ([]anf.Poly, *gf2.Matrix) {
+	mat, order, monos := linearize(polys, ids, tab, s)
 	rank, ops := mat.RREFTracked()
 	return extractRows(mat, rank, order, monos), ops
 }
@@ -356,16 +355,22 @@ func gjeRowsIDsTracked(polys []anf.Poly, ids []uint32, tab *anf.MonoTable) ([]an
 // linearize builds the GF(2) matrix of the polynomials: one column per
 // distinct monomial, sorted descending (leading terms first) so the
 // reduction eliminates high-degree monomials first, mirroring Table I.
-func linearize(polys []anf.Poly, ids []uint32, tab *anf.MonoTable) (*gf2.Matrix, []uint32, []anf.Monomial) {
+func linearize(polys []anf.Poly, ids []uint32, tab *anf.MonoTable, s *linScratch) (*gf2.Matrix, []uint32, []anf.Monomial) {
 	monos := tab.Monos()
-	order := make([]uint32, len(monos))
+	var order []uint32
+	var col []int // monomial ID → matrix column
+	if s != nil {
+		order, col = s.orderBufs(len(monos))
+	} else {
+		order = make([]uint32, len(monos))
+		col = make([]int, len(monos))
+	}
 	for i := range order {
 		order[i] = uint32(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
 		return monos[order[i]].Compare(monos[order[j]]) > 0
 	})
-	col := make([]int, len(monos)) // monomial ID → matrix column
 	for c, id := range order {
 		col[id] = c
 	}

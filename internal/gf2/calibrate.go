@@ -1,0 +1,103 @@
+package gf2
+
+import (
+	"sync"
+	"time"
+)
+
+// The elimination kernel makes two performance-only choices per round:
+// whether the combination table is small enough to apply in one fused
+// pass, and — when it is not — how wide the column strips of the blocked
+// apply should be so one table strip stays resident in the fast cache
+// while it streams over every row. Both derive from a single calibrated
+// quantity, the fast-cache working set in words, measured once per
+// process by a short XOR-throughput probe. The choices never change the
+// eliminated matrix (every path computes the same XORs), so calibration
+// being machine-dependent does not threaten any bit-identity contract;
+// it only moves the fused/blocked crossover.
+
+const (
+	// defaultFastCacheWords is the fallback working set: 4096 words =
+	// 32 KiB, a conservative L1d size.
+	defaultFastCacheWords = 4096
+	// minStripWords keeps strips from degenerating below one cache line
+	// worth of useful streaming per row visit.
+	minStripWords = 8
+)
+
+var (
+	calibOnce      sync.Once
+	fastCacheWords = defaultFastCacheWords
+)
+
+// fusedTableWords returns the table size (in words) up to which applyRound
+// runs the single fused pass; larger tables take the column-blocked path.
+func fusedTableWords() int {
+	calibOnce.Do(calibrate)
+	return fastCacheWords
+}
+
+// stripWordsFor returns the column-strip width for a 2^np-entry table:
+// the widest strip whose table slice still fits the calibrated fast
+// cache, clamped below by minStripWords.
+func stripWordsFor(np int) int {
+	calibOnce.Do(calibrate)
+	w := fastCacheWords >> uint(np)
+	if w < minStripWords {
+		w = minStripWords
+	}
+	return w
+}
+
+// tableBudgetWords returns the cap on total combination-table size used by
+// m4rKElim when narrowing k for wide matrices: one order of magnitude
+// above the fast cache (an L2-ish budget), so table build cost keeps
+// amortizing over the application sweep.
+func tableBudgetWords() int {
+	calibOnce.Do(calibrate)
+	return fastCacheWords * 16
+}
+
+// calibrate probes XOR throughput over doubling working sets and keeps the
+// largest one that still runs within 25% of the fastest observed
+// time-per-word — an estimate of where the streaming XOR falls out of the
+// fast cache. The probe costs ~1 ms and runs once per process, lazily on
+// the first elimination. Degenerate timings (too-coarse clocks, heavily
+// loaded machines) fall back to the default.
+func calibrate() {
+	const (
+		minSet = 2048  // 16 KiB
+		maxSet = 32768 // 256 KiB
+		sweeps = 1 << 22
+	)
+	buf := make([]uint64, 2*maxSet)
+	best := 0.0
+	chosen := 0
+	for set := minSet; set <= maxSet; set *= 2 {
+		dst, src := buf[:set], buf[maxSet:maxSet+set]
+		iters := sweeps / set
+		if iters < 4 {
+			iters = 4
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			xorWords(dst, src)
+		}
+		elapsed := time.Since(start)
+		if elapsed <= 0 {
+			return // clock too coarse; keep the default
+		}
+		perWord := float64(elapsed) / float64(iters*set)
+		if best == 0 || perWord < best {
+			best = perWord
+		}
+		if perWord <= best*1.25 {
+			chosen = set
+		} else {
+			break // throughput fell off; larger sets only get worse
+		}
+	}
+	if chosen >= minSet {
+		fastCacheWords = chosen
+	}
+}

@@ -92,7 +92,7 @@ func (m *Matrix) Rank() int {
 	return m.Clone().RREF()
 }
 
-// m4rK picks the table width for M4R elimination: roughly log2 of the
+// m4rK picks the base table width for the M4R kernels: roughly log2 of the
 // matrix size, clamped to [1, 8] so tables stay small.
 func m4rK(rows, cols int) int {
 	n := rows
@@ -109,161 +109,400 @@ func m4rK(rows, cols int) int {
 	return k
 }
 
+// m4rKElim is the elimination kernel's table width: the base m4rK choice,
+// then narrowed to account for the row stride — a 2^k-entry table of
+// stride-word rows must stay within the calibrated outer-cache budget
+// (see calibrate.go) or the per-round build cost stops amortizing and the
+// blocked application thrashes. Wide-and-short matrices (large stride)
+// therefore step k down; square benchmark shapes keep the full width.
+func m4rKElim(rows, cols, stride int) int {
+	k := m4rK(rows, cols)
+	budget := tableBudgetWords()
+	for k > 1 && (1<<uint(k))*stride > budget {
+		k--
+	}
+	return k
+}
+
 // RREFM4R reduces the matrix in place to reduced row echelon form using the
 // Method of the Four Russians and returns the rank. It is the sequential
 // form of RREFM4RWorkers.
 func (m *Matrix) RREFM4R() int { return m.RREFM4RWorkers(1) }
 
 // minWorkerWords is the minimum number of matrix words a round must touch
-// per worker before the kernel fans the table-application loop out to
+// per worker before the kernel fans the table-application sweep out to
 // goroutines; below it the per-round synchronization outweighs the XOR
 // work.
 const minWorkerWords = 8192
 
 // RREFM4RWorkers reduces the matrix in place to reduced row echelon form
 // using the Method of the Four Russians and returns the rank. It processes
-// up to k pivot columns per round: the k pivot rows are first fully reduced
-// against each other, then a 2^k-entry table of all their GF(2)
-// combinations is built, and every other row is cleared in one table
-// lookup plus one word-parallel XOR. This is the elimination algorithm that
-// gives M4RI its name and its asymptotic O(n^3 / log n) behaviour.
+// up to k pivot columns per round: the k pivot rows are mutually reduced,
+// a 2^k-entry table of all their GF(2) combinations is built Gray-code
+// style, and every other row is cleared in one table lookup plus one
+// word-parallel XOR — the elimination algorithm that gives M4RI its name
+// and its O(n³ / log n) behaviour.
 //
-// The combination table lives in a pooled workspace, so steady-state rounds
-// allocate nothing. With workers > 1 the table-application loop — the bulk
-// of the work, and independent per row once the pivot block and table are
-// fixed — is split over row blocks across that many goroutines. Each row's
-// final value is a fixed XOR of table entries regardless of scheduling, so
-// the result is bit-identical for every worker count.
+// Beyond the classic algorithm the kernel keeps three pieces of hot-path
+// structure:
+//
+//   - Per-row lead tracking: the leading column of every unfinished row is
+//     maintained across rounds, so pivot selection is one scan of an int32
+//     array (the k smallest distinct leads) instead of a per-column probe
+//     of the matrix — empty columns cost nothing, which is what makes the
+//     wide, sparse XL linearizations cheap.
+//   - Skip-zero prefix: every table row is a combination of pivot rows,
+//     all of which lead at or after the round's first pivot column, so the
+//     build and the application both run over [startWord, stride) only.
+//   - Cache blocking: when the live table exceeds the calibrated fast-
+//     cache budget (calibrate.go), the application sweep runs in column
+//     strips — masks are extracted once per row into a workspace buffer,
+//     then each strip of the table is streamed over all rows while it is
+//     hot.
+//
+// The workspace (table, leads, masks) is pooled, so steady-state rounds
+// allocate nothing. With workers > 1 the application sweep is split into
+// fixed disjoint row strips owned by persistent per-call goroutines that
+// are woken once per round; each row's final value is a fixed XOR of table
+// entries regardless of scheduling, so the result is bit-identical for
+// every worker count.
 func (m *Matrix) RREFM4RWorkers(workers int) int {
-	k := m4rK(m.rows, m.cols)
-	ws := getM4RWorkspace(m.stride, k)
+	if m.rows == 0 || m.cols == 0 || m.stride == 0 {
+		return 0
+	}
+	k := m4rKElim(m.rows, m.cols, m.stride)
+	ws := getM4RWorkspace(m.stride, k, m.rows)
 	defer putM4RWorkspace(ws)
+
+	for r := 0; r < m.rows; r++ {
+		ws.leads[r] = m.leadColFrom(r, 0)
+	}
+
 	// Cap the fan-out by the per-round work so small matrices stay on the
 	// fast sequential path.
 	if limit := m.rows * m.stride / minWorkerWords; workers > limit {
 		workers = limit
 	}
+	var crew *m4rCrew
+	if workers > 1 {
+		crew = m.startCrew(ws, workers)
+		defer crew.stop()
+	}
 
 	rank := 0
-	col := 0
-	for col < m.cols && rank < m.rows {
-		// Gather up to k pivots starting from this column. Chosen pivot
-		// rows are swapped up to the contiguous block [rank, rank+np).
-		np := 0 // pivots gathered this round
-		c := col
-		for c < m.cols && np < k {
-			// Scan candidate rows below the block, reducing each against
-			// the block pivots before testing its bit at column c. Rows
-			// that are reduced but not chosen stay partially reduced; that
-			// is only a row operation, so correctness is unaffected and the
-			// table step below finishes them.
-			found := -1
-			for r := rank + np; r < m.rows; r++ {
-				for i := 0; i < np; i++ {
-					if m.data[r*m.stride+ws.pcWord[i]]>>ws.pcBit[i]&1 == 1 {
-						m.AddRowTo(rank+i, r)
-					}
-				}
-				if m.Get(r, c) {
-					found = r
-					break
-				}
-			}
-			if found >= 0 {
-				newRow := rank + np
-				m.SwapRows(newRow, found)
-				// Clear column c from the earlier pivot rows so the block
-				// stays in reduced form.
-				for i := 0; i < np; i++ {
-					if m.Get(rank+i, c) {
-						m.AddRowTo(newRow, rank+i)
-					}
-				}
-				ws.pcWord[np] = c / wordBits
-				ws.pcBit[np] = uint(c) % wordBits
-				np++
-			}
-			c++
-		}
+	for rank < m.rows {
+		np := m.gatherPivots(ws, rank, k)
 		if np == 0 {
 			break
 		}
-		// Build the combination table in the workspace: table[mask] = XOR
-		// of pivot rows whose bit is set in mask. Built incrementally
-		// (Gray-code style) so each entry costs one row XOR.
-		nComb := 1 << uint(np)
-		zero := ws.tableRow(0, m.stride)
-		for w := range zero {
-			zero[w] = 0
-		}
-		for mask := 1; mask < nComb; mask++ {
-			low := bits.TrailingZeros(uint(mask))
-			prev := ws.tableRow(mask&(mask-1), m.stride)
-			row := ws.tableRow(mask, m.stride)
-			pr := m.Row(rank + low)
-			for w := range row {
-				row[w] = prev[w] ^ pr[w]
-			}
-		}
-		// Reduce every non-pivot row: read its bits at the pivot columns to
-		// form the table index, then XOR the combination in.
-		if workers > 1 {
-			m.applyTableParallel(ws, rank, np, workers)
+		startWord := int(ws.pcCol[0]) / wordBits
+		m.buildTable(ws, rank, np, startWord)
+		if crew != nil {
+			crew.dispatch(m4rRound{rank: rank, np: np, startWord: startWord})
 		} else {
-			m.applyTable(ws, rank, np, 0, m.rows)
+			m.applyRound(ws, rank, np, startWord, 0, m.rows)
 		}
 		rank += np
-		col = c
 	}
-	// The pivot gathering above can leave rows unsorted by leading column
-	// when a round spans a zero column; finish with a compaction pass that
-	// restores canonical RREF row order.
+	// Pivot gathering takes leads in whatever order the rounds produce
+	// them, so finish with a compaction pass that restores canonical RREF
+	// row order (pivot rows by leading column, zero rows last).
 	m.sortRowsByLeading()
 	return rank
 }
 
-// applyTable clears the pivot columns from every non-pivot row in
-// [lo, hi): the row's bits at the np pivot columns index the combination
-// table, whose entry is XORed in. Rows in the pivot block
-// [rank, rank+np) are skipped.
-func (m *Matrix) applyTable(ws *m4rWorkspace, rank, np, lo, hi int) {
-	for r := lo; r < hi; r++ {
-		if r >= rank && r < rank+np {
+// leadColFrom returns the leading column of row r scanning from the given
+// word, or m.cols when the row has no set bit in a valid column (the
+// zero-row sentinel used by the lead-tracking arrays).
+func (m *Matrix) leadColFrom(r, fromWord int) int32 {
+	row := m.Row(r)
+	for w := fromWord; w < len(row); w++ {
+		if word := row[w]; word != 0 {
+			c := w*wordBits + bits.TrailingZeros64(word)
+			if c >= m.cols {
+				return int32(m.cols)
+			}
+			return int32(c)
+		}
+	}
+	return int32(m.cols)
+}
+
+// gatherPivots selects the next pivot block: the rows holding the (up to k)
+// smallest distinct leading columns among rows ≥ rank, preferring the
+// smallest row index per column. The chosen rows are swapped into the
+// contiguous block [rank, rank+np) and mutually reduced, and the workspace
+// pivot descriptors (pcCol, pcWord, pcBit) are filled in ascending column
+// order. Returns the number of pivots gathered; 0 means every remaining
+// row is zero.
+//
+// Rows that share a leading column with a chosen pivot are left alone: the
+// round's table application clears their pivot-column bits, and whatever
+// lead they reduce to is picked up by a later round. RREF is unique, so
+// the final matrix is unaffected by this scheduling choice.
+func (m *Matrix) gatherPivots(ws *m4rWorkspace, rank, k int) int {
+	np := 0
+	for r := rank; r < m.rows; r++ {
+		lead := ws.leads[r]
+		if int(lead) >= m.cols {
+			continue // zero row
+		}
+		// Full list and lead at or beyond its maximum: cannot improve it.
+		if np == k && lead >= ws.pcCol[k-1] {
 			continue
 		}
-		base := r * m.stride
-		mask := 0
+		// Insertion position in the (tiny, ≤ k) sorted candidate list.
+		pos := np
+		dup := false
 		for i := 0; i < np; i++ {
-			mask |= int(m.data[base+ws.pcWord[i]]>>ws.pcBit[i]&1) << uint(i)
+			if ws.pcCol[i] == lead {
+				dup = true
+				break
+			}
+			if ws.pcCol[i] > lead {
+				pos = i
+				break
+			}
 		}
-		if mask == 0 {
+		if dup {
 			continue
 		}
-		xorWords(m.data[base:base+m.stride], ws.tableRow(mask, m.stride))
+		if pos == np {
+			if np == k {
+				continue // larger than every candidate, list full
+			}
+			ws.pcCol[np] = lead
+			ws.pcRow[np] = int32(r)
+			np++
+			continue
+		}
+		if np < k {
+			np++
+		}
+		for j := np - 1; j > pos; j-- {
+			ws.pcCol[j] = ws.pcCol[j-1]
+			ws.pcRow[j] = ws.pcRow[j-1]
+		}
+		ws.pcCol[pos] = lead
+		ws.pcRow[pos] = int32(r)
+	}
+	// Swap the chosen rows into the block, tracking displaced candidates.
+	for i := 0; i < np; i++ {
+		src := int(ws.pcRow[i])
+		dst := rank + i
+		if src != dst {
+			m.SwapRows(src, dst)
+			ws.leads[src], ws.leads[dst] = ws.leads[dst], ws.leads[src]
+			for j := i + 1; j < np; j++ {
+				if int(ws.pcRow[j]) == dst {
+					ws.pcRow[j] = int32(src)
+				}
+			}
+		}
+	}
+	// Mutually reduce the block: clear pivot column j from every earlier
+	// pivot row. Pivot row j leads at pcCol[j], so the XOR never
+	// reintroduces earlier columns and can start at that column's word.
+	for j := 1; j < np; j++ {
+		cj := int(ws.pcCol[j])
+		wj := cj / wordBits
+		bj := uint(cj) % wordBits
+		rowj := m.Row(rank + j)[wj:]
+		for i := 0; i < j; i++ {
+			rowi := m.Row(rank + i)
+			if rowi[wj]>>bj&1 == 1 {
+				xorWords(rowi[wj:], rowj)
+			}
+		}
+	}
+	for i := 0; i < np; i++ {
+		c := int(ws.pcCol[i])
+		ws.pcWord[i] = c / wordBits
+		ws.pcBit[i] = uint(c) % wordBits
+	}
+	return np
+}
+
+// buildTable fills the workspace combination table for the current pivot
+// block over the live suffix [startWord, stride): table[mask] = XOR of the
+// pivot rows whose bit is set in mask, built incrementally (Gray-code
+// style) so each entry costs one row XOR.
+func (m *Matrix) buildTable(ws *m4rWorkspace, rank, np, startWord int) {
+	tw := m.stride - startWord
+	ws.tableWidth = tw
+	zero := ws.tableRow(0)
+	for w := range zero {
+		zero[w] = 0
+	}
+	for mask := 1; mask < 1<<uint(np); mask++ {
+		low := bits.TrailingZeros(uint(mask))
+		prev := ws.tableRow(mask & (mask - 1))
+		row := ws.tableRow(mask)
+		pr := m.Row(rank + low)[startWord:]
+		for w := range row {
+			row[w] = prev[w] ^ pr[w]
+		}
 	}
 }
 
-// applyTableParallel splits applyTable's row range over `workers`
-// goroutines in contiguous blocks. Every row's update depends only on the
-// fixed pivot block and table, so the partitioning does not affect the
-// result.
-func (m *Matrix) applyTableParallel(ws *m4rWorkspace, rank, np, workers int) {
+// applyRound clears the pivot columns from every non-pivot row in [lo, hi):
+// the row's bits at the np pivot columns index the combination table, whose
+// entry is XORed into the row's live suffix, and the row's tracked lead is
+// rescanned. When the live table fits the calibrated fast-cache budget the
+// sweep is a single fused pass; otherwise it is column-blocked — masks are
+// extracted into the workspace first, then each table strip is streamed
+// over all rows of the range while it is cache-resident.
+func (m *Matrix) applyRound(ws *m4rWorkspace, rank, np, startWord, lo, hi int) {
+	m.fillMasks(ws, rank, np, lo, hi)
+	masks := ws.masks
+	tw := m.stride - startWord
+	if (1<<uint(np))*tw <= fusedTableWords() {
+		// Fused: table XOR and lead rescan in one pass per row.
+		for r := lo; r < hi; r++ {
+			mask := masks[r]
+			if mask == 0 {
+				continue
+			}
+			base := r * m.stride
+			xorWords(m.data[base+startWord:base+m.stride], ws.tableRow(int(mask)))
+			if r >= rank+np {
+				ws.leads[r] = m.leadColFrom(r, int(ws.leads[r])/wordBits)
+			}
+		}
+		return
+	}
+	// Blocked: stream the table strip-by-strip over all rows in range.
+	strip := stripWordsFor(np)
+	for w0 := startWord; w0 < m.stride; w0 += strip {
+		w1 := w0 + strip
+		if w1 > m.stride {
+			w1 = m.stride
+		}
+		toff := w0 - startWord
+		tend := w1 - startWord
+		for r := lo; r < hi; r++ {
+			mask := masks[r]
+			if mask == 0 {
+				continue
+			}
+			base := r * m.stride
+			xorWords(m.data[base+w0:base+w1], ws.tableRow(int(mask))[toff:tend])
+		}
+	}
+	// Final pass: rescan leads of the touched unfinished rows. Bits below
+	// the old lead were zero and stay zero (the table's support starts at
+	// the first pivot column, which is at or after every candidate's
+	// lead), so the rescan starts at the old lead's word.
+	r0 := lo
+	if r0 < rank+np {
+		r0 = rank + np
+	}
+	for r := r0; r < hi; r++ {
+		if masks[r] != 0 {
+			ws.leads[r] = m.leadColFrom(r, int(ws.leads[r])/wordBits)
+		}
+	}
+}
+
+// fillMasks extracts every row's table index (bit i = pivot column i) for
+// rows in [lo, hi) into ws.masks; the pivot block itself gets 0. The
+// common dense case — the round's pivot columns are consecutive — reads
+// the index with one or two word loads instead of np scattered probes.
+func (m *Matrix) fillMasks(ws *m4rWorkspace, rank, np, lo, hi int) {
+	masks := ws.masks
+	if ws.pcCol[np-1]-ws.pcCol[0] == int32(np-1) {
+		c0 := int(ws.pcCol[0])
+		w0, off := c0/wordBits, uint(c0)%wordBits
+		low := uint64(1)<<uint(np) - 1
+		spill := off+uint(np) > wordBits && w0+1 < m.stride
+		for r := lo; r < hi; r++ {
+			base := r * m.stride
+			v := m.data[base+w0] >> off
+			if spill {
+				v |= m.data[base+w0+1] << (wordBits - off)
+			}
+			masks[r] = uint16(v & low)
+		}
+	} else {
+		for r := lo; r < hi; r++ {
+			base := r * m.stride
+			mask := uint16(0)
+			for i := 0; i < np; i++ {
+				mask |= uint16(m.data[base+ws.pcWord[i]]>>ws.pcBit[i]&1) << uint(i)
+			}
+			masks[r] = mask
+		}
+	}
+	for r := rank; r < rank+np; r++ {
+		if r >= lo && r < hi {
+			masks[r] = 0
+		}
+	}
+}
+
+// m4rRound is one round's application job, broadcast to the crew.
+type m4rRound struct {
+	rank, np, startWord int
+}
+
+// m4rCrew is the persistent fan-out of one RREFM4RWorkers call: workers-1
+// helper goroutines, each owning a fixed disjoint strip of rows, woken
+// once per round through a buffered channel. Row strips touch disjoint
+// matrix, mask, and lead ranges, so rounds run lock-free; the per-round
+// WaitGroup is the only synchronization.
+type m4rCrew struct {
+	m      *Matrix
+	ws     *m4rWorkspace
+	starts []chan m4rRound
+	bounds [][2]int // row strip per member; entry 0 is the coordinator's
+	wg     sync.WaitGroup
+}
+
+// startCrew launches the helper goroutines. Strips are contiguous,
+// near-equal row ranges; the coordinator keeps the first strip so the
+// calling goroutine contributes instead of idling at the barrier.
+func (m *Matrix) startCrew(ws *m4rWorkspace, workers int) *m4rCrew {
+	crew := &m4rCrew{m: m, ws: ws}
 	chunk := (m.rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := chunk; lo < m.rows; lo += chunk {
+	for lo := 0; lo < m.rows; lo += chunk {
 		hi := lo + chunk
 		if hi > m.rows {
 			hi = m.rows
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			m.applyTable(ws, rank, np, lo, hi)
-		}(lo, hi)
+		crew.bounds = append(crew.bounds, [2]int{lo, hi})
 	}
-	// The first chunk runs on the calling goroutine.
-	m.applyTable(ws, rank, np, 0, chunk)
-	wg.Wait()
+	for i := 1; i < len(crew.bounds); i++ {
+		ch := make(chan m4rRound, 1)
+		crew.starts = append(crew.starts, ch)
+		b := crew.bounds[i]
+		go func() {
+			for rd := range ch {
+				m.applyRound(ws, rd.rank, rd.np, rd.startWord, b[0], b[1])
+				crew.wg.Done()
+			}
+		}()
+	}
+	return crew
+}
+
+// dispatch runs one round across the crew and returns when every strip is
+// done. The coordinator works its own strip between the broadcast and the
+// barrier.
+func (c *m4rCrew) dispatch(rd m4rRound) {
+	c.wg.Add(len(c.starts))
+	for _, ch := range c.starts {
+		ch <- rd
+	}
+	b := c.bounds[0]
+	c.m.applyRound(c.ws, rd.rank, rd.np, rd.startWord, b[0], b[1])
+	c.wg.Wait()
+}
+
+// stop releases the helper goroutines.
+func (c *m4rCrew) stop() {
+	for _, ch := range c.starts {
+		close(ch)
+	}
 }
 
 // sortRowsByLeading reorders rows so leading columns are strictly

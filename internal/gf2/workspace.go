@@ -3,21 +3,28 @@ package gf2
 import "sync"
 
 // m4rWorkspace holds the per-call scratch of the M4R elimination kernel:
-// the flat backing store of the 2^k combination table and the precomputed
-// pivot-column word/shift pairs used for mask extraction. Eliminations run
-// once per XL/ElimLin round, so the workspaces are pooled — a steady-state
-// reduction allocates nothing beyond the matrix itself.
+// the flat backing store of the 2^k combination table, the pivot
+// descriptors of the current round, and the per-row lead/mask tracking
+// arrays. Eliminations run once per XL/ElimLin round, so the workspaces
+// are pooled — a steady-state reduction allocates nothing beyond the
+// matrix itself.
 type m4rWorkspace struct {
-	buf    []uint64 // (1<<k)*stride words; table[mask] = buf[mask*stride:]
-	pcWord []int    // pivot column / 64
-	pcBit  []uint   // pivot column % 64
+	buf        []uint64 // (1<<k)*stride words of table backing
+	tableWidth int      // live words per table row this round (stride - startWord)
+	pcWord     []int    // pivot column / 64
+	pcBit      []uint   // pivot column % 64
+	pcCol      []int32  // pivot columns of the round, ascending
+	pcRow      []int32  // row holding each pivot before the block swap
+	leads      []int32  // leading column per row; cols = zero-row sentinel
+	masks      []uint16 // per-row table index, filled by the blocked apply
 }
 
 var m4rPool = sync.Pool{New: func() interface{} { return new(m4rWorkspace) }}
 
 // getM4RWorkspace returns a workspace with room for a 2^k-entry table of
-// stride-word rows and k pivot descriptors.
-func getM4RWorkspace(stride, k int) *m4rWorkspace {
+// stride-word rows, k pivot descriptors, and per-row tracking for rows
+// rows.
+func getM4RWorkspace(stride, k, rows int) *m4rWorkspace {
 	ws := m4rPool.Get().(*m4rWorkspace)
 	need := (1 << uint(k)) * stride
 	if cap(ws.buf) < need {
@@ -27,21 +34,48 @@ func getM4RWorkspace(stride, k int) *m4rWorkspace {
 	if cap(ws.pcWord) < k {
 		ws.pcWord = make([]int, k)
 		ws.pcBit = make([]uint, k)
+		ws.pcCol = make([]int32, k)
+		ws.pcRow = make([]int32, k)
 	}
+	if cap(ws.leads) < rows {
+		ws.leads = make([]int32, rows)
+		ws.masks = make([]uint16, rows)
+	}
+	ws.leads = ws.leads[:rows]
+	ws.masks = ws.masks[:rows]
 	return ws
 }
 
 func putM4RWorkspace(ws *m4rWorkspace) { m4rPool.Put(ws) }
 
-// tableRow returns the mask-th combination row of the workspace table.
-func (ws *m4rWorkspace) tableRow(mask, stride int) []uint64 {
-	return ws.buf[mask*stride : (mask+1)*stride : (mask+1)*stride]
+// tableRow returns the mask-th combination row of the workspace table,
+// tableWidth words wide (the live suffix of the round).
+func (ws *m4rWorkspace) tableRow(mask int) []uint64 {
+	tw := ws.tableWidth
+	return ws.buf[mask*tw : (mask+1)*tw : (mask+1)*tw]
 }
 
 // xorWords XORs src into dst word-by-word. len(src) must be ≥ len(dst).
+// The 8-way unrolled body with re-sliced operands compiles to
+// bounds-check-free loads; this is the innermost loop of every
+// elimination, so the unroll is measurable.
 func xorWords(dst, src []uint64) {
-	_ = src[:len(dst)] // bounds hint
-	for i := range dst {
+	n := len(dst)
+	src = src[:n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		d[0] ^= s[0]
+		d[1] ^= s[1]
+		d[2] ^= s[2]
+		d[3] ^= s[3]
+		d[4] ^= s[4]
+		d[5] ^= s[5]
+		d[6] ^= s[6]
+		d[7] ^= s[7]
+	}
+	for ; i < n; i++ {
 		dst[i] ^= src[i]
 	}
 }

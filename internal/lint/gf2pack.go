@@ -15,8 +15,10 @@ import (
 //
 //   - Outside internal/gf2: indexing with c>>6 or c/64, shift amounts
 //     c&63 or c%64 paired with such an index, word-count sizing
-//     (n+63)/64, and bit-position reconstruction w*64+TrailingZeros64 are
-//     all rejected; call the gf2 helpers instead.
+//     (n+63)/64, bit-position reconstruction w*64+TrailingZeros64, and
+//     strip slicing with word-index bounds (row[c>>6:], row[:c/64] — the
+//     lead-word tracking idiom of the blocked M4R kernel) are all
+//     rejected; call the gf2 helpers instead.
 //   - Inside internal/gf2: tail-word masks derived from the column count
 //     must go through lastWordMask, not be recomputed inline.
 var GF2PackAnalyzer = &Analyzer{
@@ -38,6 +40,18 @@ func runGF2Pack(pass *Pass) {
 					pass.Reportf(n.Pos(),
 						"raw word-index bit arithmetic outside internal/gf2; use gf2.XorBit/TestBit/SetBit")
 					return false // the index's own /64 would double-report
+				}
+			case *ast.SliceExpr:
+				// Lead-word strip bounds: slicing a packed row at a
+				// column-derived word offset (the skip-zero-prefix and
+				// cache-strip idiom inside gf2's blocked elimination) leaks
+				// the packing layout when done anywhere else.
+				for _, b := range []ast.Expr{n.Low, n.High, n.Max} {
+					if b != nil && isWordIndexExpr(pass, unparen(b)) {
+						pass.Reportf(n.Pos(),
+							"raw lead-word strip slicing outside internal/gf2; use gf2's row accessors")
+						return false
+					}
 				}
 			case *ast.BinaryExpr:
 				if isWordCountExpr(pass, n) {

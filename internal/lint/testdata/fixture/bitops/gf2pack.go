@@ -26,7 +26,24 @@ func badReconstruct(row []uint64) int {
 	return -1
 }
 
+func badStripLow(row []uint64, c int) []uint64 {
+	return row[c>>6:] // want gf2pack "raw lead-word strip slicing"
+}
+
+func badStripHigh(row []uint64, c int) []uint64 {
+	return row[:c/64] // want gf2pack "raw lead-word strip slicing"
+}
+
+func badStripMax(row []uint64, c int) []uint64 {
+	return row[0:2:(c >> 6)] // want gf2pack "raw lead-word strip slicing"
+}
+
 // plainDivision has nothing to do with bit packing: clean.
 func plainDivision(n int) int {
 	return n / 2
+}
+
+// plainSlice uses ordinary bounds, not word-index arithmetic: clean.
+func plainSlice(row []uint64, n int) []uint64 {
+	return row[:n/2]
 }

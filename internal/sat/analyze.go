@@ -57,8 +57,11 @@ func (s *Solver) analyze(conf ClauseRef) ([]cnf.Lit, int) {
 	learnt[0] = p.Not()
 
 	// Clause minimization: drop literals whose reason is covered by the
-	// rest of the clause (local/self-subsuming minimization).
-	original := append([]cnf.Lit(nil), learnt...)
+	// rest of the clause (local/self-subsuming minimization). The snapshot
+	// lives in a per-solver scratch buffer — analysis runs once per
+	// conflict and the copy below was a visible allocation on
+	// conflict-heavy instances.
+	original := append(s.minimizeBuf[:0], learnt...)
 	for _, l := range learnt[1:] {
 		s.seen[l.Var()] = 1
 	}
@@ -88,9 +91,12 @@ func (s *Solver) analyze(conf ClauseRef) ([]cnf.Lit, int) {
 	for _, l := range original {
 		s.seen[l.Var()] = 0
 	}
+	s.minimizeBuf = original[:0]
 	s.analyzeBuf = learnt[:0]
-	result := append([]cnf.Lit(nil), learnt...)
-	return result, btLevel
+	// The returned slice aliases analyzeBuf: the caller (search) hands it
+	// to recordLearnt, which copies what it keeps (arena alloc, proof log,
+	// binary harvest) before the next conflict can reuse the buffer.
+	return learnt, btLevel
 }
 
 // litRedundant reports whether literal l in a learnt clause is implied by
@@ -147,11 +153,23 @@ func (s *Solver) recordLearnt(lits []cnf.Lit) {
 }
 
 // computeLBD returns the number of distinct decision levels in the clause
-// (literal block distance, the glucose clause-quality measure).
+// (literal block distance, the glucose clause-quality measure). Distinct
+// levels are counted with a generation-stamped dense array instead of a
+// per-call map: levels are bounded by the decision stack depth, and this
+// runs for every learnt clause.
 func (s *Solver) computeLBD(lits []cnf.Lit) int {
-	levels := map[int32]struct{}{}
+	s.lbdGen++
+	gen := s.lbdGen
+	n := 0
 	for _, l := range lits {
-		levels[s.level[l.Var()]] = struct{}{}
+		lvl := s.level[l.Var()]
+		if int(lvl) >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, make([]int32, int(lvl)+1-len(s.lbdStamp))...)
+		}
+		if s.lbdStamp[lvl] != gen {
+			s.lbdStamp[lvl] = gen
+			n++
+		}
 	}
-	return len(levels)
+	return n
 }

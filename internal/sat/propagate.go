@@ -33,14 +33,20 @@ func (s *Solver) propagate() ClauseRef {
 }
 
 func (s *Solver) propagateLit(p cnf.Lit) ClauseRef {
+	// The list is compacted in place with a single write cursor wj ≤ wi:
+	// kept watchers slide left over moved ones, and the list is truncated
+	// to the cursor at the end. No append, no spill — the only other list
+	// touched is the new watch target's, which is never this one (the new
+	// watched literal is non-false while p.Not() is false).
 	ws := s.watches[p]
-	kept := ws[:0]
+	wj := 0
 	for wi := 0; wi < len(ws); wi++ {
 		w := ws[wi]
 		// Cheap pre-check: if the blocker is true the clause is satisfied
 		// without loading its literals from the arena.
 		if s.valueLit(w.blocker) == lTrue {
-			kept = append(kept, w)
+			ws[wj] = w
+			wj++
 			continue
 		}
 		cr := w.ref
@@ -52,7 +58,8 @@ func (s *Solver) propagateLit(p cnf.Lit) ClauseRef {
 		}
 		first := lits[0]
 		if first != w.blocker && s.valueLit(first) == lTrue {
-			kept = append(kept, watcher{cr, first})
+			ws[wj] = watcher{cr, first}
+			wj++
 			continue
 		}
 		// Look for a new literal to watch.
@@ -69,11 +76,13 @@ func (s *Solver) propagateLit(p cnf.Lit) ClauseRef {
 			continue // watcher moved; do not keep
 		}
 		// Clause is unit or conflicting.
-		kept = append(kept, watcher{cr, first})
+		ws[wj] = watcher{cr, first}
+		wj++
 		if s.valueLit(first) == lFalse {
-			// Conflict: keep the remaining watchers and bail out.
-			kept = append(kept, ws[wi+1:]...)
-			s.watches[p] = kept
+			// Conflict: slide the unvisited tail up against the cursor and
+			// bail out.
+			wj += copy(ws[wj:], ws[wi+1:])
+			s.watches[p] = ws[:wj]
 			s.qhead = len(s.trail)
 			return cr
 		}
@@ -82,6 +91,6 @@ func (s *Solver) propagateLit(p cnf.Lit) ClauseRef {
 			panic("sat: enqueue failed on undefined literal")
 		}
 	}
-	s.watches[p] = kept
+	s.watches[p] = ws[:wj]
 	return NullRef
 }

@@ -56,8 +56,12 @@ type Solver struct {
 	claInc   float64
 	order    varHeap
 
-	seen       []byte
-	analyzeBuf []cnf.Lit
+	seen        []byte
+	analyzeBuf  []cnf.Lit
+	minimizeBuf []cnf.Lit // analyze's pre-minimization snapshot, reused per conflict
+	lbdStamp    []int32   // computeLBD level marks (stamp == lbdGen means counted)
+	lbdGen      int32
+	addBuf      cnf.Clause // AddClause normalization scratch
 
 	gauss *gauss // XOR propagator, nil unless enabled
 
@@ -141,6 +145,26 @@ func (s *Solver) ensureVars(n int) {
 	}
 }
 
+// reserveVars pre-grows every per-variable table to capacity n in a single
+// reallocation each, then allocates the variables. Loading a large formula
+// through the incremental NewVar path costs a doubling-growth series per
+// table; the bulk reserve collapses that to one allocation per table.
+func (s *Solver) reserveVars(n int) {
+	if n > cap(s.assigns) {
+		s.assigns = append(make([]lbool, 0, n), s.assigns...)
+		s.level = append(make([]int32, 0, n), s.level...)
+		s.reason = append(make([]ClauseRef, 0, n), s.reason...)
+		s.polarity = append(make([]byte, 0, n), s.polarity...)
+		s.activity = append(make([]float64, 0, n), s.activity...)
+		s.seen = append(make([]byte, 0, n), s.seen...)
+		s.watches = append(make([][]watcher, 0, 2*n), s.watches...)
+		s.trail = append(make([]cnf.Lit, 0, n), s.trail...)
+		s.order.heap = append(make([]cnf.Var, 0, n), s.order.heap...)
+		s.order.index = append(make([]int, 0, n), s.order.index...)
+	}
+	s.ensureVars(n)
+}
+
 func (s *Solver) valueVar(v cnf.Var) lbool { return s.assigns[v] }
 
 func (s *Solver) valueLit(l cnf.Lit) lbool {
@@ -169,7 +193,11 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: AddClause above decision level 0")
 	}
-	c := append(cnf.Clause(nil), lits...)
+	// Normalize in a reused scratch buffer; every consumer below (arena
+	// alloc, proof log, unit enqueue) copies what it keeps, so nothing
+	// retains the scratch across calls.
+	s.addBuf = append(s.addBuf[:0], lits...)
+	c := s.addBuf
 	for _, l := range c {
 		s.ensureVars(int(l.Var()) + 1)
 	}
@@ -282,7 +310,8 @@ func (s *Solver) addXorClausal(rhs bool, vars []cnf.Var) bool {
 
 // AddFormula loads a cnf.Formula. Returns false if trivially UNSAT.
 func (s *Solver) AddFormula(f *cnf.Formula) bool {
-	s.ensureVars(f.NumVars)
+	s.reserveVars(f.NumVars)
+	s.reserveWatches(f)
 	for _, c := range f.Clauses {
 		if !s.AddClause(c...) {
 			return false
@@ -294,6 +323,42 @@ func (s *Solver) AddFormula(f *cnf.Formula) bool {
 		}
 	}
 	return true
+}
+
+// reserveWatches carves initial watch-list capacity for a formula out of
+// one flat backing array. Each clause of length ≥ 2 installs two watchers;
+// counting every literal's negation over-provisions (attach watches only
+// the first two literals after normalization) but turns the tens of
+// thousands of first-append list allocations of a bulk load into a single
+// one. Lists that outgrow their carve, and literals watched before this
+// call, fall back to ordinary slice growth.
+func (s *Solver) reserveWatches(f *cnf.Formula) {
+	counts := make([]int32, len(s.watches))
+	total := 0
+	for _, c := range f.Clauses {
+		if len(c) < 2 {
+			continue
+		}
+		for _, l := range c {
+			if n := l.Not(); int(n) < len(counts) {
+				counts[n]++
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return
+	}
+	backing := make([]watcher, total)
+	off := 0
+	for l, cnt := range counts {
+		if cnt == 0 || len(s.watches[l]) > 0 {
+			off += int(cnt)
+			continue
+		}
+		s.watches[l] = backing[off : off : off+int(cnt)]
+		off += int(cnt)
+	}
 }
 
 func (s *Solver) attach(cr ClauseRef) {

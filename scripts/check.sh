@@ -64,4 +64,11 @@ echo "==> bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench 'XL|RREF|ElimLin|PickElimVar' -benchtime 1x \
 	./internal/anf ./internal/core ./internal/gf2
 
+echo "==> benchtab harness smoke (-quick snapshot + -compare on frozen baselines)"
+go run ./cmd/benchtab -perf "$workdir/quick.json" -quick
+# Gate disabled (-gate=-1): this asserts that -compare parses both frozen
+# snapshot generations (pr1 has no cdcl section), not that pr5 beat pr1.
+go run ./cmd/benchtab -compare -gate=-1 BENCH_pr1.json BENCH_pr5.json >/dev/null
+go run ./cmd/benchtab -compare -gate=-1 BENCH_pr5.json "$workdir/quick.json" >/dev/null
+
 echo "==> OK"
