@@ -13,6 +13,8 @@
 //	internal/minimize  Quine–McCluskey logic minimization (the ESPRESSO role)
 //	internal/conv      ANF ↔ CNF conversion
 //	internal/core      the fact-learning loop itself
+//	internal/cube      cube-and-conquer splitting and conquering
+//	internal/share     learnt-clause exchange between portfolio workers
 //
 // Quick start:
 //
@@ -30,6 +32,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/conv"
 	"repro/internal/core"
+	"repro/internal/cube"
 	"repro/internal/proof"
 	"repro/internal/sat"
 )
@@ -334,4 +337,43 @@ func SolveCNF(f *Formula, o Options) *Result {
 // VerifyANF reports whether the assignment satisfies the system.
 func VerifyANF(sys *System, solution []bool) bool {
 	return core.VerifySolution(sys, solution)
+}
+
+// CubeOptions configures a cube-and-conquer run (re-exported from
+// internal/cube): lookahead splitting depth and width, the conquer worker
+// count, and the learnt-clause sharing ring.
+type CubeOptions = cube.Options
+
+// CubeResult is the merged outcome of a cube-and-conquer run
+// (re-exported): the verdict, the model or stitched DRAT proof, and the
+// per-run cube/conflict counters.
+type CubeResult = cube.Result
+
+// DefaultCubeOptions returns the conservative cube configuration: a
+// shallow 16-leaf tree, 64 probed candidates per split, glue-only clause
+// sharing.
+func DefaultCubeOptions() CubeOptions { return cube.DefaultOptions() }
+
+// CubeStatus is the verdict type of CubeResult.Status (re-exported; the
+// solver-level status, distinct from the fact-learning loop's Status).
+type CubeStatus = sat.Status
+
+// CubeResult.Status values.
+const (
+	CubeSAT     = sat.Sat
+	CubeUNSAT   = sat.Unsat
+	CubeUnknown = sat.Unknown
+)
+
+// SolveCube decides a CNF formula by cube-and-conquer: a lookahead
+// splitter partitions the search into assumption prefixes, a worker pool
+// conquers them, and the results merge deterministically (first model on
+// SAT; on UNSAT, with CubeOptions.WithProof set, a stitched DRAT proof
+// the built-in checker accepts). With Workers ≤ 1 and ForceSplit off the
+// run is bit-identical to solving directly.
+func SolveCube(ctx context.Context, f *Formula, o CubeOptions) *CubeResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return cube.Solve(ctx, f, o)
 }

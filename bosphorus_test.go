@@ -1,10 +1,15 @@
 package bosphorus_test
 
 import (
+	"bytes"
+	"context"
 	"strings"
 	"testing"
 
 	bosphorus "repro"
+	"repro/internal/cnf"
+	"repro/internal/proof"
+	"repro/internal/satgen"
 )
 
 func TestSolvePaperExample(t *testing.T) {
@@ -129,5 +134,38 @@ func TestExtensionsThroughFacade(t *testing.T) {
 	res := bosphorus.Solve(sys, o)
 	if res.Status == bosphorus.UNSAT {
 		t.Fatal("wrong verdict with extensions enabled")
+	}
+}
+
+// TestSolveCubeThroughFacade drives cube-and-conquer from the public
+// API: a satisfiable pigeonhole instance must yield a model that
+// satisfies the formula, and an unsatisfiable one (with WithProof set)
+// must yield a stitched DRAT proof the built-in checker accepts.
+func TestSolveCubeThroughFacade(t *testing.T) {
+	o := bosphorus.DefaultCubeOptions()
+	o.Workers = 2
+	o.ForceSplit = true
+	o.WithProof = true
+
+	sat := satgen.Pigeonhole(4, 4).Formula
+	res := bosphorus.SolveCube(nil, sat, o)
+	if res.Status != bosphorus.CubeSAT {
+		t.Fatalf("PHP(4,4) status = %v, want SAT", res.Status)
+	}
+	if !sat.Eval(func(v cnf.Var) bool { return res.Model[v] }) {
+		t.Fatal("cube model does not satisfy the formula")
+	}
+
+	unsat := satgen.Pigeonhole(4, 3).Formula
+	res = bosphorus.SolveCube(context.Background(), unsat, o)
+	if res.Status != bosphorus.CubeUNSAT {
+		t.Fatalf("PHP(4,3) status = %v, want UNSAT", res.Status)
+	}
+	if len(res.Proof) == 0 {
+		t.Fatal("UNSAT cube run returned no proof")
+	}
+	cr, err := proof.Check(unsat, bytes.NewReader(res.Proof))
+	if err != nil || !cr.Verified {
+		t.Fatalf("stitched proof rejected: %v (verified=%v)", err, cr != nil && cr.Verified)
 	}
 }

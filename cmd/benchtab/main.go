@@ -161,6 +161,9 @@ type perfBlob struct {
 	Medians      map[string]int64                 `json:"medians_ns"`
 	Measurements map[string]perfMeasurement       `json:"measurements,omitempty"`
 	CDCL         map[string]bench.CDCLMeasurement `json:"cdcl,omitempty"`
+	// Cube is the cube-and-conquer scaling family (since BENCH_pr7.json):
+	// direct vs 1/2/4-worker cube wall-clock medians per hard instance.
+	Cube map[string]bench.CubeScalingMeasurement `json:"cube,omitempty"`
 }
 
 // perfSnapshot times the hot kernels this reproduction optimizes — the XL
@@ -259,6 +262,26 @@ func perfSnapshot(path string, seed int64, quick bool, stderr io.Writer) error {
 			}
 		}
 	}
+	var cubeRes map[string]bench.CubeScalingMeasurement
+	if quick {
+		cubeRes = bench.MeasureCubeScaling(quickCubeJobs(), []int{1, 2}, 1)
+	} else {
+		cubeRes = bench.MeasureCubeScaling(bench.CubeScalingJobs(), []int{1, 2, 4}, cdclRounds)
+	}
+	cubeSec := make(map[string]bench.CubeScalingMeasurement, len(cubeRes))
+	for name, m := range cubeRes {
+		key := "cube_" + name
+		if quick {
+			key = "cube_quick_" + name
+		}
+		cubeSec[key] = m
+		// Flatten the wall-clocks into medians_ns so -compare lists them
+		// alongside the kernel timings once two snapshots carry them.
+		results[key+"_direct_ns"] = m.DirectNs
+		for w, ns := range m.CubeNs {
+			results[key+"_w"+w+"_ns"] = ns
+		}
+	}
 	blob := perfBlob{
 		Date:         time.Now().UTC().Format(time.RFC3339),
 		GOOS:         runtime.GOOS,
@@ -269,6 +292,7 @@ func perfSnapshot(path string, seed int64, quick bool, stderr io.Writer) error {
 		Medians:      results,
 		Measurements: measurements,
 		CDCL:         cdcl,
+		Cube:         cubeSec,
 	}
 	data, err := json.MarshalIndent(blob, "", "  ")
 	if err != nil {
@@ -296,6 +320,19 @@ func quickCDCLJobs() []bench.CDCLJob {
 			}
 			f.AddClause(cnf.MkLit(0, false))
 			return f
+		},
+	}}
+}
+
+// quickCubeJobs is a miniature cube-scaling job for -quick runs: a small
+// pigeonhole instance that splits and refutes in milliseconds, asserting
+// the measurement path end to end without the multi-second hard set.
+func quickCubeJobs() []bench.CDCLJob {
+	return []bench.CDCLJob{{
+		Name: "php-5-4",
+		Want: satgen.StatusUnsat,
+		Build: func() *cnf.Formula {
+			return satgen.Pigeonhole(5, 4).Formula
 		},
 	}}
 }

@@ -5,13 +5,23 @@
 //
 // Endpoints:
 //
-//	POST /solve    {"format":"anf"|"dimacs","input":"...","mode":"process"|"solve"|"portfolio",...}
-//	GET  /healthz  200 "ok" while serving, 503 while draining
-//	GET  /metrics  plain-text counters (Prometheus exposition format)
+//	POST /solve        {"format":"anf"|"dimacs","input":"...","mode":"process"|"solve"|"portfolio"|"cube",...}
+//	GET  /healthz      200 "ok role=<role>" while serving, 503 while draining
+//	GET  /metrics      plain-text counters (Prometheus exposition format)
+//	GET  /cube/next    (coordinator role) next open cube task, 204 when idle
+//	POST /cube/result  (coordinator role) a worker node's cube result
+//
+// Roles (-role):
+//
+//	solo         answer every job in-process (the default)
+//	coordinator  split cube-mode jobs and fan the cubes out to worker nodes
+//	worker       pull cube tasks from -coordinator, solve, post results
 //
 // Usage:
 //
 //	bosphorusd -listen :8176 -solve-workers 4 -queue 64
+//	bosphorusd -listen :8176 -role coordinator
+//	bosphorusd -listen :0 -role worker -coordinator http://127.0.0.1:8176
 package main
 
 import (
@@ -54,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		budget      = fs.Int64("confl", 10000, "default starting SAT conflict budget per job")
 		maxIters    = fs.Int("iters", 16, "default maximum fact-learning iterations per job")
 		engineJ     = fs.Int("j", 0, "fact-learning pipeline workers per job (0 = sequential)")
+		role        = fs.String("role", "solo", "clustering role: solo | coordinator | worker")
+		coordinator = fs.String("coordinator", "", "coordinator base URL (worker role)")
+		poll        = fs.Duration("poll", 100*time.Millisecond, "idle poll interval between cube pulls (worker role)")
 		verbose     = fs.Bool("v", false, "log one line per job")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,6 +89,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown solver %q", *solver)
 	}
 
+	if *role == "worker" {
+		if *coordinator == "" {
+			return fmt.Errorf("worker role needs -coordinator")
+		}
+		ncfg := server.NodeConfig{
+			Coordinator: *coordinator,
+			Poll:        *poll,
+			Solver:      sat.DefaultOptions(engine.Profile),
+		}
+		if *verbose {
+			ncfg.Log = log.New(stderr, "bosphorusd: ", log.LstdFlags)
+		}
+		return runWorkerNode(ncfg, *listen, stdout)
+	}
+
 	cfg := server.Config{
 		Workers:        *workers,
 		QueueSize:      *queueSize,
@@ -83,6 +111,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		DefaultJobTime: *defaultTime,
 		MaxJobTime:     *maxTime,
 		Engine:         engine,
+	}
+	if *role == "coordinator" {
+		cfg.Role = server.RoleCoordinator
+	} else if *role != "solo" {
+		return fmt.Errorf("unknown role %q (want solo, coordinator, or worker)", *role)
 	}
 	if *verbose {
 		cfg.Log = log.New(stderr, "bosphorusd: ", log.LstdFlags)
@@ -119,6 +152,46 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("drain: %w", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Fprintln(stdout, "bosphorusd stopped")
+	return nil
+}
+
+// runWorkerNode serves a cube worker: a small health/metrics listener
+// plus the pull loop against the coordinator, both stopped by
+// SIGTERM/SIGINT.
+func runWorkerNode(ncfg server.NodeConfig, listen string, stdout io.Writer) error {
+	node := server.NewNode(ncfg)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	// Same load-bearing address line as the service roles.
+	fmt.Fprintf(stdout, "bosphorusd listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: node}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	pullDone := make(chan struct{})
+	go func() {
+		defer close(pullDone)
+		_ = node.Run(ctx)
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "bosphorusd draining")
+	<-pullDone
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
 	fmt.Fprintln(stdout, "bosphorusd stopped")

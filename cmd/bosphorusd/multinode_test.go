@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/proof"
+	"repro/internal/satgen"
+)
+
+// daemon is one spawned bosphorusd process with its resolved base URL.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *bytes.Buffer
+}
+
+// startDaemon execs the built binary with the given extra flags and waits
+// for its address line.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, stderr: &bytes.Buffer{}}
+	cmd.Stderr = d.stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr:\n%s", d.stderr.String())
+	}
+	line := sc.Text()
+	d.base = "http://" + line[strings.LastIndex(line, " ")+1:]
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return d
+}
+
+// TestMultiNodeSmoke drives the distributed cube-and-conquer deployment
+// end to end with real processes: a coordinator plus two worker nodes,
+// a cube job fanned out over HTTP, the stitched DRAT proof verified, a
+// resubmission served from the coordinator's cache, and a clean SIGTERM
+// shutdown of all three. When BOSPHORUSD_SMOKE_DIR is set the CNF and
+// proof are dumped there so the gate script can re-verify the proof with
+// the standalone proofcheck binary.
+func TestMultiNodeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "bosphorusd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	coord := startDaemon(t, bin, "-role", "coordinator", "-solve-workers", "2", "-max-timeout", "120s")
+	waitHealthy(t, coord.base)
+	workers := []*daemon{
+		startDaemon(t, bin, "-role", "worker", "-coordinator", coord.base, "-poll", "10ms"),
+		startDaemon(t, bin, "-role", "worker", "-coordinator", coord.base, "-poll", "10ms"),
+	}
+	for _, w := range workers {
+		waitHealthy(t, w.base)
+	}
+
+	// Roles are visible on healthz.
+	if body := httpGet(t, coord.base+"/healthz"); !strings.Contains(body, "role=coordinator") {
+		t.Fatalf("coordinator healthz = %q", body)
+	}
+	if body := httpGet(t, workers[0].base+"/healthz"); !strings.Contains(body, "role=worker") {
+		t.Fatalf("worker healthz = %q", body)
+	}
+
+	// One hard UNSAT cube job with proof, fanned out to the nodes.
+	f := satgen.Pigeonhole(6, 5).Formula
+	var dimacs strings.Builder
+	if err := cnf.WriteDimacs(&dimacs, f); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"format": "dimacs", "input": dimacs.String(),
+		"mode": "cube", "max_cubes": 8, "proof": true, "timeout_ms": 90000,
+	})
+	post := func() map[string]any {
+		t.Helper()
+		resp, err := http.Post(coord.base+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /solve: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /solve status = %d", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return out
+	}
+	out := post()
+	if out["status"] != "UNSAT" {
+		t.Fatalf("cube job status = %v, want UNSAT (coordinator stderr:\n%s)", out["status"], coord.stderr.String())
+	}
+	proofText, _ := out["proof"].(string)
+	if proofText == "" {
+		t.Fatal("UNSAT cube job returned no proof")
+	}
+	cr, err := proof.Check(f, strings.NewReader(proofText))
+	if err != nil || !cr.Verified {
+		t.Fatalf("stitched proof rejected: %v (verified=%v)", err, cr != nil && cr.Verified)
+	}
+
+	// The coordinator fanned cubes out rather than solving locally.
+	metrics := httpGet(t, coord.base+"/metrics")
+	if v := counter(t, metrics, "bosphorusd_cubes_dispatched_total"); v < 2 {
+		t.Fatalf("cubes_dispatched = %d, want >= 2", v)
+	}
+	if v := counter(t, metrics, "bosphorusd_cube_results_total"); v < 1 {
+		t.Fatalf("cube_results = %d, want >= 1", v)
+	}
+	solved := int64(0)
+	for _, w := range workers {
+		solved += counter(t, httpGet(t, w.base+"/metrics"), "bosphorusd_node_cubes_solved_total")
+	}
+	if solved < 1 {
+		t.Fatal("no worker node solved a cube")
+	}
+
+	// Identical resubmission: served from the coordinator's LRU keyed on
+	// the normalized formula hash — a cross-node cache hit, no re-dispatch.
+	again := post()
+	if cached, _ := again["cached"].(bool); !cached {
+		t.Fatalf("resubmission not cached: %v", again)
+	}
+	if again["proof"] != proofText {
+		t.Fatal("cached proof differs")
+	}
+
+	// Artifact dump for the gate's standalone proofcheck verification.
+	if dir := os.Getenv("BOSPHORUSD_SMOKE_DIR"); dir != "" {
+		if err := os.WriteFile(filepath.Join(dir, "smoke.cnf"), []byte(dimacs.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "smoke.drat"), []byte(proofText), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// All three processes drain cleanly on SIGTERM.
+	for _, d := range append([]*daemon{coord}, workers...) {
+		if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, d := range append([]*daemon{coord}, workers...) {
+		waitErr := make(chan error, 1)
+		go func() { waitErr <- d.cmd.Wait() }()
+		select {
+		case err := <-waitErr:
+			if err != nil {
+				t.Fatalf("daemon %d exited with %v; stderr:\n%s", i, err, d.stderr.String())
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatalf("daemon %d did not exit within 20s of SIGTERM", i)
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return b.String()
+}

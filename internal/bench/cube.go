@@ -1,0 +1,138 @@
+// Cube-and-conquer scaling family. These jobs measure the end-to-end
+// wall-clock of the cube solver (split + conquer + merge) against the
+// plain single-engine solve on the same instance, at 1, 2, and 4
+// conquer workers.
+//
+// The machine running the gate has a single CPU, so any speedup here is
+// algorithmic, not parallel: the split isolates subproblems whose total
+// search is smaller than the monolithic one (UNSAT instances with
+// symmetric cores like pigeonhole), or it puts a satisfiable cube near
+// the front of the queue so the SAT short-circuit fires long before the
+// direct solver's heuristics find the witness (random 3-SAT below the
+// threshold). Instances where splitting does NOT pay (e.g. mutilated
+// chessboard, whose refutation the splitter fragments) are deliberately
+// excluded: the family tracks the regime cube mode is FOR, and the
+// direct-path numbers keep the comparison honest.
+//
+// Everything is fixed-seed: the generators, the splitter (deterministic
+// by construction), and the solver seeds. With one worker the cube runs
+// are bit-reproducible; with more, scheduling varies the clause traffic
+// but the wall-clock medians remain stable enough to gate on.
+package bench
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/cube"
+	"repro/internal/sat"
+	"repro/internal/satgen"
+)
+
+// CubeScalingJobs returns the cube-vs-direct family: hard instances
+// where lookahead splitting beats the monolithic search.
+func CubeScalingJobs() []CDCLJob {
+	return []CDCLJob{
+		{
+			Name: "php-9-8",
+			Want: satgen.StatusUnsat,
+			Build: func() *cnf.Formula {
+				return satgen.Pigeonhole(9, 8).Formula
+			},
+		},
+		{
+			Name: "rand3sat-v200-r4.1",
+			Want: satgen.StatusSat,
+			Build: func() *cnf.Formula {
+				return satgen.RandomKSAT(200, 3, 4.1, rand.New(rand.NewSource(5))).Formula
+			},
+		},
+		{
+			Name: "rand3sat-v210-r4.1",
+			Want: satgen.StatusSat,
+			Build: func() *cnf.Formula {
+				return satgen.RandomKSAT(210, 3, 4.1, rand.New(rand.NewSource(9))).Formula
+			},
+		},
+	}
+}
+
+// CubeScalingOptions is the fixed cube configuration the family runs
+// under (exported so the equivalence tests exercise the same shape).
+func CubeScalingOptions(workers int) cube.Options {
+	opts := cube.DefaultOptions()
+	opts.Workers = workers
+	opts.ForceSplit = true
+	opts.MaxCubes = 16
+	opts.MaxDepth = 12
+	opts.ProbeVars = 64
+	opts.ShareSlots = 256
+	opts.ShareMaxLBD = 4
+	return opts
+}
+
+// CubeScalingMeasurement is one instance's wall-clock medians: the
+// direct single-engine solve and the cube solve per worker count, plus
+// the headline ratio direct/cube(maxWorkers) in thousandths.
+type CubeScalingMeasurement struct {
+	DirectNs int64 `json:"direct_ns"`
+	// CubeNs maps the worker count (as a decimal string, JSON-friendly)
+	// to the cube solve's median wall-clock.
+	CubeNs map[string]int64 `json:"cube_ns"`
+	// SpeedupMilli is 1000 * DirectNs / CubeNs[max workers measured].
+	SpeedupMilli int64 `json:"speedup_milli"`
+}
+
+// MeasureCubeScaling runs each job `rounds` times per configuration
+// (direct, then cube at each worker count) and reports per-config
+// medians. The formula is built once outside the timed region; each
+// timed run clones it through the solver's own AddFormula path.
+func MeasureCubeScaling(jobs []CDCLJob, workerCounts []int, rounds int) map[string]CubeScalingMeasurement {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	out := make(map[string]CubeScalingMeasurement, len(jobs))
+	for _, job := range jobs {
+		f := job.Build()
+		m := CubeScalingMeasurement{CubeNs: make(map[string]int64, len(workerCounts))}
+		m.DirectNs = medianWall(rounds, func() {
+			s := sat.New(sat.DefaultOptions(sat.ProfileMiniSat))
+			if s.AddFormula(f.Clone()) {
+				s.Solve()
+			}
+		})
+		maxW := 0
+		for _, w := range workerCounts {
+			opts := CubeScalingOptions(w)
+			m.CubeNs[strconv.Itoa(w)] = medianWall(rounds, func() {
+				cube.Solve(context.Background(), f, opts)
+			})
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if ns := m.CubeNs[strconv.Itoa(maxW)]; ns > 0 {
+			m.SpeedupMilli = 1000 * m.DirectNs / ns
+		}
+		out[job.Name] = m
+	}
+	return out
+}
+
+func medianWall(rounds int, f func()) int64 {
+	times := make([]int64, rounds)
+	for i := range times {
+		t0 := time.Now()
+		f()
+		times[i] = time.Since(t0).Nanoseconds()
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[rounds/2]
+}

@@ -1,0 +1,202 @@
+package cube
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/proof"
+	"repro/internal/sat"
+	"repro/internal/satgen"
+)
+
+func testOptions(workers int) Options {
+	o := DefaultOptions()
+	o.Workers = workers
+	o.ForceSplit = true
+	o.MaxCubes = 8
+	o.MaxDepth = 6
+	o.ProbeVars = 32
+	return o
+}
+
+// The splitter is deterministic: two runs over the same formula produce
+// the same cube list.
+func TestSplitDeterministic(t *testing.T) {
+	f := satgen.Pigeonhole(5, 4).Formula
+	a := Split(f, testOptions(1))
+	b := Split(f, testOptions(1))
+	if !reflect.DeepEqual(a.Open, b.Open) {
+		t.Fatalf("split not deterministic:\n%v\nvs\n%v", a.Open, b.Open)
+	}
+	if a.RefutedAtSplit != b.RefutedAtSplit {
+		t.Fatalf("refuted-at-split differs: %d vs %d", a.RefutedAtSplit, b.RefutedAtSplit)
+	}
+	if len(a.Open)+a.RefutedAtSplit < 2 {
+		t.Fatalf("splitter produced no real split: %d open, %d refuted",
+			len(a.Open), a.RefutedAtSplit)
+	}
+}
+
+func TestCubeSat(t *testing.T) {
+	f := satgen.Pigeonhole(4, 4).Formula // as many holes as pigeons: SAT
+	for _, workers := range []int{1, 2} {
+		res := Solve(context.Background(), f, testOptions(workers))
+		if res.Status != sat.Sat {
+			t.Fatalf("workers=%d: status %v, want SAT", workers, res.Status)
+		}
+		okModel := f.Eval(func(v cnf.Var) bool { return res.Model[v] })
+		if !okModel {
+			t.Fatalf("workers=%d: model does not satisfy the formula", workers)
+		}
+		if workers == 1 && res.SatCube < 0 {
+			t.Fatalf("SatCube not set on split path")
+		}
+	}
+}
+
+func TestCubeUnsatProofChecks(t *testing.T) {
+	f := satgen.Pigeonhole(5, 4).Formula
+	for _, workers := range []int{1, 2, 4} {
+		opts := testOptions(workers)
+		opts.WithProof = true
+		res := Solve(context.Background(), f, opts)
+		if res.Status != sat.Unsat {
+			t.Fatalf("workers=%d: status %v, want UNSAT", workers, res.Status)
+		}
+		if res.Refuted+res.RefutedAtSplit == 0 {
+			t.Fatalf("workers=%d: no cube ever refuted", workers)
+		}
+		cr, err := proof.Check(f, bytes.NewReader(res.Proof))
+		if err != nil {
+			t.Fatalf("workers=%d: stitched proof rejected: %v", workers, err)
+		}
+		if !cr.Verified {
+			t.Fatalf("workers=%d: stitched proof never derives the empty clause", workers)
+		}
+	}
+}
+
+// A formula refuted by the splitter alone (propagation-inconsistent
+// prefixes everywhere) still yields a checkable proof: the tree merge is
+// the whole refutation.
+func TestSplitOnlyProof(t *testing.T) {
+	// x1 and the binary chain forcing ¬x1: refuted at propagation.
+	f := &cnf.Formula{NumVars: 2}
+	l1 := cnf.MkLit(0, false)
+	l2 := cnf.MkLit(1, false)
+	f.Clauses = []cnf.Clause{{l1}, {l1.Not(), l2}, {l2.Not()}}
+	opts := testOptions(1)
+	opts.WithProof = true
+	res := Solve(context.Background(), f, opts)
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v, want UNSAT", res.Status)
+	}
+	cr, err := proof.Check(f, bytes.NewReader(res.Proof))
+	if err != nil || !cr.Verified {
+		t.Fatalf("split-only proof rejected: %v (verified=%v)", err, cr != nil && cr.Verified)
+	}
+}
+
+// The single-worker no-ForceSplit path is the plain solver, bit for bit:
+// verdict, model, fact harvest, and every search counter.
+func TestSeedEquivalenceDirectPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	instances := []*cnf.Formula{
+		satgen.Pigeonhole(5, 4).Formula,
+		satgen.Pigeonhole(4, 4).Formula,
+		satgen.RandomKSAT(60, 3, 4.26, rng).Formula,
+		satgen.ParityChain(40, 44, 4, false, rng).Formula,
+	}
+	for i, f := range instances {
+		opts := DefaultOptions()
+		opts.Workers = 1 // no ForceSplit: the contractual direct path
+		res := Solve(context.Background(), f, opts)
+
+		s := sat.New(opts.SolverOptions)
+		var want sat.Status = sat.Unsat
+		if s.AddFormula(f.Clone()) {
+			want = s.Solve()
+		}
+		if res.Status != want {
+			t.Fatalf("instance %d: cube status %v, direct %v", i, res.Status, want)
+		}
+		if !reflect.DeepEqual(res.Model, s.Model()) {
+			t.Fatalf("instance %d: models differ", i)
+		}
+		if !reflect.DeepEqual(res.Units, s.LearntUnits()) {
+			t.Fatalf("instance %d: unit harvest differs", i)
+		}
+		if !reflect.DeepEqual(res.Binaries, s.LearntBinaries()) {
+			t.Fatalf("instance %d: binary harvest differs", i)
+		}
+		if got, wantStats := res.WorkerStats[0], s.Snapshot(); got != wantStats {
+			t.Fatalf("instance %d: stats differ:\n got %v\nwant %v", i, got, wantStats)
+		}
+	}
+}
+
+// One worker with ForceSplit is deterministic run to run: same verdict,
+// model, and counters.
+func TestForceSplitSingleWorkerReproducible(t *testing.T) {
+	fs := []*cnf.Formula{
+		satgen.Pigeonhole(5, 4).Formula,
+		satgen.Pigeonhole(4, 4).Formula,
+	}
+	for i, f := range fs {
+		a := Solve(context.Background(), f, testOptions(1))
+		b := Solve(context.Background(), f, testOptions(1))
+		if a.Status != b.Status || a.SatCube != b.SatCube {
+			t.Fatalf("instance %d: verdicts differ: %v/%d vs %v/%d",
+				i, a.Status, a.SatCube, b.Status, b.SatCube)
+		}
+		if !reflect.DeepEqual(a.Model, b.Model) {
+			t.Fatalf("instance %d: models differ", i)
+		}
+		if !reflect.DeepEqual(a.WorkerStats, b.WorkerStats) {
+			t.Fatalf("instance %d: stats differ:\n%v\nvs\n%v", i, a.WorkerStats, b.WorkerStats)
+		}
+	}
+}
+
+// Clause sharing moves traffic and the verdict stays right (run with
+// -race this also exercises the exchange hooks under contention).
+func TestCubeSharingTraffic(t *testing.T) {
+	f := satgen.Pigeonhole(6, 5).Formula
+	opts := testOptions(2)
+	opts.MaxCubes = 4
+	opts.ShareSlots = 64
+	opts.ShareMaxLBD = 6
+	res := Solve(context.Background(), f, opts)
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v, want UNSAT", res.Status)
+	}
+	if res.SharedExported == 0 {
+		t.Fatal("no clauses exported over a 2-worker run on a conflict-heavy instance")
+	}
+}
+
+// Sharing composes with proof logging: imported clauses are RUP-filtered,
+// so the stitched proof still checks.
+func TestCubeSharingWithProof(t *testing.T) {
+	f := satgen.Pigeonhole(6, 5).Formula
+	opts := testOptions(4)
+	opts.MaxCubes = 8
+	opts.ShareSlots = 64
+	opts.ShareMaxLBD = 6
+	opts.WithProof = true
+	res := Solve(context.Background(), f, opts)
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v, want UNSAT", res.Status)
+	}
+	cr, err := proof.Check(f, bytes.NewReader(res.Proof))
+	if err != nil {
+		t.Fatalf("proof rejected: %v", err)
+	}
+	if !cr.Verified {
+		t.Fatal("proof never derives the empty clause")
+	}
+}

@@ -1,0 +1,138 @@
+package cube
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// Node is one vertex of the cube tree. Internal nodes carry the split
+// variable; leaves are either open (scheduled to a worker, Index ≥ 0) or
+// refuted at split time.
+type Node struct {
+	// Prefix is the assumption path from the root.
+	Prefix []cnf.Lit
+	// Var is the split variable of an internal node.
+	Var cnf.Var
+	// Pos assumes Var, Neg assumes ¬Var. Both nil on leaves.
+	Pos, Neg *Node
+	// Refuted marks a leaf whose prefix propagates to a conflict against
+	// the input clauses — no worker ever sees it, and its negation is RUP
+	// against the input formula alone.
+	Refuted bool
+	// Index is the cube index of an open leaf, -1 otherwise.
+	Index int
+}
+
+// Tree is the splitter's output.
+type Tree struct {
+	Root *Node
+	// Open lists the open leaves' prefixes in deterministic (pre-order)
+	// cube-index order.
+	Open [][]cnf.Lit
+	// RefutedAtSplit counts leaves refuted during splitting.
+	RefutedAtSplit int
+	// Status is Unsat when splitting refuted the formula outright (the
+	// root prefix is empty, so a refuted root is a refuted formula);
+	// Unknown otherwise.
+	Status sat.Status
+}
+
+// splitterOptions derives the splitter solver's configuration: Gauss/XOR
+// propagation is disabled so every refutation the splitter finds is pure
+// clause unit propagation — exactly the property that makes ¬prefix RUP
+// against the input clauses without any proof segment to lean on.
+func splitterOptions(o sat.Options) sat.Options {
+	o.EnableGauss = false
+	return o
+}
+
+// Split builds a bounded cube tree for f. Expansion is breadth-first and
+// fully deterministic: nodes expand in creation order, and the split
+// variable is the probe-score argmax with the lowest variable index
+// breaking ties.
+func Split(f *cnf.Formula, opts Options) *Tree {
+	t := &Tree{Root: &Node{Index: -1}, Status: sat.Unknown}
+	maxCubes := opts.MaxCubes
+	if maxCubes < 1 {
+		maxCubes = 1
+	}
+
+	s := sat.New(splitterOptions(opts.SolverOptions))
+	if !s.AddFormula(f.Clone()) {
+		t.Root.Refuted = true
+		t.RefutedAtSplit = 1
+		t.Status = sat.Unsat
+		return t
+	}
+
+	open := 1
+	queue := []*Node{t.Root}
+	for len(queue) > 0 && open < maxCubes {
+		n := queue[0]
+		queue = queue[1:]
+		if opts.MaxDepth > 0 && len(n.Prefix) >= opts.MaxDepth {
+			continue
+		}
+		scores, refuted := s.ProbeScoresUnder(n.Prefix, opts.ProbeVars)
+		if !s.Okay() {
+			// The formula itself is propagation-inconsistent; the whole
+			// tree collapses.
+			t.Root = &Node{Refuted: true, Index: -1}
+			t.Open = nil
+			t.RefutedAtSplit = 1
+			t.Status = sat.Unsat
+			return t
+		}
+		if refuted {
+			n.Refuted = true
+			t.RefutedAtSplit++
+			open--
+			continue
+		}
+		if len(scores) == 0 {
+			// Propagation assigned every variable without conflict: the
+			// cube is satisfiable outright. Leave it open; its worker
+			// terminates immediately.
+			continue
+		}
+		best := scores[0]
+		bestScore := best.Score()
+		for _, sc := range scores[1:] {
+			if v := sc.Score(); v > bestScore {
+				best, bestScore = sc, v
+			}
+		}
+		n.Var = best.Var
+		n.Pos = &Node{Prefix: childPrefix(n.Prefix, cnf.MkLit(best.Var, false)), Index: -1}
+		n.Neg = &Node{Prefix: childPrefix(n.Prefix, cnf.MkLit(best.Var, true)), Index: -1}
+		open++ // two leaves replace one
+		queue = append(queue, n.Pos, n.Neg)
+	}
+
+	// Assign cube indices to the open leaves in pre-order.
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Pos != nil {
+			walk(n.Pos)
+			walk(n.Neg)
+			return
+		}
+		if n.Refuted {
+			return
+		}
+		n.Index = len(t.Open)
+		t.Open = append(t.Open, n.Prefix)
+	}
+	walk(t.Root)
+	if len(t.Open) == 0 {
+		t.Status = sat.Unsat
+	}
+	return t
+}
+
+func childPrefix(prefix []cnf.Lit, l cnf.Lit) []cnf.Lit {
+	out := make([]cnf.Lit, len(prefix)+1)
+	copy(out, prefix)
+	out[len(prefix)] = l
+	return out
+}

@@ -1,0 +1,93 @@
+package cube
+
+import (
+	"bytes"
+
+	"repro/internal/cnf"
+	"repro/internal/proof"
+)
+
+// SegmentWriter captures one worker's proof stream with deletions
+// stripped. Stripping keeps the worker's database monotone, which is what
+// makes segment concatenation sound: RUP is preserved under database
+// supersets, so a clause that checked inside its own segment still checks
+// with other workers' (earlier) additions in scope — while a deletion
+// honoured from another worker's stream could remove a clause some later
+// RUP step depends on.
+type SegmentWriter struct {
+	tw *proof.TextWriter
+}
+
+func NewSegmentWriter(buf *bytes.Buffer) SegmentWriter {
+	return SegmentWriter{tw: proof.NewTextWriter(buf)}
+}
+
+func (w SegmentWriter) Learn(lits []cnf.Lit) { w.tw.Learn(lits) }
+
+// Delete is a no-op: see the type comment.
+func (w SegmentWriter) Delete(lits []cnf.Lit) {}
+
+func (w SegmentWriter) Justify(lits []cnf.Lit) { w.tw.Justify(lits) }
+
+func (w SegmentWriter) Flush() error { return w.tw.Flush() }
+
+// stitch assembles the workers' proof segments and the cube tree into one
+// DRAT refutation of the input formula. Layout, in order:
+//
+//  1. Every worker's segment, in worker order. Each segment is
+//     independently RUP-checkable against the input (assumptions are
+//     never logged, and imported shared clauses were RUP-filtered by the
+//     importer), and RUP monotonicity makes the concatenation check too.
+//  2. Per refuted cube, in cube-index order: the negation of its failed
+//     assumptions (RUP — the worker derived the failure by propagation
+//     over clauses its segment logged), then the negation of the full
+//     prefix (RUP given the failed-assumption clause, which it
+//     subsumes-with-extra-literals).
+//  3. The tree merge, bottom-up: for every internal node, ¬prefix is RUP
+//     from its children's ¬(prefix∧v) and ¬(prefix∧¬v). Refuted-at-split
+//     leaves contribute their ¬prefix directly — pure unit propagation
+//     against the input clauses. The root's prefix is empty, so the final
+//     merge clause is the empty clause, and the checker verifies.
+//
+// failed[i] is cube i's failed-assumption set (possibly a strict subset
+// of the prefix, possibly empty when the refuting worker found the
+// formula inconsistent at level 0 — its segment then already contains the
+// empty clause and the checker stops inside step 1).
+// StitchProof is the exported entry point for out-of-process conquerors
+// (the bosphorusd coordinator): it assembles remotely-produced segments
+// and failed-assumption sets the same way the in-process pool does.
+// Because remote workers solve each cube on a fresh solver, their
+// segments are self-contained and may be passed in any order.
+func StitchProof(t *Tree, segments [][]byte, failed [][]cnf.Lit) []byte {
+	return stitch(t, segments, failed)
+}
+
+func stitch(t *Tree, segments [][]byte, failed [][]cnf.Lit) []byte {
+	var out bytes.Buffer
+	for _, seg := range segments {
+		out.Write(seg)
+	}
+	tw := proof.NewTextWriter(&out)
+	for i, prefix := range t.Open {
+		if len(failed[i]) > 0 {
+			tw.Learn(negate(failed[i]))
+		}
+		tw.Learn(negate(prefix))
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Pos == nil {
+			if n.Refuted {
+				tw.Learn(negate(n.Prefix))
+			}
+			// Open leaves were emitted above.
+			return
+		}
+		walk(n.Pos)
+		walk(n.Neg)
+		tw.Learn(negate(n.Prefix))
+	}
+	walk(t.Root)
+	tw.Flush()
+	return out.Bytes()
+}

@@ -7,7 +7,9 @@ import (
 )
 
 // DeterminismAnalyzer guards the bit-identical-run contract of the
-// provenance-tracked packages (internal/core, internal/proof): a run is
+// provenance-tracked packages (internal/core, internal/proof) and of the
+// cube-and-conquer layer (internal/cube, internal/share), whose
+// single-worker runs must reproduce from the seed alone: a run is
 // reproducible from Config.Seed alone, so nothing in those packages may
 // consult a global entropy source or let map iteration order decide the
 // order facts are learnt or recorded. Rules:
@@ -30,7 +32,7 @@ var DeterminismAnalyzer = &Analyzer{
 	Run:  runDeterminism,
 }
 
-var determinismTargets = []string{"internal/core", "internal/proof"}
+var determinismTargets = []string{"internal/core", "internal/proof", "internal/cube", "internal/share"}
 
 // rngConstructors are the math/rand functions that build explicitly
 // seeded generators rather than drawing from the global source.

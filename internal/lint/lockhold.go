@@ -6,8 +6,10 @@ import (
 	"go/types"
 )
 
-// LockHoldAnalyzer enforces the mutex discipline of internal/server and
-// internal/sat. Two rules, both checked by a conservative walk over each
+// LockHoldAnalyzer enforces the mutex discipline of internal/server,
+// internal/sat, internal/cube and internal/share (the packages where a
+// wedged lock stalls either the request loop or the conquer workers).
+// Two rules, both checked by a conservative walk over each
 // function body that tracks which sync.Mutex/RWMutex values are held:
 //
 //   - No return path may hold a lock that was not released and has no
@@ -23,7 +25,7 @@ var LockHoldAnalyzer = &Analyzer{
 	Run:  runLockHold,
 }
 
-var lockholdTargets = []string{"internal/server", "internal/sat"}
+var lockholdTargets = []string{"internal/server", "internal/sat", "internal/cube", "internal/share"}
 
 func runLockHold(pass *Pass) {
 	targeted := false

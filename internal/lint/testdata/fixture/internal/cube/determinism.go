@@ -1,0 +1,56 @@
+// Package cube is a lint fixture: its import path ends in internal/cube,
+// so the determinism analyzer treats it as a target package — the
+// single-worker cube solve must be reproducible from the seed alone, so
+// the same no-global-rand / no-clock / no-map-order rules apply here as
+// in internal/core (minus the NewRNG routing, which is core-only).
+package cube
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// badWorkerSeed draws the per-worker seed from the process-global source:
+// two identical runs would split the cube tree differently.
+func badWorkerSeed() int64 {
+	return rand.Int63() // want determinism "global math/rand source"
+}
+
+// seededSplitter constructs an explicitly seeded generator; outside
+// internal/core that is the sanctioned pattern.
+func seededSplitter(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// badTieBreak breaks splitter-score ties on the wall clock.
+func badTieBreak() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now"
+}
+
+// deadlineOnly carries a reasoned suppression: deadlines bound the solve
+// but never decide the cube order.
+func deadlineOnly(d time.Duration) time.Time {
+	//lint:ignore determinism deadline only: bounds the solve, never ordering
+	return time.Now().Add(d)
+}
+
+// badCubeOrder emits cubes in map-iteration order: the conquer schedule —
+// and with it the stitched proof — would differ between identical runs.
+func badCubeOrder(open map[int][]int, emit func([]int)) {
+	for _, cube := range open { // want determinism "map iteration order"
+		emit(cube)
+	}
+}
+
+// sortedCubeOrder restores a deterministic schedule by sorting the keys.
+func sortedCubeOrder(open map[int][]int, emit func([]int)) {
+	keys := make([]int, 0, len(open))
+	for k := range open {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		emit(open[k])
+	}
+}

@@ -1,0 +1,56 @@
+// Package share is a lint fixture: its import path ends in
+// internal/share, a lockhold target — the export ring sits on the conquer
+// workers' hot path, so a wedged or re-entrant lock there stalls every
+// solver in the portfolio.
+package share
+
+import "sync"
+
+type ring struct {
+	mu    sync.Mutex
+	slots []uint32
+}
+
+// Exported locks and defers the unlock: clean, and the callee side of the
+// re-entrancy rule below.
+func (r *ring) Exported() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slots)
+}
+
+// badPublish leaves through an early return with the lock held: every
+// later export from every worker would block forever.
+func (r *ring) badPublish(w uint32) bool {
+	r.mu.Lock()
+	if len(r.slots) == cap(r.slots) {
+		return false // want lockhold "return reached while holding r.mu"
+	}
+	r.slots = append(r.slots, w)
+	r.mu.Unlock()
+	return true
+}
+
+// goodPublish registers the unlock up front.
+func (r *ring) goodPublish(w uint32) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.slots) == cap(r.slots) {
+		return false
+	}
+	r.slots = append(r.slots, w)
+	return true
+}
+
+// badStats re-takes the ring lock through a method call while holding it.
+func (r *ring) badStats() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Exported() // want lockhold "which Exported re-acquires"
+}
+
+// badDrain reaches the end of the function with the lock still held.
+func (r *ring) badDrain() {
+	r.mu.Lock()
+	r.slots = r.slots[:0]
+} // want lockhold "function end reached while holding r.mu"

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/sat"
+	"repro/internal/share"
 )
 
 // Worker describes one portfolio member.
@@ -54,6 +55,10 @@ type Stats struct {
 	Decisions    uint64
 	Propagations uint64
 	Restarts     uint64
+	// SharedExported / SharedImported count the winner's clause-exchange
+	// traffic (zero unless the run used SolveShared with a ring).
+	SharedExported uint64
+	SharedImported uint64
 }
 
 // Result of a portfolio run.
@@ -74,6 +79,19 @@ type Result struct {
 	Stats Stats
 }
 
+// Sharing configures learnt-clause exchange between portfolio members
+// through the internal/share ring: each worker exports its low-LBD learnt
+// clauses and imports the others' at restart boundaries. The zero value
+// disables exchange (the bit-reproducible-per-worker configuration); with
+// exchange on, per-worker search counters become timing-dependent, as
+// documented on sat.Solver.SetExchange.
+type Sharing struct {
+	// Slots sizes the exchange ring (0 disables sharing).
+	Slots int
+	// MaxLBD caps the LBD of exported clauses.
+	MaxLBD int
+}
+
 // Solve runs the workers concurrently on (copies of) the formula until
 // the first verdict or the timeout (0 = none).
 func Solve(f *cnf.Formula, workers []Worker, timeout time.Duration) *Result {
@@ -87,8 +105,18 @@ func Solve(f *cnf.Formula, workers []Worker, timeout time.Duration) *Result {
 // large conflict budget does not keep its goroutine and memory alive
 // after the race is decided.
 func SolveContext(ctx context.Context, f *cnf.Formula, workers []Worker, timeout time.Duration) *Result {
+	return SolveShared(ctx, f, workers, timeout, Sharing{})
+}
+
+// SolveShared is SolveContext with learnt-clause exchange between the
+// members. With sharing.Slots == 0 it is exactly SolveContext.
+func SolveShared(ctx context.Context, f *cnf.Formula, workers []Worker, timeout time.Duration, sharing Sharing) *Result {
 	if len(workers) == 0 {
 		workers = DefaultWorkers()
+	}
+	var ring *share.Ring
+	if sharing.Slots > 0 && sharing.MaxLBD > 0 && len(workers) > 1 {
+		ring = share.NewRing(sharing.Slots, sharing.MaxLBD)
 	}
 	start := time.Now()
 	deadline := time.Time{}
@@ -113,6 +141,9 @@ func SolveContext(ctx context.Context, f *cnf.Formula, workers []Worker, timeout
 	for i, w := range workers {
 		s := sat.New(w.Options)
 		ok := s.AddFormula(f.Clone())
+		if ring != nil {
+			s.SetExchange(ring.Endpoint())
+		}
 		solvers[i] = s
 		budget := w.ConflictBudget
 		if budget <= 0 {
@@ -137,10 +168,12 @@ func SolveContext(ctx context.Context, f *cnf.Formula, workers []Worker, timeout
 			// solve returns, so the winner's counters travel with its
 			// verdict instead of racing the losers' wind-down.
 			results <- verdict{st, name, m, Stats{
-				Conflicts:    s.Conflicts,
-				Decisions:    s.Decisions,
-				Propagations: s.Propagations,
-				Restarts:     s.Restarts,
+				Conflicts:      s.Conflicts,
+				Decisions:      s.Decisions,
+				Propagations:   s.Propagations,
+				Restarts:       s.Restarts,
+				SharedExported: s.SharedExported,
+				SharedImported: s.SharedImported,
 			}}
 		}(w.Name, s, budget, !ok)
 	}

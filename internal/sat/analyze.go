@@ -132,6 +132,7 @@ func (s *Solver) recordLearnt(lits []cnf.Lit) {
 		s.logEmpty()
 	case 1:
 		s.logLearn(lits)
+		s.exportLearnt(lits, 1)
 		if !s.enqueue(lits[0], NullRef) {
 			s.ok = false
 			s.logEmpty()
@@ -139,7 +140,9 @@ func (s *Solver) recordLearnt(lits []cnf.Lit) {
 	default:
 		s.logLearn(lits)
 		cr := s.ca.alloc(lits, true, false)
-		s.ca.setLBD(cr, s.computeLBD(lits))
+		lbd := s.computeLBD(lits)
+		s.exportLearnt(lits, lbd)
+		s.ca.setLBD(cr, lbd)
 		s.learnts = append(s.learnts, cr)
 		s.attach(cr)
 		s.bumpClause(cr)

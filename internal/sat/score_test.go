@@ -1,0 +1,112 @@
+package sat
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func mk(v uint32, neg bool) cnf.Lit { return cnf.MkLit(cnf.Var(v), neg) }
+
+// buildScoreSolver loads a small formula with asymmetric propagation
+// structure: an implication chain out of x0, a failed phase on x3, and a
+// loose equivalence pair, so the probe scores separate the variables.
+
+func buildScoreSolver(t *testing.T) *Solver {
+	t.Helper()
+	s := New(DefaultOptions(ProfileMiniSat))
+	clauses := [][]cnf.Lit{
+		// Chain: x0 → x1 → x2 (positive phase of x0 propagates 2 literals).
+		{mk(0, true), mk(1, false)},
+		{mk(1, true), mk(2, false)},
+		// x3's positive phase fails: x3 → x4 and x3 → ¬x4.
+		{mk(3, true), mk(4, false)},
+		{mk(3, true), mk(4, true)},
+		// x5/x6: a loose pair with one implication each way.
+		{mk(5, true), mk(6, false)},
+		{mk(6, true), mk(5, false)},
+	}
+	for _, c := range clauses {
+		if !s.AddClause(c...) {
+			t.Fatal("fixture unexpectedly unsat")
+		}
+	}
+	return s
+}
+
+// The probe scores of a fixed formula are pinned values: any drift in the
+// probing or scoring machinery shows up here, which is what the cube
+// splitter's determinism rests on.
+func TestProbeScoresPinned(t *testing.T) {
+	s := buildScoreSolver(t)
+	got := s.ProbeScores(0)
+	want := []ProbeScore{
+		{Var: 0, PosImplied: 2, NegImplied: 0},
+		{Var: 1, PosImplied: 1, NegImplied: 1},
+		{Var: 2, PosImplied: 0, NegImplied: 2},
+		{Var: 3, NegImplied: 0, PosFailed: true},
+		{Var: 4, PosImplied: 1, NegImplied: 1},
+		{Var: 5, PosImplied: 1, NegImplied: 1},
+		{Var: 6, PosImplied: 1, NegImplied: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scores drifted:\n got %+v\nwant %+v", got, want)
+	}
+	// Scoring is observational: the trail must be untouched.
+	if n := len(s.trail); n != 0 {
+		t.Fatalf("probe left %d literals on the trail", n)
+	}
+	if s.decisionLevel() != 0 {
+		t.Fatalf("probe left decision level %d", s.decisionLevel())
+	}
+	// And repeatable.
+	again := s.ProbeScores(0)
+	if !reflect.DeepEqual(got, again) {
+		t.Fatalf("second run differs:\n%+v\nvs\n%+v", got, again)
+	}
+}
+
+// A failed phase dominates every fanout product, and the mixing function
+// rewards balanced splits over lopsided ones.
+func TestProbeScoreOrdering(t *testing.T) {
+	failed := ProbeScore{PosFailed: true}
+	balanced := ProbeScore{PosImplied: 3, NegImplied: 3}
+	lopsided := ProbeScore{PosImplied: 9, NegImplied: 0}
+	if failed.Score() <= balanced.Score() {
+		t.Fatal("failed phase does not dominate")
+	}
+	if balanced.Score() <= lopsided.Score() {
+		t.Fatal("balanced split does not beat lopsided fanout")
+	}
+}
+
+func TestProbeScoresUnder(t *testing.T) {
+	s := buildScoreSolver(t)
+	// Under x3 (whose positive phase fails), the prefix is refuted.
+	if _, refuted := s.ProbeScoresUnder([]cnf.Lit{mk(3, false)}, 0); !refuted {
+		t.Fatal("prefix with failing literal not refuted")
+	}
+	if !s.Okay() {
+		t.Fatal("refuted prefix must not poison the solver")
+	}
+	// Under ¬x0 the chain variables x1, x2 stay free and score; x0 is
+	// assigned and must not appear.
+	scores, refuted := s.ProbeScoresUnder([]cnf.Lit{mk(0, true)}, 0)
+	if refuted {
+		t.Fatal("consistent prefix reported refuted")
+	}
+	for _, sc := range scores {
+		if sc.Var == 0 {
+			t.Fatal("assigned prefix variable was scored")
+		}
+	}
+	if s.decisionLevel() != 0 || len(s.trail) != 0 {
+		t.Fatal("ProbeScoresUnder left state behind")
+	}
+	// Deterministic under the same prefix.
+	again, _ := s.ProbeScoresUnder([]cnf.Lit{mk(0, true)}, 0)
+	if !reflect.DeepEqual(scores, again) {
+		t.Fatalf("scores under prefix drifted:\n%+v\nvs\n%+v", scores, again)
+	}
+}

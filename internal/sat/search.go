@@ -130,6 +130,15 @@ func (s *Solver) SolveLimited(conflictBudget int64) Status {
 		}
 		s.Restarts++
 		s.cancelUntil(0)
+		// Restart boundaries are the only clause-import point: the search
+		// loop between restarts never observes a database change it did not
+		// cause itself.
+		if s.exchange != nil {
+			s.importShared()
+			if !s.ok {
+				return Unsat
+			}
+		}
 		if float64(len(s.learnts)) > maxLearnts+float64(len(s.trail)) {
 			s.reduceDB()
 			maxLearnts *= 1.1

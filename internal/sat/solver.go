@@ -92,6 +92,11 @@ type Solver struct {
 	proof       ProofWriter
 	loggedEmpty bool
 
+	// exchange, when non-nil, shares learnt clauses with concurrently
+	// running solvers (see SetExchange): exports at learning time, imports
+	// at restart boundaries only.
+	exchange ClauseExchange
+
 	// Statistics.
 	Conflicts    uint64
 	Decisions    uint64
@@ -100,6 +105,10 @@ type Solver struct {
 	ReducedDBs   uint64
 	ArenaGCs     uint64
 	WatchShrinks uint64
+	// SharedExported / SharedImported count clause-exchange traffic (zero
+	// without an exchange; see SetExchange's determinism contract).
+	SharedExported uint64
+	SharedImported uint64
 }
 
 // New returns a solver with the given options and no variables.

@@ -15,6 +15,14 @@ type Stats struct {
 	ArenaGCs                           uint64
 	ArenaLiveWords, ArenaWastedWords   int
 	WatchShrinks                       uint64
+	// SharedExported / SharedImported count clause-exchange traffic. They
+	// are zero — and every other counter bit-reproducible from the seed —
+	// when no exchange is installed (single-worker mode); with sharing
+	// enabled, imports perturb propagation order, so Conflicts, Decisions,
+	// Propagations, Restarts, ReducedDBs, Learnts and the arena counters
+	// may all vary between runs (the distributed-mode determinism
+	// contract; see Solver.SetExchange).
+	SharedExported, SharedImported uint64
 }
 
 // Snapshot returns the current statistics.
@@ -33,13 +41,16 @@ func (s *Solver) Snapshot() Stats {
 		ArenaLiveWords:   s.ca.liveWords(),
 		ArenaWastedWords: s.ca.wasted,
 		WatchShrinks:     s.WatchShrinks,
+		SharedExported:   s.SharedExported,
+		SharedImported:   s.SharedImported,
 	}
 }
 
 // String renders the statistics in a MiniSat-style one-liner.
 func (st Stats) String() string {
-	return fmt.Sprintf("vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d restarts=%d reduceDBs=%d xors=%d arenaGCs=%d arenaWords=%d/%d watchShrinks=%d",
+	return fmt.Sprintf("vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d restarts=%d reduceDBs=%d xors=%d arenaGCs=%d arenaWords=%d/%d watchShrinks=%d sharedExp=%d sharedImp=%d",
 		st.Vars, st.Clauses, st.Learnts, st.Conflicts, st.Decisions,
 		st.Propagations, st.Restarts, st.ReducedDBs, st.XorRows,
-		st.ArenaGCs, st.ArenaLiveWords, st.ArenaWastedWords, st.WatchShrinks)
+		st.ArenaGCs, st.ArenaLiveWords, st.ArenaWastedWords, st.WatchShrinks,
+		st.SharedExported, st.SharedImported)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/conv"
 	"repro/internal/core"
+	"repro/internal/cube"
 	"repro/internal/portfolio"
 	"repro/internal/proof"
 	"repro/internal/sat"
@@ -25,8 +26,10 @@ type Request struct {
 	Input string `json:"input"`
 	// Mode selects the work: "process" runs the fact-learning loop to its
 	// fixed point, "solve" keeps going until a verdict, "portfolio" races
-	// the parallel solver portfolio on the (CNF form of the) input.
-	// Default: "process".
+	// the parallel solver portfolio on the (CNF form of the) input, and
+	// "cube" runs cube-and-conquer — split in-process, conquered either by
+	// the local worker pool (solo role) or by pull-based worker nodes
+	// (coordinator role). Default: "process".
 	Mode string `json:"mode,omitempty"`
 	// TimeoutMS bounds the job's wall-clock time; 0 takes the server
 	// default, and the server's MaxJobTime caps it either way.
@@ -41,6 +44,12 @@ type Request struct {
 	// re-derives each one against the input after the run; the response
 	// carries the per-verdict tally. Engine modes only.
 	Verify bool `json:"verify,omitempty"`
+	// MaxCubes caps the cube tree's open-leaf count (cube mode only;
+	// 0 takes the cube solver's default).
+	MaxCubes int `json:"max_cubes,omitempty"`
+	// Proof asks a cube-mode UNSAT job for its stitched DRAT refutation in
+	// Response.Proof.
+	Proof bool `json:"proof,omitempty"`
 }
 
 // Verification is the fact re-derivation tally for verify=true jobs.
@@ -76,6 +85,11 @@ type Response struct {
 	Cached bool `json:"cached,omitempty"`
 	// Verification is present on verify=true jobs.
 	Verification *Verification `json:"verification,omitempty"`
+	// Cubes is the number of open cubes the splitter produced (cube mode).
+	Cubes int `json:"cubes,omitempty"`
+	// Proof is the stitched DRAT refutation of a proof=true UNSAT cube job,
+	// checkable against the canonicalized DIMACS input.
+	Proof string `json:"proof,omitempty"`
 }
 
 // jobKind is the validated mode.
@@ -85,17 +99,19 @@ const (
 	kindProcess jobKind = iota
 	kindSolve
 	kindPortfolio
+	kindCube
 )
 
 // job is one unit of queued work: the parsed problem plus its
 // cancellation scope. done is closed by the worker after resp/err are
 // set.
 type job struct {
-	kind jobKind
-	req  Request
-	sys  *anf.System  // engine modes
-	form *cnf.Formula // portfolio mode
-	key  string       // cache key over normalized input + config
+	kind     jobKind
+	req      Request
+	sys      *anf.System  // engine modes
+	form     *cnf.Formula // portfolio/cube modes
+	formText string       // canonical DIMACS, kept for cube-task dispatch
+	key      string       // cache key over normalized input + config
 
 	ctx  context.Context
 	resp *Response
@@ -115,14 +131,19 @@ func parseJob(req Request) (*job, error) {
 		jb.kind = kindSolve
 	case "portfolio":
 		jb.kind = kindPortfolio
+	case "cube":
+		jb.kind = kindCube
 	default:
-		return nil, fmt.Errorf("unknown mode %q (want process, solve, or portfolio)", req.Mode)
+		return nil, fmt.Errorf("unknown mode %q (want process, solve, portfolio, or cube)", req.Mode)
 	}
 	if strings.TrimSpace(req.Input) == "" {
 		return nil, fmt.Errorf("empty input")
 	}
-	if req.Verify && jb.kind == kindPortfolio {
-		return nil, fmt.Errorf("verify is only supported in process/solve modes (portfolio runs produce no fact ledger)")
+	if req.Verify && (jb.kind == kindPortfolio || jb.kind == kindCube) {
+		return nil, fmt.Errorf("verify is only supported in process/solve modes (portfolio/cube runs produce no fact ledger)")
+	}
+	if req.Proof && jb.kind != kindCube {
+		return nil, fmt.Errorf("proof is only supported in cube mode")
 	}
 
 	// Parse, then re-serialize for the cache key: two payloads that differ
@@ -141,7 +162,7 @@ func parseJob(req Request) (*job, error) {
 			return nil, err
 		}
 		jb.sys = sys
-		if jb.kind == kindPortfolio {
+		if jb.kind == kindPortfolio || jb.kind == kindCube {
 			f, _ := conv.ANFToCNF(sys, conv.DefaultOptions())
 			jb.form = f
 		}
@@ -154,16 +175,27 @@ func parseJob(req Request) (*job, error) {
 			return nil, err
 		}
 		jb.form = f
-		if jb.kind != kindPortfolio {
+		if jb.kind != kindPortfolio && jb.kind != kindCube {
 			jb.sys = conv.CNFToANF(f, conv.DefaultOptions())
 		}
 	default:
 		return nil, fmt.Errorf("unknown format %q (want anf or dimacs)", req.Format)
 	}
+	if jb.kind == kindCube {
+		// Cube tasks ship the formula to worker nodes as canonical DIMACS;
+		// serializing once here means every dispatched task (and the proof
+		// the client later checks) refers to the same normalized text.
+		var ft strings.Builder
+		if err := cnf.WriteDimacs(&ft, jb.form); err != nil {
+			return nil, err
+		}
+		jb.formText = ft.String()
+	}
 
 	h := sha256.New()
-	fmt.Fprintf(h, "mode=%d|iters=%d|confl=%d|seed=%d|workers=%d|timeout=%d|verify=%t|",
-		jb.kind, req.MaxIterations, req.ConflictBudget, req.Seed, req.Workers, req.TimeoutMS, req.Verify)
+	fmt.Fprintf(h, "mode=%d|iters=%d|confl=%d|seed=%d|workers=%d|timeout=%d|verify=%t|cubes=%d|proof=%t|",
+		jb.kind, req.MaxIterations, req.ConflictBudget, req.Seed, req.Workers, req.TimeoutMS, req.Verify,
+		req.MaxCubes, req.Proof)
 	h.Write([]byte(canon.String()))
 	jb.key = hex.EncodeToString(h.Sum(nil))
 	return jb, nil
@@ -173,6 +205,9 @@ func parseJob(req Request) (*job, error) {
 // starts from the server's base config; per-request knobs override it.
 func (jb *job) run(base core.Config, metrics *Metrics) *Response {
 	start := time.Now()
+	if jb.kind == kindCube {
+		return jb.runCube(base)
+	}
 	if jb.kind == kindPortfolio {
 		res := portfolio.SolveContext(jb.ctx, jb.form, nil, 0)
 		resp := &Response{
@@ -247,6 +282,52 @@ func (jb *job) run(base core.Config, metrics *Metrics) *Response {
 	}
 	if res.Interrupted {
 		resp.Status = statusFor(jb.ctx, resp.Status)
+	}
+	return resp
+}
+
+// cubeOptions builds the cube solver configuration from the server's base
+// engine config with the request's overrides applied. ForceSplit is
+// always on: a client asking for cube mode asked for the split, even with
+// one worker (where it stays deterministic by the cube package's
+// contract).
+func (jb *job) cubeOptions(base core.Config) cube.Options {
+	opts := cube.DefaultOptions()
+	opts.SolverOptions = sat.DefaultOptions(base.Profile)
+	if base.Seed != 0 {
+		opts.SolverOptions.RandomSeed = base.Seed
+	}
+	if jb.req.Seed != 0 {
+		opts.SolverOptions.RandomSeed = jb.req.Seed
+	}
+	if jb.req.Workers > 0 {
+		opts.Workers = jb.req.Workers
+	}
+	if jb.req.MaxCubes > 0 {
+		opts.MaxCubes = jb.req.MaxCubes
+	}
+	opts.ForceSplit = true
+	opts.WithProof = jb.req.Proof
+	return opts
+}
+
+// runCube is the solo-role cube path: split and conquer in-process on the
+// cube package's worker pool.
+func (jb *job) runCube(base core.Config) *Response {
+	start := time.Now()
+	res := cube.Solve(jb.ctx, jb.form, jb.cubeOptions(base))
+	resp := &Response{
+		Status:    res.Status.String(),
+		Cubes:     res.Cubes,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}
+	switch res.Status {
+	case sat.Sat:
+		resp.Solution = res.Model
+	case sat.Unsat:
+		resp.Proof = string(res.Proof)
+	default:
+		resp.Status = statusFor(jb.ctx, "UNKNOWN")
 	}
 	return resp
 }

@@ -29,6 +29,14 @@ type Metrics struct {
 	ProofVerified atomic.Int64 // facts independently re-derived (verify=true jobs)
 	ProofFailed   atomic.Int64 // facts that failed or exhausted verification
 
+	// Coordinator-role cube fan-out.
+	CubesDispatched atomic.Int64 // tasks handed to worker nodes
+	CubeResults     atomic.Int64 // node results received (incl. ignored ones)
+	CubesRequeued   atomic.Int64 // tasks put back after an UNKNOWN result
+	CubeJobsActive  atomic.Int64 // cube jobs parked awaiting remote conquest
+	// Worker-node role.
+	NodeCubesSolved atomic.Int64 // tasks this node settled (SAT or UNSAT)
+
 	mu         sync.Mutex
 	facts      map[string]int64 // per-technique facts learnt
 	latencyCnt [14]int64        // len(latencyBuckets)+1, last is +Inf
@@ -85,7 +93,12 @@ func (m *Metrics) Render() string {
 	count("bosphorusd_cache_hits_total", m.CacheHits.Load())
 	count("bosphorusd_proof_verified_total", m.ProofVerified.Load())
 	count("bosphorusd_proof_failed_total", m.ProofFailed.Load())
+	count("bosphorusd_cubes_dispatched_total", m.CubesDispatched.Load())
+	count("bosphorusd_cube_results_total", m.CubeResults.Load())
+	count("bosphorusd_cubes_requeued_total", m.CubesRequeued.Load())
+	count("bosphorusd_node_cubes_solved_total", m.NodeCubesSolved.Load())
 	fmt.Fprintf(&b, "# TYPE bosphorusd_queue_depth gauge\nbosphorusd_queue_depth %d\n", m.QueueDepth.Load())
+	fmt.Fprintf(&b, "# TYPE bosphorusd_cube_jobs_active gauge\nbosphorusd_cube_jobs_active %d\n", m.CubeJobsActive.Load())
 
 	m.mu.Lock()
 	techs := make([]string, 0, len(m.facts))

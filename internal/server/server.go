@@ -40,8 +40,32 @@ type Config struct {
 	// Engine is the base fact-learning configuration; per-request knobs
 	// (max_iterations, conflict_budget, seed, workers) override it.
 	Engine core.Config
+	// Role selects the clustering role. RoleSolo (the default) answers
+	// every job in-process. RoleCoordinator additionally parks cube-mode
+	// jobs after splitting them and serves the open cubes to pull-based
+	// worker nodes on /cube/next, assembling their results (and stitching
+	// their proof segments) into the job's response.
+	Role Role
 	// Log receives one line per job; nil silences it.
 	Log *log.Logger
+}
+
+// Role is the daemon's clustering role.
+type Role int
+
+// Roles. The worker-node role is not a Server configuration — worker
+// nodes are clients of a coordinator (see Node) with their own small
+// health/metrics listener.
+const (
+	RoleSolo Role = iota
+	RoleCoordinator
+)
+
+func (r Role) String() string {
+	if r == RoleCoordinator {
+		return "coordinator"
+	}
+	return "solo"
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +94,7 @@ type Server struct {
 	metrics *Metrics
 	cache   *lruCache
 	mux     *http.ServeMux
+	cubes   *cubeRegistry
 
 	queue chan *job
 	pool  sync.WaitGroup
@@ -86,11 +111,16 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		cache:   newLRUCache(cfg.CacheSize),
 		mux:     http.NewServeMux(),
+		cubes:   newCubeRegistry(),
 		queue:   make(chan *job, cfg.QueueSize),
 	}
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.Role == RoleCoordinator {
+		s.mux.HandleFunc("/cube/next", s.handleCubeNext)
+		s.mux.HandleFunc("/cube/result", s.handleCubeResult)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.pool.Add(1)
 		go s.worker()
@@ -137,7 +167,12 @@ func (s *Server) worker() {
 	for jb := range s.queue {
 		s.metrics.QueueDepth.Add(-1)
 		start := time.Now()
-		resp := jb.run(s.cfg.Engine, s.metrics)
+		var resp *Response
+		if jb.kind == kindCube && s.cfg.Role == RoleCoordinator {
+			resp = s.runCubeCoordinator(jb)
+		} else {
+			resp = jb.run(s.cfg.Engine, s.metrics)
+		}
 		if resp.Status == "CANCELED" {
 			s.metrics.JobsCanceled.Add(1)
 		} else {
@@ -226,7 +261,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "ok role=%s\n", s.cfg.Role)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

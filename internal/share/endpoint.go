@@ -1,0 +1,72 @@
+package share
+
+import "repro/internal/cnf"
+
+// Endpoint is one worker's attachment to a Ring. It satisfies the
+// solver's sat.ClauseExchange interface structurally (Export/Drain), so
+// internal/sat never imports this package.
+//
+// An Endpoint is single-goroutine: the owning solver calls Export at
+// learning time and Drain at restart boundaries from the same goroutine,
+// so the cursor and local counters need no synchronization. The Ring
+// behind it is the shared, concurrent object.
+type Endpoint struct {
+	ring   *Ring
+	id     uint32
+	cursor uint64 // next ticket this endpoint will read
+
+	// Local traffic counters, owned by the attached solver's goroutine.
+	Imported   uint64 // clauses delivered to recv
+	SkippedLap uint64 // entries lost because the ring lapped this cursor
+	SkippedOwn uint64 // own exports seen and not re-imported
+}
+
+// Endpoint attaches a new consumer/producer to the ring. The cursor
+// starts at the current head, so an endpoint only sees clauses published
+// after it attached.
+func (r *Ring) Endpoint() *Endpoint {
+	return &Endpoint{
+		ring:   r,
+		id:     r.endpointID.Add(1),
+		cursor: r.ticket.Load(),
+	}
+}
+
+// Export offers a learnt clause to the ring, copying the literals before
+// returning (the solver may pass an arena view). Reports whether the
+// clause was accepted.
+func (e *Endpoint) Export(lits []cnf.Lit, lbd int) bool {
+	return e.ring.publish(e.id, lits, lbd)
+}
+
+// Drain delivers every coherent foreign clause published since the last
+// call. Entries this endpoint published itself are consumed but not
+// delivered; entries the ring overwrote before we got to them are counted
+// in SkippedLap. The slice passed to recv aliases a scratch buffer and is
+// only valid for the duration of the callback.
+func (e *Endpoint) Drain(recv func(lits []cnf.Lit)) {
+	head := e.ring.ticket.Load()
+	if lag := head - e.cursor; lag > uint64(len(e.ring.slots)) {
+		// Everything below head-slots has been overwritten; don't waste
+		// reads proving it entry by entry.
+		skip := lag - uint64(len(e.ring.slots))
+		e.SkippedLap += skip
+		e.cursor += skip
+	}
+	var buf [MaxLits]cnf.Lit
+	for ; e.cursor < head; e.cursor++ {
+		n, source, ok := e.ring.read(e.cursor, &buf)
+		if !ok {
+			// Unpublished (the exporter dropped or is mid-write) or
+			// already lapped; either way the entry is gone for us.
+			e.SkippedLap++
+			continue
+		}
+		if source == e.id {
+			e.SkippedOwn++
+			continue
+		}
+		e.Imported++
+		recv(buf[:n])
+	}
+}

@@ -56,6 +56,10 @@ if "$workdir/proofcheck" -cnf "$workdir/p.drat.cnf" "$workdir/bad.drat" >/dev/nu
 	exit 1
 fi
 
+echo "==> multi-node smoke (coordinator + two worker nodes, proofcheck on the stitched proof)"
+BOSPHORUSD_SMOKE_DIR="$workdir" go test -count=1 -run TestMultiNodeSmoke ./cmd/bosphorusd
+"$workdir/proofcheck" -cnf "$workdir/smoke.cnf" "$workdir/smoke.drat" | grep -q "s VERIFIED"
+
 echo "==> proof checker fuzz (a few seconds each)"
 go test -run '^$' -fuzz '^FuzzProofCheck$' -fuzztime 3s ./internal/proof
 go test -run '^$' -fuzz '^FuzzProofMutation$' -fuzztime 3s ./internal/proof
@@ -66,9 +70,11 @@ go test -run '^$' -bench 'XL|RREF|ElimLin|PickElimVar' -benchtime 1x \
 
 echo "==> benchtab harness smoke (-quick snapshot + -compare on frozen baselines)"
 go run ./cmd/benchtab -perf "$workdir/quick.json" -quick
-# Gate disabled (-gate=-1): this asserts that -compare parses both frozen
-# snapshot generations (pr1 has no cdcl section), not that pr5 beat pr1.
+# Gate disabled (-gate=-1): this asserts that -compare parses every frozen
+# snapshot generation (pr1 has no cdcl section, pr6 no cube section), not
+# that the newer snapshots beat the older ones.
 go run ./cmd/benchtab -compare -gate=-1 BENCH_pr1.json BENCH_pr5.json >/dev/null
-go run ./cmd/benchtab -compare -gate=-1 BENCH_pr5.json "$workdir/quick.json" >/dev/null
+go run ./cmd/benchtab -compare -gate=-1 BENCH_pr6.json BENCH_pr7.json >/dev/null
+go run ./cmd/benchtab -compare -gate=-1 BENCH_pr7.json "$workdir/quick.json" >/dev/null
 
 echo "==> OK"
