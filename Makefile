@@ -43,9 +43,10 @@ proofsmoke: build
 	$(GO) run ./cmd/proofcheck -cnf /tmp/bosphorus.smoke.drat.cnf -v /tmp/bosphorus.smoke.drat
 	rm -f /tmp/bosphorus.smoke.drat /tmp/bosphorus.smoke.drat.cnf
 
-# perf regenerates the machine-readable kernel + CDCL + cube timing
-# snapshot. (BENCH_pr1.json, BENCH_pr5.json and BENCH_pr6.json are frozen
-# artifacts from earlier PRs; don't overwrite them. Compare generations
-# with `go run ./cmd/benchtab -compare BENCH_pr6.json BENCH_pr7.json`.)
+# perf regenerates the machine-readable kernel + CDCL + cube + fragment
+# timing snapshot. (BENCH_pr1.json, BENCH_pr5.json, BENCH_pr6.json and
+# BENCH_pr7.json are frozen artifacts from earlier PRs; don't overwrite
+# them. Compare generations with
+# `go run ./cmd/benchtab -compare BENCH_pr7.json BENCH_pr8.json`.)
 perf: build
-	$(GO) run ./cmd/benchtab -perf BENCH_pr7.json
+	$(GO) run ./cmd/benchtab -perf BENCH_pr8.json

@@ -105,6 +105,11 @@ type Options struct {
 	// EnableProbing adds failed-literal probing to the SAT step (§V's
 	// lookahead-style component).
 	EnableProbing bool
+	// Route puts the tractable-fragment router in front of the SAT step:
+	// when the CNF residue (after ANF propagation/ElimLin) is pure 2SAT,
+	// Horn, anti-Horn, or XOR, it is decided by a polynomial solver
+	// instead of CDCL. Result.RoutedVia names the fragment that answered.
+	Route bool
 	// ExtraTechniques are user-supplied fact learners plugged into the
 	// workflow (§V: "it is relatively easy to include new solving
 	// techniques by plugging them as components").
@@ -182,6 +187,7 @@ func (o Options) toCore(stopOnSolution bool) core.Config {
 	cfg.StopOnSolution = stopOnSolution
 	cfg.EnableGroebner = o.EnableGroebner
 	cfg.EnableProbing = o.EnableProbing
+	cfg.Route = o.Route
 	cfg.ExtraTechniques = o.ExtraTechniques
 	cfg.Provenance = o.Provenance
 	cfg.EmitProof = o.EmitProof
@@ -243,6 +249,10 @@ type Result struct {
 	// set and the SAT step derived the refutation; Certificate.Check()
 	// re-verifies it with the built-in checker.
 	Certificate *Certificate
+	// RoutedVia names the tractable fragment that produced the verdict
+	// when Options.Route was on and the router matched ("2sat", "horn",
+	// "antihorn", "xor"); empty when CDCL did the solving.
+	RoutedVia string
 }
 
 // Ledger is the provenance table: a record per input equation and learnt
@@ -281,6 +291,7 @@ func wrap(res *core.Result, o Options) *Result {
 		Interrupted:      res.Interrupted,
 		Provenance:       res.Provenance,
 		Certificate:      res.Certificate,
+		RoutedVia:        res.RoutedVia,
 	}
 	switch res.Status {
 	case core.SolvedSAT:

@@ -30,6 +30,7 @@ import (
 	"repro/internal/conv"
 	"repro/internal/core"
 	"repro/internal/gf2"
+	"repro/internal/route"
 	"repro/internal/sat"
 	"repro/internal/satgen"
 )
@@ -164,6 +165,10 @@ type perfBlob struct {
 	// Cube is the cube-and-conquer scaling family (since BENCH_pr7.json):
 	// direct vs 1/2/4-worker cube wall-clock medians per hard instance.
 	Cube map[string]bench.CubeScalingMeasurement `json:"cube,omitempty"`
+	// Fragment is the tractable-fragment routing family (since
+	// BENCH_pr8.json): routed (classifier + polynomial solver) vs full
+	// CDCL ns/op per instance, with the speedup ratio.
+	Fragment map[string]bench.FragmentMeasurement `json:"fragment,omitempty"`
 }
 
 // perfSnapshot times the hot kernels this reproduction optimizes — the XL
@@ -282,6 +287,19 @@ func perfSnapshot(path string, seed int64, quick bool, stderr io.Writer) error {
 			results[key+"_w"+w+"_ns"] = ns
 		}
 	}
+	fragJobs, fragPrefix := bench.FragmentJobs(), "fragment_"
+	if quick {
+		fragJobs, fragPrefix = quickFragmentJobs(), "fragment_quick_"
+	}
+	fragSec := make(map[string]bench.FragmentMeasurement, len(fragJobs))
+	for name, m := range bench.MeasureFragment(fragJobs, sat.ProfileCMS, cdclRounds) {
+		key := fragPrefix + name
+		fragSec[key] = m
+		// Flatten both columns into medians_ns so -compare gates them
+		// alongside the kernel timings.
+		results[key+"_routed_ns"] = m.RoutedNsPerOp
+		results[key+"_cdcl_ns"] = m.CDCLNsPerOp
+	}
 	blob := perfBlob{
 		Date:         time.Now().UTC().Format(time.RFC3339),
 		GOOS:         runtime.GOOS,
@@ -293,6 +311,7 @@ func perfSnapshot(path string, seed int64, quick bool, stderr io.Writer) error {
 		Measurements: measurements,
 		CDCL:         cdcl,
 		Cube:         cubeSec,
+		Fragment:     fragSec,
 	}
 	data, err := json.MarshalIndent(blob, "", "  ")
 	if err != nil {
@@ -335,6 +354,35 @@ func quickCubeJobs() []bench.CDCLJob {
 			return satgen.Pigeonhole(5, 4).Formula
 		},
 	}}
+}
+
+// quickFragmentJobs is a miniature routing family for -quick runs: one
+// tiny instance per pure fragment plus the mixed control, asserting the
+// routed and CDCL measurement paths end to end in milliseconds.
+func quickFragmentJobs() []bench.FragmentJob {
+	return []bench.FragmentJob{
+		{
+			Name: "2sat-gadget-k60",
+			Frag: route.Binary,
+			Build: func() *cnf.Formula {
+				return bench.Gadget2SAT(60)
+			},
+		},
+		{
+			Name: "horn-sparse-v20000-m2000",
+			Frag: route.Horn,
+			Build: func() *cnf.Formula {
+				return bench.HornSparse(20000, 2000, rand.New(rand.NewSource(7)))
+			},
+		},
+		{
+			Name: "xor-planted-v64-e60",
+			Frag: route.AffineXor,
+			Build: func() *cnf.Formula {
+				return bench.XorSystem(64, 60, 4, false, rand.New(rand.NewSource(82)))
+			},
+		},
+	}
 }
 
 // compareSnapshots loads two perf snapshots and prints a ratio table

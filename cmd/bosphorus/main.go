@@ -59,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed      = fs.Int64("seed", 1, "random seed")
 		verbose   = fs.Bool("v", false, "log per-iteration progress")
 		probe     = fs.Bool("probe", false, "enable failed-literal probing in the SAT step (§V lookahead)")
+		routeFlag = fs.Bool("route", false, "classify the converted CNF and route tractable fragments (2SAT/Horn/XOR) to polynomial solvers before CDCL")
 		groebner  = fs.Bool("groebner", false, "enable the budgeted Buchberger phase (§V)")
 		workers   = fs.Int("j", 0, "fact-learning workers: 0 = sequential paper loop, N ≥ 1 = deterministic snapshot pipeline with N goroutines")
 		enum      = fs.Int("enum", 0, "enumerate up to N solutions of the processed system over the original variables")
@@ -118,6 +119,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.Seed = *seed
 	cfg.StopOnSolution = *solve
 	cfg.EnableProbing = *probe
+	cfg.Route = *routeFlag
 	cfg.EnableGroebner = *groebner
 	cfg.Workers = *workers
 	cfg.DisableXL = *noXL
@@ -184,6 +186,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "c interrupted: partial results follow")
 	}
 	fmt.Fprintf(stdout, "c bosphorus: %s\n", res.Summary())
+	if res.RoutedVia != "" {
+		fmt.Fprintf(stdout, "c routed via %s (%.3fms)\n", res.RoutedVia, float64(res.RouteNs)/1e6)
+	}
 
 	switch res.Status {
 	case core.SolvedUNSAT:

@@ -183,7 +183,21 @@ func TestEndToEndSmoke(t *testing.T) {
 		t.Fatal("never saw 429 with worker and queue occupied")
 	}
 
-	// 5. Metrics reflect the submitted work.
+	// 5. A routed job: a single cubic monomial survives ANF preprocessing
+	// (no units or equivalences to propagate), and its CNF image is one
+	// Horn clause, so the fragment router decides it without CDCL.
+	routedBody, _ := json.Marshal(map[string]any{
+		"format": "anf", "input": "x1*x2*x3\n", "mode": "solve", "route": true,
+	})
+	_, out = post(string(routedBody))
+	if got := out["status"]; got != "SAT" {
+		t.Fatalf("routed job status = %v, want SAT", got)
+	}
+	if got := out["routed_via"]; got != "horn" {
+		t.Fatalf("routed_via = %v, want horn", got)
+	}
+
+	// 6. Metrics reflect the submitted work.
 	mresp, err := http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -198,6 +212,8 @@ func TestEndToEndSmoke(t *testing.T) {
 		"bosphorusd_jobs_canceled_total",
 		"bosphorusd_facts_learnt_total",
 		"bosphorusd_solve_seconds_count",
+		`bosphorusd_routed_total{fragment="horn"}`,
+		"bosphorusd_route_ns_bucket",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %s:\n%s", want, metrics)
@@ -209,6 +225,9 @@ func TestEndToEndSmoke(t *testing.T) {
 	if v := counter(t, metrics, "bosphorusd_jobs_canceled_total"); v < 1 {
 		t.Errorf("jobs_canceled = %d, want >= 1", v)
 	}
+	if v := counter(t, metrics, "bosphorusd_route_ns_count"); v < 1 {
+		t.Errorf("route_ns_count = %d, want >= 1", v)
+	}
 	accepted := counter(t, metrics, "bosphorusd_jobs_accepted_total")
 	completed := counter(t, metrics, "bosphorusd_jobs_completed_total")
 	canceled := counter(t, metrics, "bosphorusd_jobs_canceled_total")
@@ -216,7 +235,7 @@ func TestEndToEndSmoke(t *testing.T) {
 		t.Errorf("accepted (%d) != completed (%d) + canceled (%d)", accepted, completed, canceled)
 	}
 
-	// 6. SIGTERM drains: healthz flips to 503 and the process exits 0.
+	// 7. SIGTERM drains: healthz flips to 503 and the process exits 0.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

@@ -67,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		role        = fs.String("role", "solo", "clustering role: solo | coordinator | worker")
 		coordinator = fs.String("coordinator", "", "coordinator base URL (worker role)")
 		poll        = fs.Duration("poll", 100*time.Millisecond, "idle poll interval between cube pulls (worker role)")
+		routeFlag   = fs.Bool("route", false, "route tractable CNF fragments (2SAT/Horn/XOR) to polynomial solvers by default on every engine-mode job")
 		verbose     = fs.Bool("v", false, "log one line per job")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	engine.ConflictBudget = *budget
 	engine.MaxIterations = *maxIters
 	engine.Workers = *engineJ
+	engine.Route = *routeFlag
 	switch *solver {
 	case "minisat":
 		engine.Profile = sat.ProfileMiniSat

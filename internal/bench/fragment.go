@@ -1,0 +1,267 @@
+// Fragment-router benchmark family. Each job is a CNF residue that falls
+// squarely inside one of the router's tractable fragments (pure 2SAT,
+// pure Horn, pure XOR) or just outside all of them (the near-fragment
+// control), measured two ways at the same fixed seeds:
+//
+//   - routed: route.Decide — one classification pass plus the fragment's
+//     polynomial solver (SCC, counting unit propagation, or GF(2)
+//     elimination), model-verified before the verdict is trusted; and
+//   - cdcl: a full solver construction + load + search, the path the
+//     engine would take with routing off.
+//
+// The family exists to keep the router honest: the routed column must
+// stay an order of magnitude under the CDCL column on the pure
+// fragments (the whole point of routing), and the near-fragment control
+// bounds the classification overhead paid on residues that fall through.
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/route"
+	"repro/internal/sat"
+)
+
+// FragmentJob is one deterministic router-level benchmark instance.
+type FragmentJob struct {
+	Name string
+	// Frag is the classification route.Classify must produce; the
+	// differential tests assert it.
+	Frag route.Fragment
+	// Build constructs the formula (called outside the timed region).
+	Build func() *cnf.Formula
+}
+
+// Random2SAT builds a random formula of width-2 clauses over distinct
+// variable pairs — the pure-binary fragment, solved by the router in
+// O(n+m) via implication-graph SCCs.
+func Random2SAT(nVars, nClauses int, rng *rand.Rand) *cnf.Formula {
+	f := cnf.NewFormula(nVars)
+	for i := 0; i < nClauses; i++ {
+		a := rng.Intn(nVars)
+		b := rng.Intn(nVars)
+		for b == a {
+			b = rng.Intn(nVars)
+		}
+		f.AddClause(
+			cnf.MkLit(cnf.Var(a), rng.Intn(2) == 1),
+			cnf.MkLit(cnf.Var(b), rng.Intn(2) == 1),
+		)
+	}
+	return f
+}
+
+// Gadget2SAT builds k independent two-variable forcing gadgets
+// (y ∨ a), (y ∨ ¬a): each y is forced true, but a false-polarity CDCL
+// solver discovers that only through a decision → conflict → learn-unit
+// cycle per gadget, paying full conflict-analysis overhead k times. The
+// SCC router reads all k forcings off one linear pass, which is what
+// makes this the family's order-of-magnitude 2SAT instance.
+func Gadget2SAT(k int) *cnf.Formula {
+	f := cnf.NewFormula(2 * k)
+	for g := 0; g < k; g++ {
+		y, a := cnf.Var(2*g), cnf.Var(2*g+1)
+		f.AddClause(cnf.MkLit(y, false), cnf.MkLit(a, false))
+		f.AddClause(cnf.MkLit(y, false), cnf.MkLit(a, true))
+	}
+	return f
+}
+
+// HornSparse builds a unit-free random Horn instance: nClauses ternary
+// clauses ¬a ∨ ¬b ∨ c over distinct variables, nVars much larger than
+// nClauses. Nothing propagates — the all-false default is already a
+// model — but a complete solver still has to decide every one of the
+// nVars variables through its activity heap before it may answer SAT,
+// while the router verifies the default model in one pass over the
+// clauses. The gap is the decision overhead, and it grows with nVars.
+func HornSparse(nVars, nClauses int, rng *rand.Rand) *cnf.Formula {
+	f := cnf.NewFormula(nVars)
+	for i := 0; i < nClauses; i++ {
+		a, b, c := rng.Intn(nVars), rng.Intn(nVars), rng.Intn(nVars)
+		for b == a {
+			b = rng.Intn(nVars)
+		}
+		for c == a || c == b {
+			c = rng.Intn(nVars)
+		}
+		f.AddClause(
+			cnf.MkLit(cnf.Var(a), true),
+			cnf.MkLit(cnf.Var(b), true),
+			cnf.MkLit(cnf.Var(c), false),
+		)
+	}
+	return f
+}
+
+// HornChain builds a Horn instance whose verdict is decided by one long
+// unit-propagation cascade: two positive units seed the chain, and each
+// ternary clause ¬x_{i-2} ∨ ¬x_{i-1} ∨ x_i forces the next variable.
+// With unsat=true a final all-negative clause over the last two forced
+// variables closes the chain into a contradiction.
+func HornChain(n int, unsat bool) *cnf.Formula {
+	f := cnf.NewFormula(n)
+	f.AddClause(cnf.MkLit(0, false))
+	f.AddClause(cnf.MkLit(1, false))
+	for i := 2; i < n; i++ {
+		f.AddClause(
+			cnf.MkLit(cnf.Var(i-2), true),
+			cnf.MkLit(cnf.Var(i-1), true),
+			cnf.MkLit(cnf.Var(i), false),
+		)
+	}
+	if unsat {
+		f.AddClause(cnf.MkLit(cnf.Var(n-2), true), cnf.MkLit(cnf.Var(n-1), true))
+	}
+	return f
+}
+
+// XorSystem builds a native-XOR linear system (no CNF clauses at all,
+// unlike satgen.ParityChain's clausal expansion): nEqs equations of the
+// given width with right-hand sides planted from a hidden solution. With
+// unsat=true the last equation is repeated with its RHS flipped, making
+// the system inconsistent by exactly one row.
+func XorSystem(nVars, nEqs, width int, unsat bool, rng *rand.Rand) *cnf.Formula {
+	f := cnf.NewFormula(nVars)
+	sol := make([]bool, nVars)
+	for i := range sol {
+		sol[i] = rng.Intn(2) == 1
+	}
+	var lastVars []cnf.Var
+	lastRHS := false
+	for e := 0; e < nEqs; e++ {
+		seen := make(map[int]bool, width)
+		vs := make([]cnf.Var, 0, width)
+		for len(vs) < width {
+			v := rng.Intn(nVars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			vs = append(vs, cnf.Var(v))
+		}
+		rhs := false
+		for _, v := range vs {
+			if sol[v] {
+				rhs = !rhs
+			}
+		}
+		f.AddXor(rhs, vs...)
+		lastVars, lastRHS = vs, rhs
+	}
+	if unsat {
+		f.AddXor(!lastRHS, lastVars...)
+	}
+	return f
+}
+
+// FragmentJobs returns the full family at fixed seeds: one pure-fragment
+// job per router (each chosen so the polynomial solve is an order of
+// magnitude under the CDCL baseline — conflict-farm 2SAT, decision-bound
+// sparse Horn, and a planted XOR system sized just under the solver's
+// GJE work guard so both sides pay a full elimination) and the
+// near-fragment control — a 2SAT instance salted with a handful of mixed
+// ternary clauses, which must classify Mixed and fall through.
+func FragmentJobs() []FragmentJob {
+	return []FragmentJob{
+		{
+			Name: "2sat-gadget-k1000",
+			Frag: route.Binary,
+			Build: func() *cnf.Formula {
+				return Gadget2SAT(1000)
+			},
+		},
+		{
+			Name: "horn-sparse-v500000-m50000",
+			Frag: route.Horn,
+			Build: func() *cnf.Formula {
+				return HornSparse(500000, 50000, rand.New(rand.NewSource(7)))
+			},
+		},
+		{
+			Name: "xor-planted-v2048-e1300-w16",
+			Frag: route.AffineXor,
+			Build: func() *cnf.Formula {
+				return XorSystem(2048, 1300, 16, false, rand.New(rand.NewSource(82)))
+			},
+		},
+		{
+			Name: "near2sat-v4000-m4000-salt8",
+			Frag: route.Mixed,
+			Build: func() *cnf.Formula {
+				rng := rand.New(rand.NewSource(83))
+				f := Random2SAT(4000, 4000, rng)
+				// Eight ternary clauses with two positive literals each:
+				// not Horn, not anti-Horn, not binary — the residue is
+				// within a hair of 2SAT yet must classify Mixed.
+				for i := 0; i < 8; i++ {
+					f.AddClause(
+						cnf.MkLit(cnf.Var(rng.Intn(4000)), false),
+						cnf.MkLit(cnf.Var(rng.Intn(4000)), false),
+						cnf.MkLit(cnf.Var(rng.Intn(4000)), true),
+					)
+				}
+				return f
+			},
+		},
+	}
+}
+
+// FragmentMeasurement is one job's routed-vs-CDCL timing result.
+type FragmentMeasurement struct {
+	// RoutedNsPerOp times route.Decide: classification plus, when the
+	// residue is pure, the polynomial solve. On Mixed jobs it is the
+	// fall-through overhead alone.
+	RoutedNsPerOp int64 `json:"routed_ns_per_op"`
+	// CDCLNsPerOp times solver construction + load + full search.
+	CDCLNsPerOp int64 `json:"cdcl_ns_per_op"`
+	// Speedup is CDCL/routed (0 when either side is unmeasured).
+	Speedup float64 `json:"speedup"`
+	// Routed reports whether the router actually decided the instance.
+	Routed bool `json:"routed"`
+}
+
+// MeasureFragment benchmarks each job both ways (formula built outside
+// the timed region) `rounds` times via testing.Benchmark and returns the
+// per-job medians, mirroring MeasureCDCL's medians-of-rounds shape so
+// the JSON artifacts diff cleanly across PRs.
+func MeasureFragment(jobs []FragmentJob, profile sat.Profile, rounds int) map[string]FragmentMeasurement {
+	if rounds <= 0 {
+		rounds = 5
+	}
+	out := make(map[string]FragmentMeasurement, len(jobs))
+	for _, job := range jobs {
+		f := job.Build()
+		_, _, routed := route.Decide(f)
+		var routedNs, cdclNs []int64
+		for r := 0; r < rounds; r++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					route.Decide(f)
+				}
+			})
+			routedNs = append(routedNs, res.NsPerOp())
+			res = testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := sat.New(sat.DefaultOptions(profile))
+					if !s.AddFormula(f) {
+						continue
+					}
+					s.Solve()
+				}
+			})
+			cdclNs = append(cdclNs, res.NsPerOp())
+		}
+		m := FragmentMeasurement{
+			RoutedNsPerOp: median64(routedNs),
+			CDCLNsPerOp:   median64(cdclNs),
+			Routed:        routed,
+		}
+		if m.RoutedNsPerOp > 0 {
+			m.Speedup = float64(m.CDCLNsPerOp) / float64(m.RoutedNsPerOp)
+		}
+		out[job.Name] = m
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/route"
+	"repro/internal/sat"
+)
+
+// Every fragment job classifies as advertised, and on the pure fragments
+// the routed verdict agrees with a full CDCL solve of the same formula —
+// the differential contract the bench numbers rest on.
+func TestFragmentJobsClassifyAndAgree(t *testing.T) {
+	for _, job := range FragmentJobs() {
+		job := job
+		t.Run(job.Name, func(t *testing.T) {
+			f := job.Build()
+			if got, _ := route.Classify(f); got != job.Frag {
+				t.Fatalf("Classify = %v, want %v", got, job.Frag)
+			}
+			v, _, routed := route.Decide(f)
+			if job.Frag == route.Mixed {
+				if routed {
+					t.Fatalf("Mixed control was routed: %+v", v)
+				}
+				return
+			}
+			if !routed {
+				t.Fatalf("pure fragment %v declined by the router", job.Frag)
+			}
+			if v.Status == sat.Sat {
+				// A verified model is self-certifying; no CDCL run needed.
+				if !f.Eval(func(vr cnf.Var) bool { return v.Model[vr] }) {
+					t.Fatal("routed model does not satisfy the formula")
+				}
+			}
+			// Cross-check the verdict against CDCL only on instances the
+			// baseline can afford under -race (the family's bench-scale
+			// jobs take minutes there; an UNSAT verdict on those is still
+			// covered by the certificate checks in internal/route).
+			lits := len(f.Xors)
+			for _, c := range f.Clauses {
+				lits += len(c)
+			}
+			if lits > 50000 {
+				return
+			}
+			s := sat.New(sat.DefaultOptions(sat.ProfileCMS))
+			st := sat.Unsat
+			if s.AddFormula(f.Clone()) {
+				st = s.Solve()
+			}
+			if v.Status != st {
+				t.Fatalf("routed %v but CDCL says %v", v.Status, st)
+			}
+		})
+	}
+}
+
+// Deterministic builders: two Build calls give identical formulas, so
+// snapshot numbers are attributable to code changes, not instance noise.
+func TestFragmentJobsDeterministic(t *testing.T) {
+	for _, job := range FragmentJobs() {
+		a, b := job.Build(), job.Build()
+		if len(a.Clauses) != len(b.Clauses) || len(a.Xors) != len(b.Xors) {
+			t.Fatalf("%s: builds differ in size", job.Name)
+		}
+	}
+}
+
+// The measurement path runs end to end at smoke scale and reports a real
+// speedup on a pure fragment.
+func TestMeasureFragmentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs testing.Benchmark")
+	}
+	jobs := []FragmentJob{
+		{
+			Name: "smoke-2sat",
+			Frag: route.Binary,
+			Build: func() *cnf.Formula {
+				f := cnf.NewFormula(64)
+				for i := 0; i+1 < 64; i++ {
+					f.AddClause(cnf.MkLit(cnf.Var(i), true), cnf.MkLit(cnf.Var(i+1), false))
+				}
+				return f
+			},
+		},
+	}
+	res := MeasureFragment(jobs, sat.ProfileMiniSat, 1)
+	m, ok := res["smoke-2sat"]
+	if !ok {
+		t.Fatal("no measurement for smoke job")
+	}
+	if !m.Routed {
+		t.Fatal("smoke 2SAT chain was not routed")
+	}
+	if m.RoutedNsPerOp <= 0 || m.CDCLNsPerOp <= 0 {
+		t.Fatalf("degenerate timings: %+v", m)
+	}
+}

@@ -69,6 +69,15 @@ type Config struct {
 	// ExtraTechniques are user-supplied fact learners (§V's plug point),
 	// run after ElimLin each iteration.
 	ExtraTechniques []Technique
+	// Route puts the tractable-fragment router in front of every SAT
+	// step: after ANF propagation/ElimLin simplify the system, the
+	// converted CNF residue is re-classified and — when it is pure 2SAT,
+	// Horn, anti-Horn, or XOR — decided by the polynomial solvers in
+	// internal/route instead of CDCL. Verdict provenance is preserved
+	// (routed UNSAT certificates check, routed SAT models verify). Off by
+	// default: routing can change which facts a non-terminal SAT step
+	// harvests, so seed-equivalence golden runs keep it disabled.
+	Route bool
 	// EnableProbing adds failed-literal probing (a lookahead-style
 	// component, also named in §V) to the SAT step.
 	EnableProbing bool
@@ -182,6 +191,13 @@ type Result struct {
 	// Certificate is the DRAT proof of the refuting SAT step when
 	// Config.EmitProof was set and that step proved UNSAT.
 	Certificate *proof.Certificate
+	// RoutedVia names the tractable fragment that decided the final SAT
+	// step when Config.Route was on and the router matched ("2sat",
+	// "horn", "antihorn", "xor"); empty when CDCL did the solving.
+	RoutedVia string
+	// RouteNs is the total time the router spent across all SAT steps
+	// (classification plus fragment solving), 0 when routing was off.
+	RouteNs int64
 }
 
 // Process runs the Bosphorus fact-learning loop on a copy of the input
@@ -341,12 +357,17 @@ func Process(input *anf.System, cfg Config) *Result {
 				HarvestMonomials: cfg.HarvestMonomials,
 				Probe:            cfg.EnableProbing,
 				ProbeMax:         cfg.ProbeMax,
+				Route:            cfg.Route,
 				Seed:             cfg.Seed + int64(iter) + 1,
 				Context:          ctx,
 				CaptureProof:     cfg.EmitProof,
 				ProofBinary:      cfg.ProofBinary,
 			})
 			res.SAT.Runs++
+			res.RouteNs += step.RouteNs
+			if step.RoutedVia != "" {
+				res.RoutedVia = step.RoutedVia
+			}
 			if step.Certificate != nil {
 				step.Certificate.Iteration = iter
 				res.Certificate = step.Certificate

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/anf"
+	"repro/internal/conv"
+	"repro/internal/sat"
+)
+
+// Two-variable linear equations cut to binary clauses under the MiniSat
+// profile, so the SAT step's converted CNF is pure 2SAT; an odd
+// equivalence cycle refutes it and the routed certificate must check.
+func TestSATStepRoutes2SATUnsat(t *testing.T) {
+	sys := sysFrom(t, "x0 + x1\nx1 + x2\nx0 + x2 + 1\n")
+	cfg := SATStepConfig{
+		Profile:      sat.ProfileMiniSat,
+		Conv:         conv.DefaultOptions(),
+		Route:        true,
+		CaptureProof: true,
+	}
+	step := RunSATStep(sys, cfg)
+	if step.RoutedVia != "2sat" {
+		t.Fatalf("RoutedVia = %q, want 2sat", step.RoutedVia)
+	}
+	if step.Status != sat.Unsat {
+		t.Fatalf("status = %v, want Unsat", step.Status)
+	}
+	if step.Certificate == nil {
+		t.Fatal("no certificate on routed UNSAT")
+	}
+	res, err := step.Certificate.Check()
+	if err != nil || !res.Verified {
+		t.Fatalf("routed 2SAT certificate rejected: verified=%v err=%v", res != nil && res.Verified, err)
+	}
+	// Differential: CDCL must agree.
+	cfg.Route = false
+	if ref := RunSATStep(sys, cfg); ref.Status != sat.Unsat {
+		t.Fatalf("CDCL disagrees: %v", ref.Status)
+	}
+}
+
+func TestSATStepRoutes2SATSat(t *testing.T) {
+	sys := sysFrom(t, "x0 + x1\nx1 + x2\n")
+	step := RunSATStep(sys, SATStepConfig{
+		Profile: sat.ProfileMiniSat,
+		Conv:    conv.DefaultOptions(),
+		Route:   true,
+	})
+	if step.RoutedVia != "2sat" || step.Status != sat.Sat {
+		t.Fatalf("RoutedVia=%q status=%v", step.RoutedVia, step.Status)
+	}
+	if step.Model == nil {
+		t.Fatal("routed SAT verdict without model")
+	}
+	if step.RouteNs <= 0 {
+		t.Fatalf("RouteNs = %d, want > 0", step.RouteNs)
+	}
+}
+
+// Positive units plus a blocked conjunction (x·y·z = 0 Karnaugh-cuts to
+// the single clause ¬x∨¬y∨¬z) form a Horn instance — the ternary clause
+// keeps it out of the 2SAT fragment — and the conflict is pure unit
+// propagation.
+func TestSATStepRoutesHornUnsat(t *testing.T) {
+	sys := sysFrom(t, "x0 + 1\nx1 + 1\nx2 + 1\nx0*x1*x2\n")
+	cfg := SATStepConfig{
+		Profile:      sat.ProfileMiniSat,
+		Conv:         conv.DefaultOptions(),
+		Route:        true,
+		CaptureProof: true,
+	}
+	step := RunSATStep(sys, cfg)
+	if step.RoutedVia != "horn" {
+		t.Fatalf("RoutedVia = %q, want horn", step.RoutedVia)
+	}
+	if step.Status != sat.Unsat {
+		t.Fatalf("status = %v, want Unsat", step.Status)
+	}
+	res, err := step.Certificate.Check()
+	if err != nil || !res.Verified {
+		t.Fatalf("routed Horn certificate rejected: err=%v", err)
+	}
+	cfg.Route = false
+	if ref := RunSATStep(sys, cfg); ref.Status != sat.Unsat {
+		t.Fatalf("CDCL disagrees: %v", ref.Status)
+	}
+}
+
+// Under the CMS profile linear equations stay native XOR (KarnaughK=1
+// keeps small parities off the K-map clause path), so a pure linear
+// system routes through the GF(2) solver.
+func TestSATStepRoutesXor(t *testing.T) {
+	unsat := sysFrom(t, "x0 + x1 + x2\nx1 + x2 + x3\nx0 + x3 + 1\n")
+	convOpts := conv.DefaultOptions()
+	convOpts.KarnaughK = 1
+	cfg := SATStepConfig{
+		Profile:      sat.ProfileCMS,
+		Conv:         convOpts,
+		Route:        true,
+		CaptureProof: true,
+	}
+	step := RunSATStep(unsat, cfg)
+	if step.RoutedVia != "xor" {
+		t.Fatalf("RoutedVia = %q, want xor", step.RoutedVia)
+	}
+	if step.Status != sat.Unsat {
+		t.Fatalf("status = %v, want Unsat", step.Status)
+	}
+	res, err := step.Certificate.Check()
+	if err != nil || !res.Verified {
+		t.Fatalf("routed XOR certificate rejected: err=%v", err)
+	}
+
+	satSys := sysFrom(t, "x0 + x1 + x2\nx1 + x2 + x3\n")
+	step = RunSATStep(satSys, cfg)
+	if step.RoutedVia != "xor" || step.Status != sat.Sat || step.Model == nil {
+		t.Fatalf("RoutedVia=%q status=%v model=%v", step.RoutedVia, step.Status, step.Model != nil)
+	}
+}
+
+// Mixed residues must fall through to CDCL with routing on: same
+// verdict, RoutedVia empty.
+func TestSATStepRouteFallsThroughOnMixed(t *testing.T) {
+	// x0 ⊕ x1 ⊕ x2 = 1 under MiniSat cuts to 3-literal clauses of every
+	// polarity pattern: none of the fragments match.
+	sys := sysFrom(t, "x0 + x1 + x2 + 1\n")
+	step := RunSATStep(sys, SATStepConfig{
+		Profile: sat.ProfileMiniSat,
+		Conv:    conv.DefaultOptions(),
+		Route:   true,
+	})
+	if step.RoutedVia != "" {
+		t.Fatalf("RoutedVia = %q, want empty (CDCL fallback)", step.RoutedVia)
+	}
+	if step.Status != sat.Sat {
+		t.Fatalf("status = %v", step.Status)
+	}
+}
+
+// Full engine run: the router decides the SAT step, the verdict
+// surfaces as Result.RoutedVia, and the routed certificate survives the
+// engine plumbing.
+func TestProcessWithRouting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Route = true
+	cfg.DisableXL = true
+	cfg.DisableElimLin = true
+	cfg.EmitProof = true
+	cfg.Profile = sat.ProfileCMS
+	cfg.Conv.KarnaughK = 1 // keep small parities native-XOR
+
+	// No 2-variable equations: nothing for ANF propagation to merge, so
+	// the linear system reaches the SAT step intact.
+	unsat := sysFrom(t, "x0 + x1 + x2\nx2 + x3 + x4\nx0 + x1 + x3 + x4 + 1\n")
+	res := Process(unsat, cfg)
+	if res.Status != SolvedUNSAT {
+		t.Fatalf("status = %v, want UNSAT", res.Status)
+	}
+	if res.RoutedVia != "xor" {
+		t.Fatalf("RoutedVia = %q, want xor", res.RoutedVia)
+	}
+	if res.Certificate == nil {
+		t.Fatal("routed engine run lost the certificate")
+	}
+	if chk, err := res.Certificate.Check(); err != nil || !chk.Verified {
+		t.Fatalf("engine-level routed certificate rejected: err=%v", err)
+	}
+
+	satIn := sysFrom(t, "x0 + x1 + x2\nx2 + x3 + x4\nx0 + x1 + x3 + x4\n")
+	res = Process(satIn.Clone(), cfg)
+	if res.Status != SolvedSAT {
+		t.Fatalf("status = %v, want SAT", res.Status)
+	}
+	if res.RoutedVia != "xor" {
+		t.Fatalf("RoutedVia = %q, want xor", res.RoutedVia)
+	}
+	if res.RouteNs <= 0 {
+		t.Fatalf("RouteNs = %d, want > 0", res.RouteNs)
+	}
+	if !satIn.Eval(func(v anf.Var) bool { return res.Solution[v] }) {
+		t.Fatal("routed engine solution violates the input system")
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"sort"
+	"time"
 
 	"repro/internal/anf"
 	"repro/internal/cnf"
 	"repro/internal/conv"
 	"repro/internal/proof"
+	"repro/internal/route"
 	"repro/internal/sat"
 	"repro/internal/simp"
 )
@@ -44,6 +46,12 @@ type SATStepConfig struct {
 	// facts harvested so far) soon after cancellation. A nil Context never
 	// cancels.
 	Context context.Context
+	// Route classifies the converted CNF into tractable fragments (2SAT,
+	// Horn, anti-Horn, pure XOR) and, on a match, decides it with the
+	// polynomial solver from internal/route instead of CDCL. Routed UNSAT
+	// verdicts still carry a checkable certificate when CaptureProof is
+	// set; routed SAT models are verified before being trusted.
+	Route bool
 	// CaptureProof attaches a DRAT writer to the solver and, when the step
 	// refutes the formula, returns the proof as a Certificate. Capture
 	// forces Preprocess off: simp rewrites the clause set, so a proof
@@ -74,6 +82,12 @@ type SATStepResult struct {
 	// Certificate holds the DRAT proof when CaptureProof was set and the
 	// step refuted the formula.
 	Certificate *proof.Certificate
+	// RoutedVia names the tractable fragment that decided this step
+	// ("2sat", "horn", "antihorn", "xor") — empty when CDCL ran.
+	RoutedVia string
+	// RouteNs is the time the router spent (classify + fragment solve),
+	// whether or not it produced a verdict; 0 when routing was off.
+	RouteNs int64
 }
 
 // RunSATStep converts the system to CNF, solves under the conflict budget,
@@ -96,6 +110,32 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 	addFact := func(p anf.Poly, note string) {
 		res.Facts = append(res.Facts, p)
 		res.Notes = append(res.Notes, note)
+	}
+
+	if cfg.Route {
+		//lint:ignore determinism timing only: routeStart feeds the route_ns metric, never fact ordering
+		routeStart := time.Now()
+		v, _, routed := route.Decide(f)
+		res.RouteNs = time.Since(routeStart).Nanoseconds()
+		if routed {
+			res.RoutedVia = v.Fragment.String()
+			res.Status = v.Status
+			switch v.Status {
+			case sat.Sat:
+				res.Model = v.Model
+			case sat.Unsat:
+				addFact(anf.OnePoly(), "routed "+res.RoutedVia+" refutation")
+				if cfg.CaptureProof {
+					// Fragment proofs are always text (RUP chain or xor
+					// justification) against the unpreprocessed CNF.
+					res.Certificate = &proof.Certificate{
+						Formula: f,
+						Proof:   append([]byte(nil), v.Proof...),
+					}
+				}
+			}
+			return res
+		}
 	}
 
 	target := f

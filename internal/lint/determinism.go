@@ -7,18 +7,21 @@ import (
 )
 
 // DeterminismAnalyzer guards the bit-identical-run contract of the
-// provenance-tracked packages (internal/core, internal/proof) and of the
-// cube-and-conquer layer (internal/cube, internal/share), whose
-// single-worker runs must reproduce from the seed alone: a run is
-// reproducible from Config.Seed alone, so nothing in those packages may
-// consult a global entropy source or let map iteration order decide the
-// order facts are learnt or recorded. Rules:
+// provenance-tracked packages (internal/core, internal/proof), of the
+// cube-and-conquer layer (internal/cube, internal/share), and of the
+// routing tier (internal/route, internal/walksat), whose single-worker
+// runs must reproduce from the seed alone: a run is reproducible from
+// Config.Seed alone, so nothing in those packages may consult a global
+// entropy source or let map iteration order decide the order facts are
+// learnt or recorded. Rules:
 //
 //   - No package-level math/rand calls (rand.Intn, rand.Perm, ...): the
 //     global source is seeded from runtime entropy. Constructing an
 //     explicitly seeded generator (rand.New(rand.NewSource(seed))) is
-//     fine; in internal/core it must additionally go through the one
-//     NewRNG helper so every generator derives from Config.Seed.
+//     fine; in internal/core, internal/route, and internal/walksat it
+//     must additionally go through the one core.NewRNG helper so every
+//     generator derives from the configured seed (WalkSAT restarts and
+//     noise flips replay bit-identically from Options.Seed).
 //   - No time.Now: wall-clock reads make runs diverge. Timing-only uses
 //     (Result.Elapsed, deadlines) carry a //lint:ignore with the reason.
 //   - No map-range loop that feeds an ordered output (append or an
@@ -32,7 +35,11 @@ var DeterminismAnalyzer = &Analyzer{
 	Run:  runDeterminism,
 }
 
-var determinismTargets = []string{"internal/core", "internal/proof", "internal/cube", "internal/share"}
+var determinismTargets = []string{"internal/core", "internal/proof", "internal/cube", "internal/share", "internal/route", "internal/walksat"}
+
+// newRNGScoped are the targets where RNG construction must go through
+// core.NewRNG rather than bare rand.New(rand.NewSource(...)).
+var newRNGScoped = []string{"internal/core", "internal/route", "internal/walksat"}
 
 // rngConstructors are the math/rand functions that build explicitly
 // seeded generators rather than drawing from the global source.
@@ -49,17 +56,28 @@ func runDeterminism(pass *Pass) {
 	if !targeted {
 		return
 	}
+	viaNewRNG := false
+	for _, t := range newRNGScoped {
+		if pkgPathHas(pass.Pkg, t) {
+			viaNewRNG = true
+			break
+		}
+	}
+	// The helper itself lives in internal/core; only there may a function
+	// named NewRNG construct a generator directly.
 	inCore := pkgPathHas(pass.Pkg, "internal/core")
 	for _, file := range pass.Pkg.Files {
 		eachFuncBody(file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
-			checkEntropySources(pass, fd, body, inCore)
+			checkEntropySources(pass, fd, body, viaNewRNG, inCore)
 			checkMapRangeOrdering(pass, body)
 		})
 	}
 }
 
-// checkEntropySources flags global math/rand use and time.Now.
-func checkEntropySources(pass *Pass, fd *ast.FuncDecl, body *ast.BlockStmt, inCore bool) {
+// checkEntropySources flags global math/rand use and time.Now. In
+// viaNewRNG packages bare RNG construction is also flagged — except in
+// internal/core's own NewRNG helper, which is where it must live.
+func checkEntropySources(pass *Pass, fd *ast.FuncDecl, body *ast.BlockStmt, viaNewRNG, inCore bool) {
 	funcName := ""
 	if fd != nil {
 		funcName = fd.Name.Name
@@ -78,7 +96,7 @@ func checkEntropySources(pass *Pass, fd *ast.FuncDecl, body *ast.BlockStmt, inCo
 			if !rngConstructors[sel.Sel.Name] {
 				pass.Reportf(call.Pos(),
 					"rand.%s draws from the global math/rand source; use the run's seeded *rand.Rand", sel.Sel.Name)
-			} else if inCore && funcName != "NewRNG" {
+			} else if viaNewRNG && !(inCore && funcName == "NewRNG") {
 				pass.Reportf(call.Pos(),
 					"construct RNGs through core.NewRNG so every generator derives from Config.Seed")
 			}

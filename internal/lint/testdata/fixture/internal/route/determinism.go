@@ -1,0 +1,59 @@
+// Package route is a lint fixture: its import path ends in
+// internal/route, so the determinism analyzer treats it as a target —
+// the fragment router sits on the engine's provenance-tracked SAT path,
+// so a routed verdict (and the tie-breaks inside the polynomial solvers)
+// must replay bit-identically from the configured seed. The NewRNG
+// routing rule applies here too: the router may not construct its own
+// generators.
+package route
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// badTieBreak breaks a fragment-classification tie on the global source:
+// two identical runs could route the same residue differently.
+func badTieBreak(n int) int {
+	return rand.Intn(n) // want determinism "global math/rand source"
+}
+
+// badLocalRNG seeds its own generator instead of going through
+// core.NewRNG, so the seed does not derive from the run configuration.
+func badLocalRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want determinism "core.NewRNG" determinism "core.NewRNG"
+}
+
+// badRouteClock stamps the verdict with the wall clock inside the
+// decision path.
+func badRouteClock() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now"
+}
+
+// timingOnly carries a reasoned suppression: the route_ns metric is
+// observability, never fact ordering.
+func timingOnly() time.Time {
+	//lint:ignore determinism timing only: feeds the route_ns metric, never ordering
+	return time.Now()
+}
+
+// badFragmentOrder emits per-fragment tallies in map order: the routed
+// counter stream would differ between identical runs.
+func badFragmentOrder(tallies map[string]int, emit func(string, int)) {
+	for f, n := range tallies { // want determinism "map iteration order"
+		emit(f, n)
+	}
+}
+
+// sortedFragmentOrder restores a deterministic emission order.
+func sortedFragmentOrder(tallies map[string]int, emit func(string, int)) {
+	keys := make([]string, 0, len(tallies))
+	for k := range tallies {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k, tallies[k])
+	}
+}

@@ -1,0 +1,35 @@
+// Package walksat is a lint fixture: its import path ends in
+// internal/walksat, so the determinism analyzer treats it as a target —
+// local search is randomized by construction, which is exactly why every
+// draw must come from one generator derived from Options.Seed via
+// core.NewRNG: same seed, same flip sequence, same result.
+package walksat
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badNoise draws the noise decision from the process-global source.
+func badNoise() bool {
+	return rand.Float64() < 0.5 // want determinism "global math/rand source"
+}
+
+// badRestartRNG builds a private generator instead of going through
+// core.NewRNG.
+func badRestartRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want determinism "core.NewRNG" determinism "core.NewRNG"
+}
+
+// badFlipDeadline polls the wall clock per flip: the flip count at
+// cutoff — and with it the returned model — would differ across runs.
+func badFlipDeadline(start time.Time, budget time.Duration) bool {
+	return time.Now().Sub(start) > budget // want determinism "time.Now"
+}
+
+// deadlineOnly carries a reasoned suppression: context deadlines bound
+// the search but the flip sequence itself stays seed-determined.
+func deadlineOnly(d time.Duration) time.Time {
+	//lint:ignore determinism deadline only: bounds the search, never the flip sequence
+	return time.Now().Add(d)
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/sat"
 	"repro/internal/share"
+	"repro/internal/walksat"
 )
 
 // Worker describes one portfolio member.
@@ -27,10 +28,18 @@ type Worker struct {
 	// budgeted worker that exhausts its conflicts reports Unknown; the
 	// portfolio keeps waiting for the others.
 	ConflictBudget int64
+	// WalkSAT, when non-nil, makes this member a local-search worker
+	// instead of a CDCL solver: it runs walksat.Solve with these options
+	// and reports Sat (model verified against the formula) or Unknown.
+	// Incomplete but safe — it can never report a wrong verdict, so the
+	// portfolio simply keeps waiting for the CDCL members on UNSAT
+	// instances.
+	WalkSAT *walksat.Options
 }
 
 // DefaultWorkers returns the three paper profiles with distinct seeds,
-// plus a randomized-decision MiniSat variant for diversification.
+// plus a randomized-decision MiniSat variant and a WalkSAT local-search
+// member for diversification on satisfiable-heavy traffic.
 func DefaultWorkers() []Worker {
 	ms := sat.DefaultOptions(sat.ProfileMiniSat)
 	lg := sat.DefaultOptions(sat.ProfileLingeling)
@@ -45,6 +54,7 @@ func DefaultWorkers() []Worker {
 		{Name: "lingeling", Options: lg},
 		{Name: "cryptominisat", Options: cms},
 		{Name: "minisat-rnd", Options: rnd},
+		{Name: "walksat", WalkSAT: &walksat.Options{Seed: 0x5EED, MaxFlips: 2_000_000}},
 	}
 }
 
@@ -139,6 +149,23 @@ func SolveShared(ctx context.Context, f *cnf.Formula, workers []Worker, timeout 
 	solvers := make([]*sat.Solver, len(workers))
 	var wg sync.WaitGroup
 	for i, w := range workers {
+		if w.WalkSAT != nil {
+			wg.Add(1)
+			go func(name string, o walksat.Options) {
+				defer wg.Done()
+				wctx := raceCtx
+				if !deadline.IsZero() {
+					var cancel context.CancelFunc
+					wctx, cancel = context.WithDeadline(raceCtx, deadline)
+					defer cancel()
+				}
+				// Local search only reads the formula, so no clone is
+				// needed; its model is verified inside walksat.Solve.
+				r := walksat.Solve(wctx, f, o)
+				results <- verdict{r.Status, name, r.Model, Stats{}}
+			}(w.Name, *w.WalkSAT)
+			continue
+		}
 		s := sat.New(w.Options)
 		ok := s.AddFormula(f.Clone())
 		if ring != nil {
@@ -194,7 +221,9 @@ func SolveShared(ctx context.Context, f *cnf.Formula, workers []Worker, timeout 
 			// (caught between the hook polls).
 			stopAll()
 			for _, s := range solvers {
-				s.Interrupt()
+				if s != nil { // walksat members have no solver slot
+					s.Interrupt()
+				}
 			}
 		}
 	}

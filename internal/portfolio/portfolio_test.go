@@ -9,6 +9,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/sat"
 	"repro/internal/satgen"
+	"repro/internal/walksat"
 )
 
 func TestPortfolioSat(t *testing.T) {
@@ -192,5 +193,35 @@ func TestTrivialUnsatZeroStats(t *testing.T) {
 	}
 	if res.Stats != (Stats{}) {
 		t.Fatalf("trivial refutation carries stats: %+v", res.Stats)
+	}
+}
+
+// A portfolio consisting only of a WalkSAT member must still find
+// models on satisfiable instances, and its verdict's model must verify.
+func TestPortfolioWalkSATMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	inst := satgen.RandomKSAT(40, 3, 3.0, rng)
+	workers := []Worker{{Name: "walksat", WalkSAT: &walksat.Options{Seed: 7, MaxFlips: 5_000_000}}}
+	res := Solve(inst.Formula, workers, 30*time.Second)
+	if res.Status == sat.Sat {
+		if res.Winner != "walksat" {
+			t.Fatalf("winner %q", res.Winner)
+		}
+		if !inst.Formula.Eval(func(v cnf.Var) bool { return res.Model[v] }) {
+			t.Fatal("walksat model does not satisfy the formula")
+		}
+	} else if res.Status == sat.Unsat {
+		t.Fatal("walksat member can never report Unsat")
+	}
+}
+
+// With a WalkSAT member in the default pool, UNSAT instances must still
+// be refuted by the CDCL members — the incomplete member just stays
+// silent.
+func TestPortfolioUnsatWithWalkSAT(t *testing.T) {
+	inst := satgen.Pigeonhole(6, 5)
+	res := Solve(inst.Formula, DefaultWorkers(), 30*time.Second)
+	if res.Status != sat.Unsat {
+		t.Fatalf("status %v (winner %s)", res.Status, res.Winner)
 	}
 }

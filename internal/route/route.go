@@ -1,0 +1,347 @@
+// Package route classifies CNF formulas into tractable fragments and
+// decides the ones that match with polynomial-time solvers, so the
+// engine can skip CDCL entirely on structurally easy residues.
+//
+// The classifier is a single pass over the clause list. Three fragments
+// are decided outright:
+//
+//   - Binary (2SAT): every OR-clause has ≤ 2 literals. Solved in O(n+m)
+//     by strongly connected components over the implication graph
+//     (Aspvall–Plass–Tarjan), reusing the Tarjan machinery exported by
+//     internal/sat.
+//   - Horn / anti-Horn: every clause has ≤ 1 positive (resp. ≤ 1
+//     negative) literal. Solved in O(n+m) by counting-based unit
+//     propagation from the all-false (resp. all-true) default.
+//   - AffineXor: no OR-clauses, only parity constraints. Solved by
+//     GF(2) Gauss–Jordan elimination through internal/gf2.
+//
+// Every UNSAT verdict carries a text proof the internal/proof checker
+// accepts: Horn and anti-Horn conflicts are input unit-propagation
+// conflicts, so the empty clause alone is RUP; a 2SAT contradiction
+// (v ≡ ¬v) yields the RUP chain (¬v), (v), (); an inconsistent XOR
+// system is refuted by the empty parity constraint, which the checker
+// validates against the input rows' GF(2) rowspan. Every SAT verdict's
+// model is checked against the formula before being returned.
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/gf2"
+	"repro/internal/sat"
+)
+
+// Fragment names the tractable class a formula was matched to.
+type Fragment int
+
+const (
+	// Mixed is the catch-all: no tractable fragment matched.
+	Mixed Fragment = iota
+	// Binary is 2SAT: all OR-clauses have at most two literals.
+	Binary
+	// Horn: every clause has at most one positive literal.
+	Horn
+	// AntiHorn: every clause has at most one negative literal.
+	AntiHorn
+	// AffineXor: parity constraints only, no OR-clauses.
+	AffineXor
+)
+
+// String returns the stable lowercase name used in metrics labels and
+// Result.RoutedVia.
+func (f Fragment) String() string {
+	switch f {
+	case Binary:
+		return "2sat"
+	case Horn:
+		return "horn"
+	case AntiHorn:
+		return "antihorn"
+	case AffineXor:
+		return "xor"
+	default:
+		return "mixed"
+	}
+}
+
+// Tally is the per-clause census the classifier gathers in its single
+// pass. Fragment counts are clause counts, so a near-fragment instance
+// (say 98% Horn) is visible to callers even when the verdict is Mixed.
+type Tally struct {
+	Clauses  int // OR-clauses in total
+	Xors     int // parity constraints
+	Units    int // clauses with exactly one literal
+	Binary   int // clauses with at most two literals
+	Horn     int // clauses with at most one positive literal
+	AntiHorn int // clauses with at most one negative literal
+	Empty    int // zero-literal clauses (immediately unsatisfiable)
+	MaxLen   int // longest clause
+}
+
+// Classify runs the single-pass census and names the fragment. Literal
+// counts are taken raw (no deduplication), so a semantically binary
+// clause written with a repeated literal classifies conservatively as
+// Mixed — never the other way around.
+func Classify(f *cnf.Formula) (Fragment, Tally) {
+	var t Tally
+	t.Clauses = len(f.Clauses)
+	t.Xors = len(f.Xors)
+	for _, c := range f.Clauses {
+		if len(c) > t.MaxLen {
+			t.MaxLen = len(c)
+		}
+		pos := 0
+		for _, l := range c {
+			if !l.Neg() {
+				pos++
+			}
+		}
+		switch len(c) {
+		case 0:
+			t.Empty++
+		case 1:
+			t.Units++
+		}
+		if len(c) <= 2 {
+			t.Binary++
+		}
+		if pos <= 1 {
+			t.Horn++
+		}
+		if len(c)-pos <= 1 {
+			t.AntiHorn++
+		}
+	}
+	switch {
+	case t.Xors > 0 && t.Clauses == 0:
+		return AffineXor, t
+	case t.Xors > 0:
+		// OR/XOR blends need the CDCL+GJE profile; no polynomial route.
+		return Mixed, t
+	case t.Binary == t.Clauses:
+		return Binary, t
+	case t.Horn == t.Clauses:
+		return Horn, t
+	case t.AntiHorn == t.Clauses:
+		return AntiHorn, t
+	default:
+		return Mixed, t
+	}
+}
+
+// Verdict is a routed answer: the fragment that decided the formula,
+// the status, and either a verified model (Sat) or a checkable text
+// proof (Unsat).
+type Verdict struct {
+	Fragment Fragment
+	Status   sat.Status
+	Model    []bool // complete assignment over f.NumVars when Sat
+	Proof    []byte // text DRAT/xor proof when Unsat
+}
+
+// Decide classifies f and, when a tractable fragment matches, solves it
+// outright. ok=false means the formula was not routed (Mixed, or a
+// defensive decline) and the caller should fall through to CDCL.
+func Decide(f *cnf.Formula) (*Verdict, Tally, bool) {
+	frag, tally := Classify(f)
+	v, ok := Solve(f, frag)
+	return v, tally, ok
+}
+
+// Solve runs the polynomial solver for a known fragment. The fragment
+// must come from Classify on the same formula; Solve double-checks the
+// cheap invariants and declines (ok=false) rather than guess when they
+// do not hold. SAT models are verified against f before being returned.
+func Solve(f *cnf.Formula, frag Fragment) (*Verdict, bool) {
+	if frag == Mixed {
+		return nil, false
+	}
+	if frag != AffineXor {
+		for _, c := range f.Clauses {
+			if len(c) == 0 {
+				// The input contains the empty clause: the checker is
+				// contradictory before the proof starts, so presenting
+				// the empty clause alone verifies.
+				return &Verdict{Fragment: frag, Status: sat.Unsat, Proof: []byte("0\n")}, true
+			}
+		}
+	}
+	var v *Verdict
+	switch frag {
+	case Binary:
+		v = solve2SAT(f)
+	case Horn:
+		v = solveHorn(f, false)
+	case AntiHorn:
+		v = solveHorn(f, true)
+	case AffineXor:
+		v = solveXor(f)
+	}
+	if v == nil {
+		return nil, false
+	}
+	if v.Status == sat.Sat {
+		if !f.Eval(func(vr cnf.Var) bool { return v.Model[vr] }) {
+			// A model that does not verify means the fragment invariant
+			// was violated; decline the route instead of lying.
+			return nil, false
+		}
+	}
+	return v, true
+}
+
+// solve2SAT decides a binary-clause formula by SCC over the implication
+// graph. Model rule (Aspvall–Plass–Tarjan): with components numbered in
+// reverse topological order, set v true iff comp(v) < comp(¬v), i.e.
+// pick whichever literal is downstream.
+func solve2SAT(f *cnf.Formula) *Verdict {
+	for _, c := range f.Clauses {
+		if len(c) > 2 {
+			return nil
+		}
+	}
+	g := sat.NewImplications(f.NumVars)
+	g.AddFormulaBinaries(f)
+	comps := g.SCC()
+	if w, bad := comps.Contradiction(); bad {
+		// v and ¬v are mutually reachable, so asserting either polarity
+		// unit-propagates to its complement: (¬v), (v), () is a RUP chain.
+		d := int(w) + 1
+		proof := fmt.Sprintf("-%d 0\n%d 0\n0\n", d, d)
+		return &Verdict{Fragment: Binary, Status: sat.Unsat, Proof: []byte(proof)}
+	}
+	model := make([]bool, f.NumVars)
+	for v := 0; v < f.NumVars; v++ {
+		pos := comps.Of(cnf.MkLit(cnf.Var(v), false))
+		neg := comps.Of(cnf.MkLit(cnf.Var(v), true))
+		model[v] = pos < neg
+	}
+	return &Verdict{Fragment: Binary, Status: sat.Sat, Model: model}
+}
+
+// solveHorn decides a Horn (anti=false) or anti-Horn (anti=true)
+// formula by counting-based unit propagation. The default assignment
+// (all-false for Horn, all-true for anti-Horn) satisfies every clause
+// that has at least one default-satisfied literal; only clauses whose
+// default support runs out force their head. Horn-UNSAT is always a
+// unit-propagation conflict, so the empty clause alone is a valid
+// proof.
+func solveHorn(f *cnf.Formula, anti bool) *Verdict {
+	frag := Horn
+	if anti {
+		frag = AntiHorn
+	}
+	type hclause struct {
+		head    cnf.Lit
+		hasHead bool
+		support int // default-satisfied literal occurrences remaining
+	}
+	clauses := make([]hclause, len(f.Clauses))
+	// Support occurrences per var in CSR form (counted prefix sums into
+	// one flat array): per-var append slices would dominate the solve on
+	// sparse instances over many variables.
+	occCnt := make([]int32, f.NumVars+1)
+	for ci, c := range f.Clauses {
+		hc := &clauses[ci]
+		for _, l := range c {
+			if l.Neg() == anti {
+				// Head-polarity literal: falsified by the default.
+				if hc.hasHead && hc.head != l {
+					return nil // two distinct heads: not in the fragment
+				}
+				hc.hasHead = true
+				hc.head = l
+			} else {
+				hc.support++
+				occCnt[l.Var()+1]++
+			}
+		}
+	}
+	for v := 0; v < f.NumVars; v++ {
+		occCnt[v+1] += occCnt[v]
+	}
+	occ := make([]int32, occCnt[f.NumVars])
+	fill := make([]int32, f.NumVars)
+	copy(fill, occCnt[:f.NumVars])
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			if l.Neg() != anti {
+				occ[fill[l.Var()]] = int32(ci)
+				fill[l.Var()]++
+			}
+		}
+	}
+	// forced[v] means v was flipped from the default to the head value.
+	forced := make([]bool, f.NumVars)
+	var queue []cnf.Var
+	force := func(v cnf.Var) {
+		if !forced[v] {
+			forced[v] = true
+			queue = append(queue, v)
+		}
+	}
+	conflict := false
+	settle := func(hc *hclause) {
+		// All default support is gone; the head must hold (or already
+		// does because its variable was forced earlier).
+		if !hc.hasHead {
+			conflict = true
+			return
+		}
+		force(hc.head.Var())
+	}
+	for ci := range clauses {
+		if clauses[ci].support == 0 {
+			settle(&clauses[ci])
+		}
+	}
+	for !conflict && len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ci := range occ[occCnt[v]:occCnt[v+1]] {
+			hc := &clauses[ci]
+			hc.support--
+			if hc.support == 0 {
+				settle(hc)
+				if conflict {
+					break
+				}
+			}
+		}
+	}
+	if conflict {
+		return &Verdict{Fragment: frag, Status: sat.Unsat, Proof: []byte("0\n")}
+	}
+	model := make([]bool, f.NumVars)
+	for v := range model {
+		model[v] = forced[v] != anti
+	}
+	return &Verdict{Fragment: frag, Status: sat.Sat, Model: model}
+}
+
+// solveXor decides a pure parity system with one GF(2) elimination.
+// Free variables are assigned false.
+func solveXor(f *cnf.Formula) *Verdict {
+	if len(f.Clauses) > 0 {
+		return nil
+	}
+	m := gf2.NewMatrix(len(f.Xors), f.NumVars)
+	b := make([]bool, len(f.Xors))
+	for i, x := range f.Xors {
+		row := m.Row(i)
+		for _, v := range x.Vars {
+			// XOR, not set: a variable repeated inside one constraint
+			// cancels (v ⊕ v = 0).
+			gf2.XorBit(row, int(v))
+		}
+		b[i] = x.RHS
+	}
+	model, ok := m.Solve(b)
+	if !ok {
+		// The empty parity constraint (0 = 1) is in the input rowspan;
+		// the checker's xor-justification path re-derives exactly that.
+		return &Verdict{Fragment: AffineXor, Status: sat.Unsat, Proof: []byte("x 0\n")}
+	}
+	return &Verdict{Fragment: AffineXor, Status: sat.Sat, Model: model}
+}

@@ -1,0 +1,309 @@
+package route
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/proof"
+	"repro/internal/sat"
+)
+
+func lit(v int, neg bool) cnf.Lit { return cnf.MkLit(cnf.Var(v), neg) }
+
+func TestClassifyFragments(t *testing.T) {
+	bin := cnf.NewFormula(3)
+	bin.AddClause(lit(0, false), lit(1, true))
+	bin.AddClause(lit(2, false))
+	if frag, tl := Classify(bin); frag != Binary || tl.Binary != 2 || tl.Units != 1 {
+		t.Fatalf("binary: frag=%v tally=%+v", frag, tl)
+	}
+
+	horn := cnf.NewFormula(3)
+	horn.AddClause(lit(0, true), lit(1, true), lit(2, false))
+	horn.AddClause(lit(0, false))
+	if frag, _ := Classify(horn); frag != Horn {
+		t.Fatalf("horn: frag=%v", frag)
+	}
+
+	anti := cnf.NewFormula(3)
+	anti.AddClause(lit(0, false), lit(1, false), lit(2, true))
+	anti.AddClause(lit(0, false), lit(1, false), lit(2, false))
+	if frag, _ := Classify(anti); frag != AntiHorn {
+		t.Fatalf("antihorn: frag=%v", frag)
+	}
+
+	xor := cnf.NewFormula(3)
+	xor.AddXor(true, 0, 1, 2)
+	if frag, _ := Classify(xor); frag != AffineXor {
+		t.Fatalf("xor: frag=%v", frag)
+	}
+
+	mixed := cnf.NewFormula(4)
+	mixed.AddClause(lit(0, false), lit(1, false), lit(2, true))
+	mixed.AddClause(lit(0, true), lit(1, true), lit(2, false))
+	mixed.AddClause(lit(1, false), lit(2, false), lit(3, false))
+	if frag, tl := Classify(mixed); frag != Mixed {
+		t.Fatalf("mixed: frag=%v tally=%+v", frag, tl)
+	}
+
+	blend := cnf.NewFormula(3)
+	blend.AddClause(lit(0, false), lit(1, false))
+	blend.AddXor(true, 0, 2)
+	if frag, _ := Classify(blend); frag != Mixed {
+		t.Fatal("or/xor blend must classify Mixed")
+	}
+}
+
+// Near-fragment tallies must expose how close a Mixed instance is.
+func TestClassifyNearFragmentTally(t *testing.T) {
+	f := cnf.NewFormula(5)
+	for i := 0; i < 9; i++ {
+		f.AddClause(lit(i%5, true), lit((i+1)%5, true), lit((i+2)%5, false))
+	}
+	f.AddClause(lit(0, false), lit(1, false), lit(2, false)) // the one non-Horn clause
+	frag, tl := Classify(f)
+	if frag != Mixed || tl.Horn != 9 || tl.Clauses != 10 {
+		t.Fatalf("frag=%v tally=%+v", frag, tl)
+	}
+}
+
+func checkVerdict(t *testing.T, f *cnf.Formula, v *Verdict) {
+	t.Helper()
+	switch v.Status {
+	case sat.Sat:
+		if !f.Eval(func(vr cnf.Var) bool { return v.Model[vr] }) {
+			t.Fatalf("routed model does not satisfy the formula (fragment %v)", v.Fragment)
+		}
+	case sat.Unsat:
+		res, err := proof.CheckText(f, bytes.NewReader(v.Proof))
+		if err != nil {
+			t.Fatalf("routed proof rejected: %v (proof %q)", err, v.Proof)
+		}
+		if !res.Verified {
+			t.Fatalf("routed proof did not verify (fragment %v, proof %q)", v.Fragment, v.Proof)
+		}
+	default:
+		t.Fatalf("routed verdict is Unknown")
+	}
+}
+
+func cdclStatus(t *testing.T, f *cnf.Formula) sat.Status {
+	t.Helper()
+	s := sat.NewDefault()
+	s.AddFormula(f)
+	st := s.Solve()
+	if st == sat.Unknown {
+		t.Fatal("CDCL returned Unknown on a tiny instance")
+	}
+	return st
+}
+
+// Differential: routed 2SAT verdicts must match CDCL, models must
+// verify, UNSAT proofs must check.
+func TestRoute2SATDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 120; trial++ {
+		nVars := 2 + rng.Intn(10)
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < 1+rng.Intn(4*nVars); i++ {
+			a := lit(rng.Intn(nVars), rng.Intn(2) == 1)
+			if rng.Intn(8) == 0 {
+				f.AddClause(a)
+				continue
+			}
+			b := lit(rng.Intn(nVars), rng.Intn(2) == 1)
+			if a.Var() == b.Var() {
+				continue
+			}
+			f.AddClause(a, b)
+		}
+		frag, _ := Classify(f)
+		if frag != Binary {
+			t.Fatalf("trial %d: classified %v", trial, frag)
+		}
+		v, ok := Solve(f, frag)
+		if !ok {
+			t.Fatalf("trial %d: solver declined a pure 2SAT instance", trial)
+		}
+		if want := cdclStatus(t, f); v.Status != want {
+			t.Fatalf("trial %d: routed %v, CDCL %v", trial, v.Status, want)
+		}
+		checkVerdict(t, f, v)
+	}
+}
+
+// Differential: Horn and anti-Horn.
+func TestRouteHornDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 120; trial++ {
+		anti := trial%2 == 1
+		nVars := 2 + rng.Intn(10)
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < 1+rng.Intn(4*nVars); i++ {
+			n := 1 + rng.Intn(4)
+			var c []cnf.Lit
+			headAt := rng.Intn(n + 1) // n means "no head"
+			for j := 0; j < n; j++ {
+				v := rng.Intn(nVars)
+				c = append(c, lit(v, (j != headAt) != anti))
+			}
+			f.AddClause(c...)
+		}
+		want := Horn
+		if anti {
+			want = AntiHorn
+		}
+		frag, _ := Classify(f)
+		// Degenerate draws (all-unit clauses) may classify as Binary
+		// first; both routes must agree with CDCL either way.
+		if frag != want && frag != Binary {
+			t.Fatalf("trial %d: classified %v, want %v", trial, frag, want)
+		}
+		v, ok := Solve(f, frag)
+		if !ok {
+			t.Fatalf("trial %d: solver declined a %v instance", trial, frag)
+		}
+		if wantSt := cdclStatus(t, f); v.Status != wantSt {
+			t.Fatalf("trial %d (%v): routed %v, CDCL %v", trial, frag, v.Status, wantSt)
+		}
+		checkVerdict(t, f, v)
+	}
+}
+
+// Differential: pure XOR systems against brute force.
+func TestRouteXorDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 120; trial++ {
+		nVars := 2 + rng.Intn(8)
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < 1+rng.Intn(2*nVars); i++ {
+			var vars []cnf.Var
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				vars = append(vars, cnf.Var(rng.Intn(nVars)))
+			}
+			f.AddXor(rng.Intn(2) == 1, vars...)
+		}
+		frag, _ := Classify(f)
+		if frag != AffineXor {
+			t.Fatalf("trial %d: classified %v", trial, frag)
+		}
+		v, ok := Solve(f, frag)
+		if !ok {
+			t.Fatal("solver declined a pure XOR system")
+		}
+		brute := sat.Unsat
+		for mask := 0; mask < 1<<uint(nVars); mask++ {
+			if f.Eval(func(vr cnf.Var) bool { return mask>>uint(vr)&1 == 1 }) {
+				brute = sat.Sat
+				break
+			}
+		}
+		if v.Status != brute {
+			t.Fatalf("trial %d: routed %v, brute force %v", trial, v.Status, brute)
+		}
+		checkVerdict(t, f, v)
+	}
+}
+
+func TestRouteEmptyClauseIsUnsat(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(0, false), lit(1, false))
+	f.Clauses = append(f.Clauses, cnf.Clause{})
+	frag, tl := Classify(f)
+	if tl.Empty != 1 {
+		t.Fatalf("tally = %+v", tl)
+	}
+	v, ok := Solve(f, frag)
+	if !ok || v.Status != sat.Unsat {
+		t.Fatalf("empty clause not refuted: ok=%t v=%+v", ok, v)
+	}
+	checkVerdict(t, f, v)
+}
+
+func TestRouteEmptyFormulaIsSat(t *testing.T) {
+	f := cnf.NewFormula(3)
+	v, _, ok := Decide(f)
+	if !ok || v.Status != sat.Sat {
+		t.Fatalf("empty formula: ok=%t v=%+v", ok, v)
+	}
+	checkVerdict(t, f, v)
+}
+
+func TestRouteMixedDeclines(t *testing.T) {
+	f := cnf.NewFormula(4)
+	f.AddClause(lit(0, false), lit(1, false), lit(2, true))
+	f.AddClause(lit(0, true), lit(1, true), lit(2, false))
+	f.AddClause(lit(1, false), lit(2, false), lit(3, false))
+	if _, _, ok := Decide(f); ok {
+		t.Fatal("Mixed formula must not be routed")
+	}
+	if _, ok := Solve(f, Mixed); ok {
+		t.Fatal("Solve(Mixed) must decline")
+	}
+}
+
+// Tautologies and repeated literals must not break the solvers.
+func TestRouteDegenerateClauses(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(0, false), lit(0, true)) // tautology
+	f.AddClause(lit(1, true), lit(1, true))  // repeated literal
+	v, _, ok := Decide(f)
+	if !ok || v.Status != sat.Sat {
+		t.Fatalf("degenerate: ok=%t v=%+v", ok, v)
+	}
+	checkVerdict(t, f, v)
+}
+
+// FuzzClassify feeds arbitrary byte strings decoded as clause soup into
+// the classifier and solvers: nothing may panic, and any verdict the
+// router does emit must be verifiable.
+func FuzzClassify(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3, 4, 5, 0}, uint8(4))
+	f.Add([]byte{0, 0, 0}, uint8(2))
+	f.Add([]byte{7, 7, 7, 0, 255, 1}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, nv uint8) {
+		nVars := int(nv)%12 + 1
+		form := cnf.NewFormula(nVars)
+		var cur []cnf.Lit
+		xorMode := false
+		for _, b := range data {
+			if b == 0 {
+				if xorMode {
+					var vars []cnf.Var
+					for _, l := range cur {
+						vars = append(vars, l.Var())
+					}
+					form.AddXor(len(cur)%2 == 1, vars...)
+				} else {
+					form.Clauses = append(form.Clauses, cnf.Clause(cur).Clone())
+				}
+				cur = cur[:0]
+				xorMode = false
+				continue
+			}
+			if b == 255 {
+				xorMode = true
+				continue
+			}
+			cur = append(cur, lit(int(b)%nVars, b&64 != 0))
+		}
+		frag, tally := Classify(form)
+		if tally.Clauses != len(form.Clauses) || tally.Xors != len(form.Xors) {
+			t.Fatalf("tally miscount: %+v", tally)
+		}
+		v, ok := Solve(form, frag)
+		if !ok {
+			return
+		}
+		checkVerdict(t, form, v)
+		// Routed verdicts must agree with CDCL whenever the formula has
+		// no XORs (the reference solver profile here is CNF-only).
+		if len(form.Xors) == 0 {
+			if want := cdclStatus(t, form); v.Status != want {
+				t.Fatalf("routed %v, CDCL %v", v.Status, want)
+			}
+		}
+	})
+}

@@ -118,3 +118,64 @@ func TestQuickBinaryEquivalencesSound(t *testing.T) {
 		_ = hasModel
 	}
 }
+
+// The exported SCC API must number components in reverse topological
+// order: for every implication u → v, comp[v] <= comp[u].
+func TestImplicationsComponentOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 3 + rng.Intn(8)
+		g := NewImplications(nVars)
+		type edge struct{ from, to cnf.Lit }
+		var edges []edge
+		for i := 0; i < 2+rng.Intn(5*nVars); i++ {
+			a := cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			b := cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			if a.Var() == b.Var() {
+				continue
+			}
+			g.AddBinary(a, b)
+			edges = append(edges, edge{a.Not(), b}, edge{b.Not(), a})
+		}
+		comps := g.SCC()
+		for _, e := range edges {
+			if comps.Of(e.to) > comps.Of(e.from) {
+				t.Fatalf("trial %d: edge %v→%v violates reverse-topological order (%d > %d)",
+					trial, e.from, e.to, comps.Of(e.to), comps.Of(e.from))
+			}
+		}
+	}
+}
+
+// Unit clauses participate in the SCC analysis: (a) plus a → ¬a must be
+// reported as a contradiction.
+func TestImplicationsUnitContradiction(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(cnf.MkLit(0, false))                     // a
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(1, false)) // a→b
+	f.AddClause(cnf.MkLit(1, true), cnf.MkLit(0, true))  // b→¬a
+	f.AddClause(cnf.MkLit(0, true))                      // ¬a, closing the loop
+	g := NewImplications(f.NumVars)
+	g.AddFormulaBinaries(f)
+	if v, bad := g.SCC().Contradiction(); !bad {
+		t.Fatal("unit-driven contradiction not detected")
+	} else if v != 0 {
+		t.Fatalf("contradiction witness = %d, want 0", v)
+	}
+}
+
+func TestImplicationsContradictionDeterministic(t *testing.T) {
+	// Both var 1 and var 2 are self-contradictory; witness must be the
+	// smallest index.
+	g := NewImplications(3)
+	g.AddUnit(cnf.MkLit(1, false))
+	g.AddUnit(cnf.MkLit(1, true))
+	g.AddUnit(cnf.MkLit(2, false))
+	g.AddUnit(cnf.MkLit(2, true))
+	for i := 0; i < 5; i++ {
+		v, bad := g.SCC().Contradiction()
+		if !bad || v != 1 {
+			t.Fatalf("witness = (%d,%t), want (1,true)", v, bad)
+		}
+	}
+}

@@ -64,10 +64,16 @@ type CubeResult struct {
 	Proof string `json:"proof,omitempty"`
 }
 
-// distOutcome is the coordinator's record of one cube's settled result.
+// distOutcome is the coordinator's record of one cube's settled result
+// plus its dispatch lease. leasedAt is the last dispatch time: zero means
+// the cube is queued (or settled), non-zero means some node holds it. A
+// lease older than the registry's TTL is presumed lost — the node died or
+// went silent — and the reaper puts the cube back in line. Duplicate
+// dispatch is safe: record() settles each cube exactly once.
 type distOutcome struct {
-	settled bool
-	failed  []cnf.Lit
+	settled  bool
+	failed   []cnf.Lit
+	leasedAt time.Time
 }
 
 // distJob is one parked cube-mode job awaiting remote conquest. All
@@ -97,6 +103,11 @@ type cubeRegistry struct {
 	seq  int64
 	jobs map[string]*distJob
 	fifo []taskRef
+
+	// leaseTTL bounds how long a dispatched cube may stay unanswered
+	// before the reaper re-queues it; now is injectable for tests.
+	leaseTTL time.Duration
+	now      func() time.Time
 }
 
 type taskRef struct {
@@ -104,8 +115,12 @@ type taskRef struct {
 	cube int
 }
 
-func newCubeRegistry() *cubeRegistry {
-	return &cubeRegistry{jobs: make(map[string]*distJob)}
+func newCubeRegistry(leaseTTL time.Duration) *cubeRegistry {
+	return &cubeRegistry{
+		jobs:     make(map[string]*distJob),
+		leaseTTL: leaseTTL,
+		now:      time.Now,
+	}
 }
 
 // register parks a job and queues every open cube for dispatch.
@@ -153,6 +168,7 @@ func (r *cubeRegistry) next() (CubeTask, bool) {
 		if dj == nil || dj.finished || dj.outcomes[ref.cube].settled {
 			continue
 		}
+		dj.outcomes[ref.cube].leasedAt = r.now()
 		assumps := dj.tree.Open[ref.cube]
 		t := CubeTask{
 			JobID:     dj.id,
@@ -215,10 +231,59 @@ func (r *cubeRegistry) record(res CubeResult) (requeued, used bool) {
 	default:
 		// The node gave up (its deadline, a transfer problem): put the
 		// cube back in line. The job's own deadline bounds this.
+		dj.outcomes[res.Cube].leasedAt = time.Time{}
 		r.fifo = append(r.fifo, taskRef{id: dj.id, cube: res.Cube})
 		return true, true
 	}
 	return false, true
+}
+
+// reap re-queues every unsettled cube whose dispatch lease has been out
+// longer than the TTL — its node died or went silent mid-conquest — and
+// returns how many it put back. A late answer from the presumed-dead
+// node is still accepted (record dedups on settled), and if the node was
+// merely slow the cube is conquered twice, which is wasted work but
+// never a wrong answer.
+func (r *cubeRegistry) reap() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := r.now().Add(-r.leaseTTL)
+	n := 0
+	for _, dj := range r.jobs {
+		if dj.finished {
+			continue
+		}
+		for i := range dj.outcomes {
+			o := &dj.outcomes[i]
+			if o.settled || o.leasedAt.IsZero() || o.leasedAt.After(cutoff) {
+				continue
+			}
+			o.leasedAt = time.Time{}
+			r.fifo = append(r.fifo, taskRef{id: dj.id, cube: i})
+			n++
+		}
+	}
+	return n
+}
+
+// cubeReaper is the coordinator's lease-recovery loop: every quarter-TTL
+// it re-queues cubes whose worker node has gone silent past the TTL, so
+// a dead node stalls its cubes for at most ~1.25 lease periods instead
+// of pinning them until the job deadline. Runs until Shutdown.
+func (s *Server) cubeReaper() {
+	tick := time.NewTicker(s.cfg.CubeLeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopReaper:
+			return
+		case <-tick.C:
+			if n := s.cubes.reap(); n > 0 {
+				s.metrics.CubesReaped.Add(int64(n))
+				s.logf("cube reaper: re-queued %d expired lease(s)", n)
+			}
+		}
+	}
 }
 
 // runCubeCoordinator executes a cube job in coordinator role: split

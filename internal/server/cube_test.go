@@ -163,7 +163,7 @@ func TestCubeEndpointsSoloRole(t *testing.T) {
 
 // An UNKNOWN node result re-queues the cube for another pull.
 func TestCubeUnknownResultRequeues(t *testing.T) {
-	reg := newCubeRegistry()
+	reg := newCubeRegistry(30 * time.Second)
 	f := satgen.Pigeonhole(5, 4).Formula
 	dj := &distJob{
 		formText:  dimacsOf(t, f),
@@ -198,6 +198,82 @@ func TestCubeUnknownResultRequeues(t *testing.T) {
 	// Duplicate and unknown-job results are ignored, not errors.
 	if _, used := reg.record(CubeResult{JobID: "nope", Cube: 0, Status: "UNSAT"}); used {
 		t.Fatal("result for unknown job was used")
+	}
+}
+
+// A cube leased to a node that dies (never answers) is re-queued once
+// its lease expires, and only then; settled cubes and fresh leases are
+// left alone. Driven by an injected clock — no wall-clock sleeps.
+func TestCubeLeaseReaperRedispatches(t *testing.T) {
+	reg := newCubeRegistry(10 * time.Second)
+	clock := time.Unix(1000, 0)
+	reg.now = func() time.Time { return clock }
+
+	f := satgen.Pigeonhole(5, 4).Formula
+	tree := splitForTest(t, f)
+	dj := &distJob{
+		formText:  dimacsOf(t, f),
+		tree:      tree,
+		outcomes:  make([]distOutcome, len(tree.Open)),
+		remaining: len(tree.Open),
+		done:      make(chan struct{}),
+	}
+	reg.register(dj, "deadbeefdeadbeef")
+
+	// Lease two cubes: one to the "dead" node, one we settle promptly.
+	lost, ok := reg.next()
+	if !ok {
+		t.Fatal("no task from a registered job")
+	}
+	settled, ok := reg.next()
+	if !ok {
+		t.Fatal("no second task")
+	}
+	if _, used := reg.record(CubeResult{JobID: settled.JobID, Cube: settled.Cube, Status: "UNSAT", Failed: settled.Assumptions}); !used {
+		t.Fatal("prompt UNSAT result not used")
+	}
+
+	// Inside the TTL nothing is reaped.
+	clock = clock.Add(9 * time.Second)
+	if n := reg.reap(); n != 0 {
+		t.Fatalf("reap inside TTL = %d, want 0", n)
+	}
+
+	// Past the TTL only the lost cube comes back; the settled one stays
+	// settled and the still-queued ones are untouched (never leased).
+	clock = clock.Add(2 * time.Second)
+	if n := reg.reap(); n != 1 {
+		t.Fatalf("reap past TTL = %d, want exactly the lost cube", n)
+	}
+	if n := reg.reap(); n != 0 {
+		t.Fatalf("second reap = %d, want 0 (lease cleared on requeue)", n)
+	}
+
+	// Drain the queue: the lost cube must be dispatchable again.
+	seen := map[int]int{}
+	for {
+		tk, ok := reg.next()
+		if !ok {
+			break
+		}
+		seen[tk.Cube]++
+	}
+	if seen[lost.Cube] == 0 {
+		t.Fatalf("cube %d never re-dispatched after its lease expired", lost.Cube)
+	}
+	if seen[settled.Cube] != 0 {
+		t.Fatalf("settled cube %d re-dispatched", settled.Cube)
+	}
+
+	// The original node answering late is deduped, not an error.
+	if _, used := reg.record(CubeResult{JobID: settled.JobID, Cube: settled.Cube, Status: "UNSAT", Failed: settled.Assumptions}); used {
+		t.Fatal("duplicate settle of an already-settled cube was used")
+	}
+
+	// Re-leased and expired again: reaped again (leases re-stamp on dispatch).
+	clock = clock.Add(11 * time.Second)
+	if n := reg.reap(); n == 0 {
+		t.Fatal("re-leased cubes never reaped after second expiry")
 	}
 }
 

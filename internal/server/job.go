@@ -50,6 +50,10 @@ type Request struct {
 	// Proof asks a cube-mode UNSAT job for its stitched DRAT refutation in
 	// Response.Proof.
 	Proof bool `json:"proof,omitempty"`
+	// Route classifies the converted CNF at each SAT step and sends
+	// tractable fragments (2SAT/Horn/XOR) to the polynomial solvers before
+	// CDCL. Engine modes only; the server's -route default ORs in.
+	Route bool `json:"route,omitempty"`
 }
 
 // Verification is the fact re-derivation tally for verify=true jobs.
@@ -90,6 +94,9 @@ type Response struct {
 	// Proof is the stitched DRAT refutation of a proof=true UNSAT cube job,
 	// checkable against the canonicalized DIMACS input.
 	Proof string `json:"proof,omitempty"`
+	// RoutedVia names the tractable fragment that decided a routed job
+	// ("2sat", "horn", "antihorn", "xor"); empty when CDCL did the work.
+	RoutedVia string `json:"routed_via,omitempty"`
 }
 
 // jobKind is the validated mode.
@@ -193,9 +200,9 @@ func parseJob(req Request) (*job, error) {
 	}
 
 	h := sha256.New()
-	fmt.Fprintf(h, "mode=%d|iters=%d|confl=%d|seed=%d|workers=%d|timeout=%d|verify=%t|cubes=%d|proof=%t|",
+	fmt.Fprintf(h, "mode=%d|iters=%d|confl=%d|seed=%d|workers=%d|timeout=%d|verify=%t|cubes=%d|proof=%t|route=%t|",
 		jb.kind, req.MaxIterations, req.ConflictBudget, req.Seed, req.Workers, req.TimeoutMS, req.Verify,
-		req.MaxCubes, req.Proof)
+		req.MaxCubes, req.Proof, req.Route)
 	h.Write([]byte(canon.String()))
 	jb.key = hex.EncodeToString(h.Sum(nil))
 	return jb, nil
@@ -240,7 +247,11 @@ func (jb *job) run(base core.Config, metrics *Metrics) *Response {
 		cfg.Workers = jb.req.Workers
 	}
 	cfg.Provenance = jb.req.Verify
+	cfg.Route = jb.req.Route
 	res := core.Process(jb.sys, cfg)
+	if cfg.Route && res.RouteNs > 0 {
+		metrics.ObserveRoute(res.RoutedVia, res.RouteNs)
+	}
 
 	facts := map[string]int{
 		"xl":          res.XL.NewFacts,
@@ -262,6 +273,7 @@ func (jb *job) run(base core.Config, metrics *Metrics) *Response {
 		ANF:        anfOut.String(),
 		ElapsedMS:  time.Since(start).Milliseconds(),
 	}
+	resp.RoutedVia = res.RoutedVia
 	if res.Status == core.SolvedSAT {
 		resp.Solution = res.Solution
 	}

@@ -15,6 +15,12 @@ import (
 // the second ones, and everything at the per-job cap in the last.
 var latencyBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
+// routeBuckets are the upper bounds (nanoseconds) of the fragment-router
+// classification-time histogram. Classification is a single linear pass
+// plus at most one polynomial solve, so the range is microseconds to a
+// few milliseconds even on large residues.
+var routeBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
 // Metrics is the daemon's plain-text counter registry. All fields are
 // safe for concurrent use; rendering takes a consistent-enough snapshot
 // (counters are monotonic, the gauge is read last).
@@ -33,20 +39,25 @@ type Metrics struct {
 	CubesDispatched atomic.Int64 // tasks handed to worker nodes
 	CubeResults     atomic.Int64 // node results received (incl. ignored ones)
 	CubesRequeued   atomic.Int64 // tasks put back after an UNKNOWN result
+	CubesReaped     atomic.Int64 // tasks re-queued by the lease reaper (dead/silent node)
 	CubeJobsActive  atomic.Int64 // cube jobs parked awaiting remote conquest
 	// Worker-node role.
 	NodeCubesSolved atomic.Int64 // tasks this node settled (SAT or UNSAT)
 
 	mu         sync.Mutex
 	facts      map[string]int64 // per-technique facts learnt
+	routed     map[string]int64 // per-fragment router verdicts (2sat/horn/antihorn/xor)
 	latencyCnt [14]int64        // len(latencyBuckets)+1, last is +Inf
 	latencySum float64
 	latencyN   int64
+	routeCnt   [8]int64 // len(routeBuckets)+1, last is +Inf
+	routeSum   float64  // nanoseconds
+	routeN     int64
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{facts: make(map[string]int64)}
+	return &Metrics{facts: make(map[string]int64), routed: make(map[string]int64)}
 }
 
 // AddFacts credits n learnt facts to a technique label (xl, elimlin, sat,
@@ -57,6 +68,29 @@ func (m *Metrics) AddFacts(technique string, n int) {
 	}
 	m.mu.Lock()
 	m.facts[technique] += int64(n)
+	m.mu.Unlock()
+}
+
+// ObserveRoute records one routing-enabled job: the classification time
+// in nanoseconds always lands in the route_ns histogram, and a non-empty
+// fragment label ("2sat", "horn", "antihorn", "xor") additionally counts
+// a routed verdict. fragment is "" when the residue was mixed and the
+// job fell through to CDCL.
+func (m *Metrics) ObserveRoute(fragment string, ns int64) {
+	idx := len(routeBuckets)
+	for i, ub := range routeBuckets {
+		if float64(ns) <= ub {
+			idx = i
+			break
+		}
+	}
+	m.mu.Lock()
+	if fragment != "" {
+		m.routed[fragment]++
+	}
+	m.routeCnt[idx]++
+	m.routeSum += float64(ns)
+	m.routeN++
 	m.mu.Unlock()
 }
 
@@ -96,6 +130,7 @@ func (m *Metrics) Render() string {
 	count("bosphorusd_cubes_dispatched_total", m.CubesDispatched.Load())
 	count("bosphorusd_cube_results_total", m.CubeResults.Load())
 	count("bosphorusd_cubes_requeued_total", m.CubesRequeued.Load())
+	count("bosphorusd_cubes_reaped_total", m.CubesReaped.Load())
 	count("bosphorusd_node_cubes_solved_total", m.NodeCubesSolved.Load())
 	fmt.Fprintf(&b, "# TYPE bosphorusd_queue_depth gauge\nbosphorusd_queue_depth %d\n", m.QueueDepth.Load())
 	fmt.Fprintf(&b, "# TYPE bosphorusd_cube_jobs_active gauge\nbosphorusd_cube_jobs_active %d\n", m.CubeJobsActive.Load())
@@ -110,6 +145,25 @@ func (m *Metrics) Render() string {
 	for _, t := range techs {
 		fmt.Fprintf(&b, "bosphorusd_facts_learnt_total{technique=%q} %d\n", t, m.facts[t])
 	}
+	frags := make([]string, 0, len(m.routed))
+	for f := range m.routed {
+		frags = append(frags, f)
+	}
+	sort.Strings(frags)
+	b.WriteString("# TYPE bosphorusd_routed_total counter\n")
+	for _, f := range frags {
+		fmt.Fprintf(&b, "bosphorusd_routed_total{fragment=%q} %d\n", f, m.routed[f])
+	}
+	b.WriteString("# TYPE bosphorusd_route_ns histogram\n")
+	rcum := int64(0)
+	for i, ub := range routeBuckets {
+		rcum += m.routeCnt[i]
+		fmt.Fprintf(&b, "bosphorusd_route_ns_bucket{le=\"%g\"} %d\n", ub, rcum)
+	}
+	rcum += m.routeCnt[len(routeBuckets)]
+	fmt.Fprintf(&b, "bosphorusd_route_ns_bucket{le=\"+Inf\"} %d\n", rcum)
+	fmt.Fprintf(&b, "bosphorusd_route_ns_sum %g\n", m.routeSum)
+	fmt.Fprintf(&b, "bosphorusd_route_ns_count %d\n", m.routeN)
 	b.WriteString("# TYPE bosphorusd_solve_seconds histogram\n")
 	cum := int64(0)
 	for i, ub := range latencyBuckets {

@@ -46,6 +46,11 @@ type Config struct {
 	// worker nodes on /cube/next, assembling their results (and stitching
 	// their proof segments) into the job's response.
 	Role Role
+	// CubeLeaseTTL (coordinator role) bounds how long a dispatched cube
+	// may stay unanswered before the lease reaper re-queues it for another
+	// worker node — the recovery path for nodes that die or go silent
+	// mid-conquest. 0 = 30s.
+	CubeLeaseTTL time.Duration
 	// Log receives one line per job; nil silences it.
 	Log *log.Logger
 }
@@ -84,6 +89,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobTime <= 0 {
 		c.MaxJobTime = 60 * time.Second
 	}
+	if c.CubeLeaseTTL <= 0 {
+		c.CubeLeaseTTL = 30 * time.Second
+	}
 	return c
 }
 
@@ -96,8 +104,9 @@ type Server struct {
 	mux     *http.ServeMux
 	cubes   *cubeRegistry
 
-	queue chan *job
-	pool  sync.WaitGroup
+	queue      chan *job
+	pool       sync.WaitGroup
+	stopReaper chan struct{} // closed on Shutdown (coordinator role only)
 
 	mu       sync.RWMutex // guards draining vs. enqueue-on-closed-queue
 	draining bool
@@ -111,7 +120,7 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		cache:   newLRUCache(cfg.CacheSize),
 		mux:     http.NewServeMux(),
-		cubes:   newCubeRegistry(),
+		cubes:   newCubeRegistry(cfg.CubeLeaseTTL),
 		queue:   make(chan *job, cfg.QueueSize),
 	}
 	s.mux.HandleFunc("/solve", s.handleSolve)
@@ -120,6 +129,8 @@ func New(cfg Config) *Server {
 	if cfg.Role == RoleCoordinator {
 		s.mux.HandleFunc("/cube/next", s.handleCubeNext)
 		s.mux.HandleFunc("/cube/result", s.handleCubeResult)
+		s.stopReaper = make(chan struct{})
+		go s.cubeReaper()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.pool.Add(1)
@@ -144,6 +155,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	if !already {
 		close(s.queue)
+		if s.stopReaper != nil {
+			close(s.stopReaper)
+		}
 	}
 	s.mu.Unlock()
 
@@ -198,6 +212,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Fold the server's routing default into the request before parsing so
+	// the cache key reflects the effective flag, not just the client's.
+	req.Route = req.Route || s.cfg.Engine.Route
 	jb, err := parseJob(req)
 	if err != nil {
 		s.metrics.JobsFailed.Add(1)

@@ -1,0 +1,289 @@
+// Package walksat is a seed-deterministic WalkSAT/Schöning local-search
+// solver. It is incomplete — it returns Sat with a verified model or
+// Unknown, never Unsat — which makes it safe as a portfolio member: a
+// model is checked against the formula before being reported, so a
+// wrong answer is impossible and the only cost of incompleteness is a
+// worker that stays silent.
+//
+// The search is the classic WalkSAT loop with Schöning-style restarts:
+// start from a random assignment, repeatedly pick an unsatisfied
+// constraint, and flip one of its variables — a random one with
+// probability Noise, otherwise the one breaking the fewest currently
+// satisfied constraints. Parity constraints participate alongside
+// OR-clauses: flipping any member of an XOR toggles it, so its break
+// contribution is simply "currently satisfied".
+//
+// Determinism: all randomness flows from one core.NewRNG(Seed)
+// generator and all iteration is in slice order, so a (formula, Options)
+// pair reproduces its exact flip sequence and verdict.
+package walksat
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/sat"
+)
+
+// Options configures a run. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Seed drives the run's single RNG.
+	Seed int64
+	// MaxFlips is the total flip budget across all restarts
+	// (default 200000).
+	MaxFlips int64
+	// Noise is the probability of a random-walk flip instead of the
+	// greedy min-break flip (default 0.5).
+	Noise float64
+	// FlipsPerTry bounds one try before restarting from a fresh random
+	// assignment (default max(1000, 10·vars)).
+	FlipsPerTry int64
+}
+
+// Result of a run. Status is Sat (Model holds a verified assignment) or
+// Unknown (budget exhausted, context cancelled, or the formula contains
+// a constraint no assignment satisfies).
+type Result struct {
+	Status sat.Status
+	Model  []bool
+	Flips  int64
+	Tries  int
+}
+
+const ctxPollMask = 511 // check ctx every 512 flips
+
+// Solve runs local search on f until a model is found, the flip budget
+// is exhausted, or ctx is cancelled.
+func Solve(ctx context.Context, f *cnf.Formula, o Options) *Result {
+	if o.MaxFlips <= 0 {
+		o.MaxFlips = 200000
+	}
+	if o.Noise <= 0 {
+		o.Noise = 0.5
+	}
+	if o.FlipsPerTry <= 0 {
+		o.FlipsPerTry = int64(10 * f.NumVars)
+		if o.FlipsPerTry < 1000 {
+			o.FlipsPerTry = 1000
+		}
+	}
+	res := &Result{Status: sat.Unknown}
+	// Constraints that no flip can ever satisfy make the search futile.
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return res
+		}
+	}
+	for _, x := range f.Xors {
+		if len(x.Vars) == 0 && x.RHS {
+			return res
+		}
+	}
+	s := newState(f)
+	rng := core.NewRNG(o.Seed)
+	for res.Flips < o.MaxFlips {
+		res.Tries++
+		s.restart(rng)
+		tryFlips := int64(0)
+		for len(s.unsat) > 0 && tryFlips < o.FlipsPerTry && res.Flips < o.MaxFlips {
+			if res.Flips&ctxPollMask == 0 && ctx.Err() != nil {
+				return res
+			}
+			ci := s.unsat[rng.Intn(len(s.unsat))]
+			v := s.pickVar(ci, o.Noise, rng)
+			s.flip(v)
+			tryFlips++
+			res.Flips++
+		}
+		if len(s.unsat) == 0 {
+			model := append([]bool(nil), s.assign...)
+			if !f.Eval(func(vr cnf.Var) bool { return model[vr] }) {
+				// State-tracking bug guard: never report an unverified
+				// model.
+				return res
+			}
+			res.Status = sat.Sat
+			res.Model = model
+			return res
+		}
+	}
+	return res
+}
+
+// state is the incremental satisfaction bookkeeping. Constraints are
+// indexed 0..len(Clauses)-1 for OR-clauses and len(Clauses)+i for
+// f.Xors[i].
+type state struct {
+	f         *cnf.Formula
+	occ       [][]int32 // literal → clause indices containing it
+	xocc      [][]int32 // var → xor constraint indices containing it
+	assign    []bool
+	trueCount []int32 // per clause: satisfied literal occurrences
+	xorAcc    []bool  // per xor: current parity of its variables
+	unsat     []int32 // unsatisfied constraint indices
+	pos       []int32 // constraint → index in unsat, -1 when satisfied
+	scratch   []cnf.Var
+}
+
+func newState(f *cnf.Formula) *state {
+	s := &state{
+		f:         f,
+		occ:       make([][]int32, 2*f.NumVars),
+		xocc:      make([][]int32, f.NumVars),
+		assign:    make([]bool, f.NumVars),
+		trueCount: make([]int32, len(f.Clauses)),
+		xorAcc:    make([]bool, len(f.Xors)),
+		pos:       make([]int32, len(f.Clauses)+len(f.Xors)),
+	}
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			s.occ[l] = append(s.occ[l], int32(ci))
+		}
+	}
+	for xi, x := range f.Xors {
+		for _, v := range x.Vars {
+			s.xocc[v] = append(s.xocc[v], int32(len(f.Clauses)+xi))
+		}
+	}
+	return s
+}
+
+// restart draws a fresh random assignment and rebuilds the satisfaction
+// counters from scratch.
+func (s *state) restart(rng *rand.Rand) {
+	for v := range s.assign {
+		s.assign[v] = rng.Intn(2) == 1
+	}
+	s.unsat = s.unsat[:0]
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	for ci, c := range s.f.Clauses {
+		n := int32(0)
+		for _, l := range c {
+			if s.assign[l.Var()] != l.Neg() {
+				n++
+			}
+		}
+		s.trueCount[ci] = n
+		if n == 0 {
+			s.addUnsat(int32(ci))
+		}
+	}
+	for xi, x := range s.f.Xors {
+		acc := false
+		for _, v := range x.Vars {
+			if s.assign[v] {
+				acc = !acc
+			}
+		}
+		s.xorAcc[xi] = acc
+		if acc != x.RHS {
+			s.addUnsat(int32(len(s.f.Clauses) + xi))
+		}
+	}
+}
+
+func (s *state) addUnsat(ci int32) {
+	if s.pos[ci] >= 0 {
+		return
+	}
+	s.pos[ci] = int32(len(s.unsat))
+	s.unsat = append(s.unsat, ci)
+}
+
+func (s *state) removeUnsat(ci int32) {
+	p := s.pos[ci]
+	if p < 0 {
+		return
+	}
+	last := s.unsat[len(s.unsat)-1]
+	s.unsat[p] = last
+	s.pos[last] = p
+	s.unsat = s.unsat[:len(s.unsat)-1]
+	s.pos[ci] = -1
+}
+
+// breakCount is the number of currently satisfied constraints that
+// flipping v would falsify: clauses where v carries the only satisfying
+// occurrence, plus every satisfied XOR containing v.
+func (s *state) breakCount(v cnf.Var) int {
+	n := 0
+	trueLit := cnf.MkLit(v, !s.assign[v])
+	for _, ci := range s.occ[trueLit] {
+		if s.trueCount[ci] == 1 {
+			n++
+		}
+	}
+	for _, xi := range s.xocc[v] {
+		if s.xorAcc[xi-int32(len(s.f.Clauses))] == s.f.Xors[xi-int32(len(s.f.Clauses))].RHS {
+			n++
+		}
+	}
+	return n
+}
+
+// pickVar chooses the variable to flip inside unsatisfied constraint
+// ci: a uniformly random member with probability noise, otherwise the
+// member with the smallest break count (first-seen wins ties, keeping
+// the choice deterministic).
+func (s *state) pickVar(ci int32, noise float64, rng *rand.Rand) cnf.Var {
+	vars := s.memberVars(ci)
+	if rng.Float64() < noise {
+		return vars[rng.Intn(len(vars))]
+	}
+	best := vars[0]
+	bestBreak := s.breakCount(best)
+	for _, v := range vars[1:] {
+		if b := s.breakCount(v); b < bestBreak {
+			best, bestBreak = v, b
+		}
+	}
+	return best
+}
+
+// memberVars returns the variables of constraint ci. Clause literals
+// are projected into a reused scratch buffer (no per-flip allocation);
+// XOR constraints expose their Vars directly.
+func (s *state) memberVars(ci int32) []cnf.Var {
+	if int(ci) < len(s.f.Clauses) {
+		c := s.f.Clauses[ci]
+		s.scratch = s.scratch[:0]
+		for _, l := range c {
+			s.scratch = append(s.scratch, l.Var())
+		}
+		return s.scratch
+	}
+	return s.f.Xors[int(ci)-len(s.f.Clauses)].Vars
+}
+
+// flip inverts v and updates the satisfaction counters incrementally.
+func (s *state) flip(v cnf.Var) {
+	wasTrue := cnf.MkLit(v, !s.assign[v])
+	wasFalse := cnf.MkLit(v, s.assign[v])
+	for _, ci := range s.occ[wasTrue] {
+		s.trueCount[ci]--
+		if s.trueCount[ci] == 0 {
+			s.addUnsat(ci)
+		}
+	}
+	for _, ci := range s.occ[wasFalse] {
+		s.trueCount[ci]++
+		if s.trueCount[ci] == 1 {
+			s.removeUnsat(ci)
+		}
+	}
+	for _, xi := range s.xocc[v] {
+		i := xi - int32(len(s.f.Clauses))
+		s.xorAcc[i] = !s.xorAcc[i]
+		if s.xorAcc[i] == s.f.Xors[i].RHS {
+			s.removeUnsat(xi)
+		} else {
+			s.addUnsat(xi)
+		}
+	}
+	s.assign[v] = !s.assign[v]
+}

@@ -1,0 +1,141 @@
+package walksat
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+func lit(v int, neg bool) cnf.Lit { return cnf.MkLit(cnf.Var(v), neg) }
+
+// Random satisfiable 3SAT built from a planted assignment: every model
+// WalkSAT finds must verify (Solve checks this internally; the test
+// re-checks from the outside).
+func TestWalkSATFindsPlantedModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		nVars := 5 + rng.Intn(20)
+		planted := make([]bool, nVars)
+		for v := range planted {
+			planted[v] = rng.Intn(2) == 1
+		}
+		f := cnf.NewFormula(nVars)
+		for i := 0; i < 3*nVars; i++ {
+			var c []cnf.Lit
+			// Force at least one literal true under the planted model.
+			sv := rng.Intn(nVars)
+			c = append(c, lit(sv, !planted[sv]))
+			for j := 0; j < 2; j++ {
+				v := rng.Intn(nVars)
+				c = append(c, lit(v, rng.Intn(2) == 1))
+			}
+			f.AddClause(c...)
+		}
+		res := Solve(context.Background(), f, Options{Seed: int64(trial)})
+		if res.Status != sat.Sat {
+			t.Fatalf("trial %d: no model found (flips=%d tries=%d)", trial, res.Flips, res.Tries)
+		}
+		if !f.Eval(func(v cnf.Var) bool { return res.Model[v] }) {
+			t.Fatalf("trial %d: reported model does not verify", trial)
+		}
+	}
+}
+
+// XOR constraints participate in the search.
+func TestWalkSATXorConstraints(t *testing.T) {
+	f := cnf.NewFormula(6)
+	f.AddXor(true, 0, 1, 2)
+	f.AddXor(false, 2, 3)
+	f.AddXor(true, 4, 5)
+	f.AddClause(lit(0, false), lit(3, false))
+	res := Solve(context.Background(), f, Options{Seed: 3})
+	if res.Status != sat.Sat {
+		t.Fatalf("mixed or/xor instance not solved: %+v", res)
+	}
+}
+
+// Same seed, same verdict, same model, same flip count — the whole run
+// must reproduce.
+func TestWalkSATSeedDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := cnf.NewFormula(30)
+	for i := 0; i < 100; i++ {
+		f.AddClause(lit(rng.Intn(30), rng.Intn(2) == 1),
+			lit(rng.Intn(30), rng.Intn(2) == 1),
+			lit(rng.Intn(30), rng.Intn(2) == 1))
+	}
+	a := Solve(context.Background(), f, Options{Seed: 99, MaxFlips: 5000})
+	b := Solve(context.Background(), f, Options{Seed: 99, MaxFlips: 5000})
+	if a.Status != b.Status || a.Flips != b.Flips || a.Tries != b.Tries || !reflect.DeepEqual(a.Model, b.Model) {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// An unsatisfiable instance must come back Unknown, never Unsat, and
+// must respect the flip budget.
+func TestWalkSATUnsatReturnsUnknown(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(0, false), lit(1, false))
+	f.AddClause(lit(0, false), lit(1, true))
+	f.AddClause(lit(0, true), lit(1, false))
+	f.AddClause(lit(0, true), lit(1, true))
+	res := Solve(context.Background(), f, Options{Seed: 1, MaxFlips: 3000})
+	if res.Status != sat.Unknown {
+		t.Fatalf("unsat instance returned %v", res.Status)
+	}
+	if res.Flips > 3000 {
+		t.Fatalf("flip budget exceeded: %d", res.Flips)
+	}
+}
+
+// Constraints no flip can satisfy short-circuit to Unknown.
+func TestWalkSATFutileConstraints(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.Clauses = append(f.Clauses, cnf.Clause{})
+	if res := Solve(context.Background(), f, Options{Seed: 1}); res.Status != sat.Unknown || res.Flips != 0 {
+		t.Fatalf("empty clause: %+v", res)
+	}
+	g := cnf.NewFormula(1)
+	g.Xors = append(g.Xors, cnf.XorClause{RHS: true})
+	if res := Solve(context.Background(), g, Options{Seed: 1}); res.Status != sat.Unknown || res.Flips != 0 {
+		t.Fatalf("0=1 xor: %+v", res)
+	}
+}
+
+// Cancellation stops the search promptly.
+func TestWalkSATContextCancel(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(0, false), lit(1, false))
+	f.AddClause(lit(0, false), lit(1, true))
+	f.AddClause(lit(0, true), lit(1, false))
+	f.AddClause(lit(0, true), lit(1, true))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res := Solve(ctx, f, Options{Seed: 1, MaxFlips: 1 << 40})
+	if res.Status != sat.Unknown {
+		t.Fatalf("cancelled run returned %v", res.Status)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled run did not stop promptly")
+	}
+}
+
+// Degenerate inputs: no variables, tautologies, repeated literals.
+func TestWalkSATDegenerate(t *testing.T) {
+	empty := cnf.NewFormula(0)
+	if res := Solve(context.Background(), empty, Options{Seed: 1}); res.Status != sat.Sat {
+		t.Fatalf("empty formula: %+v", res)
+	}
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(0, false), lit(0, true)) // tautology
+	f.AddClause(lit(1, false), lit(1, false))
+	if res := Solve(context.Background(), f, Options{Seed: 1}); res.Status != sat.Sat {
+		t.Fatalf("degenerate clauses: %+v", res)
+	}
+}

@@ -75,6 +75,11 @@ go run ./cmd/benchtab -perf "$workdir/quick.json" -quick
 # that the newer snapshots beat the older ones.
 go run ./cmd/benchtab -compare -gate=-1 BENCH_pr1.json BENCH_pr5.json >/dev/null
 go run ./cmd/benchtab -compare -gate=-1 BENCH_pr6.json BENCH_pr7.json >/dev/null
-go run ./cmd/benchtab -compare -gate=-1 BENCH_pr7.json "$workdir/quick.json" >/dev/null
+go run ./cmd/benchtab -compare -gate=-1 BENCH_pr7.json BENCH_pr8.json >/dev/null
+go run ./cmd/benchtab -compare -gate=-1 BENCH_pr8.json "$workdir/quick.json" >/dev/null
+
+echo "==> fragment routing smoke (classifier fuzz + route/walksat quick tests)"
+go test -count=1 -run 'TestFragmentJobs' ./internal/bench
+go test -run '^$' -fuzz '^FuzzClassify$' -fuzztime 3s ./internal/route
 
 echo "==> OK"
