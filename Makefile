@@ -12,7 +12,9 @@ race:
 	$(GO) test -race ./internal/core ./internal/gf2 ./internal/server
 
 # lint runs the project's own static analyzers (cmd/bosphoruslint):
-# arenaref, ctxpoll, determinism, gf2pack, proofhook, lockhold.
+# the pattern rules (arenaref, ctxpoll, determinism, gf2pack, proofhook,
+# lockhold) plus the dataflow rules (arenagc, hotpath, goleak,
+# verdictcheck).
 lint:
 	$(GO) run ./cmd/bosphoruslint ./...
 

@@ -7,8 +7,19 @@
 //	bosphoruslint [-json] [-analyzers ctxpoll,gf2pack] [patterns...]
 //
 // Patterns follow the usual ./... convention and default to ./... from
-// the module root above the working directory. Exit codes: 0 clean,
-// 1 diagnostics found, 2 usage or load error.
+// the module root above the working directory. Whatever the patterns,
+// the whole module dependency graph is loaded and summarized, so the
+// dataflow analyzers (arenagc, hotpath, ...) see the same cross-package
+// call-effect facts on a targeted run as on a full one. Exit codes:
+// 0 clean, 1 diagnostics found, 2 usage or load error.
+//
+// With -json, diagnostics are emitted as a JSON array with the stable
+// schema documented in the README:
+//
+//	[{"analyzer": "...", "file": "...", "line": N, "col": N, "message": "..."}]
+//
+// where file is relative to the module root (slash-separated), and the
+// array is sorted by (file, line, col). An empty run emits [].
 //
 // Suppress a single finding with a reasoned directive on (or directly
 // above) the offending line:
@@ -22,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/lint"
 )
@@ -60,19 +72,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bosphoruslint:", err)
 		return 2
 	}
-	pkgs, err := lint.LoadModule(root, fs.Args())
+	// Load the full program, not just the matched packages: the dataflow
+	// analyzers derive call-effect summaries bottom-up over the module, and
+	// a per-package load would leave every cross-package callee unknown
+	// (bosphoruslint ./internal/sat would flag cnf.Lit.Var as "no
+	// allocation summary").
+	prog, err := lint.LoadProgram(root, fs.Args())
 	if err != nil {
 		fmt.Fprintln(stderr, "bosphoruslint:", err)
 		return 2
 	}
-	diags := lint.Run(pkgs, analyzers)
+	diags := lint.RunProgram(prog, analyzers)
 	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, toJSON(root, d))
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(stderr, "bosphoruslint:", err)
 			return 2
 		}
@@ -85,4 +103,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the stable machine-readable form of one diagnostic. The
+// field set and names are frozen (documented in the README and asserted
+// by the golden test): CI artifact consumers parse this.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// toJSON flattens a diagnostic, making the file path module-relative and
+// slash-separated so output is stable across checkouts and platforms.
+func toJSON(root string, d lint.Diagnostic) jsonDiag {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil {
+		file = rel
+	}
+	return jsonDiag{
+		Analyzer: d.Analyzer,
+		File:     filepath.ToSlash(file),
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Message:  d.Message,
+	}
 }

@@ -107,3 +107,74 @@ func TestRepoClean(t *testing.T) {
 		t.Fatalf("bosphoruslint ./... on the repo = %d, want 0\n%s%s", code, out.String(), errb.String())
 	}
 }
+
+// TestJSONSchema freezes the -json wire format: a sorted array of
+// {analyzer,file,line,col,message} objects with exactly those keys,
+// module-relative slash-separated file paths, and [] (never null) when
+// the run is clean.
+func TestJSONSchema(t *testing.T) {
+	fixture, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, fixture)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("run(-json ./...) = %d, want 1; stderr %s", code, errb.String())
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &raw); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("no diagnostics on the fixtures")
+	}
+	for _, obj := range raw {
+		for _, key := range []string{"analyzer", "file", "line", "col", "message"} {
+			if _, ok := obj[key]; !ok {
+				t.Fatalf("diagnostic missing %q: %v", key, obj)
+			}
+		}
+		if len(obj) != 5 {
+			t.Fatalf("diagnostic has extra keys (schema is frozen at 5): %v", obj)
+		}
+		file := obj["file"].(string)
+		if filepath.IsAbs(file) || strings.Contains(file, "\\") {
+			t.Errorf("file %q is not module-relative slash-separated", file)
+		}
+		if obj["line"].(float64) < 1 || obj["col"].(float64) < 1 {
+			t.Errorf("non-positive position in %v", obj)
+		}
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && (a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col))) {
+			t.Errorf("diagnostics not sorted by (file, line, col): %v before %v", a, b)
+		}
+	}
+}
+
+// TestTargetedRunLoadsModuleSummaries is the regression test for the
+// per-package loading defect: a run scoped to one package must still see
+// call-effect summaries for the rest of the module, or every
+// cross-package callee in a hotpath function is flagged as "no allocation
+// summary". It also pins the clean-run -json output to [].
+func TestTargetedRunLoadsModuleSummaries(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, root)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./internal/sat/..."}, &out, &errb); code != 0 {
+		t.Fatalf("bosphoruslint ./internal/sat/... = %d, want 0 (cross-package summaries missing?)\n%s%s",
+			code, out.String(), errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json run printed %q, want []", got)
+	}
+}

@@ -327,6 +327,8 @@ func (m *Matrix) gatherPivots(ws *m4rWorkspace, rank, k int) int {
 // block over the live suffix [startWord, stride): table[mask] = XOR of the
 // pivot rows whose bit is set in mask, built incrementally (Gray-code
 // style) so each entry costs one row XOR.
+//
+//bosphorus:hotpath M4R combination-table build into the pooled workspace
 func (m *Matrix) buildTable(ws *m4rWorkspace, rank, np, startWord int) {
 	tw := m.stride - startWord
 	ws.tableWidth = tw
@@ -352,6 +354,8 @@ func (m *Matrix) buildTable(ws *m4rWorkspace, rank, np, startWord int) {
 // sweep is a single fused pass; otherwise it is column-blocked — masks are
 // extracted into the workspace first, then each table strip is streamed
 // over all rows of the range while it is cache-resident.
+//
+//bosphorus:hotpath M4R table-apply sweep
 func (m *Matrix) applyRound(ws *m4rWorkspace, rank, np, startWord, lo, hi int) {
 	m.fillMasks(ws, rank, np, lo, hi)
 	masks := ws.masks
@@ -408,6 +412,8 @@ func (m *Matrix) applyRound(ws *m4rWorkspace, rank, np, startWord, lo, hi int) {
 // rows in [lo, hi) into ws.masks; the pivot block itself gets 0. The
 // common dense case — the round's pivot columns are consecutive — reads
 // the index with one or two word loads instead of np scattered probes.
+//
+//bosphorus:hotpath per-row table-index extraction
 func (m *Matrix) fillMasks(ws *m4rWorkspace, rank, np, lo, hi int) {
 	masks := ws.masks
 	if ws.pcCol[np-1]-ws.pcCol[0] == int32(np-1) {

@@ -59,6 +59,8 @@ func (ws *m4rWorkspace) tableRow(mask int) []uint64 {
 // The 8-way unrolled body with re-sliced operands compiles to
 // bounds-check-free loads; this is the innermost loop of every
 // elimination, so the unroll is measurable.
+//
+//bosphorus:hotpath innermost XOR loop of every elimination
 func xorWords(dst, src []uint64) {
 	n := len(dst)
 	src = src[:n]

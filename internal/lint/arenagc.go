@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// ArenaGCAnalyzer is the flow-sensitive companion to arenaref: where
+// arenaref keeps the ClauseRef encoding opaque, arenagc tracks ref and
+// view *lifetimes*. The clause arena's contract (internal/sat/arena.go):
+//
+//   - a lits() view aliases the backing array, so ANY arena allocation
+//     (append may move the backing) or GC invalidates it;
+//   - a compacting GC remaps the solver's rooted refs (watches, reasons,
+//     clause lists) but cannot see refs sitting in locals, so a local
+//     ClauseRef held across a call that may GC is a use-after-relocate.
+//
+// The analyzer runs a forward abstract interpretation over each function's
+// CFG: locals holding refs or views are tracked, every call is checked
+// against the program-wide call-effect summaries (may-allocate-clauses /
+// may-GC, transitively), and a tainted local that is subsequently read is
+// a finding — unless it was re-read through the arena (reassigned from
+// lits() or a forwarding lookup), which freshens it. arena.go and
+// arena_test.go are exempt by basename, matching arenaref: the arena may
+// reason about its own offsets.
+var ArenaGCAnalyzer = &Analyzer{
+	Name: "arenagc",
+	Doc:  "ClauseRefs and lits() views must not be held live across calls that may move the clause arena",
+	Run:  runArenaGC,
+}
+
+func runArenaGC(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		base := filepath.Base(pass.Pkg.Fset.Position(file.Pos()).Filename)
+		if base == "arena.go" || base == "arena_test.go" {
+			continue
+		}
+		eachFuncBody(file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			runArenaGCFunc(pass, body)
+		})
+	}
+}
+
+func runArenaGCFunc(pass *Pass, body *ast.BlockStmt) {
+	// Cheap pre-filter: skip functions that never mention a ClauseRef or
+	// arena view.
+	touches := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if touches {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if t := typeOf(pass.Pkg, e); t != nil && isClauseRefType(t) {
+				touches = true
+			}
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+	cfg := buildCFG(body)
+	g := &arenaGCInterp{pass: pass}
+	in := forwardFixpoint(cfg, func(st flowState, s ast.Stmt) {
+		g.transfer(st, s, nil)
+	})
+	// Reporting pass: replay each block from its fixpoint entry state with
+	// a live reporter; dedup by position so the replay can't double-report.
+	seen := map[token.Pos]bool{}
+	for _, b := range cfg.blocks {
+		st := in[b]
+		if st == nil {
+			continue // unreachable
+		}
+		st = st.clone()
+		for _, s := range b.stmts {
+			g.transfer(st, s, func(pos token.Pos, format string, args ...interface{}) {
+				if !seen[pos] {
+					seen[pos] = true
+					pass.Reportf(pos, format, args...)
+				}
+			})
+		}
+	}
+}
+
+type arenaGCInterp struct {
+	pass *Pass
+}
+
+// transfer interprets one statement: check reads of tainted locals, apply
+// the arena effects of any calls, then (re)define assigned locals. The
+// order matters — passing a still-fresh view into the call that kills it
+// is legal; reading it afterwards is not.
+func (g *arenaGCInterp) transfer(st flowState, s ast.Stmt, report func(token.Pos, string, ...interface{})) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			g.checkUses(st, rhs, report)
+		}
+		for _, rhs := range s.Rhs {
+			g.applyCalls(st, rhs)
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				g.define(st, s.Lhs[i], s.Rhs[i])
+			}
+		} else if len(s.Rhs) == 1 {
+			// x, y := f(): classify each LHS by its own static type.
+			for _, lhs := range s.Lhs {
+				g.define(st, lhs, lhs)
+			}
+		}
+	case *ast.RangeStmt:
+		g.checkUses(st, s.X, report)
+		g.applyCalls(st, s.X)
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e != nil {
+				g.define(st, e, e)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				g.checkUses(st, v, report)
+				g.applyCalls(st, v)
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					g.define(st, name, vs.Values[i])
+				} else {
+					g.define(st, name, name)
+				}
+			}
+		}
+	default:
+		for _, n := range stmtEvalNodes(s) {
+			g.checkUses(st, n, report)
+			g.applyCalls(st, n)
+		}
+	}
+}
+
+// checkUses reports reads of stale locals within n.
+func (g *arenaGCInterp) checkUses(st flowState, n ast.Node, report func(token.Pos, string, ...interface{})) {
+	if report == nil || n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := g.pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		c, ok := st[obj]
+		if !ok {
+			return true
+		}
+		switch {
+		case c.bits&bitStaleRef != 0:
+			report(id.Pos(),
+				"ClauseRef %q may be stale: %s ran after it was obtained; GC remaps rooted refs but not locals — re-read the ref from its root (watches/reason/clause list) after the call", id.Name, c.why)
+		case c.bits&bitStaleView != 0:
+			report(id.Pos(),
+				"arena view %q may be stale: %s ran after lits() was taken and can move the backing array — re-read through lits() after the call", id.Name, c.why)
+		}
+		return true
+	})
+}
+
+// applyCalls taints tracked locals for every call within n that may touch
+// the arena, per the transitive call-effect summaries.
+func (g *arenaGCInterp) applyCalls(st flowState, n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(g.pass.Pkg, call)
+		eff := g.pass.Prog.effectsOf(callee)
+		if eff == nil {
+			return true // non-module callees cannot reach the unexported arena
+		}
+		if eff.ArenaGC {
+			why := fmt.Sprintf("%s (may trigger arena GC)", callee.Name())
+			taint(st, bitRef, bitStaleRef, why)
+			taint(st, bitView, bitStaleView, why)
+		} else if eff.ArenaAlloc {
+			taint(st, bitView, bitStaleView, fmt.Sprintf("%s (may allocate clauses and grow the arena)", callee.Name()))
+		}
+		return true
+	})
+}
+
+func taint(st flowState, have, add uint8, why string) {
+	for obj, c := range st {
+		if c.bits&have != 0 && c.bits&add == 0 {
+			c.bits |= add
+			if c.why == "" {
+				c.why = why
+			}
+			st[obj] = c
+		}
+	}
+}
+
+// define classifies an assignment target from its source expression:
+// refs and views enter the tracked state fresh (clearing any staleness —
+// re-reading through the arena is exactly the sanctioned fix); anything
+// else leaves tracking.
+func (g *arenaGCInterp) define(st flowState, lhs ast.Expr, src ast.Expr) {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	var obj types.Object
+	if d, ok := g.pass.Pkg.Info.Defs[id]; ok && d != nil {
+		obj = d
+	} else if u, ok := g.pass.Pkg.Info.Uses[id]; ok {
+		obj = u
+	}
+	if obj == nil || !isLocalVar(obj) {
+		return
+	}
+	t := typeOf(g.pass.Pkg, src)
+	if t == nil {
+		t = obj.Type()
+	}
+	switch {
+	case t != nil && isClauseRefType(t):
+		st[obj] = cell{bits: bitRef}
+	case g.isViewExpr(st, src):
+		st[obj] = cell{bits: bitView}
+	default:
+		delete(st, obj)
+	}
+}
+
+// isViewExpr reports whether the expression yields a slice aliasing the
+// arena backing: a call whose summary ReturnsView, a reslice of an
+// existing view, or the view itself.
+func (g *arenaGCInterp) isViewExpr(st flowState, e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CallExpr:
+		callee := calleeFunc(g.pass.Pkg, e)
+		if eff := g.pass.Prog.effectsOf(callee); eff != nil && eff.ReturnsView {
+			return true
+		}
+	case *ast.SliceExpr:
+		return g.isViewExpr(st, e.X)
+	case *ast.Ident:
+		if obj, ok := g.pass.Pkg.Info.Uses[e].(*types.Var); ok {
+			if c, ok := st[obj]; ok && c.bits&bitView != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds the intraprocedural control-flow graph the dataflow
+// analyzers (arenagc, and anything PR-10+ layers on the engine) interpret.
+// It is deliberately SSA-lite: blocks hold the original statements in
+// execution order, control statements appear once as their own "header"
+// entry (condition/tag evaluation), and nested bodies become separate
+// blocks wired with successor edges. Break/continue resolve through a
+// stack of enclosing constructs, labels included; goto is treated as a
+// terminator (the repo has none — a missing edge only under-approximates
+// a may-analysis, it cannot crash it).
+
+// block is one straight-line run of statements.
+type block struct {
+	stmts []ast.Stmt
+	succs []*block
+}
+
+// funcCFG is the flow graph of one function body.
+type funcCFG struct {
+	entry  *block
+	blocks []*block
+}
+
+// cfgBuilder carries the under-construction graph.
+type cfgBuilder struct {
+	g      *funcCFG
+	cur    *block
+	stack  []cfgFrame        // enclosing breakable/continuable constructs
+	labels map[string]string // pending label for the next loop/switch
+}
+
+// cfgFrame is one enclosing construct a break/continue can target.
+type cfgFrame struct {
+	label      string
+	breakTo    *block
+	contTo     *block // nil for switch/select (continue skips them)
+	isLoop     bool
+	caseBlocks []*block // switch only: fallthrough targets in order
+	caseIdx    int
+}
+
+// buildCFG constructs the flow graph of a function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g}
+	g.entry = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List, "")
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func edge(from, to *block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// put appends a statement to the current block (dropped when the current
+// position is unreachable after a terminator).
+func (b *cfgBuilder) put(s ast.Stmt) {
+	if b.cur != nil {
+		b.cur.stmts = append(b.cur.stmts, s)
+	}
+}
+
+// stmtList builds a statement sequence; label names the construct the
+// first statement belongs to (from an enclosing LabeledStmt).
+func (b *cfgBuilder) stmtList(list []ast.Stmt, label string) {
+	for i, s := range list {
+		lbl := ""
+		if i == 0 {
+			lbl = label
+		}
+		b.stmt(s, lbl)
+	}
+}
+
+// frameFor finds the innermost frame a break/continue targets.
+func (b *cfgBuilder) frameFor(label string, isContinue bool) *cfgFrame {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		f := &b.stack[i]
+		if label != "" {
+			if f.label == label && (!isContinue || f.isLoop) {
+				return f
+			}
+			continue
+		}
+		if isContinue && !f.isLoop {
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List, "")
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.put(s.Init)
+		}
+		b.put(s) // header: the condition evaluates here
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List, "")
+		edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else, "")
+			edge(b.cur, after)
+		} else {
+			edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.put(s.Init)
+		}
+		head := b.newBlock()
+		edge(b.cur, head)
+		head.stmts = append(head.stmts, s) // header: the condition evaluates here
+		body := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		edge(head, body)
+		if s.Cond != nil {
+			edge(head, after)
+		}
+		if s.Post != nil {
+			post.stmts = append(post.stmts, s.Post)
+		}
+		edge(post, head)
+		b.stack = append(b.stack, cfgFrame{label: label, breakTo: after, contTo: post, isLoop: true})
+		b.cur = body
+		b.stmtList(s.Body.List, "")
+		edge(b.cur, post)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		edge(b.cur, head)
+		head.stmts = append(head.stmts, s) // header: X evaluates, key/value bind
+		body := b.newBlock()
+		after := b.newBlock()
+		edge(head, body)
+		edge(head, after)
+		b.stack = append(b.stack, cfgFrame{label: label, breakTo: after, contTo: head, isLoop: true})
+		b.cur = body
+		b.stmtList(s.Body.List, "")
+		edge(b.cur, head)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var clauses []ast.Stmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			init = sw.Init
+			clauses = sw.Body.List
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			init = ts.Init
+			clauses = ts.Body.List
+		}
+		if init != nil {
+			b.put(init)
+		}
+		b.put(s) // header: tag / type-switch assign evaluates here
+		hdr := b.cur
+		after := b.newBlock()
+		var caseBlocks []*block
+		hasDefault := false
+		for _, c := range clauses {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			cb := b.newBlock()
+			edge(hdr, cb)
+			caseBlocks = append(caseBlocks, cb)
+		}
+		if !hasDefault {
+			edge(hdr, after)
+		}
+		b.stack = append(b.stack, cfgFrame{label: label, breakTo: after, caseBlocks: caseBlocks})
+		for i, c := range clauses {
+			cc := c.(*ast.CaseClause)
+			b.stack[len(b.stack)-1].caseIdx = i
+			b.cur = caseBlocks[i]
+			b.stmtList(cc.Body, "")
+			edge(b.cur, after)
+		}
+		b.stack = b.stack[:len(b.stack)-1]
+		b.cur = after
+
+	case *ast.SelectStmt:
+		b.put(s) // header
+		hdr := b.cur
+		after := b.newBlock()
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			edge(hdr, cb)
+			b.stack = append(b.stack, cfgFrame{label: label, breakTo: after})
+			b.cur = cb
+			if cc.Comm != nil {
+				b.put(cc.Comm)
+			}
+			b.stmtList(cc.Body, "")
+			edge(b.cur, after)
+			b.stack = b.stack[:len(b.stack)-1]
+		}
+		b.cur = after
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			lbl := ""
+			if s.Label != nil {
+				lbl = s.Label.Name
+			}
+			if f := b.frameFor(lbl, false); f != nil {
+				edge(b.cur, f.breakTo)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			lbl := ""
+			if s.Label != nil {
+				lbl = s.Label.Name
+			}
+			if f := b.frameFor(lbl, true); f != nil {
+				edge(b.cur, f.contTo)
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			if len(b.stack) > 0 {
+				f := &b.stack[len(b.stack)-1]
+				if f.caseBlocks != nil && f.caseIdx+1 < len(f.caseBlocks) {
+					edge(b.cur, f.caseBlocks[f.caseIdx+1])
+				}
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.cur = nil // terminator; the repo has no gotos
+		}
+
+	case *ast.ReturnStmt:
+		b.put(s)
+		b.cur = nil
+
+	default:
+		// Assignments, declarations, expression statements, sends, defers,
+		// go statements, inc/dec: straight-line entries.
+		b.put(s)
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && calleeName(call) == "panic" {
+				b.cur = nil
+			}
+		}
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable continuation
+	}
+}
+
+// stmtEvalNodes returns the sub-nodes a dataflow transfer function should
+// interpret when a statement appears in a block: control-statement
+// headers expose only the expressions that evaluate at that point (their
+// bodies are separate blocks); everything else is interpreted whole.
+func stmtEvalNodes(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return []ast.Node{s.Cond}
+		}
+		return nil
+	case *ast.RangeStmt:
+		nodes := []ast.Node{s.X}
+		if s.Key != nil {
+			nodes = append(nodes, s.Key)
+		}
+		if s.Value != nil {
+			nodes = append(nodes, s.Value)
+		}
+		return nodes
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			return []ast.Node{s.Tag}
+		}
+		return nil
+	case *ast.TypeSwitchStmt:
+		return []ast.Node{s.Assign}
+	case *ast.SelectStmt:
+		return nil
+	default:
+		return []ast.Node{s}
+	}
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the flow-sensitive half of the engine: a forward abstract-
+// interpretation worklist over the CFG in cfg.go, plus intraprocedural
+// def/use chains. The abstract domain is deliberately tiny — a bitset per
+// local variable with a one-line provenance string — which keeps the
+// fixpoint obviously monotone (merge is bitwise OR) and fast enough that
+// the whole suite stays well inside the CI lint budget.
+
+// Abstract-value bits. The arenagc analyzer uses all four; future
+// analyzers can claim further bits or run their own cell type through the
+// same worklist.
+const (
+	// bitRef: the variable holds a sat.ClauseRef.
+	bitRef uint8 = 1 << iota
+	// bitView: the variable holds a slice aliasing the arena backing
+	// store (a lits() view or something derived from one).
+	bitView
+	// bitStaleRef: a call that may run the arena GC happened since the
+	// ref was obtained.
+	bitStaleRef
+	// bitStaleView: a call that may grow or compact the arena happened
+	// since the view was taken.
+	bitStaleView
+)
+
+// cell is one variable's abstract value: its bits plus the provenance of
+// the most informative taint (used verbatim in diagnostics).
+type cell struct {
+	bits uint8
+	why  string
+}
+
+// flowState maps in-scope variables to abstract values.
+type flowState map[types.Object]cell
+
+func (s flowState) clone() flowState {
+	out := make(flowState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeInto joins src into dst (bitwise OR per variable) and reports
+// whether dst changed. The join keeps the first taint provenance seen —
+// any witness path suffices for a may-analysis diagnostic.
+func mergeInto(dst, src flowState) bool {
+	changed := false
+	for obj, sc := range src {
+		dc, ok := dst[obj]
+		if !ok {
+			dst[obj] = sc
+			changed = true
+			continue
+		}
+		merged := dc.bits | sc.bits
+		if merged != dc.bits {
+			why := dc.why
+			if why == "" {
+				why = sc.why
+			}
+			dst[obj] = cell{bits: merged, why: why}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// forwardFixpoint runs the transfer function to a fixpoint over the CFG
+// and returns each block's entry state. transfer mutates the state in
+// statement order; it must be deterministic and monotone in the state.
+func forwardFixpoint(cfg *funcCFG, transfer func(flowState, ast.Stmt)) map[*block]flowState {
+	in := map[*block]flowState{cfg.entry: {}}
+	work := []*block{cfg.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := in[b].clone()
+		for _, s := range b.stmts {
+			transfer(st, s)
+		}
+		for _, succ := range b.succs {
+			if in[succ] == nil {
+				in[succ] = st.clone()
+				work = append(work, succ)
+			} else if mergeInto(in[succ], st) {
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// defUse holds one function body's def/use chains: every identifier that
+// (re)defines a variable and every identifier that reads one, in source
+// order.
+type defUse struct {
+	defs map[types.Object][]*ast.Ident
+	uses map[types.Object][]*ast.Ident
+}
+
+// buildDefUse computes def/use chains for a function body. Definitions
+// are := / var declarations, plain-assignment left-hand sides, and range
+// bindings; everything else referencing a variable is a use.
+func buildDefUse(pkg *Package, body ast.Node) *defUse {
+	du := &defUse{
+		defs: map[types.Object][]*ast.Ident{},
+		uses: map[types.Object][]*ast.Ident{},
+	}
+	// Idents in write position: plain-assignment LHS and range bindings
+	// (declaration idents come via Info.Defs already).
+	writes := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					writes[id] = true
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := unparen(e).(*ast.Ident); ok && e != nil {
+					writes[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := unparen(n.X).(*ast.Ident); ok {
+				writes[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if obj, ok := pkg.Info.Defs[id]; ok && obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				du.defs[obj] = append(du.defs[obj], id)
+			}
+			return true
+		}
+		obj, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if writes[id] {
+			du.defs[obj] = append(du.defs[obj], id)
+		} else {
+			du.uses[obj] = append(du.uses[obj], id)
+		}
+		return true
+	})
+	return du
+}
+
+// usedAfter reports whether obj is read at any position after pos.
+func (du *defUse) usedAfter(obj types.Object, pos ast.Node) bool {
+	for _, u := range du.uses[obj] {
+		if u.Pos() > pos.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// isLocalVar reports whether obj is a function-local variable or
+// parameter — something flow analysis can track (not a field, not a
+// package-level variable).
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Pkg() == nil || v.Parent() == nil {
+		return false
+	}
+	return v.Parent() != v.Pkg().Scope()
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the one parser for the suite's two comment-directive
+// families:
+//
+//	//lint:ignore <analyzer> <reason>   suppress one finding, with a reason
+//	//bosphorus:hotpath [reason]        mark a function allocation-free
+//
+// Both are line comments; the parser works on the raw comment text so the
+// same code path serves the analyzers, the suppression resolver in Run,
+// and the FuzzDirectives fuzz target (scripts/check.sh runs it for a few
+// seconds next to the proof-checker fuzzes).
+
+// Directive kinds.
+const (
+	// DirIgnore is a //lint:ignore suppression.
+	DirIgnore = "ignore"
+	// DirHotpath is a //bosphorus:hotpath allocation-free annotation.
+	DirHotpath = "hotpath"
+)
+
+const (
+	ignorePrefix  = "//lint:ignore"
+	bosPrefix     = "//bosphorus:"
+	hotpathSuffix = "hotpath"
+)
+
+// Directive is one parsed comment directive.
+type Directive struct {
+	// Kind is DirIgnore or DirHotpath.
+	Kind string
+	// Analyzer is the suppressed analyzer (DirIgnore only).
+	Analyzer string
+	// Reason is the recorded justification. Required for DirIgnore,
+	// optional for DirHotpath.
+	Reason string
+}
+
+// ParseDirective parses one comment's text. It returns ok=false when the
+// comment is not a directive at all, and a non-nil error when it is a
+// directive but malformed (missing analyzer, empty reason, unknown
+// //bosphorus: verb) — malformed directives are themselves findings, so a
+// typo cannot silently disable a suppression or an annotation.
+func ParseDirective(text string) (Directive, bool, error) {
+	switch {
+	case text == ignorePrefix || strings.HasPrefix(text, ignorePrefix+" ") || strings.HasPrefix(text, ignorePrefix+"\t"):
+		rest := strings.TrimPrefix(text, ignorePrefix)
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return Directive{}, true, fmt.Errorf("malformed %s directive: want %q", ignorePrefix, ignorePrefix+" <analyzer> <reason>")
+		}
+		return Directive{
+			Kind:     DirIgnore,
+			Analyzer: fields[0],
+			Reason:   strings.Join(fields[1:], " "),
+		}, true, nil
+	case strings.HasPrefix(text, bosPrefix):
+		rest := strings.TrimPrefix(text, bosPrefix)
+		verb := rest
+		reason := ""
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			verb, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+		}
+		if verb != hotpathSuffix {
+			return Directive{}, true, fmt.Errorf("unknown %s directive %q: the only verb is %q", strings.TrimSuffix(bosPrefix, ":"), verb, hotpathSuffix)
+		}
+		return Directive{Kind: DirHotpath, Reason: reason}, true, nil
+	}
+	return Directive{}, false, nil
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzDirectives throws arbitrary comment text at ParseDirective and
+// checks its contract rather than specific outputs: no panics, the
+// (ok, err, Directive) legs are mutually consistent, and every accepted
+// directive round-trips through a re-render of its canonical form.
+// scripts/check.sh runs this for a few seconds next to the proof-checker
+// fuzz targets.
+func FuzzDirectives(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:ignore arenagc view re-read below",
+		"//lint:ignore",
+		"//lint:ignore hotpath",
+		"//lint:ignore  lockhold\ttabs and  runs of spaces",
+		"//bosphorus:hotpath propagation inner loop",
+		"//bosphorus:hotpath",
+		"//bosphorus:hotpth typo",
+		"//bosphorus:",
+		"// plain comment",
+		"//lint:ignoreX not a directive",
+		"//lint:ignore\tgf2pack reason via tab",
+		"//bosphorus:hotpath\ttab reason",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok, err := ParseDirective(text)
+		if !ok {
+			// Not a directive: no error and a zero value.
+			if err != nil {
+				t.Fatalf("ok=false with err=%v for %q", err, text)
+			}
+			if d != (Directive{}) {
+				t.Fatalf("ok=false with non-zero directive %+v for %q", d, text)
+			}
+			// The prefixes are the whole trigger: anything starting with
+			// one must be recognized (well-formed or not).
+			if strings.HasPrefix(text, "//bosphorus:") {
+				t.Fatalf("%q has the //bosphorus: prefix but was not recognized", text)
+			}
+			return
+		}
+		if err != nil {
+			// Malformed directive: recognized, diagnosed, no value.
+			if d != (Directive{}) {
+				t.Fatalf("err=%v with non-zero directive %+v for %q", err, d, text)
+			}
+			return
+		}
+		switch d.Kind {
+		case DirIgnore:
+			if d.Analyzer == "" || d.Reason == "" {
+				t.Fatalf("accepted ignore with empty analyzer/reason: %+v from %q", d, text)
+			}
+			if strings.ContainsAny(d.Analyzer, " \t") {
+				t.Fatalf("analyzer %q contains whitespace (from %q)", d.Analyzer, text)
+			}
+			// Canonical re-render parses back to the same directive.
+			rd, rok, rerr := ParseDirective("//lint:ignore " + d.Analyzer + " " + d.Reason)
+			if !rok || rerr != nil {
+				t.Fatalf("re-render of %+v failed: ok=%v err=%v", d, rok, rerr)
+			}
+			// Reason whitespace is normalized by Fields on the first
+			// parse, so only the normalized form must be stable.
+			if utf8.ValidString(text) && (rd.Analyzer != d.Analyzer || strings.Join(strings.Fields(rd.Reason), " ") != strings.Join(strings.Fields(d.Reason), " ")) {
+				t.Fatalf("round-trip changed the directive: %+v -> %+v", d, rd)
+			}
+		case DirHotpath:
+			if d.Analyzer != "" {
+				t.Fatalf("hotpath directive with analyzer set: %+v from %q", d, text)
+			}
+		default:
+			t.Fatalf("unknown directive kind %q from %q", d.Kind, text)
+		}
+	})
+}

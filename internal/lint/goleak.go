@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeakAnalyzer guards the distribution tier's goroutine hygiene. The
+// server, cube, share and portfolio packages all spawn workers whose
+// lifetimes must be bounded by something — a context, a closable channel,
+// a WaitGroup — or a long-lived bosphorusd leaks a goroutine per request.
+// For every `go` statement in those packages the analyzer:
+//
+//   - resolves the goroutine body (function literal, or a declared
+//     function/method through the program index) and proves an exit path
+//     over its CFG: every reachable block must reach a terminal block
+//     (return or fall-off-end). An infinite `for` whose only exits are
+//     unreachable is a leak; a `range` over a channel or a ctx.Done()
+//     select case with return both satisfy the proof, because they are
+//     ordinary CFG edges out of the cycle.
+//   - flags pre-1.22-style loop-variable capture: a goroutine literal
+//     inside a loop must take the iteration variable as a parameter, not
+//     close over it — the repo builds with per-iteration semantics, but
+//     the distribution tier's style contract is explicit passing.
+//   - checks WaitGroup pairing for literals: a body deferring wg.Done()
+//     requires a wg.Add call in the spawning function.
+var GoLeakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in the distribution tier need a provable exit path and explicit loop-variable passing",
+	Run:  runGoLeak,
+}
+
+// goLeakScopes are the path fragments the analyzer applies to.
+var goLeakScopes = []string{
+	"internal/server",
+	"internal/cube",
+	"internal/share",
+	"internal/portfolio",
+}
+
+func runGoLeak(pass *Pass) {
+	inScope := false
+	for _, s := range goLeakScopes {
+		if pkgPathHas(pass.Pkg, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope || pass.Prog == nil {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, g, stack)
+			}
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt, stack []ast.Node) {
+	if lit, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		checkLoopCapture(pass, g, lit, stack)
+		checkWaitGroupPairing(pass, g, lit, stack)
+		if !provablyExits(lit.Body) {
+			pass.Reportf(g.Pos(),
+				"goroutine has no provable exit path: add a ctx.Done() select case with return, range over a channel that is closed, or bound the loop")
+		}
+		return
+	}
+	callee := calleeFunc(pass.Pkg, g.Call)
+	if callee == nil {
+		pass.Reportf(g.Pos(),
+			"goroutine target is not statically resolvable (function value or interface method); spawn a named function or literal so the exit path can be checked")
+		return
+	}
+	ds := pass.Prog.declOf(callee)
+	if ds == nil {
+		pass.Reportf(g.Pos(),
+			"goroutine runs %s, which is outside the module; wrap it in a literal with an explicit exit path", callee.Name())
+		return
+	}
+	if !provablyExits(ds.fd.Body) {
+		pass.Reportf(g.Pos(),
+			"goroutine running %s has no provable exit path: every loop in it must reach a return (ctx.Done() select, closed-channel range, or bounded iteration)", callee.Name())
+	}
+}
+
+// provablyExits reports whether every reachable block of the body can
+// reach a terminal block (a return or the function's end) — i.e. the
+// goroutine cannot be trapped in a cycle with no way out.
+func provablyExits(body *ast.BlockStmt) bool {
+	cfg := buildCFG(body)
+	reach := map[*block]bool{}
+	var mark func(*block)
+	mark = func(b *block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.succs {
+			mark(s)
+		}
+	}
+	mark(cfg.entry)
+	// canExit: fixpoint of "is terminal or has a successor that can exit".
+	canExit := map[*block]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.blocks {
+			if canExit[b] {
+				continue
+			}
+			ok := len(b.succs) == 0
+			for _, s := range b.succs {
+				if canExit[s] {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				canExit[b] = true
+				changed = true
+			}
+		}
+	}
+	for b := range reach {
+		if !canExit[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkLoopCapture flags goroutine literals that read an enclosing loop's
+// iteration variable through the closure instead of a parameter.
+func checkLoopCapture(pass *Pass, g *ast.GoStmt, lit *ast.FuncLit, stack []ast.Node) {
+	loopVars := map[types.Object]string{}
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				id, ok := e.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+					loopVars[obj] = id.Name
+				} else if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+					loopVars[obj] = id.Name
+				}
+			}
+		case *ast.ForStmt:
+			as, ok := n.Init.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+						loopVars[obj] = id.Name
+					}
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		if obj == nil || reported[obj] {
+			return true
+		}
+		if name, isLoop := loopVars[obj]; isLoop {
+			reported[obj] = true
+			pass.Reportf(id.Pos(),
+				"goroutine captures loop variable %q; pass it as a parameter (go func(%s ...) { ... }(%s))", name, name, name)
+		}
+		return true
+	})
+}
+
+// checkWaitGroupPairing: a literal that defers wg.Done() must be matched
+// by a wg.Add call in the function that spawns it.
+func checkWaitGroupPairing(pass *Pass, g *ast.GoStmt, lit *ast.FuncLit, stack []ast.Node) {
+	var doneRecv string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		df, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if calleeName(df.Call) == "Done" {
+			if recv := callReceiver(df.Call); recv != nil {
+				doneRecv = exprText(pass.Pkg.Fset, recv)
+			}
+		}
+		return true
+	})
+	if doneRecv == "" {
+		return
+	}
+	var encl *ast.FuncDecl
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			encl = fd
+		}
+	}
+	if encl == nil {
+		return
+	}
+	hasAdd := containsCall(encl.Body, func(c *ast.CallExpr) bool {
+		if calleeName(c) != "Add" {
+			return false
+		}
+		recv := callReceiver(c)
+		return recv != nil && exprText(pass.Pkg.Fset, recv) == doneRecv
+	})
+	if !hasAdd {
+		pass.Reportf(g.Pos(),
+			"goroutine defers %s.Done() but %s never calls %s.Add; the wait-group accounting is unbalanced", doneRecv, encl.Name.Name, doneRecv)
+	}
+}

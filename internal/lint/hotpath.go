@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// HotpathAnalyzer statically re-proves the PR-6 allocation result: a
+// function annotated //bosphorus:hotpath must be allocation-free by
+// construction, so the cdcl_propagation_chain benchmark's allocs/op
+// cannot regress without this analyzer firing first. Within an annotated
+// function it flags every statically visible allocation — make/new,
+// growing append (amortized self-appends `x = append(x, ...)` and
+// pooled `append(buf[:0], ...)` resets are the two sanctioned shapes),
+// slice/map/&composite literals, capturing closures, string
+// concatenation, map writes, interface boxing at call sites, goroutine
+// spawns — plus any call into a function that is neither annotated
+// hotpath itself nor provably allocation-free by its transitive summary.
+// panic() arguments are exempt: a crash path is by definition cold.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//bosphorus:hotpath functions must be statically allocation-free",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpathDecl(fd) {
+				continue
+			}
+			checkHotpathFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
+	for _, f := range allocSites(pass.Pkg, fd.Body) {
+		pass.Reportf(f.node.Pos(), "allocation in //bosphorus:hotpath function %s: %s", fd.Name.Name, f.what)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltinCall(pass.Pkg, call) || isTypeConversion(pass.Pkg, call) {
+			return true
+		}
+		if calleeName(call) == "panic" || whitelistedCall(pass.Pkg, call) {
+			return true
+		}
+		callee := calleeFunc(pass.Pkg, call)
+		if callee == nil {
+			pass.Reportf(call.Pos(),
+				"hotpath function %s calls through a function value or interface; the target cannot be proven allocation-free — devirtualize or hoist off the hot path", fd.Name.Name)
+			return true
+		}
+		eff := pass.Prog.effectsOf(callee)
+		switch {
+		case eff == nil:
+			pass.Reportf(call.Pos(),
+				"hotpath function %s calls %s, which has no allocation summary (outside the module and not whitelisted)", fd.Name.Name, callee.Name())
+		case eff.Hotpath:
+			// Annotated callees are trusted: their own bodies are checked
+			// (and any excused allocation carries its own suppression), so
+			// re-reporting here would only cascade.
+		case eff.Allocates:
+			pass.Reportf(call.Pos(),
+				"hotpath function %s calls %s, which may allocate; mark the callee //bosphorus:hotpath (and fix it) or hoist the call", fd.Name.Name, callee.Name())
+		case eff.CallsUnknown:
+			pass.Reportf(call.Pos(),
+				"hotpath function %s calls %s, which is not provably allocation-free (it calls unsummarized code)", fd.Name.Name, callee.Name())
+		}
+		return true
+	})
+}

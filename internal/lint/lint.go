@@ -5,12 +5,16 @@
 // context polling in long-running technique loops, bit-identical fact
 // learning (no wall-clock or map-order dependence in provenance-tracked
 // paths), word-packed GF(2) indexing confined to internal/gf2, nil-guarded
-// proof hooks, and disciplined mutex handling in the server and solver.
+// proof hooks, disciplined mutex handling, arena ref/view lifetimes,
+// allocation-free hot paths, goroutine exit paths, and used verdicts.
 //
-// The pieces: LoadModule parses and type-checks the module's packages,
-// Analyzer is one rule with an AST-walking Run function, Run applies
-// analyzers to packages and resolves //lint:ignore suppressions, and
-// cmd/bosphoruslint is the multichecker CLI in front of it all.
+// The pieces: LoadProgram parses and type-checks the module's packages
+// (plus their module-local dependencies, for call-effect summaries),
+// Analyzer is one rule with an AST-walking Run function, RunProgram
+// applies analyzers and resolves //lint:ignore suppressions, and
+// cmd/bosphoruslint is the multichecker CLI in front of it all. The
+// flow-sensitive rules run on the engine in cfg.go, dataflow.go and
+// summary.go; directive.go owns the comment-directive grammar.
 package lint
 
 import (
@@ -52,6 +56,9 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Prog is the enclosing program: call-effect summaries and the
+	// declaration index span every module-local package loaded with Pkg.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -65,15 +72,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable (alphabetical) order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
+		ArenaGCAnalyzer,
 		ArenaRefAnalyzer,
 		CtxPollAnalyzer,
 		DeterminismAnalyzer,
 		GF2PackAnalyzer,
-		ProofHookAnalyzer,
+		GoLeakAnalyzer,
+		HotpathAnalyzer,
 		LockHoldAnalyzer,
+		ProofHookAnalyzer,
+		VerdictCheckAnalyzer,
 	}
 }
 
@@ -102,77 +113,178 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// ignoreDirective is one parsed //lint:ignore comment.
+// ignoreDirective is one parsed //lint:ignore comment, bound to the code
+// it suppresses.
 type ignoreDirective struct {
 	analyzer string
-	line     int // the line the directive suppresses is line or line+1
-	used     bool
+	file     string
+	// line is the directive's own line (inline directives suppress
+	// diagnostics on that line).
+	line int
+	// start/end are the byte-offset extent of the next statement, for
+	// standalone directives (0,0 when inline).
+	start, end int
+	pos        token.Position
+	used       bool
 }
 
-const ignorePrefix = "//lint:ignore "
+// matches reports whether the directive suppresses d.
+func (ig *ignoreDirective) matches(d Diagnostic) bool {
+	if ig.analyzer != d.Analyzer || ig.file != d.Pos.Filename {
+		return false
+	}
+	if ig.end > 0 {
+		return d.Pos.Offset >= ig.start && d.Pos.Offset <= ig.end
+	}
+	return d.Pos.Line == ig.line
+}
 
-// parseIgnores scans a file's comments for //lint:ignore directives.
-// A well-formed directive is
-//
-//	//lint:ignore <analyzer> <reason>
-//
-// and suppresses that analyzer's diagnostics on the directive's own line
-// and on the line directly below it (the usual "comment above the
-// offending statement" placement). A directive with a missing analyzer or
-// an empty reason is itself reported — a suppression without a recorded
-// reason defeats the point of the gate.
-func parseIgnores(pkg *Package, file *ast.File, diags *[]Diagnostic) []*ignoreDirective {
+// bindTarget is one node a standalone directive can bind to: statements,
+// specs, and function-declaration headers.
+type bindTarget struct {
+	pos, end token.Pos
+}
+
+// parseFileDirectives extracts a file's //lint:ignore directives, binds
+// each to the code it governs, and reports directive misuse: malformed
+// directives, orphaned suppressions with no following statement, and
+// //bosphorus:hotpath annotations outside a function doc comment.
+// Binding is strict: an inline directive (sharing a line with code)
+// suppresses its own line; a standalone directive suppresses exactly the
+// next statement after it — not "whatever happens to sit one line down".
+func parseFileDirectives(pkg *Package, file *ast.File, diags *[]Diagnostic) []*ignoreDirective {
+	codeLines := map[int]bool{}
+	var targets []bindTarget
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		codeLines[pkg.Fset.Position(n.Pos()).Line] = true
+		codeLines[pkg.Fset.Position(n.End()).Line] = true
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			end := n.End()
+			if n.Body != nil {
+				end = n.Body.Lbrace
+			}
+			targets = append(targets, bindTarget{pos: n.Pos(), end: end})
+		case ast.Stmt:
+			if _, isBlock := n.(*ast.BlockStmt); !isBlock {
+				targets = append(targets, bindTarget{pos: n.Pos(), end: n.End()})
+			}
+		case ast.Spec:
+			targets = append(targets, bindTarget{pos: n.Pos(), end: n.End()})
+		}
+		return true
+	})
+	// Function doc comments are the one legal home for //bosphorus:hotpath.
+	funcDocs := map[*ast.CommentGroup]bool{}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+			funcDocs[fd.Doc] = true
+		}
+	}
 	var out []*ignoreDirective
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, strings.TrimSpace(ignorePrefix)) {
+			dir, isDir, err := ParseDirective(c.Text)
+			if !isDir {
 				continue
 			}
-			rest := strings.TrimPrefix(c.Text, strings.TrimSpace(ignorePrefix))
-			fields := strings.Fields(rest)
-			if len(fields) < 2 {
+			cpos := pkg.Fset.Position(c.Pos())
+			if err != nil {
 				*diags = append(*diags, Diagnostic{
 					Analyzer: "lint",
-					Pos:      pkg.Fset.Position(c.Pos()),
-					Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+					Pos:      cpos,
+					Message:  err.Error(),
 				})
 				continue
 			}
-			out = append(out, &ignoreDirective{
-				analyzer: fields[0],
-				line:     pkg.Fset.Position(c.Pos()).Line,
-			})
+			if dir.Kind == DirHotpath {
+				if !funcDocs[cg] {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "lint",
+						Pos:      cpos,
+						Message:  "misplaced //bosphorus:hotpath annotation: it must appear in a function's doc comment",
+					})
+				}
+				continue
+			}
+			ig := &ignoreDirective{
+				analyzer: dir.Analyzer,
+				file:     cpos.Filename,
+				pos:      cpos,
+			}
+			if codeLines[cpos.Line] {
+				// Inline: trailing a statement, suppresses that line.
+				ig.line = cpos.Line
+			} else {
+				// Standalone: bind to the next statement strictly after the
+				// directive; its full extent is the suppression range.
+				var best *bindTarget
+				for i := range targets {
+					t := &targets[i]
+					if t.pos > c.End() && (best == nil || t.pos < best.pos) {
+						best = t
+					}
+				}
+				if best == nil {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "lint",
+						Pos:      cpos,
+						Message:  "orphaned //lint:ignore directive: no statement follows it to suppress",
+					})
+					continue
+				}
+				ig.start = pkg.Fset.Position(best.pos).Offset
+				ig.end = pkg.Fset.Position(best.end).Offset
+			}
+			out = append(out, ig)
 		}
 	}
 	return out
 }
 
 // Run applies the analyzers to the packages and returns the surviving
-// diagnostics, sorted by position. //lint:ignore directives matching a
-// diagnostic's analyzer and line (or the line above) drop it; a directive
-// for an analyzer that ran but suppressed nothing is itself reported, so
-// stale suppressions cannot silently outlive the code they excused.
+// diagnostics, sorted by position. It treats the packages as a closed
+// program (summaries span exactly pkgs); callers with a loader should
+// prefer LoadProgram + RunProgram so summaries also cover module-local
+// dependencies outside the requested patterns.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunProgram(&Program{Pkgs: pkgs, All: pkgs}, analyzers)
+}
+
+// RunProgram applies the analyzers to the program's packages and returns
+// the surviving diagnostics, sorted by position. //lint:ignore directives
+// bound to a diagnostic's statement (or line, for inline directives) drop
+// it; a directive for an analyzer that ran but suppressed nothing is
+// itself reported, so stale suppressions cannot silently outlive the code
+// they excused.
+func RunProgram(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	ignores := map[string][]*ignoreDirective{}
+	var ignores []*ignoreDirective
 	ran := map[string]bool{}
 	for _, a := range analyzers {
 		ran[a.Name] = true
 	}
-	for _, pkg := range pkgs {
+	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
-			name := pkg.Fset.Position(f.Pos()).Filename
-			ignores[name] = parseIgnores(pkg, f, &diags)
+			ignores = append(ignores, parseFileDirectives(pkg, f, &diags)...)
 		}
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &diags})
 		}
+	}
+	byFile := map[string][]*ignoreDirective{}
+	for _, ig := range ignores {
+		byFile[ig.file] = append(byFile[ig.file], ig)
 	}
 	kept := diags[:0]
 	for _, d := range diags {
 		suppressed := false
-		for _, ig := range ignores[d.Pos.Filename] {
-			if ig.analyzer == d.Analyzer && (ig.line == d.Pos.Line || ig.line == d.Pos.Line-1) {
+		for _, ig := range byFile[d.Pos.Filename] {
+			if ig.matches(d) {
 				ig.used = true
 				suppressed = true
 				break
@@ -183,15 +295,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	diags = kept
-	for file, igs := range ignores {
-		for _, ig := range igs {
-			if !ig.used && ran[ig.analyzer] {
-				diags = append(diags, Diagnostic{
-					Analyzer: "lint",
-					Pos:      token.Position{Filename: file, Line: ig.line, Column: 1},
-					Message:  fmt.Sprintf("unused //lint:ignore directive: no %s diagnostic here to suppress", ig.analyzer),
-				})
-			}
+	for _, ig := range ignores {
+		if !ig.used && ran[ig.analyzer] {
+			diags = append(diags, Diagnostic{
+				Analyzer: "lint",
+				Pos:      token.Position{Filename: ig.file, Line: ig.pos.Line, Column: 1},
+				Message:  fmt.Sprintf("unused //lint:ignore directive: no %s diagnostic here to suppress", ig.analyzer),
+			})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -247,6 +247,19 @@ func packageDirs(root string) ([]string, error) {
 // "dir" (one package), and "./dir/..." (a subtree). Loading stops at the
 // first parse or type error.
 func LoadModule(root string, patterns []string) ([]*Package, error) {
+	prog, err := LoadProgram(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Pkgs, nil
+}
+
+// LoadProgram loads the packages matched by the patterns plus every
+// module-local dependency the type-checker pulled in along the way. The
+// matched packages become Program.Pkgs (what analyzers report on);
+// Program.All additionally holds the dependencies, so call-effect
+// summaries see the whole module even when only a subtree was requested.
+func LoadProgram(root string, patterns []string) (*Program, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -307,5 +320,12 @@ func LoadModule(root string, patterns []string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
-	return pkgs, nil
+	// The loader cache holds everything type-checking touched, including
+	// module-local dependencies outside the requested patterns.
+	var all []*Package
+	for _, pkg := range l.pkgs {
+		all = append(all, pkg)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Path < all[j].Path })
+	return &Program{Pkgs: pkgs, All: all}, nil
 }

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/build"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materializes a file tree under a fresh temp dir: keys are
+// slash-relative paths, values file contents.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// miniModule is a small self-contained module exercising the loader's
+// corner cases: a build-constrained variant pair, an intra-module
+// dependency, and a vendored-style nested module whose code is broken —
+// proving it is never parsed.
+func miniModule(t *testing.T) string {
+	return writeTree(t, map[string]string{
+		"go.mod":            "module example.com/mini\n\ngo 1.22\n",
+		"b/b.go":            "package b\n\nfunc Value() int { return 40 }\n",
+		"a/a.go":            "package a\n\nimport \"example.com/mini/b\"\n\nfunc Value() int { return b.Value() + 2 }\n",
+		"osdep/os_linux.go": "//go:build linux\n\npackage osdep\n\n// Tag names the selected variant.\nconst Tag = \"linux\"\n",
+		"osdep/os_other.go": "//go:build !linux\n\npackage osdep\n\n// Tag names the selected variant.\nconst Tag = \"other\"\n",
+		// The nested module is syntactically invalid on purpose: loading
+		// it at all is a bug, not just a wrong package list.
+		"vendorish/go.mod": "module example.com/vendorish\n\ngo 1.22\n",
+		"vendorish/v.go":   "package vendorish\n\nfunc broken(  {\n",
+	})
+}
+
+// TestLoadBuildConstraints: exactly one file of a //go:build linux /
+// !linux variant pair loads, and it is the one matching the build
+// context. Loading both would fail type-checking on the Tag
+// redeclaration, so a clean load of two files would also be a bug.
+func TestLoadBuildConstraints(t *testing.T) {
+	root := miniModule(t)
+	pkgs, err := LoadModule(root, []string{"./osdep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Files) != 1 {
+		t.Fatalf("got %d files, want exactly 1 of the variant pair", len(pkg.Files))
+	}
+	name := filepath.Base(pkg.Fset.Position(pkg.Files[0].Pos()).Filename)
+	want := "os_other.go"
+	if build.Default.GOOS == "linux" {
+		want = "os_linux.go"
+	}
+	if name != want {
+		t.Errorf("loaded %s, want %s for GOOS=%s", name, want, build.Default.GOOS)
+	}
+	tag := pkg.Types.Scope().Lookup("Tag")
+	if tag == nil {
+		t.Fatal("constant Tag not type-checked")
+	}
+}
+
+// TestLoadSkipsNestedModule: ./... never descends into a directory with
+// its own go.mod (vendored-style nested module), even one that would not
+// parse.
+func TestLoadSkipsNestedModule(t *testing.T) {
+	root := miniModule(t)
+	pkgs, err := LoadModule(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]bool{}
+	for _, pkg := range pkgs {
+		paths[pkg.Path] = true
+	}
+	for _, want := range []string{"example.com/mini/a", "example.com/mini/b", "example.com/mini/osdep"} {
+		if !paths[want] {
+			t.Errorf("missing package %s in %v", want, paths)
+		}
+	}
+	if paths["example.com/vendorish"] || paths["example.com/mini/vendorish"] {
+		t.Errorf("nested module loaded: %v", paths)
+	}
+}
+
+// TestLoadProgramAllIncludesDeps: a pattern-scoped load reports on the
+// matched packages only, but Program.All carries every module-local
+// dependency the type-checker pulled in, so call-effect summaries stay
+// whole-module on targeted runs.
+func TestLoadProgramAllIncludesDeps(t *testing.T) {
+	root := miniModule(t)
+	prog, err := LoadProgram(root, []string{"./a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Pkgs) != 1 || prog.Pkgs[0].Path != "example.com/mini/a" {
+		t.Fatalf("Pkgs = %v, want exactly example.com/mini/a", prog.Pkgs)
+	}
+	all := map[string]bool{}
+	for _, pkg := range prog.All {
+		all[pkg.Path] = true
+	}
+	if !all["example.com/mini/b"] {
+		t.Errorf("All is missing the dependency example.com/mini/b: %v", all)
+	}
+	if all["example.com/mini/osdep"] {
+		t.Errorf("All contains osdep, which nothing imports: %v", all)
+	}
+}

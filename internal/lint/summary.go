@@ -1,0 +1,566 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file computes per-function call-effect summaries over every
+// module-local package the loader saw — the interprocedural half of the
+// dataflow engine. Each declared function gets an Effects record built
+// from its own body (allocation sites, arena touches) plus a bottom-up
+// fixpoint over the call graph, so an analyzer asking "may this call
+// trigger arena GC?" or "is this callee provably allocation-free?" gets a
+// transitive answer, not a syntactic one. The summaries are computed once
+// per Program and shared by every (analyzer, package) pass — PR-10+
+// analyzers (parity clauses, incremental sessions) reuse them as-is.
+
+// Program is the unit the suite runs over: the pattern-matched packages
+// plus every module-local dependency loaded alongside them, with lazily
+// built call-effect summaries.
+type Program struct {
+	// Pkgs are the packages the analyzers report on.
+	Pkgs []*Package
+	// All is Pkgs plus module-local dependencies — the summary universe.
+	// Effects propagate across package boundaries through it.
+	All []*Package
+
+	sums  map[*types.Func]*Effects
+	decls map[*types.Func]*declSite
+}
+
+// declSite locates a function's declaration.
+type declSite struct {
+	pkg *Package
+	fd  *ast.FuncDecl
+}
+
+// Effects is one function's transitive call-effect summary.
+type Effects struct {
+	// Allocates: the function (or a transitive callee) may allocate on the
+	// heap — make/new, a growing append, a slice/map literal, a capturing
+	// closure, string concatenation, interface boxing, a map write, or a
+	// spawned goroutine.
+	Allocates bool
+	// CallsUnknown: the function calls something without a summary (a
+	// function value, an interface method, un-whitelisted stdlib), so
+	// "allocation-free" is not provable.
+	CallsUnknown bool
+	// ArenaAlloc: may append into the SAT clause arena, which can move the
+	// backing array — every lits() view taken earlier is invalidated.
+	ArenaAlloc bool
+	// ArenaGC: may trigger the arena's compacting GC — ClauseRefs held in
+	// locals (not remapped roots) and all views are invalidated.
+	ArenaGC bool
+	// ReturnsView: returns a slice aliasing the arena backing store
+	// (clauseArena.lits or a wrapper returning its result).
+	ReturnsView bool
+	// Hotpath: declared //bosphorus:hotpath.
+	Hotpath bool
+
+	callees    []*types.Func
+	retCallees []*types.Func // callees whose result flows into a return
+}
+
+// allocFreePkgs whitelists stdlib packages whose functions never allocate
+// (pure word arithmetic, atomics, and the PRNG core: rand.Rand methods
+// draw from an in-place source); calls into them do not forfeit an
+// alloc-free summary.
+var allocFreePkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"math/rand":   true,
+	"sync/atomic": true,
+}
+
+// summaries returns the program's call-effect table, building it on first
+// use.
+func (p *Program) summaries() map[*types.Func]*Effects {
+	if p.sums == nil {
+		p.build()
+	}
+	return p.sums
+}
+
+// declOf maps a function object back to its declaration, or nil for
+// functions outside the loaded module.
+func (p *Program) declOf(fn *types.Func) *declSite {
+	if p.decls == nil {
+		p.build()
+	}
+	return p.decls[fn]
+}
+
+// effectsOf returns fn's summary, or nil when fn has none (stdlib,
+// function values).
+func (p *Program) effectsOf(fn *types.Func) *Effects {
+	if fn == nil {
+		return nil
+	}
+	return p.summaries()[fn]
+}
+
+func (p *Program) build() {
+	p.sums = map[*types.Func]*Effects{}
+	p.decls = map[*types.Func]*declSite{}
+	for _, pkg := range p.All {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				eff := localEffects(pkg, fd)
+				eff.Hotpath = isHotpathDecl(fd)
+				p.sums[fn] = eff
+				p.decls[fn] = &declSite{pkg: pkg, fd: fd}
+			}
+		}
+	}
+	// Bottom-up fixpoint: effects flow from callee to caller until stable.
+	// Monotone over a finite lattice, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, eff := range p.sums {
+			for _, callee := range eff.callees {
+				ce := p.sums[callee]
+				if ce == nil {
+					continue
+				}
+				if ce.Allocates && !eff.Allocates {
+					eff.Allocates = true
+					changed = true
+				}
+				if ce.CallsUnknown && !eff.CallsUnknown {
+					eff.CallsUnknown = true
+					changed = true
+				}
+				if ce.ArenaAlloc && !eff.ArenaAlloc {
+					eff.ArenaAlloc = true
+					changed = true
+				}
+				if ce.ArenaGC && !eff.ArenaGC {
+					eff.ArenaGC = true
+					changed = true
+				}
+			}
+			for _, callee := range eff.retCallees {
+				if ce := p.sums[callee]; ce != nil && ce.ReturnsView && !eff.ReturnsView {
+					eff.ReturnsView = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// isHotpathDecl reports whether the declaration carries the
+// //bosphorus:hotpath annotation in its doc comment.
+func isHotpathDecl(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if d, ok, err := ParseDirective(c.Text); ok && err == nil && d.Kind == DirHotpath {
+			return true
+		}
+	}
+	return false
+}
+
+// localEffects computes one declaration's own effects: allocation sites,
+// arena-touch bases, callee edges. Function-literal bodies fold into the
+// enclosing declaration (a deferred or spawned closure's effects happen
+// on the declaring function's watch).
+func localEffects(pkg *Package, fd *ast.FuncDecl) *Effects {
+	eff := &Effects{}
+	if isArenaBase(pkg, fd, "alloc") {
+		eff.ArenaAlloc = true
+	}
+	if isSatReceiverMethod(pkg, fd, "garbageCollect") {
+		eff.ArenaGC = true
+	}
+	if isArenaBase(pkg, fd, "lits") {
+		eff.ReturnsView = true
+	}
+	if len(allocSites(pkg, fd.Body)) > 0 {
+		eff.Allocates = true
+	}
+	seen := map[*types.Func]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isTypeConversion(pkg, n) {
+				return true
+			}
+			if callee := calleeFunc(pkg, n); callee != nil {
+				if !seen[callee] {
+					seen[callee] = true
+					eff.callees = append(eff.callees, callee)
+				}
+			} else if !isBuiltinCall(pkg, n) && calleeName(n) != "panic" {
+				if !whitelistedCall(pkg, n) {
+					eff.CallsUnknown = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if call, ok := unparen(r).(*ast.CallExpr); ok {
+					if callee := calleeFunc(pkg, call); callee != nil {
+						eff.retCallees = append(eff.retCallees, callee)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return eff
+}
+
+// isArenaBase matches a method of the given name on the clauseArena type.
+func isArenaBase(pkg *Package, fd *ast.FuncDecl, name string) bool {
+	if fd.Name.Name != name || fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	return isClauseArenaType(typeOf(pkg, fd.Recv.List[0].Type))
+}
+
+// isSatReceiverMethod matches a method of the given name declared on any
+// type of an internal/sat package (real module or fixture).
+func isSatReceiverMethod(pkg *Package, fd *ast.FuncDecl, name string) bool {
+	if fd.Name.Name != name || fd.Recv == nil {
+		return false
+	}
+	return pkgPathHas(pkg, "internal/sat")
+}
+
+// calleeFunc resolves a call's target to a declared function or method,
+// or nil for function values, interface methods, builtins and
+// conversions.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// Interface dispatch has no body to summarize.
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isBuiltinCall reports whether the call targets a language builtin.
+func isBuiltinCall(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+// isTypeConversion reports whether the "call" is a type conversion.
+func isTypeConversion(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// whitelistedCall reports calls into stdlib packages known allocation-
+// free (math, math/bits, sync/atomic — including methods on atomic
+// types).
+func whitelistedCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	for path := range allocFreePkgs {
+		if isPkgIdent(pkg, sel.X, path) {
+			return true
+		}
+	}
+	// Methods on sync/atomic types (atomic.Bool.Load, ...).
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		if named, ok := derefPtr(s.Recv()).(*types.Named); ok {
+			if p := named.Obj().Pkg(); p != nil && allocFreePkgs[p.Path()] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// derefPtr strips one pointer level without going to the underlying type.
+func derefPtr(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// allocationFinding is one heap-allocation site with its position.
+type allocationFinding struct {
+	node ast.Node
+	what string
+}
+
+// allocSites collects the statically visible heap allocations in a
+// function body: make/new, growing appends (self-appends into the same
+// slot and pooled buf[:0] resets are amortized and excluded), slice/map/
+// pointer composite literals, capturing closures, string concatenation,
+// map writes, interface boxing at call sites, and spawned goroutines.
+func allocSites(pkg *Package, body ast.Node) []allocationFinding {
+	var out []allocationFinding
+	amortized := map[*ast.CallExpr]bool{}
+	// First pass: mark appends in amortized positions.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := unparen(rhs).(*ast.CallExpr)
+			if !ok || !isAppendCall(pkg, call) || len(call.Args) == 0 {
+				continue
+			}
+			if appendIsAmortized(pkg, as.Lhs[i], call) {
+				amortized[call] = true
+			}
+		}
+		return true
+	})
+	report := func(n ast.Node, what string) {
+		out = append(out, allocationFinding{node: n, what: what})
+	}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(pkg, n) {
+				switch calleeName(n) {
+				case "make":
+					report(n, "make allocates")
+				case "new":
+					report(n, "new allocates")
+				case "append":
+					if !amortized[n] {
+						report(n, "growing append allocates (amortized self-appends into pooled backing are exempt)")
+					}
+				}
+				return true
+			}
+			if isTypeConversion(pkg, n) {
+				if allocatingConversion(pkg, n) {
+					report(n, "string<->slice conversion allocates")
+				}
+				return true
+			}
+			if calleeName(n) != "panic" {
+				reportBoxedArgs(pkg, n, report)
+			}
+		case *ast.CompositeLit:
+			t := typeOf(pkg, n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n, "slice/map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "&composite literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if closureCaptures(pkg, n) {
+				report(n, "capturing closure allocates")
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isStringExpr(pkg, n) && !isConstExpr(pkg, n) {
+				report(n, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+					if t := typeOf(pkg, ix.X); t != nil && isMapType(t) {
+						report(lhs, "map write may rehash and allocate")
+					}
+				}
+			}
+			if n.Tok.String() == "+=" && len(n.Lhs) == 1 && isStringExpr(pkg, n.Lhs[0]) {
+				report(n, "string concatenation allocates")
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := unparen(n.X).(*ast.IndexExpr); ok {
+				if t := typeOf(pkg, ix.X); t != nil && isMapType(t) {
+					report(n, "map write may rehash and allocate")
+				}
+			}
+		case *ast.GoStmt:
+			report(n, "go statement allocates a goroutine")
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return out
+}
+
+func isAppendCall(pkg *Package, call *ast.CallExpr) bool {
+	return isBuiltinCall(pkg, call) && calleeName(call) == "append"
+}
+
+// appendIsAmortized reports the two sanctioned append shapes: a
+// self-append (x = append(x, ...)) whose growth amortizes into backing
+// that persists across calls, and an append onto a pooled-reset prefix
+// (y := append(buf[:0], ...)).
+func appendIsAmortized(pkg *Package, lhs ast.Expr, call *ast.CallExpr) bool {
+	dst := exprText(pkg.Fset, lhs)
+	src := exprText(pkg.Fset, call.Args[0])
+	if dst != "" && dst == src {
+		return true
+	}
+	if sl, ok := unparen(call.Args[0]).(*ast.SliceExpr); ok {
+		if sl.Low == nil || isZeroLit(pkg, sl.Low) {
+			if sl.High != nil && isZeroLit(pkg, sl.High) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isZeroLit(pkg *Package, e ast.Expr) bool {
+	v, ok := intConstValue(pkg, e)
+	return ok && v == 0
+}
+
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	t := typeOf(pkg, e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// allocatingConversion matches string([]byte), []byte(string) and
+// friends, which copy.
+func allocatingConversion(pkg *Package, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	to, from := typeOf(pkg, call.Fun), typeOf(pkg, call.Args[0])
+	if to == nil || from == nil {
+		return false
+	}
+	toStr := isStringType(to)
+	fromStr := isStringType(from)
+	_, toSlice := to.Underlying().(*types.Slice)
+	_, fromSlice := from.Underlying().(*types.Slice)
+	return (toStr && fromSlice) || (toSlice && fromStr)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// closureCaptures reports whether a function literal references any
+// variable declared outside itself but inside the enclosing function —
+// the captured environment forces a heap-allocated closure.
+func closureCaptures(pkg *Package, fl *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		obj, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Parent() == nil || obj.Pkg() == nil {
+			return true
+		}
+		// Package-level variables are not captures; anything declared
+		// outside the literal's own extent but within the same file scope
+		// chain is.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		if obj.Pos() < fl.Pos() || obj.Pos() > fl.End() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+// reportBoxedArgs flags concrete values passed to interface parameters —
+// the implicit conversion boxes the value onto the heap.
+func reportBoxedArgs(pkg *Package, call *ast.CallExpr, report func(ast.Node, string)) {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := typeOf(pkg, arg)
+		if at == nil {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit in the iface word; no box
+		}
+		report(arg, "interface boxing allocates")
+	}
+}

@@ -1,0 +1,81 @@
+// Lint fixture for the verdictcheck analyzer: verification verdicts must
+// flow into a return, branch, or ledger — never be discarded.
+package core
+
+import "fixture/internal/proof"
+
+type model struct{ bits []bool }
+
+// Eval is the fixture's verification predicate.
+func (m *model) Eval(i int) bool {
+	return i >= 0 && i < len(m.bits) && m.bits[i]
+}
+
+type ledger struct {
+	last    *proof.CheckResult
+	verdict bool
+}
+
+// badDiscardCheck drops the proof verdict on the floor.
+func badDiscardCheck(steps int) {
+	proof.Check(steps) // want verdictcheck "proof.Check verdict discarded"
+}
+
+// badBlankCheck assigns every result to blank.
+func badBlankCheck(steps int) {
+	_, _ = proof.Check(steps) // want verdictcheck "assigned entirely to blank"
+}
+
+// badDeadStore assigns the verdict to a local that is never read again:
+// the only read of ok happens before the verification.
+func badDeadStore(m *model, i int) bool {
+	ok := false
+	old := ok
+	ok = m.Eval(i) // want verdictcheck "but never read"
+	return old
+}
+
+// badDiscardCertificate drops a constructed certificate.
+func badDiscardCertificate() {
+	proof.NewCertificate("unsat") // want verdictcheck "NewCertificate certificate verdict discarded"
+}
+
+// badDeferredVerify discards the report through defer.
+func badDeferredVerify(n int) {
+	defer proof.VerifyFacts(n) // want verdictcheck "discarded by defer"
+}
+
+// goodBranch threads the verdict into a branch.
+func goodBranch(m *model, i int) error {
+	if !m.Eval(i) {
+		return errFailed
+	}
+	return nil
+}
+
+// goodReturn returns the verdict.
+func goodReturn(steps int) (*proof.CheckResult, error) {
+	return proof.Check(steps)
+}
+
+// goodLedger stores the verdict in a ledger field.
+func (l *ledger) goodLedger(steps int) {
+	res, err := proof.Check(steps)
+	if err != nil {
+		return
+	}
+	l.last = res
+	l.verdict = res.Verified
+}
+
+// goodErrOnly keeps the error leg and branches on the report.
+func goodErrOnly(n int) bool {
+	rep := proof.VerifyFacts(n)
+	return rep.OK
+}
+
+var errFailed = errorString("verification failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -24,3 +24,32 @@ func (a *clauseArena) size(r ClauseRef) int { return int(a.header(r) >> 4) }
 func (a *clauseArena) next(r ClauseRef) ClauseRef {
 	return r + ClauseRef(a.size(r)) + 1
 }
+
+// alloc appends a clause and returns its ref; the append may move the
+// backing array, so every previously taken lits view dies here.
+func (a *clauseArena) alloc(lits []uint32) ClauseRef {
+	r := ClauseRef(len(a.data))
+	a.data = append(a.data, uint32(len(lits))<<4)
+	a.data = append(a.data, lits...)
+	return r
+}
+
+// lits returns a view into the backing store.
+func (a *clauseArena) lits(r ClauseRef) []uint32 {
+	n := a.size(r)
+	return a.data[int(r)+1 : int(r)+1+n]
+}
+
+// garbageCollect compacts the arena: every ref and view held outside the
+// remapped roots is invalid afterwards.
+func (a *clauseArena) garbageCollect() {
+	a.data = append([]uint32(nil), a.data...)
+	a.wasted = 0
+}
+
+// maybeGC runs a compaction when enough space is wasted.
+func (a *clauseArena) maybeGC() {
+	if a.wasted > len(a.data)/4 {
+		a.garbageCollect()
+	}
+}

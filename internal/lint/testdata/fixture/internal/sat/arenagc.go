@@ -1,0 +1,96 @@
+// Lint fixture for the arenagc analyzer: ClauseRefs and lits() views held
+// live across calls that may move the clause arena. The call-effect
+// summaries are transitive — reduce() below never touches the arena
+// syntactically, but it calls maybeGC, so it taints refs and views all
+// the same.
+package sat
+
+type miniSolver struct {
+	ca    clauseArena
+	roots []ClauseRef
+}
+
+// reduce transitively GCs (reduce -> maybeGC -> garbageCollect).
+func (s *miniSolver) reduce() {
+	s.ca.wasted += 8
+	s.ca.maybeGC()
+}
+
+// learn transitively allocates clauses (learn -> alloc).
+func (s *miniSolver) learn(lits []uint32) ClauseRef {
+	return s.ca.alloc(lits)
+}
+
+// badViewAcrossAlloc keeps a lits view live across an arena allocation:
+// the append inside alloc may move the backing array.
+func (s *miniSolver) badViewAcrossAlloc(r ClauseRef, extra []uint32) uint32 {
+	view := s.ca.lits(r)
+	s.learn(extra)
+	return view[0] // want arenagc "arena view"
+}
+
+// badRefAcrossGC holds a local ref across a call that may compact: GC
+// remaps s.roots, but it cannot see the local.
+func (s *miniSolver) badRefAcrossGC(r ClauseRef) int {
+	held := r
+	s.reduce()
+	return s.ca.size(held) // want arenagc "ClauseRef"
+}
+
+// badViewAcrossGC: views die on compaction too.
+func (s *miniSolver) badViewAcrossGC(r ClauseRef) uint32 {
+	view := s.ca.lits(r)
+	s.ca.garbageCollect()
+	return view[0] // want arenagc "arena view"
+}
+
+// goodRereadAfterAlloc re-reads the view through lits() after the
+// allocation — the sanctioned fix.
+func (s *miniSolver) goodRereadAfterAlloc(r ClauseRef, extra []uint32) uint32 {
+	view := s.ca.lits(r)
+	first := view[0]
+	s.learn(extra)
+	view = s.ca.lits(r)
+	return first + view[0]
+}
+
+// goodUseBeforeCall reads the view before the killing call and passes it
+// into the call itself — both legal; only reads after the call are stale.
+func (s *miniSolver) goodUseBeforeCall(r ClauseRef, extra []uint32) uint32 {
+	view := s.ca.lits(r)
+	first := view[0]
+	s.learn(view)
+	return first
+}
+
+// goodRootedRef stores the ref in a remapped root before the GC and
+// reloads it afterwards.
+func (s *miniSolver) goodRootedRef(r ClauseRef) int {
+	s.roots = append(s.roots, r)
+	s.reduce()
+	return s.ca.size(s.roots[len(s.roots)-1])
+}
+
+// goodLoopFreshView takes a fresh view each iteration after the
+// allocating call of the previous one.
+func (s *miniSolver) goodLoopFreshView(refs []ClauseRef, extra []uint32) uint32 {
+	var sum uint32
+	for _, r := range refs {
+		view := s.ca.lits(r)
+		sum += view[0]
+		s.learn(extra)
+	}
+	return sum
+}
+
+// badLoopStaleView hoists the view out of a loop whose body allocates:
+// the second iteration reads through a dead pointer.
+func (s *miniSolver) badLoopStaleView(r ClauseRef, extra []uint32) uint32 {
+	view := s.ca.lits(r)
+	var sum uint32
+	for i := 0; i < 4; i++ {
+		sum += view[0] // want arenagc "arena view"
+		s.learn(extra)
+	}
+	return sum
+}

@@ -1,0 +1,52 @@
+// Lint fixture for directive handling: strict next-statement binding of
+// //lint:ignore, orphaned and malformed directives, and misplaced
+// //bosphorus:hotpath annotations.
+package sat
+
+// suppressedNextStatement: a standalone directive binds to the next
+// statement — including every line of a multi-line statement, which the
+// old line-proximity matching missed.
+func suppressedNextStatement(r ClauseRef) bool {
+	//lint:ignore arenaref fixture: whole-statement binding
+	bad := r+
+		1 == NullRef
+	return bad
+}
+
+// notSuppressedSecondStatement: the directive binds ONLY to the next
+// statement; the violation one statement further down is reported and the
+// directive itself is flagged unused.
+func notSuppressedSecondStatement(r ClauseRef) ClauseRef {
+	//lint:ignore arenaref fixture: binds to the next statement only // want lint "unused //lint:ignore directive"
+	ok := r == NullRef
+	_ = ok
+	return r + 1 // want arenaref "raw ClauseRef offset arithmetic"
+}
+
+// inlineStillWorks: a trailing directive suppresses its own line.
+func inlineStillWorks(r ClauseRef) ClauseRef {
+	return r + 1 //lint:ignore arenaref fixture: inline suppression
+}
+
+// misplacedHotpath: the annotation only means something in a function doc
+// comment.
+func misplacedHotpath() int {
+	//bosphorus:hotpath fixture: wrong place // want lint "misplaced //bosphorus:hotpath"
+	return 0
+}
+
+// badVerb: unknown //bosphorus: directives are findings, so a typo cannot
+// silently drop an annotation.
+func badVerb() int {
+	//bosphorus:hotpth fixture: typo // want lint "unknown //bosphorus directive"
+	return 0
+}
+
+// malformedIgnore: a suppression without a reason defeats the gate.
+func malformedIgnore(r ClauseRef) bool {
+	// want lint "malformed //lint:ignore directive"
+	//lint:ignore arenaref
+	return r == NullRef
+}
+
+//lint:ignore arenaref fixture: orphaned, nothing follows // want lint "orphaned //lint:ignore directive"

@@ -1,0 +1,85 @@
+// Lint fixture for the hotpath analyzer: //bosphorus:hotpath functions
+// must be statically allocation-free. The sanctioned shapes — amortized
+// self-appends and pooled buf[:0] resets — stay clean; everything else
+// that can reach the heap is flagged, including calls into functions
+// without an alloc-free summary.
+package sat
+
+type flipState struct {
+	trail   []uint32
+	scratch []uint32
+	counts  map[uint32]int
+}
+
+// enqueue is hotpath-clean: the self-append amortizes into persistent
+// backing and everything else is word arithmetic.
+//
+//bosphorus:hotpath fixture: propagation inner loop
+func (f *flipState) enqueue(v uint32) {
+	f.trail = append(f.trail, v)
+}
+
+// reset is hotpath-clean: pooled append onto a truncated scratch buffer.
+//
+//bosphorus:hotpath fixture: pooled scratch reuse
+func (f *flipState) reset(vs []uint32) {
+	f.scratch = append(f.scratch[:0], vs...)
+}
+
+// badMake allocates a fresh slice per call.
+//
+//bosphorus:hotpath fixture: demonstrates a make violation
+func (f *flipState) badMake(n int) []uint32 {
+	buf := make([]uint32, n) // want hotpath "make allocates"
+	return buf
+}
+
+// badGrowingAppend appends into a different slot than its source.
+//
+//bosphorus:hotpath fixture: demonstrates a growing append
+func (f *flipState) badGrowingAppend(dst, src []uint32) []uint32 {
+	dst = append(src, 1) // want hotpath "growing append allocates"
+	return dst
+}
+
+// badMapWrite rehashes on the hot path.
+//
+//bosphorus:hotpath fixture: demonstrates a map write
+func (f *flipState) badMapWrite(v uint32) {
+	f.counts[v]++ // want hotpath "map write"
+}
+
+// badClosure captures its environment, forcing a heap closure.
+//
+//bosphorus:hotpath fixture: demonstrates a capturing closure
+func (f *flipState) badClosure(v uint32) func() uint32 {
+	return func() uint32 { return v } // want hotpath "capturing closure"
+}
+
+// helperAllocates is NOT annotated and allocates.
+func helperAllocates(n int) []uint32 {
+	return make([]uint32, n)
+}
+
+// badCallOut calls into a function that may allocate.
+//
+//bosphorus:hotpath fixture: demonstrates an allocating callee
+func (f *flipState) badCallOut() []uint32 {
+	return helperAllocates(4) // want hotpath "calls helperAllocates, which may allocate"
+}
+
+// goodCallHot calls another hotpath function: trusted, its own body is
+// checked where it is declared.
+//
+//bosphorus:hotpath fixture: hotpath-to-hotpath calls are free
+func (f *flipState) goodCallHot(v uint32) {
+	f.enqueue(v)
+}
+
+// badFuncValue calls through a function value, which cannot be proven
+// allocation-free.
+//
+//bosphorus:hotpath fixture: demonstrates an indirect call
+func (f *flipState) badFuncValue(fn func() int) int {
+	return fn() // want hotpath "function value or interface"
+}

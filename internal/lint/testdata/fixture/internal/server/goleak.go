@@ -1,0 +1,115 @@
+// Lint fixture for the goleak analyzer: every goroutine spawned in the
+// distribution tier needs a provable exit path over its CFG, loop
+// variables must be passed as parameters, and a deferred wg.Done() needs
+// a matching wg.Add in the spawning function.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// badForever spins with no exit edge: no block in the loop reaches a
+// return.
+func badForever(work func()) {
+	go func() { // want goleak "no provable exit path"
+		for {
+			work()
+		}
+	}()
+}
+
+// goodCtxSelect exits through the ctx.Done() case — an ordinary CFG edge
+// out of the cycle.
+func goodCtxSelect(ctx context.Context, jobs chan int, work func(int)) {
+	go func() {
+		for {
+			select {
+			case j := <-jobs:
+				work(j)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// goodChannelRange exits when the channel closes.
+func goodChannelRange(jobs chan int, work func(int)) {
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}
+
+// goodFinite has no loop at all.
+func goodFinite(done chan struct{}, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(done)
+	}()
+}
+
+// badLoopCapture closes over the iteration variable instead of passing
+// it.
+func badLoopCapture(jobs []int, work func(int)) {
+	for _, j := range jobs {
+		go func() {
+			work(j) // want goleak "captures loop variable"
+		}()
+	}
+}
+
+// goodLoopParam passes the iteration variable explicitly.
+func goodLoopParam(jobs []int, work func(int)) {
+	for _, j := range jobs {
+		go func(j int) {
+			work(j)
+		}(j)
+	}
+}
+
+// badUnbalancedDone defers Done with no Add anywhere in the spawning
+// function.
+func badUnbalancedDone(wg *sync.WaitGroup, work func()) {
+	go func() { // want goleak "never calls wg.Add"
+		defer wg.Done()
+		work()
+	}()
+}
+
+type pump struct {
+	stop chan struct{}
+}
+
+// run loops forever with no exit: resolved through the declaration index
+// when spawned below.
+func (p *pump) run(work func()) {
+	for {
+		work()
+	}
+}
+
+// drain exits when stop is signalled.
+func (p *pump) drain(work func()) {
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// badMethodSpawn leaks through a named method, not a literal.
+func badMethodSpawn(p *pump, work func()) {
+	go p.run(work) // want goleak "running run has no provable exit path"
+}
+
+// goodMethodSpawn spawns the stoppable method.
+func goodMethodSpawn(p *pump, work func()) {
+	go p.drain(work)
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// VerdictCheckAnalyzer closes the loop on the proof/verification stack: a
+// verdict that nobody reads is indistinguishable from no verification at
+// all. Any call that produces a verification verdict — proof.Check /
+// CheckText / CheckBinary, VerifyFacts, a certificate constructor (a
+// module function returning a *Certificate* / CheckResult / VerifyReport
+// value), or a module Eval method returning bool — must flow into a
+// return, a branch, or a ledger. The analyzer uses the engine's def/use
+// chains to catch three discard shapes:
+//
+//   - the call as a bare expression statement (or go/defer),
+//   - every result assigned to the blank identifier,
+//   - a local assigned the verdict and never read afterwards.
+var VerdictCheckAnalyzer = &Analyzer{
+	Name: "verdictcheck",
+	Doc:  "verification verdicts (proof.Check, VerifyFacts, certificates, Eval) must be used, never discarded",
+	Run:  runVerdictCheck,
+}
+
+// verdictFuncNames are the proof-package entry points whose results are
+// verdicts regardless of result type.
+var verdictFuncNames = map[string]bool{
+	"Check":       true,
+	"CheckText":   true,
+	"CheckBinary": true,
+	"VerifyFacts": true,
+}
+
+// verdictTypeFragments mark named result types that carry a verdict.
+var verdictTypeFragments = []string{"Certificate", "CheckResult", "VerifyReport"}
+
+func runVerdictCheck(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		eachFuncBody(file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			du := buildDefUse(pass.Pkg, body)
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+						if what, ok := verdictCall(pass, call); ok {
+							pass.Reportf(call.Pos(),
+								"%s verdict discarded; thread it into a return, branch, or ledger", what)
+						}
+					}
+				case *ast.GoStmt:
+					if what, ok := verdictCall(pass, n.Call); ok {
+						pass.Reportf(n.Call.Pos(),
+							"%s verdict discarded by go statement; collect it through a channel or ledger", what)
+					}
+				case *ast.DeferStmt:
+					if what, ok := verdictCall(pass, n.Call); ok {
+						pass.Reportf(n.Call.Pos(),
+							"%s verdict discarded by defer; call it in a deferred closure that records the result", what)
+					}
+				case *ast.AssignStmt:
+					checkVerdictAssign(pass, du, n)
+				}
+				return true
+			})
+		})
+	}
+}
+
+func checkVerdictAssign(pass *Pass, du *defUse, as *ast.AssignStmt) {
+	for _, rhs := range as.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		what, ok := verdictCall(pass, call)
+		if !ok {
+			continue
+		}
+		allBlank := true
+		for _, lhs := range as.Lhs {
+			id, isIdent := unparen(lhs).(*ast.Ident)
+			if !isIdent {
+				allBlank = false // a field/index store is a ledger write
+				continue
+			}
+			if id.Name == "_" {
+				continue
+			}
+			allBlank = false
+			var obj types.Object
+			if d := pass.Pkg.Info.Defs[id]; d != nil {
+				obj = d
+			} else {
+				obj = pass.Pkg.Info.Uses[id]
+			}
+			if obj == nil || !isLocalVar(obj) {
+				continue
+			}
+			if isErrorType(obj.Type()) {
+				continue // the error leg is errcheck territory, not a verdict
+			}
+			if !du.usedAfter(obj, as) {
+				pass.Reportf(id.Pos(),
+					"%s verdict assigned to %q but never read; thread it into a return, branch, or ledger", what, id.Name)
+			}
+		}
+		if allBlank {
+			pass.Reportf(call.Pos(),
+				"%s verdict assigned entirely to blank identifiers; thread it into a return, branch, or ledger", what)
+		}
+	}
+}
+
+// verdictCall classifies a call as verdict-producing and names it for the
+// diagnostic.
+func verdictCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	callee := calleeFunc(pass.Pkg, call)
+	if callee == nil || callee.Pkg() == nil {
+		return "", false
+	}
+	path := "/" + callee.Pkg().Path() + "/"
+	if strings.Contains(path, "/internal/proof/") && verdictFuncNames[callee.Name()] {
+		return "proof." + callee.Name(), true
+	}
+	moduleLocal := pass.Prog.declOf(callee) != nil
+	if !moduleLocal {
+		return "", false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if callee.Name() == "Eval" && sig.Results().Len() >= 1 && isBoolType(sig.Results().At(0).Type()) {
+		return "Eval verification", true
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := derefPtr(sig.Results().At(i).Type())
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		for _, frag := range verdictTypeFragments {
+			if strings.Contains(named.Obj().Name(), frag) {
+				return callee.Name() + " certificate", true
+			}
+		}
+	}
+	return "", false
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsBoolean != 0
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

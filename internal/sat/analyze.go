@@ -6,6 +6,8 @@ import "repro/internal/cnf"
 // clause (with the asserting literal first) and the backtrack level. No
 // arena allocation happens during analysis, so the clause views taken
 // while walking the implication graph stay valid throughout.
+//
+//bosphorus:hotpath first-UIP conflict analysis over pooled buffers
 func (s *Solver) analyze(conf ClauseRef) ([]cnf.Lit, int) {
 	learnt := s.analyzeBuf[:0]
 	learnt = append(learnt, 0) // slot for the asserting literal
@@ -103,6 +105,8 @@ func (s *Solver) analyze(conf ClauseRef) ([]cnf.Lit, int) {
 // the other clause literals: every literal in its reason chain is either
 // seen or at level 0. Conservative one-level check (MiniSat's "basic"
 // ccmin mode) — it never recurses past unseen antecedents.
+//
+//bosphorus:hotpath clause minimization reason-chain walk
 func (s *Solver) litRedundant(l cnf.Lit) bool {
 	r := s.reason[l.Var()]
 	if r == NullRef {
@@ -160,14 +164,16 @@ func (s *Solver) recordLearnt(lits []cnf.Lit) {
 // levels are counted with a generation-stamped dense array instead of a
 // per-call map: levels are bounded by the decision stack depth, and this
 // runs for every learnt clause.
+//
+//bosphorus:hotpath per-learnt LBD with a generation-stamped dense array
 func (s *Solver) computeLBD(lits []cnf.Lit) int {
 	s.lbdGen++
 	gen := s.lbdGen
 	n := 0
 	for _, l := range lits {
 		lvl := s.level[l.Var()]
-		if int(lvl) >= len(s.lbdStamp) {
-			s.lbdStamp = append(s.lbdStamp, make([]int32, int(lvl)+1-len(s.lbdStamp))...)
+		for int(lvl) >= len(s.lbdStamp) {
+			s.lbdStamp = append(s.lbdStamp, 0)
 		}
 		if s.lbdStamp[lvl] != gen {
 			s.lbdStamp[lvl] = gen

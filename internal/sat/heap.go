@@ -35,6 +35,8 @@ func (h *varHeap) insert(v cnf.Var) {
 }
 
 // update restores heap order after v's activity increased.
+//
+//bosphorus:hotpath activity-ordered heap maintenance
 func (h *varHeap) update(v cnf.Var) {
 	if h.contains(v) {
 		h.up(h.index[v])
@@ -44,6 +46,8 @@ func (h *varHeap) update(v cnf.Var) {
 func (h *varHeap) empty() bool { return len(h.heap) == 0 }
 
 // removeMax pops the most active variable.
+//
+//bosphorus:hotpath activity-ordered heap maintenance
 func (h *varHeap) removeMax() cnf.Var {
 	top := h.heap[0]
 	last := h.heap[len(h.heap)-1]

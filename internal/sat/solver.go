@@ -397,6 +397,8 @@ func (s *Solver) removeWatch(l cnf.Lit, cr ClauseRef) {
 
 // enqueue assigns literal l with the given reason. Returns false on an
 // immediate conflict with the current assignment.
+//
+//bosphorus:hotpath trail push on every implied literal
 func (s *Solver) enqueue(l cnf.Lit, from ClauseRef) bool {
 	switch s.valueLit(l) {
 	case lTrue:
@@ -413,6 +415,8 @@ func (s *Solver) enqueue(l cnf.Lit, from ClauseRef) bool {
 }
 
 // cancelUntil backtracks to the given decision level.
+//
+//bosphorus:hotpath backtracking unwind of the trail
 func (s *Solver) cancelUntil(level int) {
 	if s.decisionLevel() <= level {
 		return

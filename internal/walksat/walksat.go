@@ -187,6 +187,8 @@ func (s *state) restart(rng *rand.Rand) {
 	}
 }
 
+//
+//bosphorus:hotpath unsat-list bookkeeping inside the flip loop
 func (s *state) addUnsat(ci int32) {
 	if s.pos[ci] >= 0 {
 		return
@@ -195,6 +197,8 @@ func (s *state) addUnsat(ci int32) {
 	s.unsat = append(s.unsat, ci)
 }
 
+//
+//bosphorus:hotpath unsat-list bookkeeping inside the flip loop
 func (s *state) removeUnsat(ci int32) {
 	p := s.pos[ci]
 	if p < 0 {
@@ -210,6 +214,8 @@ func (s *state) removeUnsat(ci int32) {
 // breakCount is the number of currently satisfied constraints that
 // flipping v would falsify: clauses where v carries the only satisfying
 // occurrence, plus every satisfied XOR containing v.
+//
+//bosphorus:hotpath per-candidate break counting inside the flip loop
 func (s *state) breakCount(v cnf.Var) int {
 	n := 0
 	trueLit := cnf.MkLit(v, !s.assign[v])
@@ -230,6 +236,8 @@ func (s *state) breakCount(v cnf.Var) int {
 // ci: a uniformly random member with probability noise, otherwise the
 // member with the smallest break count (first-seen wins ties, keeping
 // the choice deterministic).
+//
+//bosphorus:hotpath noise/greedy variable pick inside the flip loop
 func (s *state) pickVar(ci int32, noise float64, rng *rand.Rand) cnf.Var {
 	vars := s.memberVars(ci)
 	if rng.Float64() < noise {
@@ -248,6 +256,8 @@ func (s *state) pickVar(ci int32, noise float64, rng *rand.Rand) cnf.Var {
 // memberVars returns the variables of constraint ci. Clause literals
 // are projected into a reused scratch buffer (no per-flip allocation);
 // XOR constraints expose their Vars directly.
+//
+//bosphorus:hotpath constraint-member projection into the reused scratch buffer
 func (s *state) memberVars(ci int32) []cnf.Var {
 	if int(ci) < len(s.f.Clauses) {
 		c := s.f.Clauses[ci]
@@ -261,6 +271,8 @@ func (s *state) memberVars(ci int32) []cnf.Var {
 }
 
 // flip inverts v and updates the satisfaction counters incrementally.
+//
+//bosphorus:hotpath WalkSAT flip with incremental satisfaction counters
 func (s *state) flip(v cnf.Var) {
 	wasTrue := cnf.MkLit(v, !s.assign[v])
 	wasFalse := cnf.MkLit(v, s.assign[v])

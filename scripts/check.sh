@@ -20,9 +20,10 @@ echo "==> go vet"
 go vet ./...
 
 echo "==> bosphoruslint"
-# The project analyzers (ctxpoll, determinism, gf2pack, proofhook,
-# lockhold). On failure this prints file:line:col diagnostics and the
-# set -e aborts the gate.
+# The project analyzer suite: the PR-4 pattern rules (ctxpoll,
+# determinism, gf2pack, proofhook, lockhold) plus the dataflow analyzers
+# (arenagc, hotpath, goleak, verdictcheck). On failure this prints
+# file:line:col diagnostics and the set -e aborts the gate.
 go run ./cmd/bosphoruslint ./...
 
 echo "==> go build"
@@ -63,6 +64,9 @@ BOSPHORUSD_SMOKE_DIR="$workdir" go test -count=1 -run TestMultiNodeSmoke ./cmd/b
 echo "==> proof checker fuzz (a few seconds each)"
 go test -run '^$' -fuzz '^FuzzProofCheck$' -fuzztime 3s ./internal/proof
 go test -run '^$' -fuzz '^FuzzProofMutation$' -fuzztime 3s ./internal/proof
+
+echo "==> lint directive-parser fuzz (a few seconds)"
+go test -run '^$' -fuzz '^FuzzDirectives$' -fuzztime 3s ./internal/lint
 
 echo "==> bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench 'XL|RREF|ElimLin|PickElimVar' -benchtime 1x \
