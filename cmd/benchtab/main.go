@@ -169,6 +169,10 @@ type perfBlob struct {
 	// BENCH_pr8.json): routed (classifier + polynomial solver) vs full
 	// CDCL ns/op per instance, with the speedup ratio.
 	Fragment map[string]bench.FragmentMeasurement `json:"fragment,omitempty"`
+	// Parity is the native-parity family (since BENCH_pr10.json): the
+	// packed parity clause kind vs the 2^(k-1) clausal cut, ns/op per
+	// instance, with the cut/native speedup ratio.
+	Parity map[string]bench.ParityMeasurement `json:"parity,omitempty"`
 }
 
 // perfSnapshot times the hot kernels this reproduction optimizes — the XL
@@ -300,6 +304,19 @@ func perfSnapshot(path string, seed int64, quick bool, stderr io.Writer) error {
 		results[key+"_routed_ns"] = m.RoutedNsPerOp
 		results[key+"_cdcl_ns"] = m.CDCLNsPerOp
 	}
+	parityJobs, parityPrefix := bench.ParityJobs(), "parity_"
+	if quick {
+		parityJobs, parityPrefix = quickParityJobs(), "parity_quick_"
+	}
+	paritySec := make(map[string]bench.ParityMeasurement, len(parityJobs))
+	for name, m := range bench.MeasureParity(parityJobs, sat.ProfileMiniSat, cdclRounds) {
+		key := parityPrefix + name
+		paritySec[key] = m
+		// Flatten both arms into medians_ns so -compare gates them
+		// alongside the kernel timings.
+		results[key+"_native_ns"] = m.NativeNsPerOp
+		results[key+"_cut_ns"] = m.CutNsPerOp
+	}
 	blob := perfBlob{
 		Date:         time.Now().UTC().Format(time.RFC3339),
 		GOOS:         runtime.GOOS,
@@ -312,6 +329,7 @@ func perfSnapshot(path string, seed int64, quick bool, stderr io.Writer) error {
 		CDCL:         cdcl,
 		Cube:         cubeSec,
 		Fragment:     fragSec,
+		Parity:       paritySec,
 	}
 	data, err := json.MarshalIndent(blob, "", "  ")
 	if err != nil {
@@ -383,6 +401,19 @@ func quickFragmentJobs() []bench.FragmentJob {
 			},
 		},
 	}
+}
+
+// quickParityJobs is a miniature parity family for -quick runs: one
+// short cascade asserting the native and cut measurement arms end to end
+// in milliseconds.
+func quickParityJobs() []bench.ParityJob {
+	return []bench.ParityJob{{
+		Name: "cascade-v200-w4-unsat",
+		Want: sat.Unsat,
+		Build: func() *cnf.Formula {
+			return bench.ParityCascade(200, 4, true, 5)
+		},
+	}}
 }
 
 // compareSnapshots loads two perf snapshots and prints a ratio table

@@ -20,6 +20,12 @@ import (
 //
 // check.sh runs this under -race, so the worker-count sweep also exercises
 // the snapshot pipeline's concurrency.
+//
+// Deliberate regeneration (PR-10): examples/instances/unsat_parity.anf was
+// added as the native-parity proof smoke, so the golden gained its record.
+// The pre-existing records are byte-identical to the seed capture — XL
+// refutes the new instance before the SAT step, so its ledger is
+// arena/parity-independent anyway.
 
 var updatePipelineGolden = flag.Bool("update-pipeline-golden", false,
 	"rewrite testdata/pr5_pipeline_golden.json from the current engine")

@@ -1,0 +1,212 @@
+// Native-parity benchmark family. Each job is an XOR-rich instance
+// (recovered from clausal form or built natively) solved two ways at the
+// same fixed seeds:
+//
+//   - native: the packed parity clause kind — one arena record per XOR
+//     constraint, watched on two variables, propagating the last
+//     unassigned variable to the parity-satisfying phase; and
+//   - cut: the differential baseline the engine used before the native
+//     kind existed — every XOR expanded into its 2^(k-1) CNF clauses
+//     (NativeXor and Gauss both off).
+//
+// The family keeps the parity path honest: the native column must beat
+// the cut column on every member (the native kind exists to make
+// XOR-heavy search cheaper, not just smaller), and EXPERIMENTS.md tracks
+// the ratios PR over PR. Members cover the three shapes the engine
+// actually meets: LFSR step relations recovered from clausal form
+// (§II-D recovery), long parity chains, and planted dense XOR systems
+// just under the Gauss length threshold.
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+	"repro/internal/satgen"
+)
+
+// ParityJob is one deterministic parity-family benchmark instance.
+type ParityJob struct {
+	Name string
+	// Want is the verdict both arms must produce; a mismatch on either
+	// arm marks the measurement invalid rather than publishing a timing
+	// for a wrong answer.
+	Want sat.Status
+	// Build constructs the formula (called outside the timed region).
+	// The returned formula carries native f.Xors; the cut arm's clausal
+	// expansion happens inside the solver during the timed load.
+	Build func() *cnf.Formula
+}
+
+// LFSRParity builds an LFSR reachability instance (satgen.LFSRReach) and
+// recovers its step relations into native XOR clauses, the same
+// clausal-to-parity path the engine's §II-D recovery takes on real
+// inputs.
+func LFSRParity(nBits, steps int, unsat bool, seed int64) *cnf.Formula {
+	inst := satgen.LFSRReach(nBits, steps, unsat, rand.New(rand.NewSource(seed)))
+	return sat.RecoverXors(inst.Formula, sat.DefaultNativeXorMaxLen)
+}
+
+// ChainParity builds a clausal parity chain (satgen.ParityChain) and
+// recovers the parity groups into native XOR clauses.
+func ChainParity(nVars, nEqs, width int, planted bool, seed int64) *cnf.Formula {
+	inst := satgen.ParityChain(nVars, nEqs, width, planted, rand.New(rand.NewSource(seed)))
+	return sat.RecoverXors(inst.Formula, sat.DefaultNativeXorMaxLen)
+}
+
+// ParityCascade builds a sliding-window parity chain whose verdict is one
+// long unit-propagation cascade and zero conflicts: units pin the first
+// width-1 variables to a planted solution, every window X_i = x_i ⊕ … ⊕
+// x_{i+width-1} then forces the next variable in order, and with
+// unsat=true the final window is repeated with its RHS flipped so the
+// cascade ends in a contradiction. Both arms propagate the identical
+// implication chain, which makes this the family's propagation-cost
+// member: the timing difference is purely watcher-scan and clause-load
+// work, 1 parity record vs 2^(width-1) cut clauses per window, with no
+// search-path variance to muddy it.
+func ParityCascade(nVars, width int, unsat bool, seed int64) *cnf.Formula {
+	rng := rand.New(rand.NewSource(seed))
+	f := cnf.NewFormula(nVars)
+	sol := make([]bool, nVars)
+	for i := range sol {
+		sol[i] = rng.Intn(2) == 1
+	}
+	for i := 0; i < width-1; i++ {
+		f.AddClause(cnf.MkLit(cnf.Var(i), !sol[i]))
+	}
+	var lastVars []cnf.Var
+	lastRHS := false
+	for i := 0; i+width <= nVars; i++ {
+		vs := make([]cnf.Var, width)
+		rhs := false
+		for j := 0; j < width; j++ {
+			vs[j] = cnf.Var(i + j)
+			if sol[i+j] {
+				rhs = !rhs
+			}
+		}
+		f.AddXor(rhs, vs...)
+		lastVars, lastRHS = vs, rhs
+	}
+	if unsat {
+		f.AddXor(!lastRHS, lastVars...)
+	}
+	return f
+}
+
+// ParityJobs returns the full family at fixed seeds. Widths stay at or
+// under DefaultNativeXorMaxLen so on a Gauss-enabled profile every row
+// would stay in-watch — this family measures the parity kind itself,
+// not the Gauss side-car (the xor member of the fragment family covers
+// elimination). Members are chosen propagation-bound with small, stable
+// conflict counts: dense resolution-hard XOR systems have exponential
+// search-path variance under either encoding (and are Gauss's job
+// anyway), which would drown the encoding cost this family tracks.
+func ParityJobs() []ParityJob {
+	return []ParityJob{
+		{
+			Name: "lfsr-b24-s48-unsat",
+			Want: sat.Unsat,
+			Build: func() *cnf.Formula {
+				return LFSRParity(24, 48, true, 11)
+			},
+		},
+		{
+			Name: "cascade-v2000-w6-unsat",
+			Want: sat.Unsat,
+			Build: func() *cnf.Formula {
+				return ParityCascade(2000, 6, true, 5)
+			},
+		},
+		{
+			Name: "chain-parity-v80-e88-w4-unsat",
+			Want: sat.Unsat,
+			Build: func() *cnf.Formula {
+				return ChainParity(80, 88, 4, false, 21)
+			},
+		},
+		{
+			Name: "planted-xor-v400-e150-w6-sat",
+			Want: sat.Sat,
+			Build: func() *cnf.Formula {
+				return XorSystem(400, 150, 6, false, rand.New(rand.NewSource(7)))
+			},
+		},
+		{
+			Name: "planted-xor-v300-e280-w6-unsat",
+			Want: sat.Unsat,
+			Build: func() *cnf.Formula {
+				return XorSystem(300, 280, 6, true, rand.New(rand.NewSource(12)))
+			},
+		},
+	}
+}
+
+// ParityMeasurement is one job's native-vs-cut timing result.
+type ParityMeasurement struct {
+	// NativeNsPerOp times solver construction + load + search with the
+	// packed parity kind (the DefaultOptions path).
+	NativeNsPerOp int64 `json:"native_ns_per_op"`
+	// CutNsPerOp times the same solve with NativeXor and Gauss off, so
+	// every XOR pays the 2^(k-1) clausal expansion and CDCL search over
+	// it.
+	CutNsPerOp int64 `json:"cut_ns_per_op"`
+	// Speedup is cut/native (0 when either side is unmeasured).
+	Speedup float64 `json:"speedup"`
+	// Valid reports that both arms produced the job's expected verdict;
+	// timings with Valid=false must not be trusted.
+	Valid bool `json:"valid"`
+}
+
+// MeasureParity benchmarks each job both ways (formula built outside the
+// timed region) `rounds` times via testing.Benchmark and returns the
+// per-job medians, mirroring MeasureFragment's medians-of-rounds shape
+// so the JSON artifacts diff cleanly across PRs.
+func MeasureParity(jobs []ParityJob, profile sat.Profile, rounds int) map[string]ParityMeasurement {
+	if rounds <= 0 {
+		rounds = 5
+	}
+	solveOnce := func(f *cnf.Formula, opts sat.Options) sat.Status {
+		s := sat.New(opts)
+		if !s.AddFormula(f) {
+			return sat.Unsat
+		}
+		return s.Solve()
+	}
+	out := make(map[string]ParityMeasurement, len(jobs))
+	for _, job := range jobs {
+		f := job.Build()
+		nativeOpts := sat.DefaultOptions(profile)
+		cutOpts := sat.DefaultOptions(profile)
+		cutOpts.NativeXor = false
+		cutOpts.EnableGauss = false
+		valid := solveOnce(f, nativeOpts) == job.Want && solveOnce(f, cutOpts) == job.Want
+		var nativeNs, cutNs []int64
+		for r := 0; r < rounds; r++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					solveOnce(f, nativeOpts)
+				}
+			})
+			nativeNs = append(nativeNs, res.NsPerOp())
+			res = testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					solveOnce(f, cutOpts)
+				}
+			})
+			cutNs = append(cutNs, res.NsPerOp())
+		}
+		m := ParityMeasurement{
+			NativeNsPerOp: median64(nativeNs),
+			CutNsPerOp:    median64(cutNs),
+			Valid:         valid,
+		}
+		if m.NativeNsPerOp > 0 {
+			m.Speedup = float64(m.CutNsPerOp) / float64(m.NativeNsPerOp)
+		}
+		out[job.Name] = m
+	}
+	return out
+}

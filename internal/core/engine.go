@@ -78,6 +78,11 @@ type Config struct {
 	// default: routing can change which facts a non-terminal SAT step
 	// harvests, so seed-equivalence golden runs keep it disabled.
 	Route bool
+	// NoNativeXor turns off the SAT solver's native parity-clause kind and
+	// falls back to the pre-PR-10 CNF cut / Gauss-only routing — the
+	// differential baseline (`bosphorus -native-xor=false`). Native parity
+	// is on by default.
+	NoNativeXor bool
 	// EnableProbing adds failed-literal probing (a lookahead-style
 	// component, also named in §V) to the SAT step.
 	EnableProbing bool
@@ -358,6 +363,7 @@ func Process(input *anf.System, cfg Config) *Result {
 				Probe:            cfg.EnableProbing,
 				ProbeMax:         cfg.ProbeMax,
 				Route:            cfg.Route,
+				NoNativeXor:      cfg.NoNativeXor,
 				Seed:             cfg.Seed + int64(iter) + 1,
 				Context:          ctx,
 				CaptureProof:     cfg.EmitProof,

@@ -52,6 +52,12 @@ type SATStepConfig struct {
 	// verdicts still carry a checkable certificate when CaptureProof is
 	// set; routed SAT models are verified before being trusted.
 	Route bool
+	// NoNativeXor disables the solver's native parity-clause kind (PR-10)
+	// and restores the pre-native routing: XOR pieces are clausally cut at
+	// conversion (MiniSat/Lingeling profiles) or handed whole to the Gauss
+	// side-car (CMS profile). The differential baseline for the `parity`
+	// bench family and `bosphorus -native-xor=false`.
+	NoNativeXor bool
 	// CaptureProof attaches a DRAT writer to the solver and, when the step
 	// refutes the formula, returns the proof as a Certificate. Capture
 	// forces Preprocess off: simp rewrites the clause set, so a proof
@@ -102,7 +108,11 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 		cfg.Preprocess = false
 	}
 	convOpts := cfg.Conv
-	if cfg.Profile == sat.ProfileCMS {
+	// With native parity clauses (the default), every profile keeps XOR
+	// pieces whole through conversion — the solver watches them directly.
+	// The CNF-cut baseline restores the old rule: only the GJE-enabled CMS
+	// profile gets native XOR clauses.
+	if !cfg.NoNativeXor || cfg.Profile == sat.ProfileCMS {
 		convOpts.NativeXor = true
 	}
 	f, vm := conv.ANFToCNF(sys, convOpts)
@@ -152,6 +162,9 @@ func RunSATStep(sys *anf.System, cfg SATStepConfig) *SATStepResult {
 	}
 
 	opts := sat.DefaultOptions(cfg.Profile)
+	if cfg.NoNativeXor {
+		opts.NativeXor = false
+	}
 	if cfg.Seed != 0 {
 		opts.RandomSeed = cfg.Seed
 	}

@@ -38,11 +38,13 @@ type Tree struct {
 }
 
 // splitterOptions derives the splitter solver's configuration: Gauss/XOR
-// propagation is disabled so every refutation the splitter finds is pure
-// clause unit propagation — exactly the property that makes ¬prefix RUP
-// against the input clauses without any proof segment to lean on.
+// propagation and native parity clauses are disabled so every refutation
+// the splitter finds is pure clause unit propagation — exactly the
+// property that makes ¬prefix RUP against the input clauses without any
+// proof segment to lean on.
 func splitterOptions(o sat.Options) sat.Options {
 	o.EnableGauss = false
+	o.NativeXor = false
 	return o
 }
 

@@ -1,0 +1,82 @@
+// Lint fixture for the native parity-clause path: the hotpath shapes the
+// real propagateParity/parityLits pair relies on (pooled materialization
+// buffers, variable-indexed watcher appends, the nil-guarded proof-hook
+// dispatch behind a //lint:ignore), and the arenaref confinement of the
+// parity flag bits — header peeking to test flagParity belongs in
+// arena.go, everywhere else goes through an accessor.
+package sat
+
+type parityWriter interface {
+	addClause(lits []uint32)
+}
+
+type paritySolver struct {
+	arena     *clauseArena
+	parityBuf []uint32
+	xwatches  [][]uint32
+	proof     parityWriter
+}
+
+// materialize is hotpath-clean: the pooled buf[:0] append is the exact
+// shape the real parityLits uses to build a reason clause with zero
+// allocation.
+//
+//bosphorus:hotpath fixture: pooled parity-reason materialization
+func (s *paritySolver) materialize(r ClauseRef) []uint32 {
+	buf := s.parityBuf[:0]
+	buf = append(buf, s.arena.lits(r)...)
+	s.parityBuf = buf
+	return buf
+}
+
+// badMaterialize builds the reason in a fresh slice per conflict.
+//
+//bosphorus:hotpath fixture: demonstrates an allocating materialization
+func (s *paritySolver) badMaterialize(r ClauseRef) []uint32 {
+	buf := make([]uint32, 0, s.arena.size(r)) // want hotpath "make allocates"
+	buf = append(buf, s.arena.lits(r)...)
+	return buf
+}
+
+// moveWatch is hotpath-clean: appending a watcher onto another variable's
+// list is a sanctioned self-append (the list is its own backing store).
+//
+//bosphorus:hotpath fixture: parity watcher hand-off between variables
+func (s *paritySolver) moveWatch(from, to int, w uint32) {
+	s.xwatches[to] = append(s.xwatches[to], w)
+	s.xwatches[from] = s.xwatches[from][:0]
+}
+
+// badProofDispatch calls through the writer interface with no ignore
+// directive: interface dispatch cannot be proven allocation-free.
+//
+//bosphorus:hotpath fixture: demonstrates an unguarded proof dispatch
+func (s *paritySolver) badProofDispatch(lits []uint32) {
+	s.proof.addClause(lits) // want hotpath "function value or interface"
+}
+
+// guardedProofDispatch mirrors the real propagateParity call-site: the
+// dispatch is nil-guarded off the benchmark path and suppressed with an
+// explicit ignore, which the golden test asserts is honored.
+//
+//bosphorus:hotpath fixture: nil-guarded proof dispatch with an ignore
+func (s *paritySolver) guardedProofDispatch(lits []uint32) {
+	if s.proof != nil {
+		//lint:ignore hotpath fixture: nil-guarded off the alloc-free path
+		s.proof.addClause(lits)
+	}
+}
+
+// parityFlagPeek reads the header to test the parity flag bit outside
+// arena.go: both the conversion out of the ref and the bitwise test on
+// the header word are arena-private.
+func (s *paritySolver) parityFlagPeek(r ClauseRef) bool {
+	w := s.arena.data[uint32(r)] // want arenaref "backing store accessed outside arena.go" arenaref "conversion out of ClauseRef"
+	return w&16 != 0
+}
+
+// nextParity walks to the following record by offset arithmetic, which
+// only arena.go may do.
+func (s *paritySolver) nextParity(r ClauseRef) ClauseRef {
+	return r + 1 // want arenaref "offset arithmetic outside arena.go"
+}

@@ -130,6 +130,77 @@ func TestRoundTripXorSearch(t *testing.T) {
 	}
 }
 
+// parityBlend builds an UNSAT mix of short XOR constraints and clauses
+// that needs real search: a parity chain x0⊕x1, x1⊕x2, ... fixing
+// x0 = x_{n-1} parity-wise, plus clauses demanding the opposite.
+func parityBlend(n int) *cnf.Formula {
+	f := &cnf.Formula{}
+	for i := 0; i+1 < n; i++ {
+		f.AddXor(false, cnf.Var(i), cnf.Var(i+1)) // x_i = x_{i+1}
+	}
+	// Equality chain forces x0 == x_{n-1}; demand x0 != x_{n-1} clausally.
+	last := cnf.Var(n - 1)
+	f.AddClause(cnf.MkLit(0, false), cnf.MkLit(last, false))
+	f.AddClause(cnf.MkLit(0, true), cnf.MkLit(last, true))
+	return f
+}
+
+func TestRoundTripParityNative(t *testing.T) {
+	// Native parity clauses (the default for every profile since the
+	// NativeXor option landed): propagation and conflicts flow through the
+	// packed parity kind, whose implications are justified with "x" records
+	// over the clause's full variable set.
+	for _, tc := range []struct {
+		name    string
+		profile sat.Profile
+		binary  bool
+	}{
+		{"minisat-text", sat.ProfileMiniSat, false},
+		{"minisat-binary", sat.ProfileMiniSat, true},
+		{"cms-text", sat.ProfileCMS, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := parityBlend(9)
+			st, pf := solveWithProof(t, f, tc.profile, false, tc.binary)
+			if st != sat.Unsat {
+				t.Fatalf("status = %v, want Unsat", st)
+			}
+			res, err := Check(f, bytes.NewReader(pf))
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if !res.Verified {
+				t.Fatalf("native parity proof not verified: %+v (proof %d bytes)", res, len(pf))
+			}
+		})
+	}
+}
+
+func TestMutatedParityProofRejected(t *testing.T) {
+	// Corrupting a parity-derived proof must break verification: the
+	// mutated clause's "x" justification row no longer reduces to zero in
+	// the XOR rowspan (or the RUP chain breaks downstream).
+	f := parityBlend(9)
+	st, pf := solveWithProof(t, f, sat.ProfileMiniSat, false, false)
+	if st != sat.Unsat {
+		t.Fatalf("status = %v, want Unsat", st)
+	}
+	mut := append([]byte(nil), pf...)
+	for i, b := range mut {
+		if b == '-' {
+			mut[i] = ' ' // flip one literal's polarity, keep the stream parseable
+			break
+		}
+	}
+	if bytes.Equal(mut, pf) {
+		t.Skip("proof contains no negative literal to mutate")
+	}
+	res, err := Check(f, bytes.NewReader(mut))
+	if err == nil && res.Verified {
+		t.Fatalf("mutated parity proof still verified: %+v", res)
+	}
+}
+
 func TestRoundTripSatisfiableNoVerdict(t *testing.T) {
 	// A satisfiable formula yields a well-formed stream that simply never
 	// derives the empty clause.

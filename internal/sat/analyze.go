@@ -18,7 +18,9 @@ func (s *Solver) analyze(conf ClauseRef) ([]cnf.Lit, int) {
 
 	c := conf
 	for {
-		for _, q := range s.ca.lits(c) {
+		// clauseLits materializes parity reasons on demand; ordinary refs
+		// come back as plain arena views (see parity.go).
+		for _, q := range s.clauseLits(c, p, havePathLit) {
 			if havePathLit && q == p {
 				continue
 			}
@@ -112,7 +114,7 @@ func (s *Solver) litRedundant(l cnf.Lit) bool {
 	if r == NullRef {
 		return false
 	}
-	for _, q := range s.ca.lits(r) {
+	for _, q := range s.clauseLits(r, l, true) {
 		if q.Var() == l.Var() {
 			continue
 		}

@@ -13,12 +13,20 @@ import (
 // Layout: the arena is one flat []cnf.Lit (cnf.Lit is a uint32, so header
 // words are stored type-punned as Lits). A clause at ref r is
 //
-//	data[r]      header: size<<4 | flags (learnt, reloc, temp, dead)
+//	data[r]      header: size<<5 | flags (learnt, reloc, temp, dead, parity)
 //	data[r+1..]  learnt only: LBD word, then the float64 activity in two
 //	             words (low 32 bits first) — float64, not float32, so the
 //	             reduceDB activity tie-breaks stay bit-identical to the
 //	             pointer-based seed solver
 //	data[r+k..]  the literals, inline (k = 4 learnt, 1 otherwise)
+//
+// A parity clause (flagParity) stores an XOR constraint in the same
+// record shape: its literal words are the constraint's variables with the
+// RHS parity folded into the signs — the invariant is that an odd number
+// of the stored literals must be true. rhs=1 packs as all-positive
+// literals; rhs=0 negates the first one. Negating any single literal
+// flips the represented RHS, so the encoding is stable under the watch
+// swaps that reorder lits[0..1].
 //
 // After relocation (GC) the header's reloc flag is set and data[r+1] holds
 // the forwarding ref in the new arena; the old literals are garbage. For a
@@ -38,7 +46,8 @@ const (
 	flagReloc  = 1 << 1 // forwarded: data[r+1] is the new ref
 	flagTemp   = 1 << 2 // Gauss reason/conflict: freed when released
 	flagDead   = 1 << 3 // freed: words counted in wasted, awaiting GC
-	flagBits   = 4
+	flagParity = 1 << 4 // XOR constraint: odd number of literals true
+	flagBits   = 5
 	maxSize    = 1<<(32-flagBits) - 1
 )
 
@@ -54,6 +63,9 @@ func (a *clauseArena) size(r ClauseRef) int    { return int(a.header(r) >> flagB
 func (a *clauseArena) learnt(r ClauseRef) bool { return a.header(r)&flagLearnt != 0 }
 func (a *clauseArena) temp(r ClauseRef) bool   { return a.header(r)&flagTemp != 0 }
 func (a *clauseArena) dead(r ClauseRef) bool   { return a.header(r)&flagDead != 0 }
+
+// parity reports whether the record is a native parity clause.
+func (a *clauseArena) parity(r ClauseRef) bool { return a.header(r)&flagParity != 0 }
 
 // headerWords returns the number of metadata words before the literals.
 func (a *clauseArena) headerWords(r ClauseRef) int {
@@ -89,6 +101,15 @@ func (a *clauseArena) alloc(lits []cnf.Lit, learnt, temp bool) ClauseRef {
 		a.data = append(a.data, 0, 0, 0) // LBD, activity lo, activity hi
 	}
 	a.data = append(a.data, lits...)
+	return r
+}
+
+// allocParity copies a packed parity constraint (see the layout comment:
+// RHS folded into the literal signs) into the arena as a non-learnt,
+// non-temp record carrying the parity flag.
+func (a *clauseArena) allocParity(lits []cnf.Lit) ClauseRef {
+	r := a.alloc(lits, false, false)
+	a.data[r] = cnf.Lit(a.header(r) | flagParity)
 	return r
 }
 
@@ -147,6 +168,9 @@ func (a *clauseArena) relocate(r ClauseRef, to *clauseArena) ClauseRef {
 		to.setLBD(nr, a.lbd(r))
 		to.setActivity(nr, a.activity(r))
 	}
+	if hdr&flagParity != 0 {
+		to.data[nr] = cnf.Lit(to.header(nr) | flagParity)
+	}
 	a.data[r] = cnf.Lit(hdr | flagReloc)
 	a.data[r+1] = cnf.Lit(uint32(nr))
 	return nr
@@ -193,6 +217,20 @@ func (s *Solver) garbageCollect() {
 			s.WatchShrinks++
 		}
 	}
+	for i := range s.xwatches {
+		ws := s.xwatches[i]
+		for j := range ws {
+			ws[j].ref = s.ca.relocate(ws[j].ref, &to)
+		}
+		if cap(ws) >= watchShrinkCap && cap(ws) >= watchShrinkFactor*len(ws) {
+			if len(ws) == 0 {
+				s.xwatches[i] = nil
+			} else {
+				s.xwatches[i] = append(make([]watcher, 0, len(ws)), ws...)
+			}
+			s.WatchShrinks++
+		}
+	}
 	// Every assigned variable is on the trail, so the trail covers all live
 	// reason slots. A slot can point at a clause Simplify deleted (the seed
 	// solver tolerated the dangling pointer at level 0, where reasons are
@@ -212,6 +250,9 @@ func (s *Solver) garbageCollect() {
 	}
 	for i := range s.learnts {
 		s.learnts[i] = s.ca.relocate(s.learnts[i], &to)
+	}
+	for i := range s.parities {
+		s.parities[i] = s.ca.relocate(s.parities[i], &to)
 	}
 	s.ca = to
 	s.ArenaGCs++

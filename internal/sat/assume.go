@@ -71,7 +71,7 @@ func (s *Solver) analyzeFinal(p cnf.Lit) []cnf.Lit {
 				out = append(out, s.trail[i])
 			}
 		} else {
-			for _, q := range s.ca.lits(s.reason[v]) {
+			for _, q := range s.clauseLits(s.reason[v], s.trail[i], true) {
 				if q.Var() != v && s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = 1
 				}

@@ -1,0 +1,358 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/satgen"
+)
+
+// cutOptions is the PR-10 differential baseline: AddXor goes through the
+// pre-native routing (Gauss side-car on CMS, 2^(k-1) clausal cut
+// otherwise) instead of the packed parity-clause kind.
+func cutOptions(p Profile) Options {
+	o := DefaultOptions(p)
+	o.NativeXor = false
+	return o
+}
+
+// randomXorMix builds a random CNF+XOR mix small enough for bruteForce.
+func randomXorMix(rng *rand.Rand, nVars, nClauses, nXors int) *cnf.Formula {
+	f := cnf.NewFormula(nVars)
+	for i := 0; i < nClauses; i++ {
+		w := 1 + rng.Intn(3)
+		lits := make([]cnf.Lit, w)
+		for j := range lits {
+			lits[j] = cnf.MkLit(cnf.Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+		}
+		f.AddClause(lits...)
+	}
+	for i := 0; i < nXors; i++ {
+		w := 2 + rng.Intn(4)
+		vars := make([]cnf.Var, w)
+		for j := range vars {
+			// Duplicates are allowed on purpose: pair cancellation is part
+			// of the contract under test.
+			vars[j] = cnf.Var(rng.Intn(nVars))
+		}
+		f.AddXor(rng.Intn(2) == 1, vars...)
+	}
+	return f
+}
+
+func checkModel(t *testing.T, f *cnf.Formula, s *Solver, arm string) {
+	t.Helper()
+	m := s.Model()
+	if !f.Eval(func(v cnf.Var) bool { return m[v] }) {
+		t.Fatalf("%s: model violates the formula", arm)
+	}
+}
+
+// TestNativeXorDifferential cross-checks the native parity path against
+// the CNF-cut and Gauss baselines (and the brute-force oracle) on random
+// XOR+CNF mixes: same verdict everywhere, every SAT model valid.
+func TestNativeXorDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 6 + rng.Intn(9)
+		f := randomXorMix(rng, nVars, 2+rng.Intn(12), 1+rng.Intn(6))
+		want := bruteForce(f)
+		arms := []struct {
+			name string
+			opts Options
+		}{
+			{"native-minisat", DefaultOptions(ProfileMiniSat)},
+			{"native-cms", DefaultOptions(ProfileCMS)},
+			{"cut-minisat", cutOptions(ProfileMiniSat)},
+			{"gauss-cms", cutOptions(ProfileCMS)},
+		}
+		for _, arm := range arms {
+			s := New(arm.opts)
+			st := Unsat
+			if s.AddFormula(f.Clone()) {
+				st = s.Solve()
+			}
+			if (st == Sat) != want {
+				t.Fatalf("trial %d %s: verdict %v, brute force says sat=%v", trial, arm.name, st, want)
+			}
+			if st == Sat {
+				checkModel(t, f, s, arm.name)
+			}
+		}
+	}
+}
+
+// TestNativeXorGenerators runs the LFSR and parity-chain CDCL bench
+// generators (clausal XOR encodings) through RecoverXors and compares the
+// native parity path with the baselines — the exact workload the parity
+// bench family measures.
+func TestNativeXorGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		inst *satgen.Instance
+	}{
+		{"lfsr-sat", satgen.LFSRReach(8, 16, false, rand.New(rand.NewSource(3)))},
+		{"lfsr-unsat", satgen.LFSRReach(8, 16, true, rand.New(rand.NewSource(4)))},
+		{"chain-planted", satgen.ParityChain(32, 28, 3, true, rand.New(rand.NewSource(5)))},
+		{"chain-random", satgen.ParityChain(32, 40, 3, false, rand.New(rand.NewSource(6)))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := RecoverXors(tc.inst.Formula, 6)
+			if len(f.Xors) == 0 {
+				t.Fatalf("no xors recovered from %s", tc.name)
+			}
+			verdicts := map[string]Status{}
+			for _, arm := range []struct {
+				name string
+				opts Options
+			}{
+				{"native-minisat", DefaultOptions(ProfileMiniSat)},
+				{"native-cms", DefaultOptions(ProfileCMS)},
+				{"cut-minisat", cutOptions(ProfileMiniSat)},
+				{"gauss-cms", cutOptions(ProfileCMS)},
+			} {
+				s := New(arm.opts)
+				st := Unsat
+				if s.AddFormula(f.Clone()) {
+					st = s.Solve()
+				}
+				verdicts[arm.name] = st
+				if st == Sat {
+					checkModel(t, f, s, arm.name)
+				}
+			}
+			for name, st := range verdicts {
+				if st != verdicts["native-minisat"] {
+					t.Fatalf("verdicts diverge: %v (%s disagrees)", verdicts, name)
+				}
+			}
+			if want, ok := map[satgen.Status]Status{satgen.StatusSat: Sat, satgen.StatusUnsat: Unsat}[tc.inst.Status]; ok {
+				if verdicts["native-minisat"] != want {
+					t.Fatalf("verdict %v, generator says %v", verdicts["native-minisat"], want)
+				}
+			}
+		})
+	}
+}
+
+// TestParityGCMidSearchRelocation drives the solver by hand to a state
+// with parity reasons on the trail, forces an arena GC there, and checks
+// that relocation preserved the parity flag, the xwatches lists, and the
+// analyzability of parity reasons — then finishes the solve normally.
+func TestParityGCMidSearchRelocation(t *testing.T) {
+	s := New(DefaultOptions(ProfileMiniSat))
+	for i := 0; i < 12; i++ {
+		s.NewVar()
+	}
+	if !s.AddClause(cnf.MkLit(6, true)) { // x6 = false at level 0
+		t.Fatal("unit add failed")
+	}
+	if !s.AddClause(cnf.MkLit(3, false), cnf.MkLit(5, false)) { // x3 ∨ x5
+		t.Fatal("clause add failed")
+	}
+	for _, x := range []struct {
+		rhs  bool
+		vars []cnf.Var
+	}{
+		{true, []cnf.Var{0, 1, 2}},
+		{false, []cnf.Var{2, 3, 4}},
+		{true, []cnf.Var{4, 5, 6}},
+	} {
+		if !s.AddXor(x.rhs, x.vars...) {
+			t.Fatal("xor add failed")
+		}
+	}
+	if len(s.parities) != 3 {
+		t.Fatalf("parities = %d, want 3", len(s.parities))
+	}
+
+	decide := func(l cnf.Lit) {
+		s.trailLim = append(s.trailLim, len(s.trail))
+		if !s.enqueue(l, NullRef) {
+			t.Fatalf("decision %v not enqueueable", l)
+		}
+	}
+	// L1: ¬x0. L2: ¬x1 ⇒ x2 (x0⊕x1⊕x2=1) via a parity reason.
+	decide(cnf.MkLit(0, true))
+	if conf := s.propagate(); conf != NullRef {
+		t.Fatal("unexpected conflict at L1")
+	}
+	decide(cnf.MkLit(1, true))
+	if conf := s.propagate(); conf != NullRef {
+		t.Fatal("unexpected conflict at L2")
+	}
+	if s.assigns[2] != lTrue {
+		t.Fatal("x2 not implied by the parity clause")
+	}
+	r := s.reason[2]
+	if r == NullRef || !s.ca.parity(r) {
+		t.Fatal("x2's reason is not a parity ref")
+	}
+
+	// Manufacture arena waste (allocate-and-free junk clauses), then GC
+	// with the parity reason live on the trail.
+	for i := 0; i < 64; i++ {
+		junk := s.ca.alloc([]cnf.Lit{cnf.MkLit(9, false), cnf.MkLit(10, false), cnf.MkLit(11, i%2 == 0)}, false, false)
+		s.ca.free(junk)
+	}
+	gcs := s.ArenaGCs
+	s.garbageCollect()
+	if s.ArenaGCs != gcs+1 {
+		t.Fatal("garbageCollect did not run")
+	}
+	r2 := s.reason[2]
+	if r2 == NullRef || !s.ca.parity(r2) {
+		t.Fatal("parity flag lost across GC relocation")
+	}
+	for _, cr := range s.parities {
+		if !s.ca.parity(cr) || s.ca.dead(cr) {
+			t.Fatal("parities list corrupt after GC")
+		}
+	}
+
+	// L3: ¬x3. The xor chain forces x4 then ¬x5 through relocated parity
+	// clauses, and the clause x3 ∨ x5 flips to a conflict; analysis must
+	// materialize the (relocated) parity reasons.
+	decide(cnf.MkLit(3, true))
+	conf := s.propagate()
+	if conf == NullRef {
+		t.Fatal("expected a conflict at L3")
+	}
+	learnt, btLevel := s.analyze(conf)
+	if len(learnt) == 0 || btLevel < 0 || btLevel >= s.decisionLevel() {
+		t.Fatalf("analysis produced learnt=%v bt=%d", learnt, btLevel)
+	}
+	s.releaseConflict(conf)
+
+	// Backtrack to the root: parity refs are persistent clauses and must
+	// survive cancelUntil's temp-reason reclamation.
+	s.cancelUntil(0)
+	for _, cr := range s.parities {
+		if s.ca.dead(cr) {
+			t.Fatal("cancelUntil freed a persistent parity clause")
+		}
+	}
+
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("final solve = %v, want Sat", st)
+	}
+	assign := func(v cnf.Var) bool { return s.Value(v) }
+	for _, x := range []struct {
+		rhs  bool
+		vars []cnf.Var
+	}{{true, []cnf.Var{0, 1, 2}}, {false, []cnf.Var{2, 3, 4}}, {true, []cnf.Var{4, 5, 6}}} {
+		acc := false
+		for _, v := range x.vars {
+			if assign(v) {
+				acc = !acc
+			}
+		}
+		if acc != x.rhs {
+			t.Fatalf("model violates xor %v", x.vars)
+		}
+	}
+	if assign(6) {
+		t.Fatal("model violates unit ¬x6")
+	}
+	if !assign(3) && !assign(5) {
+		t.Fatal("model violates clause x3 ∨ x5")
+	}
+}
+
+// TestParityTempReasonContract pins cancelUntil's reclamation rule with
+// both reason kinds on the trail: an arena temp (the Gauss shape) is
+// freed at unassignment, a native parity reason is not.
+func TestParityTempReasonContract(t *testing.T) {
+	s := New(DefaultOptions(ProfileMiniSat))
+	for i := 0; i < 6; i++ {
+		s.NewVar()
+	}
+	if !s.AddXor(true, 0, 1, 2) {
+		t.Fatal("xor add failed")
+	}
+	s.trailLim = append(s.trailLim, len(s.trail))
+	if !s.enqueue(cnf.MkLit(0, true), NullRef) || !s.enqueue(cnf.MkLit(1, true), NullRef) {
+		t.Fatal("decisions not enqueueable")
+	}
+	if conf := s.propagate(); conf != NullRef {
+		t.Fatal("unexpected conflict")
+	}
+	parityReason := s.reason[2]
+	if parityReason == NullRef || !s.ca.parity(parityReason) {
+		t.Fatal("x2's reason is not a parity ref")
+	}
+	// Hand-plant a temp reason (what gauss.imply allocates) on another var.
+	temp := s.ca.alloc([]cnf.Lit{cnf.MkLit(3, false), cnf.MkLit(0, false)}, false, true)
+	if !s.enqueue(cnf.MkLit(3, false), temp) {
+		t.Fatal("temp-reason literal not enqueueable")
+	}
+	s.cancelUntil(0)
+	if !s.ca.dead(temp) {
+		t.Fatal("cancelUntil leaked the temp reason")
+	}
+	if s.ca.dead(parityReason) {
+		t.Fatal("cancelUntil freed the native parity reason")
+	}
+	if s.assigns[2] != lUndef || s.reason[2] != NullRef {
+		t.Fatal("backtrack did not unwind the parity implication")
+	}
+}
+
+// FuzzParityClause feeds random clause/XOR mixes through add, propagate,
+// conflict analysis, and backtracking on all four routing arms, checking
+// verdict agreement with the brute-force oracle and model validity.
+func FuzzParityClause(fz *testing.F) {
+	fz.Add([]byte{8, 2, 0, 1, 2, 3, 4, 5, 6, 0, 7, 8})
+	fz.Add([]byte{3, 3, 0, 1, 1, 3, 2, 0, 2, 2, 1, 0, 1, 2})
+	fz.Add([]byte{12, 0, 1, 2, 3, 2, 3, 4, 5, 3, 5, 6, 7, 1, 0, 1, 2})
+	fz.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 || len(data) > 96 {
+			return
+		}
+		nVars := 4 + int(data[0])%10
+		f := cnf.NewFormula(nVars)
+		for i := 1; i+3 < len(data); i += 4 {
+			op := data[i]
+			a := cnf.Var(int(data[i+1]) % nVars)
+			b := cnf.Var(int(data[i+2]) % nVars)
+			c := cnf.Var(int(data[i+3]) % nVars)
+			switch op % 4 {
+			case 0:
+				f.AddClause(cnf.MkLit(a, op&4 != 0), cnf.MkLit(b, op&8 != 0))
+			case 1:
+				f.AddClause(cnf.MkLit(a, op&4 != 0), cnf.MkLit(b, op&8 != 0), cnf.MkLit(c, op&16 != 0))
+			case 2:
+				f.AddXor(op&4 != 0, a, b)
+			case 3:
+				f.AddXor(op&4 != 0, a, b, c)
+			}
+		}
+		want := bruteForce(f)
+		for _, arm := range []struct {
+			name string
+			opts Options
+		}{
+			{"native-minisat", DefaultOptions(ProfileMiniSat)},
+			{"native-cms", DefaultOptions(ProfileCMS)},
+			{"cut-minisat", cutOptions(ProfileMiniSat)},
+			{"gauss-cms", cutOptions(ProfileCMS)},
+		} {
+			s := New(arm.opts)
+			st := Unsat
+			if s.AddFormula(f.Clone()) {
+				st = s.Solve()
+			}
+			if (st == Sat) != want {
+				t.Fatalf("%s: verdict %v, brute force says sat=%v", arm.name, st, want)
+			}
+			if st == Sat {
+				m := s.Model()
+				if !f.Eval(func(v cnf.Var) bool { return m[v] }) {
+					t.Fatalf("%s: model violates the formula", arm.name)
+				}
+			}
+		}
+	})
+}

@@ -16,6 +16,17 @@ func (s *Solver) propagate() ClauseRef {
 			p := s.trail[s.qhead] // p is now true; scan watchers of p
 			s.qhead++
 			s.Propagations++
+			// Parity clauses are problem constraints, so they are consulted
+			// before the clause watch lists: with NativeXor on, an XOR-heavy
+			// instance has few or no problem clauses and its clause lists hold
+			// mostly learnts — scanning those first would give learnt clauses
+			// propagation priority over the problem itself, the reverse of the
+			// attach order the clausal-cut baseline exhibits.
+			if len(s.parities) != 0 {
+				if conf := s.propagateParity(p); conf != NullRef {
+					return conf
+				}
+			}
 			if conf := s.propagateLit(p); conf != NullRef {
 				return conf
 			}

@@ -77,6 +77,25 @@ func (s *Solver) deadlineExpired() bool {
 	return !s.deadline.IsZero() && time.Now().After(s.deadline)
 }
 
+// problemLoad is the problem size the learnt-clause cap scales with. A
+// packed parity clause over w variables stands in for the 2^(w-1) CNF
+// clauses of its clausal cut, so it must weigh as many — sizing the cap
+// by record count alone starves an XOR-dominated instance (near-zero
+// clauses → cap ≈ 100) into reduceDB thrashing that the cut baseline
+// never hits. The per-row weight is capped so one hand-added long row
+// cannot blow the cap up exponentially.
+func (s *Solver) problemLoad() int {
+	load := len(s.clauses)
+	for _, cr := range s.parities {
+		w := s.ca.size(cr) - 1
+		if w > 6 {
+			w = 6 // 64 clauses: the widest cut AddXor would actually emit in-range
+		}
+		load += 1 << uint(w)
+	}
+	return load
+}
+
 // SolveLimited runs CDCL search with a conflict budget; a negative budget
 // means unlimited. This is the paper's §II-D conflict-bounded solving: the
 // return is Unsat, Sat, or Unknown when the budget is exhausted.
@@ -109,7 +128,7 @@ func (s *Solver) SolveLimited(conflictBudget int64) Status {
 	}
 
 	var conflictsThisRun int64
-	maxLearnts := float64(len(s.clauses))*s.opts.LearntsFraction + 100
+	maxLearnts := float64(s.problemLoad())*s.opts.LearntsFraction + 100
 
 	for restart := uint64(0); ; restart++ {
 		budgetThisRestart := luby(restart) * uint64(s.opts.RestartBase)

@@ -43,6 +43,15 @@ type Solver struct {
 
 	watches [][]watcher // indexed by literal
 
+	// Native parity clauses (see parity.go). xwatches is indexed by
+	// variable — a parity watch fires on assignment, not falseness — and
+	// stays nil until the first parity clause is attached, so purely
+	// clausal formulas never pay for the table. parityBuf is the pooled
+	// scratch parityLits materializes implied clauses into.
+	parities  []ClauseRef
+	xwatches  [][]watcher
+	parityBuf []cnf.Lit
+
 	assigns  []lbool     // per variable
 	level    []int32     // decision level of assignment
 	reason   []ClauseRef // implying clause, NullRef for decisions
@@ -143,6 +152,9 @@ func (s *Solver) NewVar() cnf.Var {
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
+	if s.xwatches != nil {
+		s.xwatches = append(s.xwatches, nil)
+	}
 	s.order.insert(v)
 	return v
 }
@@ -167,6 +179,9 @@ func (s *Solver) reserveVars(n int) {
 		s.activity = append(make([]float64, 0, n), s.activity...)
 		s.seen = append(make([]byte, 0, n), s.seen...)
 		s.watches = append(make([][]watcher, 0, 2*n), s.watches...)
+		if s.xwatches != nil {
+			s.xwatches = append(make([][]watcher, 0, n), s.xwatches...)
+		}
 		s.trail = append(make([]cnf.Lit, 0, n), s.trail...)
 		s.order.heap = append(make([]cnf.Var, 0, n), s.order.heap...)
 		s.order.index = append(make([]int, 0, n), s.order.index...)
@@ -252,14 +267,20 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 	return true
 }
 
-// AddXor adds a native XOR constraint (CMS profile). With Gauss disabled it
-// falls back to a clausal (Tseitin enumeration) encoding.
+// AddXor adds an XOR constraint. With Options.NativeXor (the default) it
+// becomes a native parity clause in the arena — rows longer than
+// NativeXorMaxLen still go to the Gauss side-car when that is enabled.
+// With NativeXor off the pre-PR-10 routing applies: the Gauss component
+// (CMS profile), else the 2^(k-1) clausal cut.
 func (s *Solver) AddXor(rhs bool, vars ...cnf.Var) bool {
 	if !s.ok {
 		return false
 	}
 	for _, v := range vars {
 		s.ensureVars(int(v) + 1)
+	}
+	if s.opts.NativeXor {
+		return s.addXorNative(rhs, vars)
 	}
 	if s.gauss != nil {
 		return s.gauss.addRow(vars, rhs)

@@ -199,14 +199,24 @@ func TestXorChainUnsat(t *testing.T) {
 				t.Fatalf("odd xor cycle n=%d profile %v not UNSAT", n, p)
 			}
 		}
-		// CMS detects it purely by elimination, without search conflicts.
-		s := New(DefaultOptions(ProfileCMS))
+		// With native parity off (PR-10), CMS routes every row to Gauss and
+		// detects the cycle purely by elimination, without search conflicts.
+		opts := DefaultOptions(ProfileCMS)
+		opts.NativeXor = false
+		s := New(opts)
 		s.AddFormula(f)
 		if s.Solve() != Unsat {
 			t.Fatal("CMS failed odd cycle")
 		}
 		if s.Conflicts != 0 {
 			t.Fatalf("CMS needed %d conflicts; GJE should find UNSAT directly", s.Conflicts)
+		}
+		// The native parity path (default) must reach the same verdict from
+		// watch propagation alone.
+		sn := New(DefaultOptions(ProfileCMS))
+		sn.AddFormula(f)
+		if sn.Solve() != Unsat {
+			t.Fatal("native parity failed odd cycle")
 		}
 	}
 }

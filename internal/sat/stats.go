@@ -12,6 +12,7 @@ type Stats struct {
 	Conflicts, Decisions, Propagations uint64
 	Restarts, ReducedDBs               uint64
 	XorRows                            int
+	ParityClauses                      int
 	ArenaGCs                           uint64
 	ArenaLiveWords, ArenaWastedWords   int
 	WatchShrinks                       uint64
@@ -37,6 +38,7 @@ func (s *Solver) Snapshot() Stats {
 		Restarts:         s.Restarts,
 		ReducedDBs:       s.ReducedDBs,
 		XorRows:          s.NumXorRows(),
+		ParityClauses:    len(s.parities),
 		ArenaGCs:         s.ArenaGCs,
 		ArenaLiveWords:   s.ca.liveWords(),
 		ArenaWastedWords: s.ca.wasted,
@@ -48,9 +50,9 @@ func (s *Solver) Snapshot() Stats {
 
 // String renders the statistics in a MiniSat-style one-liner.
 func (st Stats) String() string {
-	return fmt.Sprintf("vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d restarts=%d reduceDBs=%d xors=%d arenaGCs=%d arenaWords=%d/%d watchShrinks=%d sharedExp=%d sharedImp=%d",
+	return fmt.Sprintf("vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d restarts=%d reduceDBs=%d xors=%d parity=%d arenaGCs=%d arenaWords=%d/%d watchShrinks=%d sharedExp=%d sharedImp=%d",
 		st.Vars, st.Clauses, st.Learnts, st.Conflicts, st.Decisions,
-		st.Propagations, st.Restarts, st.ReducedDBs, st.XorRows,
+		st.Propagations, st.Restarts, st.ReducedDBs, st.XorRows, st.ParityClauses,
 		st.ArenaGCs, st.ArenaLiveWords, st.ArenaWastedWords, st.WatchShrinks,
 		st.SharedExported, st.SharedImported)
 }

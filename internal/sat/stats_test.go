@@ -17,13 +17,28 @@ func TestSnapshotAndString(t *testing.T) {
 	if st.Conflicts == 0 {
 		t.Fatal("pigeonhole should conflict")
 	}
-	if st.XorRows != 1 {
+	// NativeXor is on by default, so the short XOR lands in the parity
+	// store, not the Gauss row set.
+	if st.ParityClauses != 1 {
+		t.Fatalf("parity clauses = %d", st.ParityClauses)
+	}
+	if st.XorRows != 0 {
 		t.Fatalf("xor rows = %d", st.XorRows)
 	}
 	out := st.String()
-	for _, want := range []string{"vars=", "conflicts=", "xors=1"} {
+	for _, want := range []string{"vars=", "conflicts=", "parity=1"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stats string missing %q: %s", want, out)
 		}
+	}
+
+	// The CNF-cut fallback restores the Gauss routing and its XorRows
+	// accounting.
+	opts := DefaultOptions(ProfileCMS)
+	opts.NativeXor = false
+	s2 := New(opts)
+	s2.AddXor(true, 0, 1, 2)
+	if got := s2.Snapshot().XorRows; got != 1 {
+		t.Fatalf("gauss xor rows = %d", got)
 	}
 }

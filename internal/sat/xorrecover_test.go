@@ -121,12 +121,22 @@ func TestRecoverXorsSpeedsUpCMS(t *testing.T) {
 	if len(rec.Xors) != nVars {
 		t.Fatalf("recovered %d xors, want %d", len(rec.Xors), nVars)
 	}
-	s := New(DefaultOptions(ProfileCMS))
+	// The zero-conflict refutation is a Gauss-elimination property, so pin
+	// the PR-10 native-parity router off for this arm.
+	opts := DefaultOptions(ProfileCMS)
+	opts.NativeXor = false
+	s := New(opts)
 	s.AddFormula(rec)
 	if s.Solve() != Unsat {
 		t.Fatal("inconsistent chain not refuted")
 	}
 	if s.Conflicts != 0 {
 		t.Fatalf("GJE should refute without conflicts, used %d", s.Conflicts)
+	}
+	// The native path (default options) must agree on the verdict.
+	sn := New(DefaultOptions(ProfileCMS))
+	sn.AddFormula(rec)
+	if sn.Solve() != Unsat {
+		t.Fatal("native parity: inconsistent chain not refuted")
 	}
 }

@@ -57,6 +57,22 @@ if "$workdir/proofcheck" -cnf "$workdir/p.drat.cnf" "$workdir/bad.drat" >/dev/nu
 	exit 1
 fi
 
+echo "==> parity proof round-trip smoke (native parity clauses, x-justified DRAT, reject corrupted)"
+# unsat_parity.anf converts to native XOR clauses; the refutation flows
+# through the solver's packed parity kind and the proof's derived clauses
+# carry GF(2)-rowspan ("x") justifications. The -native-xor=false run is
+# the differential baseline: same verdict through the CNF-cut path.
+"$workdir/bosphorus" -anf examples/instances/unsat_parity.anf -solve \
+	-no-xl -no-elimlin -proof "$workdir/parity.drat" | grep -q "s UNSATISFIABLE"
+"$workdir/proofcheck" -cnf "$workdir/parity.drat.cnf" "$workdir/parity.drat" | grep -q "s VERIFIED"
+"$workdir/bosphorus" -anf examples/instances/unsat_parity.anf -solve \
+	-no-xl -no-elimlin -native-xor=false | grep -q "s UNSATISFIABLE"
+{ echo "999999 0"; cat "$workdir/parity.drat"; } > "$workdir/parity-bad.drat"
+if "$workdir/proofcheck" -cnf "$workdir/parity.drat.cnf" "$workdir/parity-bad.drat" >/dev/null 2>&1; then
+	echo "proofcheck accepted a corrupted parity proof" >&2
+	exit 1
+fi
+
 echo "==> multi-node smoke (coordinator + two worker nodes, proofcheck on the stitched proof)"
 BOSPHORUSD_SMOKE_DIR="$workdir" go test -count=1 -run TestMultiNodeSmoke ./cmd/bosphorusd
 "$workdir/proofcheck" -cnf "$workdir/smoke.cnf" "$workdir/smoke.drat" | grep -q "s VERIFIED"
@@ -67,6 +83,9 @@ go test -run '^$' -fuzz '^FuzzProofMutation$' -fuzztime 3s ./internal/proof
 
 echo "==> lint directive-parser fuzz (a few seconds)"
 go test -run '^$' -fuzz '^FuzzDirectives$' -fuzztime 3s ./internal/lint
+
+echo "==> parity clause fuzz (a few seconds)"
+go test -run '^$' -fuzz '^FuzzParityClause$' -fuzztime 3s ./internal/sat
 
 echo "==> bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench 'XL|RREF|ElimLin|PickElimVar' -benchtime 1x \
@@ -80,10 +99,14 @@ go run ./cmd/benchtab -perf "$workdir/quick.json" -quick
 go run ./cmd/benchtab -compare -gate=-1 BENCH_pr1.json BENCH_pr5.json >/dev/null
 go run ./cmd/benchtab -compare -gate=-1 BENCH_pr6.json BENCH_pr7.json >/dev/null
 go run ./cmd/benchtab -compare -gate=-1 BENCH_pr7.json BENCH_pr8.json >/dev/null
-go run ./cmd/benchtab -compare -gate=-1 BENCH_pr8.json "$workdir/quick.json" >/dev/null
+go run ./cmd/benchtab -compare -gate=-1 BENCH_pr8.json BENCH_pr10.json >/dev/null
+go run ./cmd/benchtab -compare -gate=-1 BENCH_pr10.json "$workdir/quick.json" >/dev/null
 
 echo "==> fragment routing smoke (classifier fuzz + route/walksat quick tests)"
 go test -count=1 -run 'TestFragmentJobs' ./internal/bench
 go test -run '^$' -fuzz '^FuzzClassify$' -fuzztime 3s ./internal/route
+
+echo "==> parity family smoke (frozen-seed verdicts, both arms)"
+go test -count=1 -run 'TestParityJobsVerdicts' ./internal/bench
 
 echo "==> OK"
